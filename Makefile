@@ -1,0 +1,35 @@
+# Lossless smoothing of MPEG video — build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every figure of the paper's evaluation (plus extensions)
+# into results/ as CSV, with console summaries.
+results:
+	$(GO) run ./cmd/experiments -fig all -out results
+
+# Time the regeneration of every figure and the core primitives.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/livepipe
+	$(GO) run ./examples/livesmoother
+	$(GO) run ./examples/multiplex
+	$(GO) run ./examples/encodepipeline
+
+clean:
+	rm -f test_output.txt bench_output.txt

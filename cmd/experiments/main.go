@@ -1,0 +1,405 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (Figures 3–8) and the extension experiments from DESIGN.md, writing
+// CSV series to an output directory and printing console summaries.
+//
+// Usage:
+//
+//	experiments -fig all -out results/
+//	experiments -fig 6            # one figure
+//	experiments -fig extB -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpegsmooth/internal/experiments"
+	"mpegsmooth/internal/mpeg"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, extA, extB, extC, extD, extE, all")
+		out      = flag.String("out", "results", "output directory for CSV series")
+		pictures = flag.Int("pictures", experiments.DefaultPictures, "trace length in pictures")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "trace generation seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"3", "4", "5", "6", "7", "8", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI"}
+	}
+	for _, f := range figs {
+		if err := runFigure(strings.TrimSpace(f), *out, *pictures, *seed); err != nil {
+			fatal(fmt.Errorf("figure %s: %w", f, err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}
+
+func runFigure(fig, out string, pictures int, seed int64) error {
+	switch fig {
+	case "3":
+		return figure3(out, pictures, seed)
+	case "4":
+		return figure4(out, pictures, seed)
+	case "5":
+		return figure5(out, pictures, seed)
+	case "6":
+		return sweep(out, "fig6_sweep_D.csv", "Figure 6 (measures vs delay bound D; K=1, H=N)", "D_seconds",
+			func() ([]experiments.SweepRow, error) { return experiments.Figure6(pictures, seed) })
+	case "7":
+		return sweep(out, "fig7_sweep_H.csv", "Figure 7 (measures vs lookahead H; D=0.2, K=1)", "H_pictures",
+			func() ([]experiments.SweepRow, error) { return experiments.Figure7(pictures, seed) })
+	case "8":
+		return sweep(out, "fig8_sweep_K.csv", "Figure 8 (measures vs K; D=0.1333+(K+1)/30, H=N)", "K_pictures",
+			func() ([]experiments.SweepRow, error) { return experiments.Figure8(pictures, seed) })
+	case "extA":
+		return extA(out, pictures, seed)
+	case "extB":
+		return extB(out, seed)
+	case "extC":
+		return extC(out, pictures, seed)
+	case "extD":
+		return extD(out, pictures, seed)
+	case "extE":
+		return extE(out, seed)
+	case "extF":
+		return extF(out, pictures, seed)
+	case "extG":
+		return extG(out, seed)
+	case "extH":
+		return extH(out, seed)
+	case "extI":
+		return extI(out, pictures, seed)
+	}
+	return fmt.Errorf("unknown figure %q", fig)
+}
+
+func extI(out string, pictures int, seed int64) error {
+	rows, err := experiments.ExtI(pictures, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extI_algorithms.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "algorithm,max_delay_s,peak_rate_bps,sd_rate_bps,rate_changes")
+	fmt.Println("== Ext I: algorithm family comparison (Driving1) ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s,%.6f,%.1f,%.1f,%d\n", r.Algorithm, r.MaxDelay, r.PeakRate, r.StdDev, r.RateChanges)
+		fmt.Printf("  %-24s max delay %7.4f s  peak %5.2f Mbps  sd %5.2f Mbps  %4d changes\n",
+			r.Algorithm, r.MaxDelay, r.PeakRate/1e6, r.StdDev/1e6, r.RateChanges)
+	}
+	f.Close()
+	fmt.Println("  -> extI_algorithms.csv")
+	return nil
+}
+
+func extG(out string, seed int64) error {
+	rows, err := experiments.ExtG(160, 112, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extG_quantizer.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "quantizer_scale,bits,psnr_db")
+	fmt.Println("== Ext G: lossy quantization of an I picture (Section 3.1's objection) ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%d,%d,%.2f\n", r.Scale, r.Bits, r.PSNRdB)
+		fmt.Printf("  scale %2d: %7d bits, %.1f dB PSNR\n", r.Scale, r.Bits, r.PSNRdB)
+	}
+	f.Close()
+	fmt.Println("  -> extG_quantizer.csv")
+	return nil
+}
+
+func extH(out string, seed int64) error {
+	rows, err := experiments.ExtH(8, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extH_buffer.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "buffer_cells,raw_loss,smoothed_loss")
+	fmt.Println("== Ext H: cell loss vs multiplexer buffer (8 streams, 25% headroom) ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%d,%.6f,%.6f\n", r.BufferCells, r.RawLoss, r.SmoothedLoss)
+		fmt.Printf("  buffer %5d cells: raw %.4f  smoothed %.4f\n", r.BufferCells, r.RawLoss, r.SmoothedLoss)
+	}
+	f.Close()
+	fmt.Println("  -> extH_buffer.csv")
+	return nil
+}
+
+func extF(out string, pictures int, seed int64) error {
+	rows, err := experiments.ExtF(pictures, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extF_vbv.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "D_seconds,startup_delay_s,peak_buffer_bits")
+	fmt.Println("== Ext F: decoder (VBV) requirements vs delay bound (Driving1, K=1, H=N) ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%.4f,%.6f,%.1f\n", r.D, r.StartupDelay, r.PeakBufferBits)
+		fmt.Printf("  D=%.4f  startup %.4f s  peak buffer %8.0f bits (%.1f KB)\n",
+			r.D, r.StartupDelay, r.PeakBufferBits, r.PeakBufferBits/8/1024)
+	}
+	f.Close()
+	fmt.Println("  -> extF_vbv.csv")
+	return nil
+}
+
+func create(out, name string) (*os.File, error) {
+	return os.Create(filepath.Join(out, name))
+}
+
+func figure3(out string, pictures int, seed int64) error {
+	traces, err := experiments.Figure3(pictures, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 3: picture size vs picture number ==")
+	for _, tr := range traces {
+		name := fmt.Sprintf("fig3_%s.csv", strings.ToLower(tr.Name))
+		f, err := create(out, name)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		st := tr.Stats()
+		fmt.Printf("  %-9s pattern %-13s", tr.Name, tr.GOP.Pattern())
+		for _, ty := range []mpeg.PictureType{mpeg.TypeI, mpeg.TypeP, mpeg.TypeB} {
+			if s, ok := st[ty]; ok {
+				fmt.Printf("  %s mean %.0f", ty, s.Mean)
+			}
+		}
+		fmt.Printf("  -> %s\n", name)
+	}
+	return nil
+}
+
+func figure4(out string, pictures int, seed int64) error {
+	series, err := experiments.Figure4(pictures, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 4: r(t) vs ideal R(t), Driving1, K=1, H=9 ==")
+	for _, s := range series {
+		name := fmt.Sprintf("fig4_D%.2f.csv", s.D)
+		f, err := create(out, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "time_s,rate_bps,ideal_bps")
+		// Sample both step functions on their merged breakpoints.
+		for k, t := range s.Rate.Times {
+			fmt.Fprintf(f, "%.6f,%.1f,%.1f\n", t, s.Rate.Values[k], s.Ideal.At(t))
+		}
+		f.Close()
+		fmt.Printf("  D=%.2fs: area diff %.4f, %3d rate changes, max %.3f Mbps, S.D. %.3f Mbps -> %s\n",
+			s.D, s.Measures.AreaDiff, s.Measures.RateChanges, s.Measures.MaxRate/1e6, s.Measures.StdDev/1e6, name)
+	}
+	return nil
+}
+
+func figure5(out string, pictures int, seed int64) error {
+	r, err := experiments.Figure5(pictures, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "fig5_delays.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "picture,delay_D01,delay_D03,delay_ideal,delay_K1,delay_K9")
+	for i := range r.DelaysD01 {
+		fmt.Fprintf(f, "%d,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			i, r.DelaysD01[i], r.DelaysD03[i], r.DelaysIdeal[i], r.DelaysK1[i], r.DelaysK9[i])
+	}
+	f.Close()
+	max := func(v []float64) (m float64) {
+		for _, x := range v {
+			if x > m {
+				m = x
+			}
+		}
+		return
+	}
+	fmt.Println("== Figure 5: per-picture delays, Driving1 ==")
+	fmt.Printf("  basic D=0.1:  max delay %.4f s (bound 0.1)\n", max(r.DelaysD01))
+	fmt.Printf("  basic D=0.3:  max delay %.4f s (bound 0.3)\n", max(r.DelaysD03))
+	fmt.Printf("  ideal:        max delay %.4f s (unbounded)\n", max(r.DelaysIdeal))
+	fmt.Printf("  K=1 slack .1333: max delay %.4f s\n", max(r.DelaysK1))
+	fmt.Printf("  K=9 slack .1333: max delay %.4f s\n", max(r.DelaysK9))
+	fmt.Println("  -> fig5_delays.csv")
+	return nil
+}
+
+func sweep(out, file, title, xlabel string, gen func() ([]experiments.SweepRow, error)) error {
+	rows, err := gen()
+	if err != nil {
+		return err
+	}
+	f, err := create(out, file)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "sequence,%s,area_diff,rate_changes,max_rate_bps,sd_rate_bps\n", xlabel)
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s,%g,%.6f,%d,%.1f,%.1f\n",
+			r.Sequence, r.X, r.Measures.AreaDiff, r.Measures.RateChanges, r.Measures.MaxRate, r.Measures.StdDev)
+	}
+	f.Close()
+	fmt.Printf("== %s ==\n", title)
+	// Print first/last row per sequence as a console summary.
+	last := map[string]experiments.SweepRow{}
+	first := map[string]experiments.SweepRow{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := first[r.Sequence]; !ok {
+			first[r.Sequence] = r
+			order = append(order, r.Sequence)
+		}
+		last[r.Sequence] = r
+	}
+	for _, seq := range order {
+		fr, lr := first[seq], last[seq]
+		fmt.Printf("  %-9s %s=%-6g area %.4f→%.4f  changes %3d→%3d  max %.2f→%.2f Mbps  sd %.2f→%.2f Mbps\n",
+			seq, xlabel, lr.X,
+			fr.Measures.AreaDiff, lr.Measures.AreaDiff,
+			fr.Measures.RateChanges, lr.Measures.RateChanges,
+			fr.Measures.MaxRate/1e6, lr.Measures.MaxRate/1e6,
+			fr.Measures.StdDev/1e6, lr.Measures.StdDev/1e6)
+	}
+	fmt.Printf("  -> %s\n", file)
+	return nil
+}
+
+func extA(out string, pictures int, seed int64) error {
+	rows, err := experiments.ExtA(pictures, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extA_variants.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "sequence,basic_area,basic_changes,moving_area,moving_changes")
+	fmt.Println("== Ext A: basic vs moving-average variant (K=1, H=N, D=0.2) ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s,%.6f,%d,%.6f,%d\n", r.Sequence, r.Basic.AreaDiff, r.Basic.RateChanges, r.Moving.AreaDiff, r.Moving.RateChanges)
+		fmt.Printf("  %-9s basic: area %.4f (%3d changes)   moving: area %.4f (%3d changes)\n",
+			r.Sequence, r.Basic.AreaDiff, r.Basic.RateChanges, r.Moving.AreaDiff, r.Moving.RateChanges)
+	}
+	f.Close()
+	fmt.Println("  -> extA_variants.csv")
+	return nil
+}
+
+func extB(out string, seed int64) error {
+	rows, err := experiments.ExtB(10, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extB_multiplexing.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "streams,raw_loss,smoothed_loss")
+	fmt.Println("== Ext B: cell loss vs multiplexed streams (finite-buffer mux, 25% headroom) ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%d,%.6f,%.6f\n", r.Streams, r.RawLoss, r.SmoothedLoss)
+		fmt.Printf("  n=%2d  raw %.4f  smoothed %.4f\n", r.Streams, r.RawLoss, r.SmoothedLoss)
+	}
+	f.Close()
+	fmt.Println("  -> extB_multiplexing.csv")
+	return nil
+}
+
+func extC(out string, pictures int, seed int64) error {
+	rows, err := experiments.ExtC(pictures, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extC_estimators.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "estimator,area_diff,rate_changes,max_rate_bps,sd_rate_bps,max_delay_s")
+	fmt.Println("== Ext C: size-estimator ablation (Driving1, K=1, H=N, D=0.2) ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s,%.6f,%d,%.1f,%.1f,%.6f\n",
+			r.Estimator, r.Measures.AreaDiff, r.Measures.RateChanges, r.Measures.MaxRate, r.Measures.StdDev, r.MaxDelay)
+		fmt.Printf("  %-10s area %.4f  changes %3d  max %.2f Mbps  sd %.2f Mbps  max delay %.4f s\n",
+			r.Estimator, r.Measures.AreaDiff, r.Measures.RateChanges, r.Measures.MaxRate/1e6, r.Measures.StdDev/1e6, r.MaxDelay)
+	}
+	f.Close()
+	fmt.Println("  -> extC_estimators.csv")
+	return nil
+}
+
+func extD(out string, pictures int, seed int64) error {
+	rows, err := experiments.ExtD(pictures, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extD_violations.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "K,D_seconds,violations,max_delay_s")
+	fmt.Println("== Ext D: delay-bound violations with K=0 vs K=1 ==")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%d,%.6f,%d,%.6f\n", r.K, r.D, r.Violations, r.MaxDelay)
+		fmt.Printf("  K=%d D=%.4f: %3d violations, max delay %.4f s\n", r.K, r.D, r.Violations, r.MaxDelay)
+	}
+	f.Close()
+	fmt.Println("  -> extD_violations.csv")
+	return nil
+}
+
+func extE(out string, seed int64) error {
+	res, err := experiments.ExtE(160, 112, 54, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extE_pipeline.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "pictures,stream_bits,i_mean,p_mean,b_mean,area_diff,max_delay_s,unsmoothed_peak_bps,smoothed_peak_bps")
+	fmt.Fprintf(f, "%d,%d,%.1f,%.1f,%.1f,%.6f,%.6f,%.1f,%.1f\n",
+		res.Pictures, res.StreamBits, res.IMean, res.PMean, res.BMean,
+		res.Measures.AreaDiff, res.MaxDelay, res.UnsmoothedPeak, res.SmoothedPeak)
+	f.Close()
+	fmt.Println("== Ext E: full pipeline (synthetic video → MPEG codec → inspect → smooth) ==")
+	fmt.Printf("  %d pictures, %d coded bits; mean sizes I=%.0f P=%.0f B=%.0f bits\n",
+		res.Pictures, res.StreamBits, res.IMean, res.PMean, res.BMean)
+	fmt.Printf("  unsmoothed peak %.3f Mbps → smoothed peak %.3f Mbps; max delay %.4f s\n",
+		res.UnsmoothedPeak/1e6, res.SmoothedPeak/1e6, res.MaxDelay)
+	fmt.Println("  -> extE_pipeline.csv")
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEveryFigure(t *testing.T) {
+	dir := t.TempDir()
+	const pics = 54 // small but covers several patterns
+	for _, fig := range []string{"3", "4", "5", "6", "7", "8", "extA", "extC", "extD", "extF"} {
+		if err := runFigure(fig, dir, pics, 7); err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+	}
+	// Every figure leaves at least one CSV behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 10 {
+		t.Fatalf("only %d result files written", len(entries))
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", e.Name())
+		}
+	}
+}
+
+func TestRunExtB(t *testing.T) {
+	// Ext B simulates a multiplexer; run it separately (slower).
+	dir := t.TempDir()
+	if err := runFigure("extB", dir, 54, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "extB_multiplexing.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtE(t *testing.T) {
+	dir := t.TempDir()
+	if err := runFigure("extE", dir, 54, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "extE_pipeline.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := runFigure("42", t.TempDir(), 54, 7); err == nil {
+		t.Fatal("unknown figure should fail")
+	}
+}

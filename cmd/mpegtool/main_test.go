@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func encodeTestStream(t *testing.T) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "s.m1s")
+	if err := encode([]string{"-script", "tennis", "-w", "64", "-h", "48", "-frames", "18", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEncodeInspectDecode(t *testing.T) {
+	stream := encodeTestStream(t)
+	if err := inspect([]string{stream}); err != nil {
+		t.Fatal(err)
+	}
+	dump := filepath.Join(t.TempDir(), "frames")
+	if err := decode([]string{"-dump", dump, stream}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 18 {
+		t.Fatalf("%d PGM frames, want 18", len(entries))
+	}
+	// PGM header sanity on the first frame.
+	data, err := os.ReadFile(filepath.Join(dump, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:2]) != "P5" {
+		t.Fatalf("not a PGM: %q", data[:2])
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	stream := encodeTestStream(t)
+	if err := corrupt([]string{"-flips", "4", "-seed", "3", stream}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeUnknownScript(t *testing.T) {
+	if _, err := synthesize("nope", 64, 48, 4, 1); err == nil {
+		t.Fatal("unknown script should fail")
+	}
+}
+
+func TestMissingFiles(t *testing.T) {
+	if err := inspect([]string{}); err == nil {
+		t.Fatal("inspect without file should fail")
+	}
+	if err := decode([]string{}); err == nil {
+		t.Fatal("decode without file should fail")
+	}
+	if err := corrupt([]string{}); err == nil {
+		t.Fatal("corrupt without file should fail")
+	}
+	if err := inspect([]string{"/nonexistent"}); err == nil {
+		t.Fatal("missing stream should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpegsmooth"
+)
+
+func TestRunBuiltinSequence(t *testing.T) {
+	if err := run("", "driving1", 54, 1, 1, 0, 0.2, "basic", false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMovingVariantWithCompare(t *testing.T) {
+	if err := run("", "backyard", 48, 1, 1, 12, 0.2, "moving", true, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	tr, err := mpegsmooth.Tennis(27, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, "", 0, 0, 1, 9, 0.2, "basic", false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesScheduleCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sched.csv")
+	if err := run("", "tennis", 27, 1, 1, 9, 0.2, "basic", false, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty schedule CSV")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run("x.csv", "driving1", 10, 1, 1, 9, 0.2, "basic", false, false, ""); err == nil {
+		t.Fatal("-in and -seq together should fail")
+	}
+	if err := run("", "", 10, 1, 1, 9, 0.2, "basic", false, false, ""); err == nil {
+		t.Fatal("neither -in nor -seq should fail")
+	}
+	if err := run("", "driving1", 54, 1, 1, 9, 0.2, "wat", false, false, ""); err == nil {
+		t.Fatal("unknown variant should fail")
+	}
+	if err := run("", "driving1", 54, 1, 1, 9, -0.5, "basic", false, false, ""); err == nil {
+		t.Fatal("negative D should fail")
+	}
+	if err := run("/nonexistent/x.csv", "", 0, 0, 1, 9, 0.2, "basic", false, false, ""); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -1,0 +1,161 @@
+// Command streamer sends or receives a smoothed video stream over TCP:
+// the deployable form of the whole pipeline. The sender smooths a trace
+// (standing in for live encoder output — the incremental LiveSmoother
+// computes the identical schedule), paces each picture at its scheduled
+// rate, and declares every rate change with a notify(i, rate) message;
+// the receiver verifies integrity and reports observed timing.
+//
+// Usage:
+//
+//	streamer recv -listen 127.0.0.1:8402
+//	streamer send -connect 127.0.0.1:8402 -seq driving1 -D 0.2 -timescale 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"mpegsmooth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "send":
+		err = send(os.Args[2:])
+	case "recv":
+		err = recv(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: streamer send|recv [flags]")
+	os.Exit(2)
+}
+
+func send(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	var (
+		connect   = fs.String("connect", "127.0.0.1:8402", "receiver address")
+		seq       = fs.String("seq", "driving1", "sequence: driving1, driving2, tennis, backyard")
+		pictures  = fs.Int("pictures", 270, "trace length")
+		seed      = fs.Int64("seed", 1, "trace seed")
+		k         = fs.Int("K", 1, "known pictures before sending")
+		d         = fs.Float64("D", 0.2, "delay bound (seconds)")
+		timescale = fs.Float64("timescale", 1, "replay speed multiplier (1 = real time)")
+	)
+	fs.Parse(args)
+
+	gens := map[string]func(int, int64) (*mpegsmooth.Trace, error){
+		"driving1": mpegsmooth.Driving1,
+		"driving2": mpegsmooth.Driving2,
+		"tennis":   mpegsmooth.Tennis,
+		"backyard": mpegsmooth.Backyard,
+	}
+	gen, ok := gens[strings.ToLower(*seq)]
+	if !ok {
+		return fmt.Errorf("unknown sequence %q", *seq)
+	}
+	tr, err := gen(*pictures, *seed)
+	if err != nil {
+		return err
+	}
+	sched, err := mpegsmooth.Smooth(tr, mpegsmooth.Config{K: *k, H: tr.GOP.N, D: *d})
+	if err != nil {
+		return err
+	}
+	if err := mpegsmooth.Verify(sched); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	payloads := make([][]byte, tr.Len())
+	for i, bits := range tr.Sizes {
+		payloads[i] = make([]byte, (bits+7)/8)
+		rng.Read(payloads[i])
+	}
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("sending %s: %d pictures over %.1f s of schedule at %gx speed to %s\n",
+		tr.Name, tr.Len(), sched.Depart[tr.Len()-1], *timescale, conn.RemoteAddr())
+	sender := &mpegsmooth.Sender{TimeScale: *timescale}
+	start := time.Now()
+	if err := sender.Send(context.Background(), conn, sched, payloads); err != nil {
+		return err
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func recv(args []string) error {
+	fs := flag.NewFlagSet("recv", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8402", "listen address")
+	once := fs.Bool("once", true, "exit after one session")
+	fs.Parse(args)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if err := serveOne(conn); err != nil {
+			fmt.Fprintf(os.Stderr, "session: %v\n", err)
+		}
+		if *once {
+			return nil
+		}
+	}
+}
+
+func serveOne(conn net.Conn) error {
+	defer conn.Close()
+	fmt.Printf("session from %s\n", conn.RemoteAddr())
+	report, err := mpegsmooth.Receive(context.Background(), conn)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("received %d pictures, %d bytes, %d rate notifications, in %v\n",
+		len(report.Pictures), report.TotalBytes(), len(report.Notifications),
+		report.Elapsed.Round(time.Millisecond))
+	if len(report.Pictures) > 0 {
+		var iN, pN, bN int
+		for _, p := range report.Pictures {
+			switch p.Type {
+			case mpegsmooth.TypeI:
+				iN++
+			case mpegsmooth.TypeP:
+				pN++
+			default:
+				bN++
+			}
+		}
+		fmt.Printf("picture types: %d I, %d P, %d B\n", iN, pN, bN)
+		mean := float64(report.TotalBytes()) * 8 / report.Elapsed.Seconds()
+		fmt.Printf("mean received rate %.3f Mbps\n", mean/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"mpegsmooth"
+)
+
+// TestSendRecvSession runs a full streamer session over TCP loopback at
+// high timescale.
+func TestSendRecvSession(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- serveOne(conn)
+	}()
+
+	if err := send([]string{
+		"-connect", ln.Addr().String(),
+		"-seq", "backyard",
+		"-pictures", "48",
+		"-timescale", "200",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("receiver did not finish")
+	}
+}
+
+func TestSendUnknownSequence(t *testing.T) {
+	if err := send([]string{"-seq", "nope"}); err == nil {
+		t.Fatal("unknown sequence should fail")
+	}
+}
+
+func TestSendConnectionRefused(t *testing.T) {
+	if err := send([]string{"-connect", "127.0.0.1:1", "-pictures", "18"}); err == nil {
+		t.Fatal("refused connection should fail")
+	}
+}
+
+func TestServeOneMalformedPeer(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		client.Write([]byte{0xFF, 0x00, 0x01})
+		client.Close()
+	}()
+	if err := serveOne(server); err == nil {
+		t.Fatal("malformed stream should error")
+	}
+}
+
+// Guard: the receive loop must respect cancellation even while blocked.
+func TestReceiveCancellable(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		mpegsmooth.Receive(ctx, server)
+		close(done)
+	}()
+	cancel()
+	server.Close() // unblock the pending read
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receive did not return after cancel+close")
+	}
+}

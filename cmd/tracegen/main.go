@@ -1,0 +1,109 @@
+// Command tracegen generates MPEG picture-size traces: the four
+// calibrated sequences from the paper's Section 5.1, or a custom
+// synthetic trace, written as CSV to stdout or a file.
+//
+// Usage:
+//
+//	tracegen -seq driving1 -pictures 270 -seed 1 -o driving1.csv
+//	tracegen -seq all -pictures 270 -dir traces/
+//	tracegen -stats -seq tennis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpegsmooth"
+)
+
+func main() {
+	var (
+		seq      = flag.String("seq", "driving1", "sequence: driving1, driving2, tennis, backyard, or all")
+		pictures = flag.Int("pictures", 270, "number of pictures to generate")
+		seed     = flag.Int64("seed", 1, "random seed (traces are deterministic per seed)")
+		out      = flag.String("o", "", "output file (default stdout; ignored with -seq all)")
+		dir      = flag.String("dir", ".", "output directory for -seq all")
+		stats    = flag.Bool("stats", false, "print per-type statistics instead of the trace")
+	)
+	flag.Parse()
+
+	if err := run(*seq, *pictures, *seed, *out, *dir, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(seq string, pictures int, seed int64, out, dir string, stats bool) error {
+	gens := map[string]func(int, int64) (*mpegsmooth.Trace, error){
+		"driving1": mpegsmooth.Driving1,
+		"driving2": mpegsmooth.Driving2,
+		"tennis":   mpegsmooth.Tennis,
+		"backyard": mpegsmooth.Backyard,
+	}
+	if seq == "all" {
+		for name, gen := range gens {
+			tr, err := gen(pictures, seed)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(dir, name+".csv")
+			if err := writeTrace(tr, path, stats); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d pictures, %.2f Mbps mean)\n", path, tr.Len(), tr.MeanRate()/1e6)
+		}
+		return nil
+	}
+	gen, ok := gens[strings.ToLower(seq)]
+	if !ok {
+		return fmt.Errorf("unknown sequence %q (want driving1, driving2, tennis, backyard, all)", seq)
+	}
+	tr, err := gen(pictures, seed)
+	if err != nil {
+		return err
+	}
+	if stats {
+		return printStats(tr)
+	}
+	return writeTrace(tr, out, false)
+}
+
+func writeTrace(tr *mpegsmooth.Trace, path string, stats bool) error {
+	if stats {
+		return printStats(tr)
+	}
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteCSV(w)
+}
+
+func printStats(tr *mpegsmooth.Trace) error {
+	fmt.Printf("%s: %d pictures, pattern %s, tau %.5f s\n", tr.Name, tr.Len(), tr.GOP.Pattern(), tr.Tau)
+	fmt.Printf("  duration      %.2f s\n", tr.Duration())
+	fmt.Printf("  mean rate     %.3f Mbps\n", tr.MeanRate()/1e6)
+	fmt.Printf("  unsmoothed peak %.3f Mbps (largest picture in one period)\n", tr.PeakPictureRate()/1e6)
+	for _, ty := range []mpegsmooth.PictureType{mpegsmooth.TypeI, mpegsmooth.TypeP, mpegsmooth.TypeB} {
+		st, ok := tr.Stats()[ty]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %s pictures: n=%3d  mean %8.0f  min %8d  max %8d  sd %8.0f bits\n",
+			ty, st.Count, st.Mean, st.Min, st.Max, st.Std)
+	}
+	fmt.Printf("  peak-to-mean  %.2f\n", tr.PeakToMean())
+	fmt.Printf("  scene spread  %.2fx (max/min pattern rate)\n", tr.SceneRateSpread())
+	if acf, err := tr.Autocorrelation(tr.GOP.N); err == nil {
+		fmt.Printf("  size acf at lag N=%d: %.3f (pattern periodicity)\n", tr.GOP.N, acf[tr.GOP.N])
+	}
+	return nil
+}

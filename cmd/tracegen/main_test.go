@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpegsmooth"
+)
+
+func TestRunSingleSequenceToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d1.csv")
+	if err := run("driving1", 54, 1, out, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := mpegsmooth.ReadTraceCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "Driving1" || tr.Len() != 54 {
+		t.Fatalf("wrote %s with %d pictures", tr.Name, tr.Len())
+	}
+}
+
+func TestRunAllSequences(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("all", 27, 1, "", dir, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"driving1", "driving2", "tennis", "backyard"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".csv")); err != nil {
+			t.Errorf("%s.csv missing: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownSequence(t *testing.T) {
+	if err := run("nope", 10, 1, "", ".", false); err == nil {
+		t.Fatal("unknown sequence should fail")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	// Stats mode prints to stdout; just confirm it does not error.
+	if err := run("tennis", 27, 1, "", ".", true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package mpegsmooth
+
+import (
+	"mpegsmooth/internal/mpeg"
+	"mpegsmooth/internal/video"
+)
+
+// Codec-facing re-exports: the simplified MPEG-1-style encoder/decoder
+// and synthetic video frames, used to generate genuinely encoder-shaped
+// picture-size workloads and to run the full capture → encode → smooth →
+// transmit pipeline.
+type (
+	// EncoderConfig parameterizes the simplified MPEG encoder.
+	EncoderConfig = mpeg.Config
+	// Encoder compresses display-order frames into a coded bit stream.
+	Encoder = mpeg.Encoder
+	// Decoder parses and reconstructs a coded bit stream.
+	Decoder = mpeg.Decoder
+	// EncodedSequence is a coded stream plus per-picture metadata.
+	EncodedSequence = mpeg.EncodedSequence
+	// DecodedSequence is a decoded stream: frames in display order.
+	DecodedSequence = mpeg.DecodedSequence
+	// PictureInfo describes one coded picture in the stream.
+	PictureInfo = mpeg.PictureInfo
+	// StreamInfo is the transport designer's view of a coded stream.
+	StreamInfo = mpeg.StreamInfo
+
+	// Frame is a planar YCbCr 4:2:0 video frame.
+	Frame = video.Frame
+	// Script is a synthetic scene script rendered into frames.
+	Script = video.Script
+	// SceneSpec is one scene segment of a Script.
+	SceneSpec = video.SceneSpec
+	// Synthesizer renders a Script frame by frame.
+	Synthesizer = video.Synthesizer
+)
+
+// NewEncoder validates cfg and returns an encoder.
+func NewEncoder(cfg EncoderConfig) (*Encoder, error) { return mpeg.NewEncoder(cfg) }
+
+// NewDecoder returns a strict decoder; set Resilient for slice-level
+// error recovery.
+func NewDecoder() *Decoder { return mpeg.NewDecoder() }
+
+// DefaultEncoderConfig returns the paper's encoding parameters
+// (quantizer scales 4/6/15 for I/P/B) at the given resolution and GOP.
+func DefaultEncoderConfig(width, height int, gop GOP) EncoderConfig {
+	return mpeg.DefaultConfig(width, height, gop)
+}
+
+// InspectStream walks a coded stream's start codes and measures every
+// picture's size without decoding macroblock data — how a transport
+// implementation obtains the size sequence the smoother consumes.
+func InspectStream(data []byte) (*StreamInfo, error) { return mpeg.Inspect(data) }
+
+// NewSynthesizer prepares a deterministic synthetic video renderer.
+func NewSynthesizer(script Script) (*Synthesizer, error) { return video.NewSynthesizer(script) }
+
+// DrivingVideoScript models the paper's Driving video content.
+func DrivingVideoScript(w, h, frames int, seed int64) Script {
+	return video.DrivingScript(w, h, frames, seed)
+}
+
+// TennisVideoScript models the Tennis video content.
+func TennisVideoScript(w, h, frames int, seed int64) Script {
+	return video.TennisScript(w, h, frames, seed)
+}
+
+// BackyardVideoScript models the Backyard video content.
+func BackyardVideoScript(w, h, frames int, seed int64) Script {
+	return video.BackyardScript(w, h, frames, seed)
+}

@@ -1,0 +1,86 @@
+// Multiplex: the statistical-multiplexing motivation for lossless
+// smoothing.
+//
+// Eight independent VBR video streams share a finite-buffer cell
+// multiplexer whose link has 25% headroom over the aggregate mean rate.
+// Raw streams (each picture transmitted within its own 1/30 s display
+// period) slam the buffer with I-picture bursts an order of magnitude
+// above the mean; smoothed streams present per-pattern rates. The cell
+// loss difference is the multiplexing gain the paper cites from
+// Reibman/Berger and Reininger et al.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpegsmooth"
+)
+
+func main() {
+	const streams = 8
+	var raw, smoothed []*mpegsmooth.StepFunc
+	var meanSum float64
+	for i := 0; i < streams; i++ {
+		// Independent single-scene sources: the I≫B picture-scale
+		// fluctuation is what differs between the two runs.
+		tr, err := mpegsmooth.GenerateTrace(mpegsmooth.SynthConfig{
+			Name:  fmt.Sprintf("cam-%d", i),
+			GOP:   mpegsmooth.GOP{M: 3, N: 9},
+			IBase: 210_000, PBase: 95_000, BBase: 32_000,
+			Scenes: []mpegsmooth.ScenePhase{{Pictures: 135, Complexity: 1, Motion: 0.9}},
+			Seed:   int64(i + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		meanSum += tr.MeanRate()
+
+		r, err := mpegsmooth.RawRateFunc(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw = append(raw, r)
+
+		sched, err := mpegsmooth.Smooth(tr, mpegsmooth.Config{K: 1, H: tr.GOP.N, D: 0.2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := sched.RateFunc()
+		if err != nil {
+			log.Fatal(err)
+		}
+		smoothed = append(smoothed, s)
+	}
+
+	link := meanSum * 1.25
+	offsets := make([]float64, streams)
+	for i := range offsets {
+		offsets[i] = float64(i) * 0.011
+	}
+	run := func(label string, rates []*mpegsmooth.StepFunc) mpegsmooth.MuxStats {
+		st, err := mpegsmooth.RunMux(mpegsmooth.MuxRunConfig{
+			Rates:       rates,
+			Offsets:     offsets,
+			LinkRate:    link,
+			BufferCells: 100,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s loss %.4f  (%7d of %7d cells lost, queue high-water %d)\n",
+			label, st.LossProbability(), st.Lost, st.Arrived, st.MaxQueue)
+		return st
+	}
+
+	fmt.Printf("%d streams, link %.1f Mbps (25%% headroom), buffer 100 cells (%d bits)\n\n",
+		streams, link/1e6, 100*mpegsmooth.CellBits)
+	r := run("raw", raw)
+	s := run("smoothed", smoothed)
+	if s.Lost == 0 && r.Lost > 0 {
+		fmt.Println("\nsmoothing eliminated cell loss entirely at this multiplexing level")
+	} else if r.Lost > 0 {
+		fmt.Printf("\nsmoothing cut the loss probability by %.1fx\n",
+			r.LossProbability()/s.LossProbability())
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: smooth an MPEG picture-size trace with the paper's
+// recommended parameters (K=1, H=N, D=0.2 s) and print the four
+// smoothness measures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpegsmooth"
+)
+
+func main() {
+	// The Driving1 sequence: IBBPBBPBB at 30 pictures/s, two scene
+	// changes, I pictures ~10x the size of B pictures.
+	tr, err := mpegsmooth.Driving1(270, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d pictures, pattern %s\n", tr.Name, tr.Len(), tr.GOP.Pattern())
+	fmt.Printf("mean rate %.2f Mbps; sending each picture in one period would peak at %.2f Mbps\n\n",
+		tr.MeanRate()/1e6, tr.PeakPictureRate()/1e6)
+
+	// Smooth with the parameters the paper concludes are the sweet spot.
+	sched, err := mpegsmooth.Smooth(tr, mpegsmooth.Config{
+		K: 1,        // delay-bound guarantee needs just ONE known picture
+		H: tr.GOP.N, // look ahead one pattern; more buys nothing
+		D: 0.2,      // 200 ms end-to-end buffering delay bound
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Theorem 1 invariants: delay bound, continuous service, rate bounds.
+	if err := mpegsmooth.Verify(sched); err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := mpegsmooth.Evaluate(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delays := mpegsmooth.SummarizeDelays(sched)
+	fmt.Println("smoothed with K=1, H=N, D=0.2s:")
+	fmt.Printf("  max rate        %.2f Mbps (was %.2f unsmoothed)\n", m.MaxRate/1e6, tr.PeakPictureRate()/1e6)
+	fmt.Printf("  rate S.D.       %.2f Mbps\n", m.StdDev/1e6)
+	fmt.Printf("  rate changes    %d over %d pictures\n", m.RateChanges, tr.Len())
+	fmt.Printf("  area difference %.4f vs ideal smoothing\n", m.AreaDiff)
+	fmt.Printf("  max delay       %.4f s (bound 0.2, violations %d)\n", delays.Max, delays.Violations)
+}

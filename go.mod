@@ -1,0 +1,3 @@
+module mpegsmooth
+
+go 1.22

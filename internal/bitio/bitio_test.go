@@ -1,0 +1,324 @@
+package bitio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter()
+	pattern := []uint32{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got := w.BitsWritten(); got != int64(len(pattern)) {
+		t.Fatalf("BitsWritten = %d, want %d", got, len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsBoundaries(t *testing.T) {
+	cases := []struct {
+		v uint32
+		n uint
+	}{
+		{0, 1}, {1, 1}, {0xFF, 8}, {0x1234, 16}, {0xDEADBEEF, 32},
+		{0x7, 3}, {0x15, 5}, {0x3FF, 10}, {0x1FFFFF, 21},
+	}
+	w := NewWriter()
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.v {
+			t.Fatalf("case %d: got %#x want %#x", i, got, c.v)
+		}
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFFFF, 4) // only low 4 bits should be kept
+	b := w.Bytes()
+	if b[0] != 0xF0 {
+		t.Fatalf("got %#x, want 0xF0", b[0])
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0x5, 3)
+	if w.Aligned() {
+		t.Fatal("should not be aligned after 3 bits")
+	}
+	pad := w.Align()
+	if pad != 5 {
+		t.Fatalf("pad = %d, want 5", pad)
+	}
+	if !w.Aligned() {
+		t.Fatal("should be aligned after Align")
+	}
+	if w.Align() != 0 {
+		t.Fatal("second Align should pad 0")
+	}
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0xA0 {
+		t.Fatalf("bytes = %v, want [0xA0]", b)
+	}
+}
+
+func TestStartCodeRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0x3, 3) // unaligned data before the start code
+	w.WriteStartCode(0xB3)
+	w.WriteBits(0xABC, 12)
+	w.WriteStartCode(0x00)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	code, err := r.ReadStartCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0xB3 {
+		t.Fatalf("code = %#x, want 0xB3", code)
+	}
+	v, err := r.ReadBits(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xABC {
+		t.Fatalf("payload = %#x, want 0xABC", v)
+	}
+	code, err = r.ReadStartCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0x00 {
+		t.Fatalf("code = %#x, want 0x00", code)
+	}
+}
+
+func TestNextStartCodeScan(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFFFFFF, 24) // noise that is not a start code
+	w.WriteStartCode(0x01)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteStartCode(0x02)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	code, err := r.NextStartCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0x01 {
+		t.Fatalf("first scan found %#x, want 0x01", code)
+	}
+	// Consume the found code, then scan again.
+	if _, err := r.ReadStartCode(); err != nil {
+		t.Fatal(err)
+	}
+	code, err = r.NextStartCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0x02 {
+		t.Fatalf("second scan found %#x, want 0x02", code)
+	}
+	if _, err := r.ReadStartCode(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NextStartCode(); err != ErrNoStartCode {
+		t.Fatalf("expected ErrNoStartCode, got %v", err)
+	}
+}
+
+func TestNextStartCodeNone(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := r.NextStartCode(); err != ErrNoStartCode {
+		t.Fatalf("want ErrNoStartCode, got %v", err)
+	}
+}
+
+func TestStuffBytes(t *testing.T) {
+	w := NewWriter()
+	if err := w.StuffBytes(3); err != nil {
+		t.Fatal(err)
+	}
+	w.WriteStartCode(0xB8)
+	data := w.Bytes()
+	want := []byte{0, 0, 0, 0, 0, 1, 0xB8}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("data = %v, want %v", data, want)
+	}
+
+	w2 := NewWriter()
+	w2.WriteBit(1)
+	if err := w2.StuffBytes(1); err == nil {
+		t.Fatal("StuffBytes on unaligned writer should fail")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader([]byte{0xAA})
+	if _, err := r.ReadBits(9); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("8 bits should be available: %v", err)
+	}
+	if _, err := r.ReadBit(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF at end, got %v", err)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	r := NewReader([]byte{0xC3})
+	v1, err := r.PeekBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r.ReadBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || v1 != 0xC {
+		t.Fatalf("peek %#x read %#x, want 0xC", v1, v2)
+	}
+}
+
+func TestSeekAndSkip(t *testing.T) {
+	r := NewReader([]byte{0x0F, 0xF0})
+	if err := r.SkipBits(4); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := r.ReadBits(8)
+	if v != 0xFF {
+		t.Fatalf("got %#x, want 0xFF", v)
+	}
+	if err := r.SeekBit(0); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = r.ReadBits(4)
+	if v != 0 {
+		t.Fatalf("got %#x, want 0", v)
+	}
+	if err := r.SeekBit(17); err == nil {
+		t.Fatal("seek past end should fail")
+	}
+	if err := r.SkipBits(100); err == nil {
+		t.Fatal("skip past end should fail")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.BitsWritten() != 0 || w.Len() != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteBits(0x1, 1)
+	if b := w.Bytes(); len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("after reset got %v", b)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%200 + 1
+		type item struct {
+			v uint32
+			n uint
+		}
+		items := make([]item, n)
+		w := NewWriter()
+		for i := range items {
+			width := uint(rng.Intn(32) + 1)
+			v := rng.Uint32() & mask32(width)
+			items[i] = item{v, width}
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			got, err := r.ReadBits(it.n)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BitsWritten always equals the sum of widths written.
+func TestBitsWrittenProperty(t *testing.T) {
+	f := func(widths []uint8) bool {
+		w := NewWriter()
+		var total int64
+		for _, ww := range widths {
+			n := uint(ww) % 33
+			w.WriteBits(0, n)
+			total += int64(n)
+		}
+		return w.BitsWritten() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&0xFFFF == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint32(i), uint(i%32)+1)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter()
+	for i := 0; i < 1<<16; i++ {
+		w.WriteBits(uint32(i), 16)
+	}
+	data := w.Bytes()
+	r := NewReader(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 16 {
+			r.SeekBit(0)
+		}
+		if _, err := r.ReadBits(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

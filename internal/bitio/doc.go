@@ -1,0 +1,15 @@
+// Package bitio provides MSB-first bit-level readers and writers for
+// MPEG-style coded bit streams.
+//
+// MPEG video streams are sequences of variable-length codes that are not
+// byte aligned, punctuated by 32-bit start codes that ARE byte aligned and
+// are guaranteed unique in the stream (the encoder never emits 23
+// consecutive zero bits inside entropy-coded data). This package supplies:
+//
+//   - Writer: MSB-first bit writer with byte alignment and start-code
+//     emission.
+//   - Reader: MSB-first bit reader with peeking, alignment, and
+//     next-start-code scanning used by decoders to resynchronize after
+//     errors (Section 2 of Lam/Chow/Yau: "a slice is the smallest unit
+//     available to a decoder for resynchronization").
+package bitio

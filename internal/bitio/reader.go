@@ -1,0 +1,130 @@
+package bitio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrNoStartCode is returned by NextStartCode when the remainder of the
+// stream contains no start-code prefix.
+var ErrNoStartCode = errors.New("bitio: no start code in remaining stream")
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int64 // bit position from the start of data
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// BitPos returns the current bit offset from the start of the stream.
+func (r *Reader) BitPos() int64 { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int64 { return int64(len(r.data))*8 - r.pos }
+
+// ReadBits reads n bits MSB-first. n must be in [0, 32].
+func (r *Reader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
+	}
+	v, err := r.PeekBits(n)
+	if err != nil {
+		return 0, err
+	}
+	r.pos += int64(n)
+	return v, nil
+}
+
+// PeekBits returns the next n bits without consuming them.
+func (r *Reader) PeekBits(n uint) (uint32, error) {
+	if int64(n) > r.Remaining() {
+		return 0, io.ErrUnexpectedEOF
+	}
+	var v uint32
+	pos := r.pos
+	for rem := n; rem > 0; {
+		byteIdx := pos >> 3
+		bitOff := uint(pos & 7)
+		avail := 8 - bitOff
+		take := avail
+		if take > rem {
+			take = rem
+		}
+		chunk := uint32(r.data[byteIdx]) >> (avail - take) & mask32(take)
+		v = v<<take | chunk
+		pos += int64(take)
+		rem -= take
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint32, error) { return r.ReadBits(1) }
+
+// Aligned reports whether the reader is at a byte boundary.
+func (r *Reader) Aligned() bool { return r.pos&7 == 0 }
+
+// Align advances to the next byte boundary, discarding stuffing bits.
+func (r *Reader) Align() {
+	r.pos = (r.pos + 7) &^ 7
+}
+
+// NextStartCode byte-aligns the reader and scans forward to the next
+// start-code prefix (0x000001), leaving the reader positioned at the first
+// byte of the prefix. It returns the start-code value byte without
+// consuming the code itself. Decoders use this to resynchronize after a
+// bitstream error: skip to the next slice or picture start code and resume.
+func (r *Reader) NextStartCode() (byte, error) {
+	r.Align()
+	i := int(r.pos >> 3)
+	d := r.data
+	for ; i+3 < len(d); i++ {
+		if d[i] == 0 && d[i+1] == 0 && d[i+2] == 1 {
+			r.pos = int64(i) * 8
+			return d[i+3], nil
+		}
+	}
+	r.pos = int64(len(d)) * 8
+	return 0, ErrNoStartCode
+}
+
+// ReadStartCode byte-aligns, verifies a start-code prefix at the current
+// position, and consumes all 32 bits, returning the code value byte.
+func (r *Reader) ReadStartCode() (byte, error) {
+	r.Align()
+	v, err := r.ReadBits(24)
+	if err != nil {
+		return 0, err
+	}
+	if v != StartCodePrefix {
+		return 0, fmt.Errorf("bitio: expected start-code prefix, got %#06x at bit %d", v, r.pos-24)
+	}
+	code, err := r.ReadBits(8)
+	if err != nil {
+		return 0, err
+	}
+	return byte(code), nil
+}
+
+// SkipBits advances the reader by n bits.
+func (r *Reader) SkipBits(n int64) error {
+	if n < 0 || n > r.Remaining() {
+		return io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return nil
+}
+
+// SeekBit positions the reader at an absolute bit offset.
+func (r *Reader) SeekBit(pos int64) error {
+	if pos < 0 || pos > int64(len(r.data))*8 {
+		return fmt.Errorf("bitio: seek to %d out of range", pos)
+	}
+	r.pos = pos
+	return nil
+}

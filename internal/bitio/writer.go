@@ -1,0 +1,119 @@
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StartCodePrefix is the 24-bit pattern 0x000001 that begins every MPEG
+// start code. The fourth byte identifies the start-code type.
+const StartCodePrefix = 0x000001
+
+// Writer accumulates bits MSB-first into an in-memory buffer.
+//
+// The zero value is not usable; call NewWriter.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bits accumulated, left-justified within nbits
+	nb   uint   // number of valid bits in cur (0..7 between flushes)
+	bits int64  // total bits written
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer {
+	return &Writer{buf: make([]byte, 0, 4096)}
+}
+
+// WriteBits writes the low n bits of v, MSB first. n must be in [0, 32].
+func (w *Writer) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
+	}
+	if n == 0 {
+		return
+	}
+	v &= mask32(n)
+	w.bits += int64(n)
+	// Accumulate into cur (at most 7 leftover + 32 new = 39 bits, fits u64).
+	w.cur = w.cur<<n | uint64(v)
+	w.nb += n
+	for w.nb >= 8 {
+		w.nb -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nb))
+	}
+	w.cur &= (1 << w.nb) - 1
+}
+
+// WriteBit writes a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint32) { w.WriteBits(b&1, 1) }
+
+// Aligned reports whether the writer is at a byte boundary.
+func (w *Writer) Aligned() bool { return w.nb == 0 }
+
+// Align pads with zero bits to the next byte boundary. It returns the
+// number of stuffing bits written (0..7). MPEG uses zero-bit stuffing
+// before every start code.
+func (w *Writer) Align() uint {
+	pad := (8 - w.nb) % 8
+	if pad > 0 {
+		w.WriteBits(0, pad)
+	}
+	return pad
+}
+
+// WriteStartCode byte-aligns the stream and writes the 32-bit start code
+// 0x000001<code>.
+func (w *Writer) WriteStartCode(code byte) {
+	w.Align()
+	w.WriteBits(StartCodePrefix, 24)
+	w.WriteBits(uint32(code), 8)
+}
+
+// StuffBytes writes n zero-stuffing bytes (must be byte aligned).
+// MPEG permits any number of zero bytes before a start code.
+func (w *Writer) StuffBytes(n int) error {
+	if !w.Aligned() {
+		return errors.New("bitio: StuffBytes on unaligned writer")
+	}
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, 0)
+	}
+	w.bits += int64(n) * 8
+	return nil
+}
+
+// BitsWritten returns the total number of bits written, including any
+// pending unflushed bits.
+func (w *Writer) BitsWritten() int64 { return w.bits }
+
+// Bytes byte-aligns the writer and returns the accumulated buffer.
+// The returned slice aliases the writer's internal storage.
+func (w *Writer) Bytes() []byte {
+	w.Align()
+	return w.buf
+}
+
+// Len returns the current length in whole bytes after alignment of the
+// pending bits would occur (i.e. ceil(bits/8)).
+func (w *Writer) Len() int {
+	n := len(w.buf)
+	if w.nb > 0 {
+		n++
+	}
+	return n
+}
+
+// Reset discards all written data, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.nb = 0
+	w.bits = 0
+}
+
+func mask32(n uint) uint32 {
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << n) - 1
+}

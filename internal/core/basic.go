@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"mpegsmooth/internal/trace"
+)
+
+// Smooth runs the smoothing algorithm of Figure 2 over a complete trace
+// and returns the resulting schedule. The algorithm is online: at each
+// picture it sees only the sizes of pictures that have arrived by t_i and
+// estimates the rest through cfg.Estimator. For an incremental form that
+// consumes sizes as they are encoded, see LiveSmoother — both run the
+// same decision kernel and produce identical schedules.
+func Smooth(tr *trace.Trace, cfg Config) (*Schedule, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(tr.Tau); err != nil {
+		return nil, err
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = PatternEstimator{}
+	}
+
+	n := tr.Len()
+	s := &Schedule{
+		Trace:      tr,
+		Config:     cfg,
+		Rates:      make([]float64, n),
+		Start:      make([]float64, n),
+		Depart:     make([]float64, n),
+		Delays:     make([]float64, n),
+		LowerBound: make([]float64, n),
+		UpperBound: make([]float64, n),
+	}
+
+	e := &engine{cfg: cfg, tau: tr.Tau, gop: tr.GOP, types: tr.Types}
+	depart := 0.0
+	rate := 0.0 // persists across pictures: the basic variant holds it
+	for j := 0; j < n; j++ {
+		d := e.decide(j, tr.Sizes, depart, rate, n)
+		s.Rates[j] = d.Rate
+		s.Start[j] = d.Start
+		s.Depart[j] = d.Depart
+		s.Delays[j] = d.Delay
+		s.LowerBound[j] = d.Lower
+		s.UpperBound[j] = d.Upper
+		depart, rate = d.Depart, d.Rate
+	}
+	return s, nil
+}
+
+// MustSmooth is Smooth for statically valid inputs; it panics on error.
+func MustSmooth(tr *trace.Trace, cfg Config) *Schedule {
+	s, err := Smooth(tr, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return s
+}

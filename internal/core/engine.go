@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+// engine is the decision kernel shared by the offline Smooth and the
+// incremental LiveSmoother: one call of decide corresponds to one pass
+// of the outer loop in the paper's Figure 2 specification.
+type engine struct {
+	cfg   Config
+	tau   float64
+	gop   mpeg.GOP
+	types []mpeg.PictureType // explicit types for adaptive-pattern traces
+}
+
+// decision is the outcome of scheduling one picture.
+type decision struct {
+	// Picture is the 0-based display index.
+	Picture int
+	// Rate is the selected r_i in bits/second.
+	Rate float64
+	// Start and Depart are t_i and d_i; Delay is Eq. (4).
+	Start, Depart, Delay float64
+	// Lower and Upper are the Theorem 1 (h = 0, actual size) bounds
+	// recorded for verification.
+	Lower, Upper float64
+}
+
+// decide schedules picture j.
+//
+//	sizes    the prefix of picture sizes the system has learned so far;
+//	         must include picture j and every picture visible at t_j
+//	depart   d_{j-1} (0 for the first picture)
+//	held     the rate selected for picture j−1 (the basic variant holds it)
+//	end      total sequence length if known, else -1 (live operation):
+//	         bounds the lookahead at the end of a finite sequence
+func (e *engine) decide(j int, sizes []int64, depart, held float64, end int) decision {
+	cfg := e.cfg
+	tau := e.tau
+	// Eq. (2): the server may begin sending picture j once the previous
+	// picture has departed and pictures j .. j+K−1 have arrived (the
+	// K-th arrives by (j+K)τ in 0-based indexing).
+	now := math.Max(depart, float64(j+cfg.K)*tau)
+	view := View{tau: tau, gop: e.gop, types: e.types, sizes: sizes, now: now}
+	size := func(jj int) float64 {
+		if actual, ok := view.Size(jj); ok {
+			return float64(actual)
+		}
+		return float64(cfg.Estimator.Estimate(jj, view))
+	}
+
+	// Inner lookahead loop: accumulate the running max of lower bounds
+	// (12) and min of upper bounds (13) for h = 0 .. H−1.
+	var (
+		sum      float64
+		lower    = 0.0
+		upper    = math.Inf(1)
+		lowerOld = 0.0
+	)
+	h := 0
+	for {
+		if end >= 0 && j+h >= end {
+			break // finite sequence: nothing to look ahead at
+		}
+		sum += size(j + h)
+		lowerOld = lower
+		l := math.Inf(1)
+		if den := cfg.D + float64(j+h)*tau - now; den > 0 {
+			l = sum / den
+		}
+		u := math.Inf(1)
+		if ub := float64(cfg.K+j+1+h) * tau; now < ub {
+			u = sum / (ub - now)
+		}
+		lower = math.Max(l, lower)
+		upper = math.Min(u, upper)
+		h++
+		if lower > upper || h >= cfg.H {
+			break
+		}
+	}
+
+	rate := held
+	if lower > upper {
+		// Early exit: the accumulated bounds crossed at lookahead h−1.
+		// Exactly one of the bounds moved in the crossing iteration;
+		// select the rate that defers the next forced change.
+		if lower > lowerOld {
+			rate = upper // upper == upperOld
+		} else {
+			rate = lower // lower == lowerOld, upper < upperOld
+		}
+	} else {
+		// Normal exit: the whole lookahead window admits one rate.
+		switch {
+		case j == 0:
+			rate = (lower + upper) / 2
+		case cfg.Variant == MovingAverage:
+			// Eq. (15): track the pattern moving average.
+			rate = sum / (float64(e.gop.N) * tau)
+		}
+		// Hold the previous rate (or the proposal above) unless it falls
+		// outside the accumulated bounds.
+		if rate > upper {
+			rate = upper
+		} else if rate < lower {
+			rate = lower
+		}
+	}
+	if math.IsInf(rate, 1) || rate <= 0 {
+		// Only reachable in K = 0 runs whose delay bound is already
+		// unsatisfiable (the lower-bound denominator went negative).
+		// Fall back to draining the picture within one period.
+		rate = math.Max(float64(sizes[j])/tau, 1)
+	}
+
+	// Eqs. (3)–(4) with the picture's ACTUAL size: the transmitter
+	// always sends real bits, whatever the estimator believed.
+	actual := float64(sizes[j])
+	d := decision{
+		Picture: j,
+		Rate:    rate,
+		Start:   now,
+		Depart:  now + actual/rate,
+	}
+	d.Delay = d.Depart - float64(j)*tau
+
+	// Theorem 1 (h = 0, actual size) bounds for verification.
+	d.Lower = math.Inf(1)
+	if den := cfg.D + float64(j)*tau - now; den > 0 {
+		d.Lower = actual / den
+	}
+	d.Upper = math.Inf(1)
+	if ub := float64(cfg.K+j+1) * tau; now < ub {
+		d.Upper = actual / (ub - now)
+	}
+	return d
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"mpegsmooth/internal/metrics"
+	"mpegsmooth/internal/trace"
+)
+
+// measuresFor runs the algorithm and evaluates the paper's four measures
+// against ideal smoothing with the (N−K)τ shift of Eq. 16.
+func measuresFor(t testing.TB, tr *trace.Trace, cfg Config) metrics.Measures {
+	t.Helper()
+	s, err := Smooth(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Ideal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := s.RateFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idf, err := ideal.RateFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := float64(tr.GOP.N-cfg.K) * tr.Tau
+	m, err := metrics.Compute(rf, idf, shift, tr.Duration()+cfg.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpegsmooth/internal/metrics"
+	"mpegsmooth/internal/trace"
+)
+
+// OfflineSchedule is the result of offline-optimal smoothing with all
+// picture sizes known a priori — the setting analyzed by Ott, Lakshman,
+// and Tabatabai for ATM traffic, which the paper cites as the a-priori
+// solution ("One such solution is given by Ott et al."). The cumulative
+// transmission curve is the taut string threaded between the arrival
+// ceiling and the deadline floor; among all feasible schedules it
+// simultaneously minimizes the peak rate and the rate variance.
+type OfflineSchedule struct {
+	Trace *trace.Trace
+	// D is the per-picture delay bound the schedule satisfies.
+	D float64
+	// VertexT and VertexBits are the taut string's vertices: cumulative
+	// bits transmitted as a piecewise-linear function of time.
+	VertexT    []float64
+	VertexBits []float64
+	// Start, Depart, Delays are the per-picture times implied by the
+	// cumulative curve (Start[j]: transmission of picture j begins;
+	// Depart[j]: its last bit leaves).
+	Start  []float64
+	Depart []float64
+	Delays []float64
+}
+
+// OfflineSmooth computes the offline-optimal schedule for delay bound D.
+// It requires D >= τ (a picture cannot depart before it finishes
+// arriving).
+func OfflineSmooth(tr *trace.Trace, D float64) (*OfflineSchedule, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	tau := tr.Tau
+	if D < tau {
+		return nil, fmt.Errorf("core: offline delay bound %v < picture period %v", D, tau)
+	}
+	n := tr.Len()
+	// Cumulative sizes: cum[k] = bits of pictures 0..k-1.
+	cum := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		cum[j+1] = cum[j] + float64(tr.Sizes[j])
+	}
+
+	// Constraint points. The ceiling binds just before each arrival jump:
+	// X((j+1)τ) <= cum[j]  (picture j's bits only complete at (j+1)τ).
+	// The floor binds at each deadline: X(jτ + D) >= cum[j+1].
+	// The path starts at (0, 0) and ends pinned at ((n−1)τ + D, cum[n]).
+	type cpoint struct {
+		t         float64
+		low, high float64
+	}
+	end := float64(n-1)*tau + D
+	pts := map[float64]*cpoint{}
+	addPoint := func(t, low, high float64) {
+		p, ok := pts[t]
+		if !ok {
+			p = &cpoint{t: t, low: math.Inf(-1), high: math.Inf(1)}
+			pts[t] = p
+		}
+		p.low = math.Max(p.low, low)
+		p.high = math.Min(p.high, high)
+	}
+	for j := 0; j < n; j++ {
+		if a := float64(j+1) * tau; a < end {
+			addPoint(a, math.Inf(-1), cum[j])
+		}
+		addPoint(float64(j)*tau+D, cum[j+1], math.Inf(1))
+	}
+	addPoint(end, cum[n], cum[n])
+	points := make([]cpoint, 0, len(pts))
+	for _, p := range pts {
+		points = append(points, *p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].t < points[j].t })
+	for _, p := range points {
+		if p.low > p.high+1e-9 {
+			return nil, fmt.Errorf("core: infeasible corridor at t=%v (low %v > high %v)", p.t, p.low, p.high)
+		}
+	}
+
+	// Taut string (funnel) walk.
+	o := &OfflineSchedule{Trace: tr, D: D, VertexT: []float64{0}, VertexBits: []float64{0}}
+	anchorT, anchorY := 0.0, 0.0
+	anchorIdx := -1 // index into points of the anchor (-1 = origin)
+	for anchorIdx < len(points)-1 {
+		maxLowSlope, minHighSlope := math.Inf(-1), math.Inf(1)
+		lowIdx, highIdx := -1, -1
+		bent := false
+		for k := anchorIdx + 1; k < len(points); k++ {
+			p := points[k]
+			dt := p.t - anchorT
+			if dt <= 0 {
+				return nil, fmt.Errorf("core: degenerate corridor time step at %v", p.t)
+			}
+			sLow := (p.low - anchorY) / dt
+			sHigh := (p.high - anchorY) / dt
+			if sLow > minHighSlope+1e-12 {
+				// The floor rises above the flattest feasible ceiling
+				// line: the path must bend downward-hugging the ceiling
+				// at the point that set minHighSlope.
+				bp := points[highIdx]
+				anchorT, anchorY, anchorIdx = bp.t, bp.high, highIdx
+				bent = true
+				break
+			}
+			if sHigh < maxLowSlope-1e-12 {
+				// The ceiling dips below the steepest required floor
+				// line: bend upward-hugging the floor.
+				bp := points[lowIdx]
+				anchorT, anchorY, anchorIdx = bp.t, bp.low, lowIdx
+				bent = true
+				break
+			}
+			if sLow > maxLowSlope {
+				maxLowSlope, lowIdx = sLow, k
+			}
+			if sHigh < minHighSlope {
+				minHighSlope, highIdx = sHigh, k
+			}
+		}
+		if !bent {
+			// The whole remaining corridor admits a straight line; land
+			// on the final (pinned) point.
+			last := points[len(points)-1]
+			anchorT, anchorY, anchorIdx = last.t, last.low, len(points)-1
+		}
+		o.VertexT = append(o.VertexT, anchorT)
+		o.VertexBits = append(o.VertexBits, anchorY)
+	}
+
+	o.computePictureTimes(cum)
+	return o, nil
+}
+
+// computePictureTimes derives per-picture start/departure/delay from the
+// cumulative curve.
+func (o *OfflineSchedule) computePictureTimes(cum []float64) {
+	n := o.Trace.Len()
+	o.Start = make([]float64, n)
+	o.Depart = make([]float64, n)
+	o.Delays = make([]float64, n)
+	tau := o.Trace.Tau
+	for j := 0; j < n; j++ {
+		// Start: last time X == cum[j] (transmission begins rising past
+		// the boundary). Depart: first time X == cum[j+1].
+		o.Start[j] = o.lastTimeAt(cum[j])
+		o.Depart[j] = o.firstTimeAt(cum[j+1])
+		o.Delays[j] = o.Depart[j] - float64(j)*tau
+	}
+}
+
+// firstTimeAt returns the earliest time the cumulative curve reaches y.
+func (o *OfflineSchedule) firstTimeAt(y float64) float64 {
+	for k := 1; k < len(o.VertexT); k++ {
+		if o.VertexBits[k] >= y-1e-9 {
+			y0, y1 := o.VertexBits[k-1], o.VertexBits[k]
+			if y1 == y0 {
+				return o.VertexT[k-1]
+			}
+			frac := (y - y0) / (y1 - y0)
+			if frac < 0 {
+				frac = 0
+			}
+			return o.VertexT[k-1] + frac*(o.VertexT[k]-o.VertexT[k-1])
+		}
+	}
+	return o.VertexT[len(o.VertexT)-1]
+}
+
+// lastTimeAt returns the latest time the cumulative curve equals y.
+func (o *OfflineSchedule) lastTimeAt(y float64) float64 {
+	t := o.VertexT[0]
+	for k := 1; k < len(o.VertexT); k++ {
+		y0, y1 := o.VertexBits[k-1], o.VertexBits[k]
+		if y1 <= y+1e-9 {
+			t = o.VertexT[k]
+			continue
+		}
+		if y0 <= y+1e-9 {
+			if y1 == y0 {
+				t = o.VertexT[k]
+				continue
+			}
+			frac := (y - y0) / (y1 - y0)
+			if frac < 0 {
+				frac = 0
+			}
+			return o.VertexT[k-1] + frac*(o.VertexT[k]-o.VertexT[k-1])
+		}
+		break
+	}
+	return t
+}
+
+// RateFunc returns the taut string's slope as a step function of time.
+func (o *OfflineSchedule) RateFunc() (*metrics.StepFunc, error) {
+	var times, values []float64
+	for k := 1; k < len(o.VertexT); k++ {
+		dt := o.VertexT[k] - o.VertexT[k-1]
+		if dt <= 0 {
+			continue
+		}
+		times = append(times, o.VertexT[k-1])
+		values = append(values, (o.VertexBits[k]-o.VertexBits[k-1])/dt)
+	}
+	return metrics.NewStepFunc(times, values, o.VertexT[len(o.VertexT)-1])
+}
+
+// RateChanges counts slope changes of the cumulative curve.
+func (o *OfflineSchedule) RateChanges() int {
+	f, err := o.RateFunc()
+	if err != nil {
+		return 0
+	}
+	return f.Changes(metrics.RateChangeTolerance)
+}
+
+// PeakRate returns the maximum slope.
+func (o *OfflineSchedule) PeakRate() float64 {
+	f, err := o.RateFunc()
+	if err != nil {
+		return 0
+	}
+	return f.Max()
+}
+
+// CheckDelayBound verifies every picture departs by its deadline.
+// It returns the first violating picture, or -1.
+func (o *OfflineSchedule) CheckDelayBound() int {
+	for j, d := range o.Delays {
+		if d > o.D+1e-6 {
+			return j
+		}
+	}
+	return -1
+}
+
+// CheckCausality verifies no picture departs before it has arrived.
+// It returns the first violating picture, or -1.
+func (o *OfflineSchedule) CheckCausality() int {
+	tau := o.Trace.Tau
+	for j := range o.Depart {
+		if o.Depart[j] < float64(j+1)*tau-1e-6 {
+			return j
+		}
+	}
+	return -1
+}

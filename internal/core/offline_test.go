@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpegsmooth/internal/mpeg"
+	"mpegsmooth/internal/trace"
+)
+
+func TestOfflineFlatTraceIsOneSegment(t *testing.T) {
+	// A constant-size trace admits a single constant-rate line: the taut
+	// string should have (almost) no rate changes and rate equal to the
+	// long-run mean.
+	tr := flatTrace(60, 30_000, 0.1)
+	o, err := OfflineSmooth(tr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := o.CheckDelayBound(); v != -1 {
+		t.Fatalf("delay bound violated at %d (%.4f)", v, o.Delays[v])
+	}
+	if v := o.CheckCausality(); v != -1 {
+		t.Fatalf("causality violated at %d", v)
+	}
+	if ch := o.RateChanges(); ch > 2 {
+		t.Errorf("flat trace taut string has %d rate changes", ch)
+	}
+	// Long-run slope ~ mean rate.
+	if peak := o.PeakRate(); math.Abs(peak-300_000) > 30_000 {
+		t.Errorf("peak rate %.0f, want about 300000", peak)
+	}
+}
+
+func TestOfflineSatisfiesConstraintsOnPaperTrace(t *testing.T) {
+	tr := paperTrace(t, 270)
+	for _, D := range []float64{1.0 / 30 * 2, 0.1, 0.2, 0.5} {
+		o, err := OfflineSmooth(tr, D)
+		if err != nil {
+			t.Fatalf("D=%v: %v", D, err)
+		}
+		if v := o.CheckDelayBound(); v != -1 {
+			t.Errorf("D=%v: delay bound violated at %d (%.4f)", D, v, o.Delays[v])
+		}
+		if v := o.CheckCausality(); v != -1 {
+			t.Errorf("D=%v: causality violated at %d (departs %.4f < arrival %.4f)",
+				D, v, o.Depart[v], float64(v+1)*tr.Tau)
+		}
+		// Monotone non-decreasing cumulative curve.
+		for k := 1; k < len(o.VertexBits); k++ {
+			if o.VertexBits[k] < o.VertexBits[k-1]-1e-6 {
+				t.Fatalf("D=%v: cumulative curve decreases at vertex %d", D, k)
+			}
+			if o.VertexT[k] <= o.VertexT[k-1] {
+				t.Fatalf("D=%v: vertex times not increasing at %d", D, k)
+			}
+		}
+		// All bits transmitted.
+		total := o.VertexBits[len(o.VertexBits)-1]
+		if math.Abs(total-float64(tr.TotalBits())) > 1 {
+			t.Errorf("D=%v: transmitted %.0f of %d bits", D, total, tr.TotalBits())
+		}
+	}
+}
+
+func TestOfflinePeakBeatsOnline(t *testing.T) {
+	// The offline optimum (all sizes known) must achieve a peak rate no
+	// worse than the online algorithm at the same delay bound.
+	tr := paperTrace(t, 270)
+	D := 0.2
+	o, err := OfflineSmooth(tr, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Smooth(tr, Config{K: 1, H: tr.GOP.N, D: D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.RateFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PeakRate() > f.Max()*(1+1e-9) {
+		t.Errorf("offline peak %.0f exceeds online peak %.0f", o.PeakRate(), f.Max())
+	}
+}
+
+func TestOfflineRelaxingDLowersPeak(t *testing.T) {
+	tr := paperTrace(t, 270)
+	var prev float64 = math.Inf(1)
+	for _, D := range []float64{0.0667, 0.1333, 0.2667, 0.5333} {
+		o, err := OfflineSmooth(tr, D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk := o.PeakRate()
+		if pk > prev*(1+1e-9) {
+			t.Errorf("D=%v: peak %.0f higher than with tighter bound %.0f", D, pk, prev)
+		}
+		prev = pk
+	}
+}
+
+func TestOfflineTinyHandCase(t *testing.T) {
+	// Two pictures, τ=1, D=2, sizes 10 and 10.
+	// Ceilings: X(1) <= 0, X(2) <= 10 (t=2 also deadline of picture 0: X >= 10).
+	// So X(2) = 10 exactly. Deadline picture 1: X(3) >= 20, end (t=3) pinned at 20.
+	// Taut string: (0,0) -> (2,10) -> (3,20)? The straight line from (0,0)
+	// to (3,20) passes X(1) = 6.67 > ceiling 0 at t=1, so the path must
+	// bend: (0,0)..(1,0) flat, then up. From (1,0) to (3,20): X(2)=10 ✓
+	// exactly on both ceiling and floor. One line of slope 10 from t=1.
+	tr := &trace.Trace{Name: "2pix", Tau: 1, GOP: mpeg.GOP{M: 1, N: 1}, Sizes: []int64{10, 10}}
+	o, err := OfflineSmooth(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := o.CheckDelayBound(); v != -1 {
+		t.Fatalf("delay bound violated at %d", v)
+	}
+	if v := o.CheckCausality(); v != -1 {
+		t.Fatalf("causality violated at %d", v)
+	}
+	f, err := o.RateFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.At(0.5); got != 0 {
+		t.Errorf("rate before first arrival = %v, want 0", got)
+	}
+	if got := f.At(1.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("rate after bend = %v, want 10", got)
+	}
+	if got := f.At(2.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("rate in second half = %v, want 10", got)
+	}
+}
+
+func TestOfflineRejectsBadInput(t *testing.T) {
+	tr := flatTrace(5, 100, 0.1)
+	if _, err := OfflineSmooth(tr, 0.05); err == nil {
+		t.Error("D < tau should fail")
+	}
+	bad := &trace.Trace{Name: "bad", Tau: 0.1, GOP: mpeg.GOP{M: 1, N: 1}, Sizes: nil}
+	if _, err := OfflineSmooth(bad, 1); err == nil {
+		t.Error("invalid trace should fail")
+	}
+}

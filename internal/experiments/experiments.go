@@ -1,0 +1,219 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Section 5, Figures 3–8) plus the extension experiments listed in
+// DESIGN.md, as pure functions returning data series. cmd/experiments
+// renders them to CSV and console tables; bench_test.go times them.
+//
+// All experiments run at 30 pictures/s (τ = 1/30 s), as in the paper.
+package experiments
+
+import (
+	"fmt"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/metrics"
+	"mpegsmooth/internal/trace"
+)
+
+// DefaultPictures is the trace length used when regenerating figures:
+// 270 pictures = 9 seconds, comparable to the paper's sequences
+// (their time axes run to about 10 seconds).
+const DefaultPictures = 270
+
+// DefaultSeed keeps every regenerated figure deterministic.
+const DefaultSeed = 1994
+
+// Sequences returns the four experimental MPEG sequences.
+func Sequences(pictures int, seed int64) ([]*trace.Trace, error) {
+	return trace.PaperSequences(pictures, seed)
+}
+
+// MeasuresFor runs the algorithm with cfg and evaluates the paper's four
+// measures against ideal smoothing (Eq. 16 alignment).
+func MeasuresFor(tr *trace.Trace, cfg core.Config) (metrics.Measures, *core.Schedule, error) {
+	s, err := core.Smooth(tr, cfg)
+	if err != nil {
+		return metrics.Measures{}, nil, err
+	}
+	ideal, err := core.Ideal(tr)
+	if err != nil {
+		return metrics.Measures{}, nil, err
+	}
+	rf, err := s.RateFunc()
+	if err != nil {
+		return metrics.Measures{}, nil, err
+	}
+	idf, err := ideal.RateFunc()
+	if err != nil {
+		return metrics.Measures{}, nil, err
+	}
+	advance := float64(tr.GOP.N-cfg.K) * tr.Tau
+	m, err := metrics.Compute(rf, idf, advance, tr.Duration()+cfg.D)
+	if err != nil {
+		return metrics.Measures{}, nil, err
+	}
+	return m, s, nil
+}
+
+// Figure3 regenerates the trace-characteristics figure: picture size vs
+// picture number for Driving1 and Tennis.
+func Figure3(pictures int, seed int64) ([]*trace.Trace, error) {
+	d1, err := trace.Driving1(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	tn, err := trace.Tennis(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	return []*trace.Trace{d1, tn}, nil
+}
+
+// Fig4Series is one panel of Figure 4: the smoothed rate function r(t)
+// for one delay bound, with the ideal reference R(t).
+type Fig4Series struct {
+	D        float64
+	Rate     *metrics.StepFunc
+	Ideal    *metrics.StepFunc
+	Measures metrics.Measures
+}
+
+// Figure4 regenerates rate-vs-time for Driving1 with K=1, H=9 across
+// four delay bounds (the paper names 0.1, 0.2, and 0.3 s; the fourth
+// panel's caption is garbled in the source, so 0.15 s completes the
+// sweep bracketing them).
+func Figure4(pictures int, seed int64) ([]Fig4Series, error) {
+	tr, err := trace.Driving1(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	ideal, err := core.Ideal(tr)
+	if err != nil {
+		return nil, err
+	}
+	idf, err := ideal.RateFunc()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig4Series
+	for _, d := range []float64{0.1, 0.15, 0.2, 0.3} {
+		cfg := core.Config{K: 1, H: 9, D: d}
+		m, s, err := MeasuresFor(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := s.RateFunc()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig4Series{D: d, Rate: rf, Ideal: idf, Measures: m})
+	}
+	return out, nil
+}
+
+// Fig5Result holds the per-picture delay comparisons of Figure 5.
+type Fig5Result struct {
+	// Left graph: basic algorithm at two delay bounds vs ideal.
+	DelaysD01   []float64 // D = 0.1, K = 1, H = 9
+	DelaysD03   []float64 // D = 0.3, K = 1, H = 9
+	DelaysIdeal []float64
+	// Right graph: K = 1 vs K = 9 at D = 0.1333 + (K+1)/30, H = 9.
+	DelaysK1 []float64
+	DelaysK9 []float64
+}
+
+// Figure5 regenerates the delay comparisons for Driving1.
+func Figure5(pictures int, seed int64) (*Fig5Result, error) {
+	tr, err := trace.Driving1(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{}
+	for _, c := range []struct {
+		dst *[]float64
+		cfg core.Config
+	}{
+		{&out.DelaysD01, core.Config{K: 1, H: 9, D: 0.1}},
+		{&out.DelaysD03, core.Config{K: 1, H: 9, D: 0.3}},
+		{&out.DelaysK1, core.Config{K: 1, H: 9, D: 0.1333 + 2.0/30}},
+		{&out.DelaysK9, core.Config{K: 9, H: 9, D: 0.1333 + 10.0/30}},
+	} {
+		s, err := core.Smooth(tr, c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		*c.dst = s.Delays
+	}
+	ideal, err := core.Ideal(tr)
+	if err != nil {
+		return nil, err
+	}
+	out.DelaysIdeal = ideal.Delays
+	return out, nil
+}
+
+// SweepRow is one point of a Figure 6/7/8 parameter sweep.
+type SweepRow struct {
+	Sequence string
+	X        float64 // the swept parameter value (D seconds, H or K pictures)
+	Measures metrics.Measures
+}
+
+// Figure6 sweeps the delay bound D with K=1, H=N for all four sequences.
+func Figure6(pictures int, seed int64) ([]SweepRow, error) {
+	seqs, err := Sequences(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, tr := range seqs {
+		// D from just above (K+1)τ = 2/30 up to 0.3 s, as in the figure.
+		for _, d := range []float64{0.0667, 0.1, 0.1333, 0.1667, 0.2, 0.2333, 0.2667, 0.3} {
+			m, _, err := MeasuresFor(tr, core.Config{K: 1, H: tr.GOP.N, D: d})
+			if err != nil {
+				return nil, fmt.Errorf("%s D=%v: %w", tr.Name, d, err)
+			}
+			rows = append(rows, SweepRow{Sequence: tr.Name, X: d, Measures: m})
+		}
+	}
+	return rows, nil
+}
+
+// Figure7 sweeps the lookahead H with D=0.2, K=1 for all four sequences.
+func Figure7(pictures int, seed int64) ([]SweepRow, error) {
+	seqs, err := Sequences(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, tr := range seqs {
+		for h := 1; h <= 2*tr.GOP.N; h++ {
+			m, _, err := MeasuresFor(tr, core.Config{K: 1, H: h, D: 0.2})
+			if err != nil {
+				return nil, fmt.Errorf("%s H=%d: %w", tr.Name, h, err)
+			}
+			rows = append(rows, SweepRow{Sequence: tr.Name, X: float64(h), Measures: m})
+		}
+	}
+	return rows, nil
+}
+
+// Figure8 sweeps K with D = 0.1333 + (K+1)/30 (constant slack 0.1333 s)
+// and H = N for all four sequences.
+func Figure8(pictures int, seed int64) ([]SweepRow, error) {
+	seqs, err := Sequences(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, tr := range seqs {
+		for k := 1; k <= 12; k++ {
+			d := 0.1333 + float64(k+1)/30
+			m, _, err := MeasuresFor(tr, core.Config{K: k, H: tr.GOP.N, D: d})
+			if err != nil {
+				return nil, fmt.Errorf("%s K=%d: %w", tr.Name, k, err)
+			}
+			rows = append(rows, SweepRow{Sequence: tr.Name, X: float64(k), Measures: m})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtExactBoundaries(t *testing.T) {
+	f := mustStep(t, []float64{1, 2}, []float64{10, 20}, 3)
+	// Right-continuity: the value AT a breakpoint is the new segment's.
+	if f.At(2) != 20 {
+		t.Fatalf("At(2) = %v, want 20", f.At(2))
+	}
+	// End is exclusive.
+	if f.At(3) != 0 {
+		t.Fatalf("At(End) = %v, want 0", f.At(3))
+	}
+	if f.At(1) != 10 {
+		t.Fatalf("At(first) = %v, want 10", f.At(1))
+	}
+}
+
+func TestCompactSingleSegment(t *testing.T) {
+	f := mustStep(t, []float64{0}, []float64{5}, 1)
+	c := f.Compact()
+	if len(c.Times) != 1 || c.Values[0] != 5 {
+		t.Fatalf("compact mangled single segment: %+v", c)
+	}
+}
+
+func TestShiftNegative(t *testing.T) {
+	f := mustStep(t, []float64{2, 3}, []float64{1, 2}, 4)
+	g := f.Shift(-2)
+	if g.Times[0] != 0 || g.End != 2 {
+		t.Fatalf("negative shift wrong: %+v", g)
+	}
+	if math.Abs(g.Integral()-f.Integral()) > 1e-12 {
+		t.Fatal("negative shift changed integral")
+	}
+}
+
+func TestPositiveAreaDiffIdenticalIsZero(t *testing.T) {
+	f := mustStep(t, []float64{0, 1, 2}, []float64{3, 7, 1}, 5)
+	d, err := PositiveAreaDiff(f, f, -1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("self area diff %v", d)
+	}
+}
+
+func TestChangesSingleSegment(t *testing.T) {
+	f := mustStep(t, []float64{0}, []float64{5}, 1)
+	if f.Changes(1e-9) != 0 {
+		t.Fatal("single segment has no changes")
+	}
+}
+
+func TestMeanZeroDuration(t *testing.T) {
+	// Degenerate support is rejected by the constructor; Mean on a
+	// normal function is integral/duration.
+	f := mustStep(t, []float64{0, 1}, []float64{2, 4}, 2)
+	if math.Abs(f.Mean()-3) > 1e-12 {
+		t.Fatalf("Mean = %v", f.Mean())
+	}
+}

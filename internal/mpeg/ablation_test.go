@@ -1,0 +1,92 @@
+package mpeg
+
+import (
+	"testing"
+
+	"mpegsmooth/internal/video"
+)
+
+// TestHalfPelAblation: half-pel refinement must not hurt and should help
+// on fractional-motion content — the design-choice ablation DESIGN.md
+// calls out.
+func TestHalfPelAblation(t *testing.T) {
+	frames := testFrames(t, 96, 64, 18, 31)
+	encBits := func(fullPelOnly bool) int64 {
+		cfg := DefaultConfig(96, 64, GOP{M: 3, N: 9})
+		cfg.FullPelOnly = fullPelOnly
+		enc, err := NewEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := enc.EncodeSequence(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Only P/B bits: half-pel cannot affect I pictures.
+		var bits int64
+		for _, p := range seq.Pictures {
+			if p.Type != TypeI {
+				bits += p.Bits
+			}
+		}
+		// The ablated stream must still decode cleanly.
+		if _, err := NewDecoder().Decode(seq.Data); err != nil {
+			t.Fatal(err)
+		}
+		return bits
+	}
+	full := encBits(true)
+	half := encBits(false)
+	if half > full {
+		t.Fatalf("half-pel refinement increased P/B bits: %d vs %d", half, full)
+	}
+	t.Logf("P/B bits: full-pel %d, half-pel %d (%.1f%% saving)",
+		full, half, 100*(1-float64(half)/float64(full)))
+}
+
+// TestNoDriftAcrossLongPChain: the encoder reconstructs references with
+// the decoder's exact arithmetic, so a long P chain must not drift —
+// the last picture's fidelity stays comparable to the first P's.
+func TestNoDriftAcrossLongPChain(t *testing.T) {
+	frames := testFrames(t, 64, 48, 30, 41)
+	cfg := DefaultConfig(64, 48, GOP{M: 1, N: 30}) // I then 29 chained Ps
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewDecoder().Decode(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := video.PSNR(frames[2], out.Frames[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := video.PSNR(frames[29], out.Frames[29])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late < early-6 {
+		t.Fatalf("P-chain drift: PSNR %.1f dB at picture 2 vs %.1f dB at picture 29", early, late)
+	}
+}
+
+func BenchmarkAblationHalfPelSearch(b *testing.B) {
+	frames := testFrames(b, 96, 64, 2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		searchMotion(frames[1], frames[0], 2, 2, 8)
+	}
+}
+
+func BenchmarkAblationFullPelSearch(b *testing.B) {
+	frames := testFrames(b, 96, 64, 2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		searchMotionFullPel(frames[1], frames[0], 2, 2, 8)
+	}
+}

@@ -1,0 +1,192 @@
+package mpeg
+
+import (
+	"mpegsmooth/internal/bitio"
+	"mpegsmooth/internal/mpeg/dct"
+	"mpegsmooth/internal/mpeg/quant"
+	"mpegsmooth/internal/mpeg/vlc"
+	"mpegsmooth/internal/video"
+)
+
+// dcPredictors holds the per-plane differential DC prediction state for
+// intra blocks. Predictors reset at the start of every slice and after any
+// non-intra or skipped macroblock, as in MPEG-1.
+type dcPredictors struct {
+	y, cb, cr int32
+}
+
+// reset restores the mid-gray predictor value (quantized DC of a flat
+// 128-luma block).
+func (p *dcPredictors) reset() {
+	p.y, p.cb, p.cr = 128, 128, 128
+}
+
+// blockCoder bundles the transform/quantization state shared by the
+// encoder and decoder so both sides reconstruct identically.
+type blockCoder struct {
+	intraM    *quant.Matrix
+	nonIntraM *quant.Matrix
+}
+
+func newBlockCoder() blockCoder {
+	return blockCoder{intraM: &quant.DefaultIntra, nonIntraM: &quant.DefaultNonIntra}
+}
+
+// extractLuma copies the 8x8 luma block at pixel (px, py) into blk.
+func extractLuma(f *video.Frame, px, py int, blk *dct.Block) {
+	for dy := 0; dy < 8; dy++ {
+		row := (py+dy)*f.W + px
+		for dx := 0; dx < 8; dx++ {
+			blk[dy*8+dx] = int32(f.Y[row+dx])
+		}
+	}
+}
+
+// extractChroma copies an 8x8 block from a chroma plane at chroma-domain
+// pixel (px, py).
+func extractChroma(plane []uint8, planeW, px, py int, blk *dct.Block) {
+	for dy := 0; dy < 8; dy++ {
+		row := (py+dy)*planeW + px
+		for dx := 0; dx < 8; dx++ {
+			blk[dy*8+dx] = int32(plane[row+dx])
+		}
+	}
+}
+
+// storeLuma writes blk into the luma plane at (px, py), clamping to 8 bits.
+func storeLuma(f *video.Frame, px, py int, blk *dct.Block) {
+	for dy := 0; dy < 8; dy++ {
+		row := (py+dy)*f.W + px
+		for dx := 0; dx < 8; dx++ {
+			f.Y[row+dx] = clampPel(blk[dy*8+dx])
+		}
+	}
+}
+
+// storeChroma writes blk into a chroma plane at chroma-domain (px, py).
+func storeChroma(plane []uint8, planeW, px, py int, blk *dct.Block) {
+	for dy := 0; dy < 8; dy++ {
+		row := (py+dy)*planeW + px
+		for dx := 0; dx < 8; dx++ {
+			plane[row+dx] = clampPel(blk[dy*8+dx])
+		}
+	}
+}
+
+func clampPel(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// encodeIntraBlock transforms, quantizes, and entropy-codes one intra
+// block. pred is the running DC predictor for the block's plane; the
+// updated predictor value is returned along with the reconstructed block
+// (written into recon) so the encoder's reference frames match the
+// decoder's output exactly.
+func (c blockCoder) encodeIntraBlock(w *bitio.Writer, spatial *dct.Block, scale int32, pred int32, luma bool, recon *dct.Block) (int32, error) {
+	var freq dct.Block
+	dct.Forward(&freq, spatial)
+	var q [64]int32
+	quant.Intra(&q, &freq, c.intraM, scale)
+	var scanned [64]int32
+	var qb dct.Block
+	copy(qb[:], q[:])
+	dct.Scan(&scanned, &qb)
+	diff := scanned[0] - pred
+	// Clamp pathological DC swings into the 8-bit differential range; the
+	// reconstruction below uses the clamped value, so encoder and decoder
+	// stay in lockstep.
+	if diff > 255 {
+		diff = 255
+	} else if diff < -255 {
+		diff = -255
+	}
+	if err := vlc.WriteDC(w, diff, luma); err != nil {
+		return pred, err
+	}
+	if err := vlc.WriteCoeffs(w, &scanned); err != nil {
+		return pred, err
+	}
+	scanned[0] = pred + diff
+	c.reconstructIntra(&scanned, scale, recon)
+	return scanned[0], nil
+}
+
+// decodeIntraBlock parses one intra block and reconstructs it into recon,
+// returning the updated DC predictor.
+func (c blockCoder) decodeIntraBlock(r *bitio.Reader, scale int32, pred int32, luma bool, recon *dct.Block) (int32, error) {
+	diff, err := vlc.ReadDC(r, luma)
+	if err != nil {
+		return pred, err
+	}
+	var scanned [64]int32
+	if err := vlc.ReadCoeffs(r, &scanned); err != nil {
+		return pred, err
+	}
+	scanned[0] = pred + diff
+	c.reconstructIntra(&scanned, scale, recon)
+	return scanned[0], nil
+}
+
+// reconstructIntra dequantizes and inverse-transforms a scanned intra
+// coefficient block.
+func (c blockCoder) reconstructIntra(scanned *[64]int32, scale int32, recon *dct.Block) {
+	var qb dct.Block
+	dct.Unscan(&qb, scanned)
+	var q64 [64]int32
+	copy(q64[:], qb[:])
+	var deq dct.Block
+	quant.DequantIntra(&deq, &q64, c.intraM, scale)
+	dct.Inverse(recon, &deq)
+}
+
+// quantizeResidual transforms and quantizes a prediction-error block into
+// zigzag scan order. coded is false when every quantized coefficient is
+// zero, in which case the block's coded-block-pattern bit is cleared and
+// nothing is emitted for it.
+func (c blockCoder) quantizeResidual(residual *dct.Block, scale int32) (scanned [64]int32, coded bool) {
+	var freq dct.Block
+	dct.Forward(&freq, residual)
+	var q [64]int32
+	quant.NonIntra(&q, &freq, c.nonIntraM, scale)
+	var qb dct.Block
+	copy(qb[:], q[:])
+	dct.Scan(&scanned, &qb)
+	for _, v := range scanned {
+		if v != 0 {
+			return scanned, true
+		}
+	}
+	return scanned, false
+}
+
+// emitResidual entropy-codes a scanned residual block produced by
+// quantizeResidual with coded == true.
+func (c blockCoder) emitResidual(w *bitio.Writer, scanned *[64]int32) error {
+	return vlc.WriteCoeffsFrom(w, scanned, 0)
+}
+
+// decodeResidualBlock parses one coded residual block into recon.
+func (c blockCoder) decodeResidualBlock(r *bitio.Reader, scale int32, recon *dct.Block) error {
+	var scanned [64]int32
+	if err := vlc.ReadCoeffsFrom(r, &scanned, 0); err != nil {
+		return err
+	}
+	c.reconstructResidual(&scanned, scale, recon)
+	return nil
+}
+
+func (c blockCoder) reconstructResidual(scanned *[64]int32, scale int32, recon *dct.Block) {
+	var qb dct.Block
+	dct.Unscan(&qb, scanned)
+	var q64 [64]int32
+	copy(q64[:], qb[:])
+	var deq dct.Block
+	quant.DequantNonIntra(&deq, &q64, c.nonIntraM, scale)
+	dct.Inverse(recon, &deq)
+}

@@ -1,0 +1,492 @@
+package mpeg
+
+import (
+	"math"
+	"testing"
+
+	"mpegsmooth/internal/video"
+)
+
+// testFrames synthesizes a short display-order frame sequence.
+func testFrames(t testing.TB, w, h, n int, seed int64) []*video.Frame {
+	t.Helper()
+	s, err := video.NewSynthesizer(video.DrivingScript(w, h, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*video.Frame
+	for !s.Done() {
+		frames = append(frames, s.Next())
+	}
+	if len(frames) != n {
+		t.Fatalf("synthesized %d frames, want %d", len(frames), n)
+	}
+	return frames
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(64, 48, GOP{M: 3, N: 9})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{}
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.Width = 63 },
+		func(c *Config) { c.Height = 0 },
+		func(c *Config) { c.GOP = GOP{M: 3, N: 10} },
+		func(c *Config) { c.IQuant = 0 },
+		func(c *Config) { c.BQuant = 32 },
+		func(c *Config) { c.SearchRange = -1 },
+		func(c *Config) { c.PictureRate = 17 },
+		func(c *Config) { c.Height = 16 * 200 },
+	} {
+		c := good
+		mut(&c)
+		bad = append(bad, c)
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should be invalid: %+v", i, c)
+		}
+	}
+}
+
+func TestMotionSearchFindsTranslation(t *testing.T) {
+	// Build a reference with a distinctive texture and a current frame
+	// equal to the reference shifted by (+3, -2). The search must find the
+	// vector that undoes the shift for interior macroblocks.
+	ref := video.MustNewFrame(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			ref.Y[y*96+x] = uint8((x*7 + y*13 + (x*y)%31) % 255)
+		}
+	}
+	cur := video.MustNewFrame(96, 96)
+	const sx, sy = 3, -2
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			rx, ry := x+sx, y+sy
+			if rx < 0 || rx >= 96 || ry < 0 || ry >= 96 {
+				cur.Y[y*96+x] = 0
+				continue
+			}
+			cur.Y[y*96+x] = ref.Y[ry*96+rx]
+		}
+	}
+	mv, sad := searchMotion(cur, ref, 2, 2, 8) // interior macroblock
+	// Vectors are in half-pels: the full-pel shift (3,-2) is (6,-4).
+	if mv.X != 2*sx || mv.Y != 2*sy {
+		t.Fatalf("found mv (%d,%d) half-pels sad %d, want (%d,%d)", mv.X, mv.Y, sad, 2*sx, 2*sy)
+	}
+	if sad != 0 {
+		t.Fatalf("perfect match should have SAD 0, got %d", sad)
+	}
+}
+
+func TestMotionSearchFindsHalfPelShift(t *testing.T) {
+	// Reference with a smooth gradient; current = half-pel shifted copy
+	// (average of adjacent columns). The refinement must pick the odd
+	// (half-pel) vector over both full-pel neighbours.
+	ref := video.MustNewFrame(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			ref.Y[y*96+x] = uint8((x * 37 / 5) % 256)
+		}
+	}
+	cur := video.MustNewFrame(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 95; x++ {
+			cur.Y[y*96+x] = uint8((int(ref.Y[y*96+x]) + int(ref.Y[y*96+x+1]) + 1) / 2)
+		}
+		cur.Y[y*96+95] = ref.Y[y*96+95]
+	}
+	mv, sad := searchMotion(cur, ref, 2, 2, 4)
+	if mv.X != 1 || mv.Y != 0 {
+		t.Fatalf("found mv (%d,%d) sad %d, want the half-pel (1,0)", mv.X, mv.Y, sad)
+	}
+	if sad != 0 {
+		t.Fatalf("half-pel match should be exact here, SAD %d", sad)
+	}
+}
+
+func TestMotionSearchStaysInBounds(t *testing.T) {
+	ref := video.MustNewFrame(32, 32)
+	cur := video.MustNewFrame(32, 32)
+	for i := range cur.Y {
+		cur.Y[i] = uint8(i % 251)
+	}
+	// Corner macroblocks with a large search range: returned vectors must
+	// keep the (possibly interpolated) 16x16 area inside the frame.
+	for _, mb := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		mv, _ := searchMotion(cur, ref, mb[0], mb[1], 16)
+		if !mvInBounds(ref, mb[0], mb[1], mv) {
+			t.Fatalf("mb %v: vector %v leaves frame", mb, mv)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	frames := testFrames(t, 64, 48, 12, 7)
+	cfg := DefaultConfig(64, 48, GOP{M: 3, N: 9})
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Pictures) != len(frames) {
+		t.Fatalf("encoded %d pictures, want %d", len(seq.Pictures), len(frames))
+	}
+
+	dec := NewDecoder()
+	out, err := dec.Decode(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Header.Width != 64 || out.Header.Height != 48 || out.Header.PictureRate != 30 {
+		t.Fatalf("decoded header %+v", out.Header)
+	}
+	if len(out.Frames) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(out.Frames), len(frames))
+	}
+	for i, f := range out.Frames {
+		if f.DisplayIdx != i {
+			t.Fatalf("decoded frame %d has display index %d", i, f.DisplayIdx)
+		}
+		p, err := video.PSNR(frames[i], f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 24 {
+			t.Fatalf("frame %d PSNR %.1f dB too low (broken reconstruction)", i, p)
+		}
+	}
+}
+
+func TestEncodeDecodeM1NoBPictures(t *testing.T) {
+	frames := testFrames(t, 48, 32, 10, 3)
+	cfg := DefaultConfig(48, 32, GOP{M: 1, N: 5})
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range seq.Pictures {
+		if p.Type == TypeB {
+			t.Fatal("M=1 sequence contains a B picture")
+		}
+	}
+	out, err := NewDecoder().Decode(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Frames) != 10 {
+		t.Fatalf("decoded %d frames", len(out.Frames))
+	}
+}
+
+func TestEncodeTrailingBPictures(t *testing.T) {
+	// 11 frames with N=9, M=3: displays 9 is I, 10 is B with no following
+	// reference — the trailing-B path.
+	frames := testFrames(t, 48, 32, 11, 5)
+	enc, err := NewEncoder(DefaultConfig(48, 32, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewDecoder().Decode(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Frames) != 11 {
+		t.Fatalf("decoded %d frames, want 11", len(out.Frames))
+	}
+	p, err := video.PSNR(frames[10], out.Frames[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 20 {
+		t.Fatalf("trailing B PSNR %.1f dB", p)
+	}
+}
+
+func TestPictureSizeOrderingIPB(t *testing.T) {
+	// The paper's core premise: I pictures are much larger than P, which
+	// are larger than B (an order of magnitude I vs B for natural scenes).
+	frames := testFrames(t, 96, 64, 18, 11)
+	enc, err := NewEncoder(DefaultConfig(96, 64, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumI, sumP, sumB, nI, nP, nB float64
+	for _, p := range seq.Pictures {
+		switch p.Type {
+		case TypeI:
+			sumI += float64(p.Bits)
+			nI++
+		case TypeP:
+			sumP += float64(p.Bits)
+			nP++
+		case TypeB:
+			sumB += float64(p.Bits)
+			nB++
+		}
+	}
+	if nI == 0 || nP == 0 || nB == 0 {
+		t.Fatalf("missing picture types: I=%v P=%v B=%v", nI, nP, nB)
+	}
+	meanI, meanP, meanB := sumI/nI, sumP/nP, sumB/nB
+	if !(meanI > meanP && meanP > meanB) {
+		t.Fatalf("size ordering violated: I=%.0f P=%.0f B=%.0f", meanI, meanP, meanB)
+	}
+	if meanI < 3*meanB {
+		t.Fatalf("I pictures should dwarf B pictures: I=%.0f B=%.0f", meanI, meanB)
+	}
+}
+
+func TestEncoderPictureInfoConsistency(t *testing.T) {
+	frames := testFrames(t, 48, 32, 9, 2)
+	enc, err := NewEncoder(DefaultConfig(48, 32, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := seq.SizesInDisplayOrder()
+	if len(sizes) != 9 {
+		t.Fatalf("%d sizes", len(sizes))
+	}
+	var total int64
+	for i, s := range sizes {
+		if s <= 0 {
+			t.Fatalf("picture %d has size %d", i, s)
+		}
+		total += s
+	}
+	if total > int64(len(seq.Data))*8 {
+		t.Fatalf("picture bits %d exceed stream length %d", total, len(seq.Data)*8)
+	}
+	// Transmission positions are 0..n-1.
+	seen := make([]bool, 9)
+	for _, p := range seq.Pictures {
+		if p.TransmitPos < 0 || p.TransmitPos >= 9 || seen[p.TransmitPos] {
+			t.Fatalf("bad transmission positions")
+		}
+		seen[p.TransmitPos] = true
+	}
+}
+
+func TestInspectMatchesEncoder(t *testing.T) {
+	frames := testFrames(t, 64, 48, 12, 9)
+	enc, err := NewEncoder(DefaultConfig(64, 48, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Pictures) != len(seq.Pictures) {
+		t.Fatalf("Inspect found %d pictures, encoder wrote %d", len(info.Pictures), len(seq.Pictures))
+	}
+	for i, p := range info.Pictures {
+		e := seq.Pictures[i]
+		if p.DisplayIdx != e.DisplayIdx || p.Type != e.Type {
+			t.Fatalf("picture %d: inspect %+v vs encoder %+v", i, p, e)
+		}
+		if p.Bits != e.Bits {
+			t.Fatalf("picture %d (display %d, %v): inspect %d bits, encoder %d bits",
+				i, p.DisplayIdx, p.Type, p.Bits, e.Bits)
+		}
+	}
+	if info.GroupCount != 2 { // I pictures at display 0 and 9
+		t.Fatalf("GroupCount = %d, want 2", info.GroupCount)
+	}
+	if info.SliceCount != 12*3 { // 3 macroblock rows per picture
+		t.Fatalf("SliceCount = %d, want 36", info.SliceCount)
+	}
+	// Accounting: picture bits + overhead = total bits.
+	var acc int64 = info.OverheadBits
+	for _, p := range info.Pictures {
+		acc += p.Bits
+	}
+	if acc != info.TotalBits {
+		t.Fatalf("accounting mismatch: pictures+overhead = %d, total = %d", acc, info.TotalBits)
+	}
+	sizes, err := info.SizesInDisplayOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encSizes := seq.SizesInDisplayOrder()
+	for i := range sizes {
+		if sizes[i] != encSizes[i] {
+			t.Fatalf("display size %d: %d vs %d", i, sizes[i], encSizes[i])
+		}
+	}
+}
+
+func TestResilientDecodeSurvivesCorruption(t *testing.T) {
+	frames := testFrames(t, 64, 48, 9, 13)
+	enc, err := NewEncoder(DefaultConfig(64, 48, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt entropy-coded payload bytes in the middle of the first
+	// picture (after its headers), steering clear of start codes.
+	corrupt := append([]byte(nil), seq.Data...)
+	off := int(seq.Pictures[0].BitOffset/8) + 40
+	for i := 0; i < 6; i++ {
+		corrupt[off+i] ^= 0x5A
+	}
+	// The strict decoder should fail...
+	if _, err := NewDecoder().Decode(corrupt); err == nil {
+		t.Log("strict decode happened to parse corrupted data (valid but wrong); continuing")
+	}
+	// ...the resilient decoder must recover and return all frames.
+	dec := NewDecoder()
+	dec.Resilient = true
+	out, err := dec.Decode(corrupt)
+	if err != nil {
+		t.Fatalf("resilient decode failed: %v", err)
+	}
+	if len(out.Frames) != 9 {
+		t.Fatalf("resilient decode returned %d frames, want 9", len(out.Frames))
+	}
+}
+
+func TestEncoderRejectsBadInput(t *testing.T) {
+	enc, err := NewEncoder(DefaultConfig(64, 48, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EncodeSequence(nil); err == nil {
+		t.Fatal("empty sequence should fail")
+	}
+	wrong := []*video.Frame{video.MustNewFrame(32, 32)}
+	if _, err := enc.EncodeSequence(wrong); err == nil {
+		t.Fatal("wrong frame size should fail")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := NewDecoder().Decode([]byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("garbage should not decode")
+	}
+	if _, err := NewDecoder().Decode(nil); err == nil {
+		t.Fatal("empty stream should not decode")
+	}
+	if _, err := Inspect([]byte{0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage should not inspect")
+	}
+}
+
+func TestStaticSceneCompressesToSkips(t *testing.T) {
+	// A perfectly static sequence: P and B pictures should be tiny
+	// relative to I pictures because nearly every macroblock is skipped.
+	base := video.MustNewFrame(64, 48)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			base.Y[y*64+x] = uint8((x*3 + y*5) % 250)
+		}
+	}
+	var frames []*video.Frame
+	for i := 0; i < 9; i++ {
+		f := base.Clone()
+		f.DisplayIdx = i
+		frames = append(frames, f)
+	}
+	enc, err := NewEncoder(DefaultConfig(64, 48, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iBits, bBits int64
+	for _, p := range seq.Pictures {
+		switch p.Type {
+		case TypeI:
+			iBits = p.Bits
+		case TypeB:
+			if p.Bits > bBits {
+				bBits = p.Bits
+			}
+		}
+	}
+	if bBits*5 > iBits {
+		t.Fatalf("static B pictures should be tiny: I=%d maxB=%d", iBits, bBits)
+	}
+	out, err := NewDecoder().Decode(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := video.PSNR(frames[8], out.Frames[8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(p, 1) {
+		return // perfect reconstruction of a static scene is fine
+	}
+	if p < 30 {
+		t.Fatalf("static scene PSNR %.1f dB", p)
+	}
+}
+
+func BenchmarkEncodeCIFPicture(b *testing.B) {
+	frames := testFrames(b, 352, 288, 2, 1)
+	cfg := DefaultConfig(352, 288, GOP{M: 1, N: 1})
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncodeSequence(frames[:1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeCIFPicture(b *testing.B) {
+	frames := testFrames(b, 352, 288, 1, 1)
+	enc, err := NewEncoder(DefaultConfig(352, 288, GOP{M: 1, N: 1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := NewDecoder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(seq.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

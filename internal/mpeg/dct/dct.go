@@ -1,0 +1,128 @@
+// Package dct implements the 8x8 two-dimensional discrete cosine transform
+// used by MPEG-1 video (and JPEG), together with the zigzag scan order that
+// reorders the 64 transform coefficients from low to high spatial frequency.
+//
+// MPEG compression rests on two facts (Lam/Chow/Yau Section 2): the human
+// eye is relatively insensitive to high-frequency information, and
+// high-frequency coefficients are generally small. The DCT concentrates
+// block energy into a few low-frequency coefficients so that quantization
+// followed by run-length coding removes most of the data.
+package dct
+
+import "math"
+
+// BlockSize is the side length of a transform block.
+const BlockSize = 8
+
+// Block is an 8x8 block of spatial samples or transform coefficients in
+// row-major order.
+type Block [BlockSize * BlockSize]int32
+
+// cosTable[u][x] = cos((2x+1)uπ/16) scaled for the separable transform.
+var cosTable [BlockSize][BlockSize]float64
+
+// cu[u] = 1/sqrt(2) for u == 0, else 1.
+var cu [BlockSize]float64
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		for x := 0; x < BlockSize; x++ {
+			cosTable[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+	cu[0] = 1 / math.Sqrt2
+	for u := 1; u < BlockSize; u++ {
+		cu[u] = 1
+	}
+}
+
+// Forward computes the 2-D forward DCT of src into dst. src holds spatial
+// samples (typically pixel values minus 128 for intra blocks, or prediction
+// errors); dst receives transform coefficients rounded to nearest integer.
+// dst and src may be the same block.
+func Forward(dst, src *Block) {
+	var tmp [BlockSize][BlockSize]float64
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for x := 0; x < BlockSize; x++ {
+				s += float64(src[y*BlockSize+x]) * cosTable[u][x]
+			}
+			tmp[y][u] = s * cu[u] / 2
+		}
+	}
+	// Columns.
+	for u := 0; u < BlockSize; u++ {
+		for v := 0; v < BlockSize; v++ {
+			var s float64
+			for y := 0; y < BlockSize; y++ {
+				s += tmp[y][u] * cosTable[v][y]
+			}
+			dst[v*BlockSize+u] = int32(math.Round(s * cu[v] / 2))
+		}
+	}
+}
+
+// Inverse computes the 2-D inverse DCT of src into dst, reconstructing
+// spatial samples from transform coefficients. dst and src may be the same
+// block.
+func Inverse(dst, src *Block) {
+	var tmp [BlockSize][BlockSize]float64
+	// Columns.
+	for u := 0; u < BlockSize; u++ {
+		for y := 0; y < BlockSize; y++ {
+			var s float64
+			for v := 0; v < BlockSize; v++ {
+				s += cu[v] * float64(src[v*BlockSize+u]) * cosTable[v][y]
+			}
+			tmp[y][u] = s / 2
+		}
+	}
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for u := 0; u < BlockSize; u++ {
+				s += cu[u] * tmp[y][u] * cosTable[u][x]
+			}
+			dst[y*BlockSize+x] = int32(math.Round(s / 2))
+		}
+	}
+}
+
+// ZigZag maps scan position -> row-major coefficient index, ordering
+// coefficients from DC through successively higher spatial frequencies.
+var ZigZag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// InvZigZag maps row-major coefficient index -> scan position.
+var InvZigZag [64]int
+
+func init() {
+	for scan, idx := range ZigZag {
+		InvZigZag[idx] = scan
+	}
+}
+
+// Scan reorders a row-major coefficient block into zigzag scan order.
+func Scan(dst *[64]int32, src *Block) {
+	for scan := 0; scan < 64; scan++ {
+		dst[scan] = src[ZigZag[scan]]
+	}
+}
+
+// Unscan reorders zigzag-scanned coefficients back into row-major order.
+func Unscan(dst *Block, src *[64]int32) {
+	for scan := 0; scan < 64; scan++ {
+		dst[ZigZag[scan]] = src[scan]
+	}
+}

@@ -1,0 +1,190 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardDCPlateau(t *testing.T) {
+	// A flat block of value v must produce DC = 8*v and zero AC.
+	var src, out Block
+	for i := range src {
+		src[i] = 100
+	}
+	Forward(&out, &src)
+	if out[0] != 800 {
+		t.Fatalf("DC = %d, want 800", out[0])
+	}
+	for i := 1; i < 64; i++ {
+		if out[i] != 0 {
+			t.Fatalf("AC[%d] = %d, want 0", i, out[i])
+		}
+	}
+}
+
+func TestInverseOfForwardIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var src, freq, back Block
+		for i := range src {
+			src[i] = int32(rng.Intn(256) - 128)
+		}
+		Forward(&freq, &src)
+		Inverse(&back, &freq)
+		for i := range src {
+			if d := src[i] - back[i]; d < -1 || d > 1 {
+				t.Fatalf("trial %d sample %d: src=%d back=%d", trial, i, src[i], back[i])
+			}
+		}
+	}
+}
+
+func TestForwardInverseInPlace(t *testing.T) {
+	var b Block
+	for i := range b {
+		b[i] = int32(i) - 32
+	}
+	orig := b
+	Forward(&b, &b)
+	Inverse(&b, &b)
+	for i := range b {
+		if d := b[i] - orig[i]; d < -1 || d > 1 {
+			t.Fatalf("in-place round trip off at %d: got %d want %d", i, b[i], orig[i])
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Orthonormal DCT preserves energy (within rounding).
+	rng := rand.New(rand.NewSource(7))
+	var src, freq Block
+	for i := range src {
+		src[i] = int32(rng.Intn(255) - 127)
+	}
+	Forward(&freq, &src)
+	var es, ef float64
+	for i := range src {
+		es += float64(src[i]) * float64(src[i])
+		ef += float64(freq[i]) * float64(freq[i])
+	}
+	if es == 0 {
+		t.Fatal("degenerate test input")
+	}
+	if rel := math.Abs(es-ef) / es; rel > 0.01 {
+		t.Fatalf("energy mismatch: spatial %.1f freq %.1f (rel %.4f)", es, ef, rel)
+	}
+}
+
+func TestHorizontalCosineMapsToSingleCoefficient(t *testing.T) {
+	// A pure horizontal cosine basis function should concentrate energy
+	// into one AC coefficient.
+	var src, freq Block
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			src[y*8+x] = int32(math.Round(100 * math.Cos(float64(2*x+1)*2*math.Pi/16)))
+		}
+	}
+	Forward(&freq, &src)
+	// Dominant coefficient must be (v=0, u=2) = index 2.
+	maxIdx, maxAbs := 0, int32(0)
+	for i, c := range freq {
+		a := c
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs, maxIdx = a, i
+		}
+	}
+	if maxIdx != 2 {
+		t.Fatalf("dominant coefficient at %d, want 2 (freq=%v)", maxIdx, freq[:8])
+	}
+}
+
+func TestZigZagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, idx := range ZigZag {
+		if idx < 0 || idx > 63 {
+			t.Fatalf("zigzag index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("zigzag index %d repeated", idx)
+		}
+		seen[idx] = true
+	}
+	// Spot-check the canonical order.
+	if ZigZag[0] != 0 || ZigZag[1] != 1 || ZigZag[2] != 8 || ZigZag[63] != 63 {
+		t.Fatalf("zigzag order wrong: %v", ZigZag[:4])
+	}
+}
+
+func TestScanUnscanRoundTrip(t *testing.T) {
+	f := func(vals [64]int32) bool {
+		var b Block
+		copy(b[:], vals[:])
+		var scanned [64]int32
+		var back Block
+		Scan(&scanned, &b)
+		Unscan(&back, &scanned)
+		return back == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvZigZagConsistency(t *testing.T) {
+	for scan, idx := range ZigZag {
+		if InvZigZag[idx] != scan {
+			t.Fatalf("InvZigZag[%d] = %d, want %d", idx, InvZigZag[idx], scan)
+		}
+	}
+}
+
+// Property: round trip error is at most 1 per sample for in-range inputs.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src, freq, back Block
+		for i := range src {
+			src[i] = int32(rng.Intn(512) - 256) // prediction errors can exceed [-128,127]
+		}
+		Forward(&freq, &src)
+		Inverse(&back, &freq)
+		for i := range src {
+			if d := src[i] - back[i]; d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	var src, dst Block
+	for i := range src {
+		src[i] = int32(i%255 - 127)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Forward(&dst, &src)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	var src, dst Block
+	for i := range src {
+		src[i] = int32(i%255 - 127)
+	}
+	Forward(&src, &src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Inverse(&dst, &src)
+	}
+}

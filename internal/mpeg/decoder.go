@@ -1,0 +1,541 @@
+package mpeg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mpegsmooth/internal/bitio"
+	"mpegsmooth/internal/mpeg/dct"
+	"mpegsmooth/internal/mpeg/vlc"
+	"mpegsmooth/internal/video"
+)
+
+// Decoder parses and reconstructs a simplified MPEG sequence.
+type Decoder struct {
+	// Resilient, when set, makes the decoder skip damaged slices by
+	// scanning for the next start code instead of failing — the
+	// resynchronization behaviour Section 2 of the paper describes
+	// ("whenever errors are detected, the decoder can skip ahead to the
+	// next slice start code — or picture start code — and resume decoding
+	// from there. One or more slices would be missing from the picture").
+	Resilient bool
+
+	coder blockCoder
+}
+
+// NewDecoder returns a strict decoder; set Resilient for error recovery.
+func NewDecoder() *Decoder {
+	return &Decoder{coder: newBlockCoder()}
+}
+
+// DecodedSequence is the result of decoding a stream.
+type DecodedSequence struct {
+	Header   SequenceHeader
+	Frames   []*video.Frame // display order
+	Pictures []PictureInfo  // transmission order
+	// LostSlices counts slices skipped due to bitstream errors (only in
+	// resilient mode).
+	LostSlices int
+	// SkippedBroken counts B pictures dropped at a random-access entry
+	// point because their forward reference belongs to the previous
+	// group of pictures (the "broken link" condition).
+	SkippedBroken int
+}
+
+// Decode parses the complete stream and reconstructs every picture.
+func (dec *Decoder) Decode(data []byte) (*DecodedSequence, error) {
+	return dec.decode(data, 0)
+}
+
+// DecodeFromGroup begins decoding at the group-th group of pictures
+// (0-based) — the random access the repeated sequence headers enable.
+// Leading B pictures whose forward reference lies in the previous group
+// are dropped and counted in SkippedBroken.
+func (dec *Decoder) DecodeFromGroup(data []byte, group int) (*DecodedSequence, error) {
+	if group < 0 {
+		return nil, fmt.Errorf("mpeg: negative group %d", group)
+	}
+	if group == 0 {
+		return dec.decode(data, 0)
+	}
+	r := bitio.NewReader(data)
+	seen := 0
+	for {
+		code, err := r.NextStartCode()
+		if err != nil {
+			return nil, fmt.Errorf("mpeg: stream has fewer than %d groups", group+1)
+		}
+		at := r.BitPos()
+		if _, err := r.ReadStartCode(); err != nil {
+			return nil, err
+		}
+		if code == GroupStartCode {
+			if seen == group {
+				// Prefer an immediately preceding repeated sequence
+				// header when the encoder wrote one.
+				start := at
+				if hdrAt, ok := precedingSequenceHeader(data, at); ok {
+					start = hdrAt
+				}
+				return dec.decode(data, start)
+			}
+			seen++
+		}
+	}
+}
+
+// precedingSequenceHeader reports the bit offset of a sequence header
+// that directly precedes the start code at bit offset at (with nothing
+// but the fixed-size header body between them).
+func precedingSequenceHeader(data []byte, at int64) (int64, bool) {
+	// Sequence header: 32-bit start code + 47 bits of fields + alignment
+	// padding = 80 bits.
+	const hdrBits = 80
+	if at < hdrBits {
+		return 0, false
+	}
+	r := bitio.NewReader(data)
+	if err := r.SeekBit(at - hdrBits); err != nil {
+		return 0, false
+	}
+	code, err := r.ReadStartCode()
+	if err != nil || code != SequenceHeaderCod {
+		return 0, false
+	}
+	return at - hdrBits, true
+}
+
+// decode runs the top-level parse loop. startBit, when nonzero, is a
+// random-access entry point: the sequence header is taken from the
+// stream start if none is present at the entry point, and broken-link B
+// pictures are dropped.
+func (dec *Decoder) decode(data []byte, startBit int64) (*DecodedSequence, error) {
+	r := bitio.NewReader(data)
+	code, err := r.ReadStartCode()
+	if err != nil {
+		return nil, fmt.Errorf("mpeg: no sequence header: %w", err)
+	}
+	if code != SequenceHeaderCod {
+		return nil, fmt.Errorf("mpeg: stream starts with %#02x, want sequence header", code)
+	}
+	hdr, err := readSequenceHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	randomAccess := startBit > 0
+	if randomAccess {
+		if err := r.SeekBit(startBit); err != nil {
+			return nil, err
+		}
+	}
+	out := &DecodedSequence{Header: hdr}
+
+	type decoded struct {
+		displayIdx int
+		frame      *video.Frame
+	}
+	var pictures []decoded
+	var refs refPair
+	pos := 0
+
+	for {
+		code, err := r.NextStartCode()
+		if err != nil {
+			if errors.Is(err, bitio.ErrNoStartCode) {
+				break
+			}
+			return nil, err
+		}
+		if _, err := r.ReadStartCode(); err != nil {
+			return nil, err
+		}
+		switch {
+		case code == SequenceEndCode:
+			goto done
+		case code == SequenceHeaderCod:
+			// Repeated sequence header (random access aid); re-parse and
+			// check consistency.
+			h2, err := readSequenceHeader(r)
+			if err != nil {
+				return nil, err
+			}
+			if h2.Width != hdr.Width || h2.Height != hdr.Height {
+				return nil, fmt.Errorf("mpeg: repeated sequence header changes dimensions")
+			}
+		case code == GroupStartCode:
+			if _, err := readGroupHeader(r); err != nil {
+				return nil, err
+			}
+		case code == PictureStartCode:
+			start := r.BitPos() - 32
+			ph, err := readPictureHeader(r)
+			if err != nil {
+				return nil, err
+			}
+			maxIdx := 0
+			for _, d := range pictures {
+				if d.displayIdx > maxIdx {
+					maxIdx = d.displayIdx
+				}
+			}
+			displayIdx := resolveTemporalRef(ph.TemporalRef, maxIdx)
+			if randomAccess && len(pictures) == 0 {
+				// Anchor temporal references at the entry group.
+				displayIdx = ph.TemporalRef
+			}
+			if randomAccess && ph.Type == TypeB && refs.past == nil && displayIdx < refs.futureIdx {
+				// Broken link: this B predicts from the group we skipped.
+				out.SkippedBroken++
+				if err := skimPictureBody(r); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			fwd, bwd, err := refs.forPicture(ph.Type, displayIdx)
+			if err != nil {
+				return nil, err
+			}
+			frame := video.MustNewFrame(hdr.Width, hdr.Height)
+			lost, err := dec.decodePictureBody(r, frame, ph.Type, fwd, bwd)
+			if err != nil {
+				return nil, fmt.Errorf("mpeg: picture at display %d: %w", displayIdx, err)
+			}
+			out.LostSlices += lost
+			pictures = append(pictures, decoded{displayIdx, frame})
+			out.Pictures = append(out.Pictures, PictureInfo{
+				DisplayIdx:  displayIdx,
+				TransmitPos: pos,
+				Type:        ph.Type,
+				BitOffset:   start,
+				Bits:        0, // filled below from boundaries
+			})
+			pos++
+			if ph.Type != TypeB {
+				refs.push(frame, displayIdx)
+			}
+		default:
+			return nil, fmt.Errorf("mpeg: unexpected start code %#02x at top level", code)
+		}
+	}
+done:
+	fillPictureSizes(out.Pictures, int64(len(data))*8)
+	sort.Slice(pictures, func(i, j int) bool { return pictures[i].displayIdx < pictures[j].displayIdx })
+	for _, p := range pictures {
+		p.frame.DisplayIdx = p.displayIdx
+		out.Frames = append(out.Frames, p.frame)
+	}
+	return out, nil
+}
+
+// skimPictureBody advances the reader past a picture's slices without
+// decoding them.
+func skimPictureBody(r *bitio.Reader) error {
+	for {
+		save := r.BitPos()
+		code, err := r.NextStartCode()
+		if err != nil {
+			if errors.Is(err, bitio.ErrNoStartCode) {
+				return nil
+			}
+			return err
+		}
+		if !IsSliceStartCode(code) {
+			return r.SeekBit(save)
+		}
+		if _, err := r.ReadStartCode(); err != nil {
+			return err
+		}
+	}
+}
+
+// resolveTemporalRef maps a 10-bit temporal reference to a full display
+// index, assuming pictures arrive within ±512 of the running maximum
+// maxIdx of indices decoded so far.
+func resolveTemporalRef(tr, maxIdx int) int {
+	base := maxIdx - maxIdx%1024
+	candidates := []int{base + tr - 1024, base + tr, base + tr + 1024}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c >= 0 && absInt(c-maxIdx) < absInt(best-maxIdx) {
+			best = c
+		}
+	}
+	if best < 0 {
+		best = tr
+	}
+	return best
+}
+
+// fillPictureSizes computes each picture's coded size as the distance from
+// its start code to the next picture-level boundary. The last picture runs
+// to the sequence end code (assumed 32 bits before stream end when
+// present) — callers that need exact per-picture sizes should prefer the
+// encoder's PictureInfo or Inspect, which use the same rule.
+func fillPictureSizes(pics []PictureInfo, streamBits int64) {
+	for i := range pics {
+		end := streamBits
+		if i+1 < len(pics) {
+			end = pics[i+1].BitOffset
+		}
+		pics[i].Bits = end - pics[i].BitOffset
+	}
+}
+
+// decodePictureBody decodes all slices of one picture into frame.
+// It returns the number of slices lost to errors (resilient mode).
+func (dec *Decoder) decodePictureBody(r *bitio.Reader, frame *video.Frame, t PictureType, fwd, bwd *video.Frame) (lost int, err error) {
+	mbW, mbH := frame.MacroblocksX(), frame.MacroblocksY()
+	covered := make([]bool, mbH)
+	for {
+		// Peek at the next start code; only slices belong to this picture.
+		save := r.BitPos()
+		code, err := r.NextStartCode()
+		if err != nil {
+			if errors.Is(err, bitio.ErrNoStartCode) {
+				break
+			}
+			return lost, err
+		}
+		if !IsSliceStartCode(code) {
+			r.SeekBit(save)
+			break
+		}
+		if _, err := r.ReadStartCode(); err != nil {
+			return lost, err
+		}
+		sh, err := readSliceHeader(r, code)
+		if err != nil || sh.Row >= mbH {
+			if dec.Resilient {
+				lost++
+				continue
+			}
+			if err == nil {
+				err = fmt.Errorf("mpeg: slice row %d out of range", sh.Row)
+			}
+			return lost, err
+		}
+		if err := dec.decodeSlice(r, frame, t, fwd, bwd, sh, mbW); err != nil {
+			if dec.Resilient {
+				lost++
+				// Conceal the damaged row: copy from the forward reference
+				// if available, otherwise leave mid-gray.
+				concealRow(frame, fwd, sh.Row)
+				continue
+			}
+			return lost, fmt.Errorf("slice row %d: %w", sh.Row, err)
+		}
+		covered[sh.Row] = true
+	}
+	if dec.Resilient {
+		for row, ok := range covered {
+			if !ok {
+				concealRow(frame, fwd, row)
+			}
+		}
+	}
+	return lost, nil
+}
+
+// decodeSlice decodes one macroblock row.
+func (dec *Decoder) decodeSlice(r *bitio.Reader, frame *video.Frame, t PictureType, fwd, bwd *video.Frame, sh SliceHeader, mbW int) error {
+	var preds dcPredictors
+	preds.reset()
+	lastCol := -1
+	for lastCol < mbW-1 {
+		inc, err := vlc.ReadUE(r)
+		if err != nil {
+			return err
+		}
+		col := lastCol + 1 + int(inc)
+		if col >= mbW {
+			return fmt.Errorf("mpeg: macroblock address %d beyond row width %d", col, mbW)
+		}
+		// Reconstruct skipped macroblocks as zero-motion forward copies.
+		for c := lastCol + 1; c < col; c++ {
+			if fwd == nil {
+				return errors.New("mpeg: skipped macroblock without reference")
+			}
+			copyMacroblock(frame, fwd, c, sh.Row)
+		}
+		if col > lastCol+1 {
+			preds.reset()
+		}
+		modeBits, err := r.ReadBits(2)
+		if err != nil {
+			return err
+		}
+		mode := mbMode(modeBits)
+		if err := dec.decodeMB(r, frame, t, fwd, bwd, col, sh.Row, sh.QuantScale, mode, &preds); err != nil {
+			return err
+		}
+		lastCol = col
+	}
+	return nil
+}
+
+// decodeMB decodes one coded macroblock.
+func (dec *Decoder) decodeMB(r *bitio.Reader, frame *video.Frame, t PictureType, fwd, bwd *video.Frame, col, row int, scale int32, mode mbMode, preds *dcPredictors) error {
+	if mode == mbIntra {
+		return dec.decodeIntraMB(r, frame, col, row, scale, preds)
+	}
+	if t == TypeI {
+		return fmt.Errorf("mpeg: non-intra macroblock in I picture")
+	}
+	var mvf, mvb MotionVector
+	if mode == mbForward || mode == mbInterp {
+		x, err := vlc.ReadSE(r)
+		if err != nil {
+			return err
+		}
+		y, err := vlc.ReadSE(r)
+		if err != nil {
+			return err
+		}
+		mvf = MotionVector{int(x), int(y)}
+		if fwd == nil {
+			return errors.New("mpeg: forward prediction without reference")
+		}
+	}
+	if mode == mbBackward || mode == mbInterp {
+		x, err := vlc.ReadSE(r)
+		if err != nil {
+			return err
+		}
+		y, err := vlc.ReadSE(r)
+		if err != nil {
+			return err
+		}
+		mvb = MotionVector{int(x), int(y)}
+		if bwd == nil {
+			return errors.New("mpeg: backward prediction without reference")
+		}
+	}
+	if err := validateMV(frame, col, row, mode, mvf, mvb); err != nil {
+		return err
+	}
+
+	var predY [256]int32
+	var predCb, predCr [64]int32
+	buildPrediction(&predY, &predCb, &predCr, mode, mvf, mvb, fwd, bwd, col, row)
+
+	cbp, err := r.ReadBits(6)
+	if err != nil {
+		return err
+	}
+	x0, y0 := col*16, row*16
+	cw := frame.ChromaW()
+	cx, cy := col*8, row*8
+	var rec dct.Block
+	for b := 0; b < 4; b++ {
+		if cbp&(1<<(5-b)) != 0 {
+			if err := dec.coder.decodeResidualBlock(r, scale, &rec); err != nil {
+				return err
+			}
+		} else {
+			rec = dct.Block{}
+		}
+		bx, by := (b%2)*8, (b/2)*8
+		for dy := 0; dy < 8; dy++ {
+			i := (y0+by+dy)*frame.W + x0 + bx
+			for dx := 0; dx < 8; dx++ {
+				frame.Y[i+dx] = clampPel(predY[(by+dy)*16+bx+dx] + rec[dy*8+dx])
+			}
+		}
+	}
+	for pi, plane := range [][]uint8{frame.Cb, frame.Cr} {
+		pred := &predCb
+		if pi == 1 {
+			pred = &predCr
+		}
+		if cbp&(1<<(1-pi)) != 0 {
+			if err := dec.coder.decodeResidualBlock(r, scale, &rec); err != nil {
+				return err
+			}
+		} else {
+			rec = dct.Block{}
+		}
+		for dy := 0; dy < 8; dy++ {
+			i := (cy+dy)*cw + cx
+			for dx := 0; dx < 8; dx++ {
+				plane[i+dx] = clampPel(pred[dy*8+dx] + rec[dy*8+dx])
+			}
+		}
+	}
+	preds.reset()
+	return nil
+}
+
+// decodeIntraMB decodes the six blocks of an intra macroblock.
+func (dec *Decoder) decodeIntraMB(r *bitio.Reader, frame *video.Frame, col, row int, scale int32, preds *dcPredictors) error {
+	x0, y0 := col*16, row*16
+	var rec dct.Block
+	for b := 0; b < 4; b++ {
+		var err error
+		preds.y, err = dec.coder.decodeIntraBlock(r, scale, preds.y, true, &rec)
+		if err != nil {
+			return err
+		}
+		storeLuma(frame, x0+(b%2)*8, y0+(b/2)*8, &rec)
+	}
+	cw := frame.ChromaW()
+	cx, cy := col*8, row*8
+	var err error
+	preds.cb, err = dec.coder.decodeIntraBlock(r, scale, preds.cb, false, &rec)
+	if err != nil {
+		return err
+	}
+	storeChroma(frame.Cb, cw, cx, cy, &rec)
+	preds.cr, err = dec.coder.decodeIntraBlock(r, scale, preds.cr, false, &rec)
+	if err != nil {
+		return err
+	}
+	storeChroma(frame.Cr, cw, cx, cy, &rec)
+	return nil
+}
+
+// validateMV rejects motion vectors whose prediction area leaves the frame.
+func validateMV(frame *video.Frame, col, row int, mode mbMode, mvf, mvb MotionVector) error {
+	check := func(mv MotionVector) error {
+		if !mvInBounds(frame, col, row, mv) {
+			return fmt.Errorf("mpeg: motion vector (%d,%d) half-pels leaves frame at mb (%d,%d)", mv.X, mv.Y, col, row)
+		}
+		return nil
+	}
+	if mode == mbForward || mode == mbInterp {
+		if err := check(mvf); err != nil {
+			return err
+		}
+	}
+	if mode == mbBackward || mode == mbInterp {
+		if err := check(mvb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// concealRow hides a lost slice by copying the co-located row from the
+// forward reference, or filling mid-gray when no reference exists.
+func concealRow(frame, fwd *video.Frame, row int) {
+	mbW := frame.MacroblocksX()
+	if fwd != nil {
+		for c := 0; c < mbW; c++ {
+			copyMacroblock(frame, fwd, c, row)
+		}
+		return
+	}
+	y0 := row * 16
+	for dy := 0; dy < 16; dy++ {
+		for x := 0; x < frame.W; x++ {
+			frame.Y[(y0+dy)*frame.W+x] = 128
+		}
+	}
+	cw, cy := frame.ChromaW(), row*8
+	for dy := 0; dy < 8; dy++ {
+		for x := 0; x < cw; x++ {
+			frame.Cb[(cy+dy)*cw+x] = 128
+			frame.Cr[(cy+dy)*cw+x] = 128
+		}
+	}
+}

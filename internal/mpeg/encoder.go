@@ -1,0 +1,595 @@
+package mpeg
+
+import (
+	"errors"
+	"fmt"
+
+	"mpegsmooth/internal/bitio"
+	"mpegsmooth/internal/mpeg/dct"
+	"mpegsmooth/internal/mpeg/vlc"
+	"mpegsmooth/internal/video"
+)
+
+// mbMode is the coding mode of one macroblock.
+type mbMode uint8
+
+const (
+	mbIntra    mbMode = 0
+	mbForward  mbMode = 1
+	mbBackward mbMode = 2
+	mbInterp   mbMode = 3
+)
+
+// Config parameterizes the encoder. The quantizer scales default to the
+// values the paper used for its sequences: 4 for I, 6 for P, and 15 for B
+// pictures (Section 5.2).
+type Config struct {
+	Width, Height int
+	GOP           GOP
+	PictureRate   float64
+
+	IQuant, PQuant, BQuant int32 // quantizer scales, 1..31
+
+	// SearchRange bounds motion vectors to ±SearchRange full pixels.
+	SearchRange int
+
+	// SkipSAD is the luma SAD at or below which a zero-motion P/B
+	// macroblock is skipped entirely (copied from the forward reference).
+	SkipSAD int
+
+	// RepeatSequenceHeader writes the sequence header before every group
+	// of pictures, not just once at the start — the paper's Section 2:
+	// "Repeating the sequence header at the beginning of every group of
+	// pictures makes it possible to begin decoding at intermediate points
+	// in the video sequence (facilitating random access)."
+	RepeatSequenceHeader bool
+
+	// FullPelOnly disables half-pel motion refinement (an ablation knob:
+	// MPEG-1 supports full-pel-only streams via the picture header's
+	// full_pel flags). Prediction quality drops, P/B pictures grow.
+	FullPelOnly bool
+}
+
+// DefaultConfig returns an encoder configuration matching the paper's
+// encoding parameters at the given resolution and GOP pattern.
+func DefaultConfig(width, height int, gop GOP) Config {
+	return Config{
+		Width: width, Height: height,
+		GOP:         gop,
+		PictureRate: 30,
+		IQuant:      4,
+		PQuant:      6,
+		BQuant:      15,
+		SearchRange: 8,
+		// About 3 levels per pel: below the quantization noise the
+		// residual coder would reproduce anyway.
+		SkipSAD: 768,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 || c.Width%16 != 0 || c.Height%16 != 0 {
+		return fmt.Errorf("mpeg: frame size %dx%d not a positive multiple of 16", c.Width, c.Height)
+	}
+	if c.Height/16 > int(SliceStartMax-SliceStartMin)+1 {
+		return fmt.Errorf("mpeg: %d macroblock rows exceed slice start-code space", c.Height/16)
+	}
+	if err := c.GOP.Validate(); err != nil {
+		return err
+	}
+	for _, q := range []int32{c.IQuant, c.PQuant, c.BQuant} {
+		if q < 1 || q > 31 {
+			return fmt.Errorf("mpeg: quantizer scale %d out of range 1..31", q)
+		}
+	}
+	if c.SearchRange < 0 {
+		return errors.New("mpeg: negative search range")
+	}
+	if c.SkipSAD < 0 {
+		return errors.New("mpeg: negative skip threshold")
+	}
+	if _, err := pictureRateCode(c.PictureRate); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ModeStats counts macroblock coding decisions within one picture.
+type ModeStats struct {
+	Intra    int // intracoded macroblocks
+	Forward  int // forward-predicted
+	Backward int // backward-predicted (B pictures)
+	Interp   int // interpolated (B pictures)
+	Skipped  int // copied from the forward reference
+}
+
+// Total returns the macroblock count.
+func (m ModeStats) Total() int {
+	return m.Intra + m.Forward + m.Backward + m.Interp + m.Skipped
+}
+
+// PictureInfo describes one coded picture as it appears in the stream:
+// the transport designer's view used to build picture-size traces.
+type PictureInfo struct {
+	DisplayIdx  int         // position in display order
+	TransmitPos int         // position in transmission order
+	Type        PictureType // I, P, or B
+	BitOffset   int64       // offset of the picture start code in the stream
+	Bits        int64       // coded size: picture start code through last slice
+	// Modes summarizes the macroblock decisions (filled by the encoder;
+	// zero for Inspect, which does not entropy-decode).
+	Modes ModeStats
+}
+
+// EncodedSequence is the result of encoding a display-order frame
+// sequence: the coded bit stream plus per-picture metadata in
+// transmission order.
+type EncodedSequence struct {
+	Header   SequenceHeader
+	Data     []byte
+	Pictures []PictureInfo
+}
+
+// SizesInDisplayOrder returns the per-picture coded sizes in bits,
+// indexed by display order — the S_1, S_2, ... sequence consumed by the
+// smoothing algorithm.
+func (s *EncodedSequence) SizesInDisplayOrder() []int64 {
+	sizes := make([]int64, len(s.Pictures))
+	for _, p := range s.Pictures {
+		sizes[p.DisplayIdx] = p.Bits
+	}
+	return sizes
+}
+
+// Encoder compresses display-order frames into the simplified MPEG
+// bitstream. An Encoder is single-use per sequence and not safe for
+// concurrent use.
+type Encoder struct {
+	cfg   Config
+	coder blockCoder
+}
+
+// NewEncoder validates cfg and returns an encoder.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{cfg: cfg, coder: newBlockCoder()}, nil
+}
+
+// EncodeSequence encodes frames (in display order) into a complete
+// sequence: sequence header, GOP headers before each I picture, pictures
+// in transmission order, and a sequence end code.
+func (e *Encoder) EncodeSequence(frames []*video.Frame) (*EncodedSequence, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("mpeg: no frames to encode")
+	}
+	for i, f := range frames {
+		if f.W != e.cfg.Width || f.H != e.cfg.Height {
+			return nil, fmt.Errorf("mpeg: frame %d is %dx%d, config says %dx%d", i, f.W, f.H, e.cfg.Width, e.cfg.Height)
+		}
+	}
+
+	w := bitio.NewWriter()
+	hdr := SequenceHeader{
+		Width: e.cfg.Width, Height: e.cfg.Height,
+		PictureRate: e.cfg.PictureRate,
+	}
+	if err := hdr.write(w); err != nil {
+		return nil, err
+	}
+
+	order := e.cfg.GOP.TransmissionOrder(len(frames))
+	out := &EncodedSequence{Header: hdr}
+	var refs refPair
+
+	for pos, d := range order {
+		t := e.cfg.GOP.TypeOf(d)
+		if t == TypeI {
+			if e.cfg.RepeatSequenceHeader && pos > 0 {
+				if err := hdr.write(w); err != nil {
+					return nil, err
+				}
+			}
+			gh := TimeCodeForPicture(d, e.cfg.PictureRate)
+			if err := gh.write(w); err != nil {
+				return nil, err
+			}
+		}
+
+		fwd, bwd, err := refs.forPicture(t, d)
+		if err != nil {
+			return nil, err
+		}
+		// Scale the search range with the display distance to each
+		// reference: a P picture M frames after its reference must track
+		// M frames' worth of motion.
+		fwdDist, bwdDist := 1, 1
+		if fwd != nil {
+			fwdDist = absInt(d - refs.futureIdx)
+			if t == TypeB && bwd != nil {
+				fwdDist = absInt(d - refs.pastIdx)
+				bwdDist = absInt(refs.futureIdx - d)
+			}
+		}
+
+		w.Align()
+		start := w.BitsWritten()
+		recon := video.MustNewFrame(e.cfg.Width, e.cfg.Height)
+		modes, err := e.encodePicture(w, frames[d], d, t, fwd, bwd, fwdDist, bwdDist, recon)
+		if err != nil {
+			return nil, fmt.Errorf("mpeg: picture %d: %w", d, err)
+		}
+		w.Align()
+		out.Pictures = append(out.Pictures, PictureInfo{
+			DisplayIdx:  d,
+			TransmitPos: pos,
+			Type:        t,
+			BitOffset:   start,
+			Bits:        w.BitsWritten() - start,
+			Modes:       modes,
+		})
+
+		if t != TypeB {
+			refs.push(recon, d)
+		}
+	}
+
+	w.WriteStartCode(SequenceEndCode)
+	out.Data = append([]byte(nil), w.Bytes()...)
+	return out, nil
+}
+
+// encodePicture writes one picture: picture header then one slice per
+// macroblock row. It returns the macroblock mode statistics.
+func (e *Encoder) encodePicture(w *bitio.Writer, cur *video.Frame, displayIdx int, t PictureType, fwd, bwd *video.Frame, fwdDist, bwdDist int, recon *video.Frame) (ModeStats, error) {
+	var stats ModeStats
+	ph := PictureHeader{TemporalRef: displayIdx, Type: t}
+	if err := ph.write(w); err != nil {
+		return stats, err
+	}
+	scale := e.quantFor(t)
+	mbW, mbH := cur.MacroblocksX(), cur.MacroblocksY()
+	for row := 0; row < mbH; row++ {
+		sh := SliceHeader{Row: row, QuantScale: scale}
+		if err := sh.write(w); err != nil {
+			return stats, err
+		}
+		var preds dcPredictors
+		preds.reset()
+		lastCol := -1
+		for col := 0; col < mbW; col++ {
+			mode, mvf, mvb, skip := e.chooseMode(cur, t, fwd, bwd, fwdDist, bwdDist, col, row)
+			if skip && col != mbW-1 {
+				// Skipped macroblock: decoder copies the zero-motion
+				// forward prediction. Mirror that in the reconstruction.
+				copyMacroblock(recon, fwd, col, row)
+				preds.reset()
+				stats.Skipped++
+				continue
+			}
+			vlc.WriteUE(w, uint32(col-lastCol-1))
+			lastCol = col
+			w.WriteBits(uint32(mode), 2)
+			if mode == mbIntra {
+				if err := e.encodeIntraMB(w, cur, col, row, scale, &preds, recon); err != nil {
+					return stats, err
+				}
+				stats.Intra++
+				continue
+			}
+			switch mode {
+			case mbForward:
+				stats.Forward++
+			case mbBackward:
+				stats.Backward++
+			case mbInterp:
+				stats.Interp++
+			}
+			if mode == mbForward || mode == mbInterp {
+				vlc.WriteSE(w, int32(mvf.X))
+				vlc.WriteSE(w, int32(mvf.Y))
+			}
+			if mode == mbBackward || mode == mbInterp {
+				vlc.WriteSE(w, int32(mvb.X))
+				vlc.WriteSE(w, int32(mvb.Y))
+			}
+			if err := e.encodeInterMB(w, cur, col, row, scale, mode, mvf, mvb, fwd, bwd, recon); err != nil {
+				return stats, err
+			}
+			preds.reset()
+		}
+	}
+	return stats, nil
+}
+
+// search runs motion estimation honouring the FullPelOnly ablation.
+func (e *Encoder) search(cur, ref *video.Frame, col, row, searchRange int) (MotionVector, int) {
+	if e.cfg.FullPelOnly {
+		return searchMotionFullPel(cur, ref, col, row, searchRange)
+	}
+	return searchMotion(cur, ref, col, row, searchRange)
+}
+
+// scaledRange telescopes the search range with reference distance,
+// capped to keep exhaustive search affordable.
+func scaledRange(base, dist int) int {
+	if dist < 1 {
+		dist = 1
+	}
+	r := base * dist
+	if r > 31 {
+		r = 31
+	}
+	return r
+}
+
+func (e *Encoder) quantFor(t PictureType) int32 {
+	switch t {
+	case TypeI:
+		return e.cfg.IQuant
+	case TypeP:
+		return e.cfg.PQuant
+	default:
+		return e.cfg.BQuant
+	}
+}
+
+// chooseMode selects the coding mode for the macroblock at (col, row).
+func (e *Encoder) chooseMode(cur *video.Frame, t PictureType, fwd, bwd *video.Frame, fwdDist, bwdDist, col, row int) (mode mbMode, mvf, mvb MotionVector, skip bool) {
+	if t == TypeI {
+		return mbIntra, MotionVector{}, MotionVector{}, false
+	}
+	intraCost := intraActivity(cur, col, row)
+
+	// Skip check first: if the zero-motion forward copy is already good
+	// enough, the macroblock costs nothing at all — the dominant case in
+	// static content and the reason B pictures are tiny.
+	if fwd != nil {
+		if sad0 := sadLumaFull(cur, fwd, col, row, 0, 0, e.cfg.SkipSAD); sad0 <= e.cfg.SkipSAD {
+			return mbForward, MotionVector{}, MotionVector{}, true
+		}
+	}
+
+	var sadF, sadB int = 1 << 30, 1 << 30
+	if fwd != nil {
+		mvf, sadF = e.search(cur, fwd, col, row, scaledRange(e.cfg.SearchRange, fwdDist))
+	}
+	if t == TypeB && bwd != nil {
+		mvb, sadB = e.search(cur, bwd, col, row, scaledRange(e.cfg.SearchRange, bwdDist))
+	}
+
+	best := mbForward
+	bestSAD := sadF
+	if t == TypeB && bwd != nil {
+		if sadB < bestSAD {
+			best, bestSAD = mbBackward, sadB
+		}
+		if sadI := interpSAD(cur, fwd, bwd, col, row, mvf, mvb); sadI < bestSAD {
+			best, bestSAD = mbInterp, sadI
+		}
+	}
+	// Intra wins only when prediction is clearly worse than coding the
+	// block from scratch; the small bias avoids flip-flopping on noise.
+	if intraCost+64 < bestSAD {
+		return mbIntra, MotionVector{}, MotionVector{}, false
+	}
+	return best, mvf, mvb, false
+}
+
+// intraActivity estimates the cost of intra-coding a macroblock as the
+// mean absolute deviation of its luma from the block mean — the classic
+// variance-based intra/inter decision measure.
+func intraActivity(f *video.Frame, col, row int) int {
+	x0, y0 := col*16, row*16
+	var sum int
+	for dy := 0; dy < 16; dy++ {
+		i := (y0+dy)*f.W + x0
+		for dx := 0; dx < 16; dx++ {
+			sum += int(f.Y[i+dx])
+		}
+	}
+	mean := sum / 256
+	var dev int
+	for dy := 0; dy < 16; dy++ {
+		i := (y0+dy)*f.W + x0
+		for dx := 0; dx < 16; dx++ {
+			d := int(f.Y[i+dx]) - mean
+			if d < 0 {
+				d = -d
+			}
+			dev += d
+		}
+	}
+	return dev
+}
+
+// interpSAD evaluates the interpolated (averaged) B prediction.
+func interpSAD(cur, fwd, bwd *video.Frame, col, row int, mvf, mvb MotionVector) int {
+	var pf, pb [256]int32
+	predictLuma(&pf, fwd, col, row, mvf)
+	predictLuma(&pb, bwd, col, row, mvb)
+	x0, y0 := col*16, row*16
+	sum := 0
+	for dy := 0; dy < 16; dy++ {
+		i := (y0+dy)*cur.W + x0
+		for dx := 0; dx < 16; dx++ {
+			p := (pf[dy*16+dx] + pb[dy*16+dx] + 1) / 2
+			d := int(cur.Y[i+dx]) - int(p)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// encodeIntraMB codes the six blocks of an intra macroblock.
+func (e *Encoder) encodeIntraMB(w *bitio.Writer, cur *video.Frame, col, row int, scale int32, preds *dcPredictors, recon *video.Frame) error {
+	x0, y0 := col*16, row*16
+	var spatial, rec dct.Block
+	for b := 0; b < 4; b++ {
+		bx, by := x0+(b%2)*8, y0+(b/2)*8
+		extractLuma(cur, bx, by, &spatial)
+		var err error
+		preds.y, err = e.coder.encodeIntraBlock(w, &spatial, scale, preds.y, true, &rec)
+		if err != nil {
+			return err
+		}
+		storeLuma(recon, bx, by, &rec)
+	}
+	cw := cur.ChromaW()
+	cx, cy := col*8, row*8
+	extractChroma(cur.Cb, cw, cx, cy, &spatial)
+	var err error
+	preds.cb, err = e.coder.encodeIntraBlock(w, &spatial, scale, preds.cb, false, &rec)
+	if err != nil {
+		return err
+	}
+	storeChroma(recon.Cb, cw, cx, cy, &rec)
+	extractChroma(cur.Cr, cw, cx, cy, &spatial)
+	preds.cr, err = e.coder.encodeIntraBlock(w, &spatial, scale, preds.cr, false, &rec)
+	if err != nil {
+		return err
+	}
+	storeChroma(recon.Cr, cw, cx, cy, &rec)
+	return nil
+}
+
+// encodeInterMB codes a predicted macroblock: builds the prediction,
+// quantizes the six residual blocks, emits the coded-block pattern and the
+// coded blocks, and reconstructs.
+func (e *Encoder) encodeInterMB(w *bitio.Writer, cur *video.Frame, col, row int, scale int32, mode mbMode, mvf, mvb MotionVector, fwd, bwd *video.Frame, recon *video.Frame) error {
+	var predY [256]int32
+	var predCb, predCr [64]int32
+	buildPrediction(&predY, &predCb, &predCr, mode, mvf, mvb, fwd, bwd, col, row)
+
+	x0, y0 := col*16, row*16
+	cw := cur.ChromaW()
+	cx, cy := col*8, row*8
+
+	type blockPlan struct {
+		scanned [64]int32
+		coded   bool
+	}
+	var plans [6]blockPlan
+	var residual dct.Block
+
+	for b := 0; b < 4; b++ {
+		bx, by := (b%2)*8, (b/2)*8
+		for dy := 0; dy < 8; dy++ {
+			i := (y0+by+dy)*cur.W + x0 + bx
+			for dx := 0; dx < 8; dx++ {
+				residual[dy*8+dx] = int32(cur.Y[i+dx]) - predY[(by+dy)*16+bx+dx]
+			}
+		}
+		plans[b].scanned, plans[b].coded = e.coder.quantizeResidual(&residual, scale)
+	}
+	for dy := 0; dy < 8; dy++ {
+		i := (cy+dy)*cw + cx
+		for dx := 0; dx < 8; dx++ {
+			residual[dy*8+dx] = int32(cur.Cb[i+dx]) - predCb[dy*8+dx]
+		}
+	}
+	plans[4].scanned, plans[4].coded = e.coder.quantizeResidual(&residual, scale)
+	for dy := 0; dy < 8; dy++ {
+		i := (cy+dy)*cw + cx
+		for dx := 0; dx < 8; dx++ {
+			residual[dy*8+dx] = int32(cur.Cr[i+dx]) - predCr[dy*8+dx]
+		}
+	}
+	plans[5].scanned, plans[5].coded = e.coder.quantizeResidual(&residual, scale)
+
+	var cbp uint32
+	for b, p := range plans {
+		if p.coded {
+			cbp |= 1 << (5 - b)
+		}
+	}
+	w.WriteBits(cbp, 6)
+	for b := range plans {
+		if plans[b].coded {
+			if err := e.coder.emitResidual(w, &plans[b].scanned); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Reconstruct: prediction plus decoded residual, exactly as the
+	// decoder will.
+	var rec dct.Block
+	for b := 0; b < 4; b++ {
+		bx, by := (b%2)*8, (b/2)*8
+		if plans[b].coded {
+			e.coder.reconstructResidual(&plans[b].scanned, scale, &rec)
+		} else {
+			rec = dct.Block{}
+		}
+		for dy := 0; dy < 8; dy++ {
+			i := (y0+by+dy)*recon.W + x0 + bx
+			for dx := 0; dx < 8; dx++ {
+				recon.Y[i+dx] = clampPel(predY[(by+dy)*16+bx+dx] + rec[dy*8+dx])
+			}
+		}
+	}
+	for pi, plane := range [][]uint8{recon.Cb, recon.Cr} {
+		pred := &predCb
+		if pi == 1 {
+			pred = &predCr
+		}
+		if plans[4+pi].coded {
+			e.coder.reconstructResidual(&plans[4+pi].scanned, scale, &rec)
+		} else {
+			rec = dct.Block{}
+		}
+		for dy := 0; dy < 8; dy++ {
+			i := (cy+dy)*cw + cx
+			for dx := 0; dx < 8; dx++ {
+				plane[i+dx] = clampPel(pred[dy*8+dx] + rec[dy*8+dx])
+			}
+		}
+	}
+	return nil
+}
+
+// buildPrediction assembles the luma and chroma predictions for the given
+// mode. Shared by encoder and decoder.
+func buildPrediction(predY *[256]int32, predCb, predCr *[64]int32, mode mbMode, mvf, mvb MotionVector, fwd, bwd *video.Frame, col, row int) {
+	switch mode {
+	case mbForward:
+		predictLuma(predY, fwd, col, row, mvf)
+		predictChroma(predCb, predCr, fwd, col, row, mvf)
+	case mbBackward:
+		predictLuma(predY, bwd, col, row, mvb)
+		predictChroma(predCb, predCr, bwd, col, row, mvb)
+	case mbInterp:
+		var y2 [256]int32
+		var cb2, cr2 [64]int32
+		predictLuma(predY, fwd, col, row, mvf)
+		predictChroma(predCb, predCr, fwd, col, row, mvf)
+		predictLuma(&y2, bwd, col, row, mvb)
+		predictChroma(&cb2, &cr2, bwd, col, row, mvb)
+		averagePrediction(predY[:], predY[:], y2[:])
+		averagePrediction(predCb[:], predCb[:], cb2[:])
+		averagePrediction(predCr[:], predCr[:], cr2[:])
+	default:
+		panic("mpeg: buildPrediction on intra macroblock")
+	}
+}
+
+// copyMacroblock copies the co-located macroblock from src into dst, the
+// reconstruction of a skipped macroblock.
+func copyMacroblock(dst, src *video.Frame, col, row int) {
+	x0, y0 := col*16, row*16
+	for dy := 0; dy < 16; dy++ {
+		copy(dst.Y[(y0+dy)*dst.W+x0:(y0+dy)*dst.W+x0+16], src.Y[(y0+dy)*src.W+x0:(y0+dy)*src.W+x0+16])
+	}
+	cw := dst.ChromaW()
+	cx, cy := col*8, row*8
+	for dy := 0; dy < 8; dy++ {
+		copy(dst.Cb[(cy+dy)*cw+cx:(cy+dy)*cw+cx+8], src.Cb[(cy+dy)*cw+cx:(cy+dy)*cw+cx+8])
+		copy(dst.Cr[(cy+dy)*cw+cx:(cy+dy)*cw+cx+8], src.Cr[(cy+dy)*cw+cx:(cy+dy)*cw+cx+8])
+	}
+}

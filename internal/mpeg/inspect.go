@@ -1,0 +1,134 @@
+package mpeg
+
+import (
+	"errors"
+	"fmt"
+
+	"mpegsmooth/internal/bitio"
+)
+
+// StreamInfo summarizes a coded stream without decoding picture content —
+// exactly what a transport protocol can learn by scanning start codes
+// (Section 2: every header begins with a 32-bit start code that is unique
+// in the coded bit stream).
+type StreamInfo struct {
+	Header       SequenceHeader
+	Pictures     []PictureInfo // transmission order; Bits measured between start codes
+	GroupCount   int
+	SliceCount   int
+	OverheadBits int64 // sequence and GOP header bits not attributed to pictures
+	TotalBits    int64
+}
+
+// Inspect walks the start codes of a coded stream and measures every
+// picture's size in bits, without entropy-decoding any macroblock data.
+// This is how a sender-side transport implementation would obtain the
+// picture size sequence S_1, S_2, ... that the smoothing algorithm
+// consumes.
+func Inspect(data []byte) (*StreamInfo, error) {
+	r := bitio.NewReader(data)
+	code, err := r.ReadStartCode()
+	if err != nil {
+		return nil, fmt.Errorf("mpeg: no sequence header: %w", err)
+	}
+	if code != SequenceHeaderCod {
+		return nil, fmt.Errorf("mpeg: stream starts with %#02x, want sequence header", code)
+	}
+	hdr, err := readSequenceHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	info := &StreamInfo{Header: hdr, TotalBits: int64(len(data)) * 8}
+
+	// Everything before the first picture start code is overhead.
+	lastBoundary := int64(0)
+	inPicture := false
+	pos := 0
+	maxIdx := 0
+
+	closePicture := func(boundary int64) {
+		if inPicture {
+			p := &info.Pictures[len(info.Pictures)-1]
+			p.Bits = boundary - p.BitOffset
+			inPicture = false
+		} else {
+			info.OverheadBits += boundary - lastBoundary
+		}
+		lastBoundary = boundary
+	}
+
+	for {
+		code, err := r.NextStartCode()
+		if err != nil {
+			if errors.Is(err, bitio.ErrNoStartCode) {
+				closePicture(info.TotalBits)
+				break
+			}
+			return nil, err
+		}
+		at := r.BitPos()
+		if _, err := r.ReadStartCode(); err != nil {
+			return nil, err
+		}
+		switch {
+		case IsSliceStartCode(code):
+			if !inPicture {
+				return nil, fmt.Errorf("mpeg: slice start code outside picture at bit %d", at)
+			}
+			info.SliceCount++
+		case code == PictureStartCode:
+			closePicture(at)
+			ph, err := readPictureHeader(r)
+			if err != nil {
+				return nil, err
+			}
+			displayIdx := resolveTemporalRef(ph.TemporalRef, maxIdx)
+			if displayIdx > maxIdx {
+				maxIdx = displayIdx
+			}
+			info.Pictures = append(info.Pictures, PictureInfo{
+				DisplayIdx:  displayIdx,
+				TransmitPos: pos,
+				Type:        ph.Type,
+				BitOffset:   at,
+			})
+			pos++
+			inPicture = true
+		case code == GroupStartCode:
+			closePicture(at)
+			if _, err := readGroupHeader(r); err != nil {
+				return nil, err
+			}
+			info.GroupCount++
+		case code == SequenceHeaderCod:
+			closePicture(at)
+			if _, err := readSequenceHeader(r); err != nil {
+				return nil, err
+			}
+		case code == SequenceEndCode:
+			closePicture(at)
+			info.OverheadBits += 32
+			lastBoundary = r.BitPos()
+		case code == UserDataStartCode:
+			closePicture(at)
+		default:
+			return nil, fmt.Errorf("mpeg: unknown start code %#02x at bit %d", code, at)
+		}
+	}
+	return info, nil
+}
+
+// SizesInDisplayOrder returns per-picture sizes in display order. It
+// errors if picture display indices are not a contiguous 0..n-1 range.
+func (s *StreamInfo) SizesInDisplayOrder() ([]int64, error) {
+	sizes := make([]int64, len(s.Pictures))
+	seen := make([]bool, len(s.Pictures))
+	for _, p := range s.Pictures {
+		if p.DisplayIdx < 0 || p.DisplayIdx >= len(sizes) || seen[p.DisplayIdx] {
+			return nil, fmt.Errorf("mpeg: display index %d invalid or duplicated", p.DisplayIdx)
+		}
+		seen[p.DisplayIdx] = true
+		sizes[p.DisplayIdx] = p.Bits
+	}
+	return sizes, nil
+}

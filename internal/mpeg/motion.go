@@ -1,0 +1,249 @@
+package mpeg
+
+import "mpegsmooth/internal/video"
+
+// MotionVector is a displacement into a reference picture measured in
+// HALF pixels, as in MPEG-1: even component values address full-pixel
+// positions, odd values the bilinearly interpolated half positions.
+type MotionVector struct {
+	X, Y int
+}
+
+// isFullPel reports whether both components address full pixels.
+func (mv MotionVector) isFullPel() bool { return mv.X&1 == 0 && mv.Y&1 == 0 }
+
+// sadLumaFull computes the sum of absolute differences between the 16x16
+// luma macroblock of cur at (mbx, mby) and the reference area displaced
+// by the FULL-pixel vector (fx, fy). The caller guarantees the displaced
+// area lies inside the frame. Accumulation stops early once the sum
+// exceeds limit.
+func sadLumaFull(cur, ref *video.Frame, mbx, mby, fx, fy, limit int) int {
+	cx, cy := mbx*16, mby*16
+	rx, ry := cx+fx, cy+fy
+	sum := 0
+	for dy := 0; dy < 16; dy++ {
+		ci := (cy+dy)*cur.W + cx
+		ri := (ry+dy)*ref.W + rx
+		for dx := 0; dx < 16; dx++ {
+			d := int(cur.Y[ci+dx]) - int(ref.Y[ri+dx])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > limit {
+			return sum
+		}
+	}
+	return sum
+}
+
+// sadLumaHalf computes the SAD against the half-pel interpolated
+// prediction for vector mv (in half-pels).
+func sadLumaHalf(cur, ref *video.Frame, mbx, mby int, mv MotionVector) int {
+	var pred [256]int32
+	predictLuma(&pred, ref, mbx, mby, mv)
+	cx, cy := mbx*16, mby*16
+	sum := 0
+	for dy := 0; dy < 16; dy++ {
+		ci := (cy+dy)*cur.W + cx
+		for dx := 0; dx < 16; dx++ {
+			d := int(cur.Y[ci+dx]) - int(pred[dy*16+dx])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// mvInBounds reports whether the (half-pel) vector's 16x16 prediction
+// area lies inside the reference frame.
+func mvInBounds(ref *video.Frame, mbx, mby int, mv MotionVector) bool {
+	// Interpolation at odd positions reads one extra sample.
+	x0 := mbx*32 + mv.X // half-pel coordinates
+	y0 := mby*32 + mv.Y
+	if x0 < 0 || y0 < 0 {
+		return false
+	}
+	needX := x0/2 + 16
+	if mv.X&1 != 0 {
+		needX++
+	}
+	needY := y0/2 + 16
+	if mv.Y&1 != 0 {
+		needY++
+	}
+	return needX <= ref.W && needY <= ref.H
+}
+
+// searchMotion finds the half-pel motion vector minimizing luma SAD for
+// the macroblock at (mbx, mby): an exhaustive full-pixel search within
+// ±searchRange (the MPEG standard leaves the algorithm implementation-
+// dependent; exhaustive search is the reference choice) followed by a
+// half-pel refinement of the eight surrounding interpolated positions.
+// Ties prefer shorter vectors — they cost fewer bits and favour skipped
+// macroblocks. Returns the vector in half-pels and its SAD.
+func searchMotion(cur, ref *video.Frame, mbx, mby, searchRange int) (MotionVector, int) {
+	cx, cy := mbx*16, mby*16
+	bestF := [2]int{0, 0}
+	bestSAD := sadLumaFull(cur, ref, mbx, mby, 0, 0, 1<<30)
+	for dy := -searchRange; dy <= searchRange; dy++ {
+		for dx := -searchRange; dx <= searchRange; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if cx+dx < 0 || cx+dx+16 > ref.W || cy+dy < 0 || cy+dy+16 > ref.H {
+				continue
+			}
+			s := sadLumaFull(cur, ref, mbx, mby, dx, dy, bestSAD)
+			if s < bestSAD || (s == bestSAD && absInt(dx)+absInt(dy) < absInt(bestF[0])+absInt(bestF[1])) {
+				bestSAD, bestF = s, [2]int{dx, dy}
+			}
+		}
+	}
+	best := MotionVector{bestF[0] * 2, bestF[1] * 2}
+	// Half-pel refinement around the full-pel winner.
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			mv := MotionVector{best.X + dx, best.Y + dy}
+			if !mvInBounds(ref, mbx, mby, mv) {
+				continue
+			}
+			s := sadLumaHalf(cur, ref, mbx, mby, mv)
+			if s < bestSAD || (s == bestSAD && cheaper(mv, best)) {
+				bestSAD, best = s, mv
+			}
+		}
+	}
+	return best, bestSAD
+}
+
+// searchMotionFullPel is searchMotion without the half-pel refinement
+// (the FullPelOnly ablation).
+func searchMotionFullPel(cur, ref *video.Frame, mbx, mby, searchRange int) (MotionVector, int) {
+	cx, cy := mbx*16, mby*16
+	best := [2]int{0, 0}
+	bestSAD := sadLumaFull(cur, ref, mbx, mby, 0, 0, 1<<30)
+	for dy := -searchRange; dy <= searchRange; dy++ {
+		for dx := -searchRange; dx <= searchRange; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if cx+dx < 0 || cx+dx+16 > ref.W || cy+dy < 0 || cy+dy+16 > ref.H {
+				continue
+			}
+			s := sadLumaFull(cur, ref, mbx, mby, dx, dy, bestSAD)
+			if s < bestSAD || (s == bestSAD && absInt(dx)+absInt(dy) < absInt(best[0])+absInt(best[1])) {
+				bestSAD, best = s, [2]int{dx, dy}
+			}
+		}
+	}
+	return MotionVector{best[0] * 2, best[1] * 2}, bestSAD
+}
+
+// cheaper reports whether a costs fewer bits to code than b.
+func cheaper(a, b MotionVector) bool {
+	return absInt(a.X)+absInt(a.Y) < absInt(b.X)+absInt(b.Y)
+}
+
+// predictLuma writes the motion-compensated 16x16 luma prediction for the
+// macroblock at (mbx, mby) into dst. mv is in half-pels; odd components
+// produce the MPEG half-pel interpolation (2-tap averages, bilinear when
+// both are odd, rounding up).
+func predictLuma(dst *[256]int32, ref *video.Frame, mbx, mby int, mv MotionVector) {
+	x0 := mbx*32 + mv.X
+	y0 := mby*32 + mv.Y
+	ix, iy := x0>>1, y0>>1
+	hx, hy := x0&1, y0&1
+	w := ref.W
+	for dy := 0; dy < 16; dy++ {
+		r0 := (iy + dy) * w
+		for dx := 0; dx < 16; dx++ {
+			i := r0 + ix + dx
+			switch {
+			case hx == 0 && hy == 0:
+				dst[dy*16+dx] = int32(ref.Y[i])
+			case hx == 1 && hy == 0:
+				dst[dy*16+dx] = (int32(ref.Y[i]) + int32(ref.Y[i+1]) + 1) / 2
+			case hx == 0 && hy == 1:
+				dst[dy*16+dx] = (int32(ref.Y[i]) + int32(ref.Y[i+w]) + 1) / 2
+			default:
+				dst[dy*16+dx] = (int32(ref.Y[i]) + int32(ref.Y[i+1]) +
+					int32(ref.Y[i+w]) + int32(ref.Y[i+w+1]) + 2) / 4
+			}
+		}
+	}
+}
+
+// predictChroma writes the 8x8 chroma predictions for both planes.
+// Chroma vectors are the luma half-pel vector halved (truncating toward
+// zero), landing on the chroma plane's own half-pel grid, as in MPEG.
+func predictChroma(dstCb, dstCr *[64]int32, ref *video.Frame, mbx, mby int, mv MotionVector) {
+	cw, ch := ref.ChromaW(), ref.ChromaH()
+	cmx, cmy := mv.X/2, mv.Y/2 // chroma displacement in chroma half-pels
+	x0 := mbx*16 + cmx
+	y0 := mby*16 + cmy
+	ix, iy := x0>>1, y0>>1
+	hx, hy := x0&1, y0&1
+	// Clamp so interpolation stays inside the plane.
+	maxX, maxY := cw-8, ch-8
+	if hx == 1 {
+		maxX--
+	}
+	if hy == 1 {
+		maxY--
+	}
+	ix = clampInt(ix, 0, maxX)
+	iy = clampInt(iy, 0, maxY)
+	sample := func(plane []uint8, i int) int32 {
+		switch {
+		case hx == 0 && hy == 0:
+			return int32(plane[i])
+		case hx == 1 && hy == 0:
+			return (int32(plane[i]) + int32(plane[i+1]) + 1) / 2
+		case hx == 0 && hy == 1:
+			return (int32(plane[i]) + int32(plane[i+cw]) + 1) / 2
+		default:
+			return (int32(plane[i]) + int32(plane[i+1]) +
+				int32(plane[i+cw]) + int32(plane[i+cw+1]) + 2) / 4
+		}
+	}
+	for dy := 0; dy < 8; dy++ {
+		r0 := (iy + dy) * cw
+		for dx := 0; dx < 8; dx++ {
+			i := r0 + ix + dx
+			dstCb[dy*8+dx] = sample(ref.Cb, i)
+			dstCr[dy*8+dx] = sample(ref.Cr, i)
+		}
+	}
+}
+
+// averagePrediction interpolates two predictions with rounding, the B
+// picture "interpolated" macroblock mode.
+func averagePrediction(dst, a, b []int32) {
+	for i := range dst {
+		dst[i] = (a[i] + b[i] + 1) / 2
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,136 @@
+// Package quant implements MPEG-1-style quantization of DCT coefficient
+// blocks.
+//
+// Quantization is the only lossy step in the coding chain (run-length and
+// entropy coding are lossless). Low-frequency coefficients are quantized
+// more finely than high-frequency coefficients via a per-position weight
+// matrix, and the whole matrix is scaled by a per-slice (or per-macroblock)
+// quantizer scale in 1..31. A coarser scale lowers the bit rate at the
+// expense of visual quality — the lossy rate-control knob that Section 3.1
+// of Lam/Chow/Yau argues must NOT be used to flatten I/B picture size
+// differences.
+package quant
+
+import "mpegsmooth/internal/mpeg/dct"
+
+// ScaleMin and ScaleMax bound the quantizer scale.
+const (
+	ScaleMin = 1
+	ScaleMax = 31
+)
+
+// Matrix is a per-coefficient weight matrix in row-major order.
+type Matrix [64]int32
+
+// DefaultIntra is the MPEG-1 default intra quantizer matrix: fine
+// quantization at DC and low frequencies, progressively coarser toward
+// high frequencies.
+var DefaultIntra = Matrix{
+	8, 16, 19, 22, 26, 27, 29, 34,
+	16, 16, 22, 24, 27, 29, 34, 37,
+	19, 22, 26, 27, 29, 34, 34, 38,
+	22, 22, 26, 27, 29, 34, 37, 40,
+	22, 26, 27, 29, 32, 35, 40, 48,
+	26, 27, 29, 32, 35, 40, 48, 58,
+	26, 27, 29, 34, 38, 46, 56, 69,
+	27, 29, 35, 38, 46, 56, 69, 83,
+}
+
+// DefaultNonIntra is the MPEG-1 default non-intra matrix: flat 16s, because
+// prediction-error blocks contain predominantly high frequencies and can be
+// quantized uniformly (and more coarsely) without blocking artifacts.
+var DefaultNonIntra = Matrix{
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+}
+
+// clampScale limits a quantizer scale to the legal range.
+func clampScale(scale int32) int32 {
+	if scale < ScaleMin {
+		return ScaleMin
+	}
+	if scale > ScaleMax {
+		return ScaleMax
+	}
+	return scale
+}
+
+// Intra quantizes an intra-coded coefficient block in place of dst.
+// The DC coefficient (index 0) uses a fixed divisor of 8, matching MPEG-1's
+// 8-bit DC precision; AC coefficients divide by scale*matrix/8 with
+// rounding toward zero offsets chosen to keep the round trip centred.
+func Intra(dst *[64]int32, src *dct.Block, m *Matrix, scale int32) {
+	scale = clampScale(scale)
+	dst[0] = div(src[0], 8)
+	for i := 1; i < 64; i++ {
+		d := 2 * scale * m[i] / 16
+		if d < 1 {
+			d = 1
+		}
+		dst[i] = div(src[i], d)
+	}
+}
+
+// DequantIntra reverses Intra into dst.
+func DequantIntra(dst *dct.Block, src *[64]int32, m *Matrix, scale int32) {
+	scale = clampScale(scale)
+	dst[0] = src[0] * 8
+	for i := 1; i < 64; i++ {
+		d := 2 * scale * m[i] / 16
+		if d < 1 {
+			d = 1
+		}
+		dst[i] = src[i] * d
+	}
+}
+
+// NonIntra quantizes a prediction-error coefficient block. Unlike the
+// intra path it truncates toward zero, giving a dead zone of a full
+// quantizer step around zero — as in MPEG-1. The dead zone stops the
+// encoder from spending bits re-coding the reference picture's own
+// quantization noise in every P and B picture.
+func NonIntra(dst *[64]int32, src *dct.Block, m *Matrix, scale int32) {
+	scale = clampScale(scale)
+	for i := 0; i < 64; i++ {
+		d := 2 * scale * m[i] / 16
+		if d < 1 {
+			d = 1
+		}
+		dst[i] = src[i] / d // Go integer division truncates toward zero
+	}
+}
+
+// DequantNonIntra reverses NonIntra into dst. Nonzero levels reconstruct
+// at the midpoint of their quantization bin (MPEG-1's (2·level±1)·step/2
+// rule), compensating for the truncating quantizer.
+func DequantNonIntra(dst *dct.Block, src *[64]int32, m *Matrix, scale int32) {
+	scale = clampScale(scale)
+	for i := 0; i < 64; i++ {
+		d := 2 * scale * m[i] / 16
+		if d < 1 {
+			d = 1
+		}
+		switch {
+		case src[i] > 0:
+			dst[i] = src[i]*d + d/2
+		case src[i] < 0:
+			dst[i] = src[i]*d - d/2
+		default:
+			dst[i] = 0
+		}
+	}
+}
+
+// div divides with rounding to nearest, ties away from zero.
+func div(v, d int32) int32 {
+	if v >= 0 {
+		return (v + d/2) / d
+	}
+	return -((-v + d/2) / d)
+}

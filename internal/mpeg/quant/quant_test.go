@@ -1,0 +1,248 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpegsmooth/internal/mpeg/dct"
+)
+
+func TestScaleClamping(t *testing.T) {
+	var src dct.Block
+	src[1] = 1000
+	var lo, hi, over, under [64]int32
+	Intra(&lo, &src, &DefaultIntra, ScaleMin)
+	Intra(&under, &src, &DefaultIntra, 0) // clamped to 1
+	Intra(&hi, &src, &DefaultIntra, ScaleMax)
+	Intra(&over, &src, &DefaultIntra, 99) // clamped to 31
+	if lo != under {
+		t.Fatal("scale 0 should clamp to ScaleMin")
+	}
+	if hi != over {
+		t.Fatal("scale 99 should clamp to ScaleMax")
+	}
+}
+
+func TestCoarserScaleShrinksCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var src dct.Block
+	for i := range src {
+		src[i] = int32(rng.Intn(2000) - 1000)
+	}
+	var fine, coarse [64]int32
+	Intra(&fine, &src, &DefaultIntra, 4)
+	Intra(&coarse, &src, &DefaultIntra, 30)
+	var nzFine, nzCoarse int
+	for i := 1; i < 64; i++ {
+		if fine[i] != 0 {
+			nzFine++
+		}
+		if coarse[i] != 0 {
+			nzCoarse++
+		}
+		if abs32(coarse[i]) > abs32(fine[i]) {
+			t.Fatalf("coefficient %d grew under coarser quantization: fine=%d coarse=%d", i, fine[i], coarse[i])
+		}
+	}
+	if nzCoarse >= nzFine {
+		t.Fatalf("coarse quantization should zero more coefficients: fine=%d coarse=%d nonzero", nzFine, nzCoarse)
+	}
+}
+
+func TestIntraRoundTripError(t *testing.T) {
+	// The dequantized value must be within half a step of the original.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		scale := int32(rng.Intn(31) + 1)
+		var src dct.Block
+		for i := range src {
+			src[i] = int32(rng.Intn(4000) - 2000)
+		}
+		var q [64]int32
+		var back dct.Block
+		Intra(&q, &src, &DefaultIntra, scale)
+		DequantIntra(&back, &q, &DefaultIntra, scale)
+		for i := range src {
+			step := int32(8)
+			if i != 0 {
+				step = 2 * scale * DefaultIntra[i] / 16
+				if step < 1 {
+					step = 1
+				}
+			}
+			if d := abs32(src[i] - back[i]); d > step/2+1 {
+				t.Fatalf("trial %d scale %d coeff %d: src=%d back=%d step=%d", trial, scale, i, src[i], back[i], step)
+			}
+		}
+	}
+}
+
+func TestNonIntraRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		scale := int32(rng.Intn(31) + 1)
+		var src dct.Block
+		for i := range src {
+			src[i] = int32(rng.Intn(1000) - 500)
+		}
+		var q [64]int32
+		var back dct.Block
+		NonIntra(&q, &src, &DefaultNonIntra, scale)
+		DequantNonIntra(&back, &q, &DefaultNonIntra, scale)
+		for i := range src {
+			step := 2 * scale * DefaultNonIntra[i] / 16
+			if step < 1 {
+				step = 1
+			}
+			// Truncating quantizer: nonzero bins reconstruct at midpoint
+			// (error <= step/2+1); the double-width dead zone around zero
+			// allows error up to a full step.
+			limit := step/2 + 1
+			if q[i] == 0 {
+				limit = step
+			}
+			if d := abs32(src[i] - back[i]); d > limit {
+				t.Fatalf("trial %d scale %d coeff %d: src=%d back=%d step=%d q=%d", trial, scale, i, src[i], back[i], step, q[i])
+			}
+		}
+	}
+}
+
+func TestNonIntraDeadZone(t *testing.T) {
+	// Values strictly inside one quantizer step must vanish: this is what
+	// stops P/B pictures from re-coding reference quantization noise.
+	scale := int32(6)
+	step := 2 * scale * DefaultNonIntra[5] / 16 // flat matrix: 12
+	var src dct.Block
+	src[5] = step - 1
+	src[6] = -(step - 1)
+	src[7] = step
+	var q [64]int32
+	NonIntra(&q, &src, &DefaultNonIntra, scale)
+	if q[5] != 0 || q[6] != 0 {
+		t.Fatalf("values inside dead zone quantized to %d, %d; want 0", q[5], q[6])
+	}
+	if q[7] != 1 {
+		t.Fatalf("value at one step quantized to %d, want 1", q[7])
+	}
+}
+
+func TestDCPrecisionIndependentOfScale(t *testing.T) {
+	var src dct.Block
+	src[0] = 1024
+	var q1, q31 [64]int32
+	Intra(&q1, &src, &DefaultIntra, 1)
+	Intra(&q31, &src, &DefaultIntra, 31)
+	if q1[0] != q31[0] || q1[0] != 128 {
+		t.Fatalf("intra DC should always divide by 8: got %d and %d, want 128", q1[0], q31[0])
+	}
+}
+
+func TestDefaultMatricesSane(t *testing.T) {
+	if DefaultIntra[0] != 8 {
+		t.Fatalf("intra DC weight = %d, want 8", DefaultIntra[0])
+	}
+	for i, v := range DefaultNonIntra {
+		if v != 16 {
+			t.Fatalf("non-intra weight %d = %d, want 16", i, v)
+		}
+	}
+	// Intra matrix must be non-decreasing along the top row and left column
+	// (finer quantization for lower frequencies).
+	for i := 1; i < 8; i++ {
+		if DefaultIntra[i] < DefaultIntra[i-1] {
+			t.Fatalf("intra matrix top row decreases at %d", i)
+		}
+		if DefaultIntra[i*8] < DefaultIntra[(i-1)*8] {
+			t.Fatalf("intra matrix left column decreases at %d", i)
+		}
+	}
+}
+
+func TestRateQualityTradeoff(t *testing.T) {
+	// Reproduce the paper's Section 3.1 observation in miniature: the same
+	// block quantized at scale 30 yields far fewer bits of information
+	// (nonzero coefficients) than at scale 4.
+	rng := rand.New(rand.NewSource(99))
+	var spatial, freq dct.Block
+	for i := range spatial {
+		spatial[i] = int32(rng.Intn(256) - 128)
+	}
+	dct.Forward(&freq, &spatial)
+	var q4, q30 [64]int32
+	Intra(&q4, &freq, &DefaultIntra, 4)
+	Intra(&q30, &freq, &DefaultIntra, 30)
+	nz := func(q *[64]int32) (n int) {
+		for _, v := range q[1:] {
+			if v != 0 {
+				n++
+			}
+		}
+		return
+	}
+	n4, n30 := nz(&q4), nz(&q30)
+	if n30*2 >= n4 {
+		t.Fatalf("scale 30 should zero far more AC coefficients than scale 4: %d vs %d", n30, n4)
+	}
+	// And the reconstruction error must be visibly larger at scale 30.
+	mse := func(q *[64]int32, scale int32) float64 {
+		var back, pix dct.Block
+		DequantIntra(&back, q, &DefaultIntra, scale)
+		dct.Inverse(&pix, &back)
+		var e float64
+		for i := range pix {
+			d := float64(pix[i] - spatial[i])
+			e += d * d
+		}
+		return e / 64
+	}
+	m4, m30 := mse(&q4, 4), mse(&q30, 30)
+	if m30 <= m4 {
+		t.Fatalf("coarser quantization must increase MSE: scale4=%.1f scale30=%.1f", m4, m30)
+	}
+}
+
+// Property: quantize/dequantize never changes a coefficient's sign.
+func TestSignPreservationProperty(t *testing.T) {
+	f := func(vals [64]int16, scaleSeed uint8) bool {
+		scale := int32(scaleSeed)%31 + 1
+		var src dct.Block
+		for i, v := range vals {
+			src[i] = int32(v)
+		}
+		var q [64]int32
+		var back dct.Block
+		Intra(&q, &src, &DefaultIntra, scale)
+		DequantIntra(&back, &q, &DefaultIntra, scale)
+		for i := range src {
+			if src[i] > 0 && back[i] < 0 || src[i] < 0 && back[i] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func BenchmarkIntraQuant(b *testing.B) {
+	var src dct.Block
+	for i := range src {
+		src[i] = int32(math.MaxInt16 / (i + 1))
+	}
+	var q [64]int32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Intra(&q, &src, &DefaultIntra, 8)
+	}
+}

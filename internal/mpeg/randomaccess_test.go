@@ -1,0 +1,186 @@
+package mpeg
+
+import (
+	"testing"
+
+	"mpegsmooth/internal/video"
+)
+
+func TestRepeatedSequenceHeaders(t *testing.T) {
+	frames := testFrames(t, 64, 48, 27, 17)
+	cfg := DefaultConfig(64, 48, GOP{M: 3, N: 9})
+	cfg.RepeatSequenceHeader = true
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count sequence headers by scanning start codes: one at the start
+	// plus one per subsequent GOP (I pictures at display 0, 9, 18).
+	headers := 0
+	for i := 0; i+3 < len(seq.Data); i++ {
+		if seq.Data[i] == 0 && seq.Data[i+1] == 0 && seq.Data[i+2] == 1 && seq.Data[i+3] == SequenceHeaderCod {
+			headers++
+		}
+	}
+	if headers != 3 {
+		t.Fatalf("%d sequence headers, want 3", headers)
+	}
+	// The full decode is unaffected by the repetition.
+	out, err := NewDecoder().Decode(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Frames) != 27 {
+		t.Fatalf("decoded %d frames", len(out.Frames))
+	}
+}
+
+func TestDecodeFromGroup(t *testing.T) {
+	frames := testFrames(t, 64, 48, 27, 19)
+	cfg := DefaultConfig(64, 48, GOP{M: 3, N: 9})
+	cfg.RepeatSequenceHeader = true
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewDecoder().Decode(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for group, firstDisplay := range map[int]int{1: 9, 2: 18} {
+		out, err := NewDecoder().DecodeFromGroup(seq.Data, group)
+		if err != nil {
+			t.Fatalf("group %d: %v", group, err)
+		}
+		// The two B pictures displaying before the entry I picture are
+		// broken-link and dropped.
+		if out.SkippedBroken != 2 {
+			t.Errorf("group %d: %d broken-link pictures dropped, want 2", group, out.SkippedBroken)
+		}
+		want := 27 - firstDisplay
+		if len(out.Frames) != want {
+			t.Fatalf("group %d: %d frames, want %d", group, len(out.Frames), want)
+		}
+		// Every decoded picture must be bit-identical to the full decode
+		// (the entry I picture is intra; everything after predicts only
+		// from pictures inside the decoded range).
+		for i, f := range out.Frames {
+			ref := full.Frames[firstDisplay+i]
+			for k := range f.Y {
+				if f.Y[k] != ref.Y[k] {
+					t.Fatalf("group %d frame %d: luma differs from full decode at %d", group, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeFromGroupZeroIsFullDecode(t *testing.T) {
+	frames := testFrames(t, 48, 32, 9, 3)
+	enc, err := NewEncoder(DefaultConfig(48, 32, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewDecoder().DecodeFromGroup(seq.Data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Frames) != 9 || out.SkippedBroken != 0 {
+		t.Fatalf("frames %d, broken %d", len(out.Frames), out.SkippedBroken)
+	}
+}
+
+func TestDecodeFromGroupErrors(t *testing.T) {
+	frames := testFrames(t, 48, 32, 9, 3)
+	enc, err := NewEncoder(DefaultConfig(48, 32, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDecoder().DecodeFromGroup(seq.Data, 5); err == nil {
+		t.Error("group beyond stream should fail")
+	}
+	if _, err := NewDecoder().DecodeFromGroup(seq.Data, -1); err == nil {
+		t.Error("negative group should fail")
+	}
+}
+
+func TestModeStats(t *testing.T) {
+	// A static sequence: P/B pictures should be dominated by skips; the
+	// I picture all intra.
+	base := video.MustNewFrame(64, 48)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			base.Y[y*64+x] = uint8((x*5 + y*3) % 240)
+		}
+	}
+	var frames []*video.Frame
+	for i := 0; i < 9; i++ {
+		f := base.Clone()
+		f.DisplayIdx = i
+		frames = append(frames, f)
+	}
+	enc, err := NewEncoder(DefaultConfig(64, 48, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbs := (64 / 16) * (48 / 16)
+	for _, p := range seq.Pictures {
+		if got := p.Modes.Total(); got != mbs {
+			t.Fatalf("picture %d: mode total %d, want %d", p.DisplayIdx, got, mbs)
+		}
+		switch p.Type {
+		case TypeI:
+			if p.Modes.Intra != mbs {
+				t.Errorf("I picture has %d intra of %d", p.Modes.Intra, mbs)
+			}
+		default:
+			if p.Modes.Skipped < mbs/2 {
+				t.Errorf("static %v picture skipped only %d of %d", p.Type, p.Modes.Skipped, mbs)
+			}
+		}
+	}
+}
+
+func TestModeStatsBUsesBidirectional(t *testing.T) {
+	// Moving content: B pictures should use backward or interpolated
+	// modes at least somewhere.
+	frames := testFrames(t, 96, 64, 18, 11)
+	enc, err := NewEncoder(DefaultConfig(96, 64, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bidir := 0
+	for _, p := range seq.Pictures {
+		if p.Type == TypeB {
+			bidir += p.Modes.Backward + p.Modes.Interp
+		}
+	}
+	if bidir == 0 {
+		t.Error("no B macroblock ever used backward or interpolated prediction")
+	}
+}

@@ -1,0 +1,56 @@
+package mpeg
+
+import (
+	"fmt"
+
+	"mpegsmooth/internal/video"
+)
+
+// refPair tracks the two most recent reconstructed reference pictures (I
+// or P) and their display indices, and resolves which references a picture
+// predicts from. The same logic runs in the encoder and the decoder, which
+// is what keeps their reconstructions bit-identical.
+type refPair struct {
+	past, future       *video.Frame
+	pastIdx, futureIdx int
+}
+
+// push records a newly reconstructed reference picture.
+func (r *refPair) push(f *video.Frame, displayIdx int) {
+	r.past, r.pastIdx = r.future, r.futureIdx
+	r.future, r.futureIdx = f, displayIdx
+}
+
+// forPicture returns the forward and backward references for a picture of
+// type t at display index d:
+//
+//   - I pictures have no references.
+//   - P pictures predict forward from the most recent reference.
+//   - B pictures between two references use both; B pictures after the
+//     last reference in display order (trailing a sequence) and B pictures
+//     before the first reference predict forward-only.
+func (r *refPair) forPicture(t PictureType, d int) (fwd, bwd *video.Frame, err error) {
+	switch t {
+	case TypeI:
+		return nil, nil, nil
+	case TypeP:
+		if r.future == nil {
+			return nil, nil, fmt.Errorf("mpeg: P picture %d has no reference", d)
+		}
+		return r.future, nil, nil
+	case TypeB:
+		if r.future == nil {
+			return nil, nil, fmt.Errorf("mpeg: B picture %d has no reference", d)
+		}
+		if d > r.futureIdx {
+			// Trailing B: only a past reference exists.
+			return r.future, nil, nil
+		}
+		if r.past == nil {
+			// Leading B: only the future reference exists; predict from it.
+			return r.future, nil, nil
+		}
+		return r.past, r.future, nil
+	}
+	return nil, nil, fmt.Errorf("mpeg: unknown picture type %v", t)
+}

@@ -1,0 +1,294 @@
+package mpeg
+
+import (
+	"fmt"
+
+	"mpegsmooth/internal/bitio"
+)
+
+// Start-code values (the byte following the 0x000001 prefix), matching
+// ISO 11172-2 where applicable.
+const (
+	PictureStartCode  byte = 0x00
+	SliceStartMin     byte = 0x01 // slice start codes are 0x01..0xAF
+	SliceStartMax     byte = 0xAF
+	UserDataStartCode byte = 0xB2
+	SequenceHeaderCod byte = 0xB3
+	SequenceEndCode   byte = 0xB7
+	GroupStartCode    byte = 0xB8
+)
+
+// IsSliceStartCode reports whether code identifies a slice.
+func IsSliceStartCode(code byte) bool {
+	return code >= SliceStartMin && code <= SliceStartMax
+}
+
+// SequenceHeader carries the control information a decoder needs before
+// any picture can be decoded: spatial resolution and picture rate.
+// It may be repeated before every group of pictures to permit random
+// access; only the first occurrence is required.
+type SequenceHeader struct {
+	Width       int
+	Height      int
+	PictureRate float64 // pictures per second
+	BitRate     int64   // nominal bits per second, 0 if unspecified (VBR)
+}
+
+// pictureRateCodes maps the MPEG 4-bit picture_rate field to rates.
+var pictureRateCodes = []float64{
+	0,          // forbidden
+	23.976, 24, // film
+	25,        // PAL
+	29.97, 30, // NTSC
+	50, 59.94, 60,
+}
+
+func pictureRateCode(rate float64) (uint32, error) {
+	for code, r := range pictureRateCodes {
+		if code == 0 {
+			continue
+		}
+		if diff := rate - r; diff < 0.01 && diff > -0.01 {
+			return uint32(code), nil
+		}
+	}
+	return 0, fmt.Errorf("mpeg: unsupported picture rate %v", rate)
+}
+
+// write emits the sequence header, including its start code.
+func (h *SequenceHeader) write(w *bitio.Writer) error {
+	if h.Width <= 0 || h.Width >= 1<<12 || h.Height <= 0 || h.Height >= 1<<12 {
+		return fmt.Errorf("mpeg: sequence dimensions %dx%d out of range", h.Width, h.Height)
+	}
+	rc, err := pictureRateCode(h.PictureRate)
+	if err != nil {
+		return err
+	}
+	w.WriteStartCode(SequenceHeaderCod)
+	w.WriteBits(uint32(h.Width), 12)
+	w.WriteBits(uint32(h.Height), 12)
+	w.WriteBits(rc, 4)
+	// bit_rate in units of 400 bits/s; 0x3FFFF means variable.
+	br := uint32(0x3FFFF)
+	if h.BitRate > 0 {
+		br = uint32((h.BitRate + 399) / 400)
+		if br >= 0x3FFFF {
+			br = 0x3FFFE
+		}
+	}
+	w.WriteBits(br, 18)
+	w.WriteBit(1) // marker bit
+	return nil
+}
+
+// readSequenceHeader parses the fields following an already-consumed
+// sequence header start code.
+func readSequenceHeader(r *bitio.Reader) (SequenceHeader, error) {
+	var h SequenceHeader
+	wv, err := r.ReadBits(12)
+	if err != nil {
+		return h, err
+	}
+	hv, err := r.ReadBits(12)
+	if err != nil {
+		return h, err
+	}
+	rc, err := r.ReadBits(4)
+	if err != nil {
+		return h, err
+	}
+	if rc == 0 || int(rc) >= len(pictureRateCodes) {
+		return h, fmt.Errorf("mpeg: invalid picture rate code %d", rc)
+	}
+	br, err := r.ReadBits(18)
+	if err != nil {
+		return h, err
+	}
+	marker, err := r.ReadBit()
+	if err != nil {
+		return h, err
+	}
+	if marker != 1 {
+		return h, fmt.Errorf("mpeg: sequence header marker bit missing")
+	}
+	h.Width = int(wv)
+	h.Height = int(hv)
+	// This codec writes whole-macroblock dimensions; anything else in a
+	// parsed header is corruption and must be rejected before a frame is
+	// allocated from it.
+	if h.Width <= 0 || h.Height <= 0 || h.Width%16 != 0 || h.Height%16 != 0 {
+		return h, fmt.Errorf("mpeg: corrupt sequence dimensions %dx%d", h.Width, h.Height)
+	}
+	h.PictureRate = pictureRateCodes[rc]
+	if br != 0x3FFFF {
+		h.BitRate = int64(br) * 400
+	}
+	return h, nil
+}
+
+// GroupHeader begins a group of pictures and carries the time code used
+// for random access (specified in hours, minutes, seconds, and pictures).
+type GroupHeader struct {
+	Hours, Minutes, Seconds, Pictures int
+	ClosedGOP                         bool
+}
+
+// TimeCodeForPicture derives the group time code for a picture at the
+// given display index and picture rate.
+func TimeCodeForPicture(displayIdx int, pictureRate float64) GroupHeader {
+	totalSeconds := float64(displayIdx) / pictureRate
+	s := int(totalSeconds)
+	return GroupHeader{
+		Hours:    s / 3600 % 24,
+		Minutes:  s / 60 % 60,
+		Seconds:  s % 60,
+		Pictures: displayIdx - int(float64(s)*pictureRate+0.5),
+	}
+}
+
+func (h *GroupHeader) write(w *bitio.Writer) error {
+	if h.Hours < 0 || h.Hours > 23 || h.Minutes < 0 || h.Minutes > 59 ||
+		h.Seconds < 0 || h.Seconds > 59 || h.Pictures < 0 || h.Pictures > 63 {
+		return fmt.Errorf("mpeg: invalid group time code %+v", *h)
+	}
+	w.WriteStartCode(GroupStartCode)
+	w.WriteBits(uint32(h.Hours), 5)
+	w.WriteBits(uint32(h.Minutes), 6)
+	w.WriteBit(1) // marker
+	w.WriteBits(uint32(h.Seconds), 6)
+	w.WriteBits(uint32(h.Pictures), 6)
+	closed := uint32(0)
+	if h.ClosedGOP {
+		closed = 1
+	}
+	w.WriteBit(closed)
+	return nil
+}
+
+func readGroupHeader(r *bitio.Reader) (GroupHeader, error) {
+	var h GroupHeader
+	fields := []struct {
+		dst  *int
+		bits uint
+	}{
+		{&h.Hours, 5}, {&h.Minutes, 6},
+	}
+	for _, f := range fields {
+		v, err := r.ReadBits(f.bits)
+		if err != nil {
+			return h, err
+		}
+		*f.dst = int(v)
+	}
+	marker, err := r.ReadBit()
+	if err != nil {
+		return h, err
+	}
+	if marker != 1 {
+		return h, fmt.Errorf("mpeg: group header marker bit missing")
+	}
+	for _, f := range []struct {
+		dst  *int
+		bits uint
+	}{{&h.Seconds, 6}, {&h.Pictures, 6}} {
+		v, err := r.ReadBits(f.bits)
+		if err != nil {
+			return h, err
+		}
+		*f.dst = int(v)
+	}
+	closed, err := r.ReadBit()
+	if err != nil {
+		return h, err
+	}
+	h.ClosedGOP = closed == 1
+	return h, nil
+}
+
+// PictureHeader identifies one coded picture: its display position within
+// the sequence (temporal reference, modulo 1024) and its coding type.
+type PictureHeader struct {
+	TemporalRef int
+	Type        PictureType
+}
+
+func (h *PictureHeader) write(w *bitio.Writer) error {
+	w.WriteStartCode(PictureStartCode)
+	w.WriteBits(uint32(h.TemporalRef%1024), 10)
+	var tc uint32
+	switch h.Type {
+	case TypeI:
+		tc = 1
+	case TypeP:
+		tc = 2
+	case TypeB:
+		tc = 3
+	default:
+		return fmt.Errorf("mpeg: invalid picture type %v", h.Type)
+	}
+	w.WriteBits(tc, 3)
+	return nil
+}
+
+func readPictureHeader(r *bitio.Reader) (PictureHeader, error) {
+	var h PictureHeader
+	tr, err := r.ReadBits(10)
+	if err != nil {
+		return h, err
+	}
+	tc, err := r.ReadBits(3)
+	if err != nil {
+		return h, err
+	}
+	h.TemporalRef = int(tr)
+	switch tc {
+	case 1:
+		h.Type = TypeI
+	case 2:
+		h.Type = TypeP
+	case 3:
+		h.Type = TypeB
+	default:
+		return h, fmt.Errorf("mpeg: invalid picture coding type %d", tc)
+	}
+	return h, nil
+}
+
+// SliceHeader begins one slice. In this codec every slice covers exactly
+// one macroblock row; the row is identified by the slice start code value
+// (row+1), so the header body carries only the quantizer scale.
+type SliceHeader struct {
+	Row        int   // macroblock row, 0-based
+	QuantScale int32 // 1..31
+}
+
+func (h *SliceHeader) write(w *bitio.Writer) error {
+	if h.Row < 0 || h.Row > int(SliceStartMax-SliceStartMin) {
+		return fmt.Errorf("mpeg: slice row %d out of range", h.Row)
+	}
+	if h.QuantScale < 1 || h.QuantScale > 31 {
+		return fmt.Errorf("mpeg: slice quantizer scale %d out of range", h.QuantScale)
+	}
+	w.WriteStartCode(SliceStartMin + byte(h.Row))
+	w.WriteBits(uint32(h.QuantScale), 5)
+	return nil
+}
+
+// readSliceHeader parses a slice header given its already-consumed start
+// code value.
+func readSliceHeader(r *bitio.Reader, code byte) (SliceHeader, error) {
+	var h SliceHeader
+	if !IsSliceStartCode(code) {
+		return h, fmt.Errorf("mpeg: %#02x is not a slice start code", code)
+	}
+	h.Row = int(code - SliceStartMin)
+	q, err := r.ReadBits(5)
+	if err != nil {
+		return h, err
+	}
+	if q < 1 {
+		return h, fmt.Errorf("mpeg: slice quantizer scale 0")
+	}
+	h.QuantScale = int32(q)
+	return h, nil
+}

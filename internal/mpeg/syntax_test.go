@@ -1,0 +1,189 @@
+package mpeg
+
+import (
+	"testing"
+
+	"mpegsmooth/internal/bitio"
+)
+
+func TestSequenceHeaderRoundTrip(t *testing.T) {
+	cases := []SequenceHeader{
+		{Width: 640, Height: 480, PictureRate: 30},
+		{Width: 352, Height: 288, PictureRate: 25, BitRate: 1_500_000},
+		{Width: 16, Height: 16, PictureRate: 24},
+	}
+	for _, h := range cases {
+		w := bitio.NewWriter()
+		if err := h.write(w); err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		r := bitio.NewReader(w.Bytes())
+		code, err := r.ReadStartCode()
+		if err != nil || code != SequenceHeaderCod {
+			t.Fatalf("start code %#x err %v", code, err)
+		}
+		got, err := readSequenceHeader(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Width != h.Width || got.Height != h.Height || got.PictureRate != h.PictureRate {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+		// Bit rate is quantized to 400 bit/s units.
+		if h.BitRate > 0 {
+			if d := got.BitRate - h.BitRate; d < 0 || d >= 400 {
+				t.Fatalf("bit rate %d -> %d", h.BitRate, got.BitRate)
+			}
+		} else if got.BitRate != 0 {
+			t.Fatalf("VBR marker lost: got %d", got.BitRate)
+		}
+	}
+}
+
+func TestSequenceHeaderRejectsBadRate(t *testing.T) {
+	h := SequenceHeader{Width: 64, Height: 64, PictureRate: 17.5}
+	w := bitio.NewWriter()
+	if err := h.write(w); err == nil {
+		t.Fatal("unsupported picture rate should fail")
+	}
+}
+
+func TestSequenceHeaderRejectsBadDims(t *testing.T) {
+	for _, h := range []SequenceHeader{
+		{Width: 0, Height: 480, PictureRate: 30},
+		{Width: 640, Height: 4096, PictureRate: 30},
+	} {
+		w := bitio.NewWriter()
+		if err := h.write(w); err == nil {
+			t.Fatalf("%+v should fail", h)
+		}
+	}
+}
+
+func TestGroupHeaderRoundTrip(t *testing.T) {
+	cases := []GroupHeader{
+		{0, 0, 0, 0, false},
+		{1, 2, 3, 4, true},
+		{23, 59, 59, 29, false},
+	}
+	for _, h := range cases {
+		w := bitio.NewWriter()
+		if err := h.write(w); err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		r := bitio.NewReader(w.Bytes())
+		if code, err := r.ReadStartCode(); err != nil || code != GroupStartCode {
+			t.Fatalf("start code %#x err %v", code, err)
+		}
+		got, err := readGroupHeader(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestTimeCodeForPicture(t *testing.T) {
+	// Picture 90 at 30 pictures/s is exactly 3 seconds in.
+	h := TimeCodeForPicture(90, 30)
+	if h.Hours != 0 || h.Minutes != 0 || h.Seconds != 3 || h.Pictures != 0 {
+		t.Fatalf("picture 90 @30fps = %+v", h)
+	}
+	// Picture 3725*30+7 is 1h02m05s + 7 pictures.
+	idx := (3600 + 120 + 5) * 30
+	h = TimeCodeForPicture(idx+7, 30)
+	if h.Hours != 1 || h.Minutes != 2 || h.Seconds != 5 || h.Pictures != 7 {
+		t.Fatalf("got %+v", h)
+	}
+}
+
+func TestPictureHeaderRoundTrip(t *testing.T) {
+	for _, h := range []PictureHeader{
+		{0, TypeI}, {1, TypeB}, {513, TypeP}, {1023, TypeB},
+	} {
+		w := bitio.NewWriter()
+		if err := h.write(w); err != nil {
+			t.Fatal(err)
+		}
+		r := bitio.NewReader(w.Bytes())
+		if code, err := r.ReadStartCode(); err != nil || code != PictureStartCode {
+			t.Fatalf("start code %#x err %v", code, err)
+		}
+		got, err := readPictureHeader(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestSliceHeaderRoundTrip(t *testing.T) {
+	for _, h := range []SliceHeader{
+		{0, 1}, {29, 15}, {174, 31},
+	} {
+		w := bitio.NewWriter()
+		if err := h.write(w); err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		r := bitio.NewReader(w.Bytes())
+		code, err := r.ReadStartCode()
+		if err != nil || !IsSliceStartCode(code) {
+			t.Fatalf("start code %#x err %v", code, err)
+		}
+		got, err := readSliceHeader(r, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestSliceHeaderValidation(t *testing.T) {
+	w := bitio.NewWriter()
+	if err := (&SliceHeader{Row: 200, QuantScale: 5}).write(w); err == nil {
+		t.Fatal("row 200 should fail")
+	}
+	if err := (&SliceHeader{Row: 0, QuantScale: 0}).write(w); err == nil {
+		t.Fatal("scale 0 should fail")
+	}
+	if err := (&SliceHeader{Row: 0, QuantScale: 32}).write(w); err == nil {
+		t.Fatal("scale 32 should fail")
+	}
+	if _, err := readSliceHeader(bitio.NewReader(nil), SequenceHeaderCod); err == nil {
+		t.Fatal("non-slice start code should fail")
+	}
+}
+
+func TestStartCodeClassification(t *testing.T) {
+	if IsSliceStartCode(PictureStartCode) {
+		t.Error("picture start code is not a slice")
+	}
+	if !IsSliceStartCode(0x01) || !IsSliceStartCode(0xAF) {
+		t.Error("slice range misclassified")
+	}
+	if IsSliceStartCode(0xB0) {
+		t.Error("0xB0 is not a slice start code")
+	}
+}
+
+func TestResolveTemporalRef(t *testing.T) {
+	for _, c := range []struct {
+		tr, maxIdx, want int
+	}{
+		{0, 0, 0},
+		{5, 3, 5},
+		{1, 1020, 1025},    // wrapped
+		{1023, 1025, 1023}, // late B just before the wrap point
+		{0, 2047, 2048},
+	} {
+		if got := resolveTemporalRef(c.tr, c.maxIdx); got != c.want {
+			t.Errorf("resolveTemporalRef(%d, %d) = %d, want %d", c.tr, c.maxIdx, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package mpeg implements a simplified MPEG-1-style video codec: GOP
+// structure, I/P/B picture coding with motion compensation, the
+// sequence/GOP/picture/slice bitstream syntax with unique start codes, and
+// a stream inspector that extracts per-picture sizes — the "transport
+// designer's view" of an MPEG stream described in Section 2 of
+// Lam/Chow/Yau (SIGCOMM '94).
+//
+// The codec is deliberately a subset of ISO 11172-2 (see DESIGN.md §7):
+// full-pixel motion vectors, one slice per macroblock row, Exp-Golomb
+// address increments. It exists so the smoothing experiments can run on
+// genuinely encoder-shaped picture sizes and so examples can exercise a
+// complete capture → encode → smooth → transmit pipeline.
+package mpeg
+
+import "fmt"
+
+// PictureType identifies how a picture is coded.
+type PictureType uint8
+
+const (
+	// TypeI pictures are intracoded: decodable without reference to any
+	// other picture, and by far the largest.
+	TypeI PictureType = iota
+	// TypeP pictures are predicted from the preceding I or P picture.
+	TypeP
+	// TypeB pictures are bidirectionally predicted from the preceding and
+	// following I or P pictures, and by far the smallest.
+	TypeB
+)
+
+// String returns "I", "P", or "B".
+func (t PictureType) String() string {
+	switch t {
+	case TypeI:
+		return "I"
+	case TypeP:
+		return "P"
+	case TypeB:
+		return "B"
+	}
+	return fmt.Sprintf("PictureType(%d)", uint8(t))
+}
+
+// ParsePictureType converts "I", "P", or "B" to a PictureType.
+func ParsePictureType(s string) (PictureType, error) {
+	switch s {
+	case "I", "i":
+		return TypeI, nil
+	case "P", "p":
+		return TypeP, nil
+	case "B", "b":
+		return TypeB, nil
+	}
+	return 0, fmt.Errorf("mpeg: unknown picture type %q", s)
+}
+
+// GOP describes the repeating pattern of picture types in display order:
+// N is the distance between I pictures and M the distance between
+// reference (I or P) pictures. M=3, N=9 yields IBBPBBPBB repeating.
+type GOP struct {
+	M int
+	N int
+}
+
+// Validate checks that the pattern parameters are usable.
+func (g GOP) Validate() error {
+	if g.M < 1 {
+		return fmt.Errorf("mpeg: GOP M=%d, must be >= 1", g.M)
+	}
+	if g.N < 1 {
+		return fmt.Errorf("mpeg: GOP N=%d, must be >= 1", g.N)
+	}
+	if g.N%g.M != 0 {
+		return fmt.Errorf("mpeg: GOP N=%d not a multiple of M=%d", g.N, g.M)
+	}
+	return nil
+}
+
+// TypeOf returns the picture type at the given display-order index.
+func (g GOP) TypeOf(displayIdx int) PictureType {
+	if displayIdx < 0 {
+		panic("mpeg: negative display index")
+	}
+	p := displayIdx % g.N
+	if p == 0 {
+		return TypeI
+	}
+	if p%g.M == 0 {
+		return TypeP
+	}
+	return TypeB
+}
+
+// Pattern returns the repeating type pattern as a string, e.g. "IBBPBBPBB".
+func (g GOP) Pattern() string {
+	b := make([]byte, g.N)
+	for i := 0; i < g.N; i++ {
+		b[i] = g.TypeOf(i).String()[0]
+	}
+	return string(b)
+}
+
+// TransmissionOrder maps a sequence of count pictures in display order to
+// transmission order: each I or P reference picture is transmitted before
+// the group of B pictures that precedes it in display order, because a B
+// picture cannot be decoded until its future reference has been received.
+// The returned slice holds display indices in transmission order.
+//
+// Example (M=3, N=9): display IBBPBBPBBI... transmits as IPBBPBBIBB...
+func (g GOP) TransmissionOrder(count int) []int {
+	order := make([]int, 0, count)
+	pendingB := make([]int, 0, g.M)
+	for d := 0; d < count; d++ {
+		if g.TypeOf(d) == TypeB {
+			pendingB = append(pendingB, d)
+			continue
+		}
+		order = append(order, d)
+		order = append(order, pendingB...)
+		pendingB = pendingB[:0]
+	}
+	// Trailing B pictures with no following reference are transmitted last
+	// (they will be coded with forward prediction only).
+	order = append(order, pendingB...)
+	return order
+}

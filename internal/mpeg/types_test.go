@@ -1,0 +1,157 @@
+package mpeg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGOPValidate(t *testing.T) {
+	for _, c := range []struct {
+		m, n int
+		ok   bool
+	}{
+		{3, 9, true}, {2, 6, true}, {1, 5, true}, {3, 12, true}, {1, 1, true},
+		{0, 9, false}, {3, 0, false}, {3, 10, false}, {-1, 9, false},
+	} {
+		err := GOP{M: c.m, N: c.n}.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("GOP{%d,%d}.Validate() = %v, want ok=%v", c.m, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestGOPPatternsFromPaper(t *testing.T) {
+	// Section 1: M=3, N=9 -> IBBPBBPBB repeating; M=1, N=5 -> IPPPP.
+	if p := (GOP{M: 3, N: 9}).Pattern(); p != "IBBPBBPBB" {
+		t.Errorf("M=3 N=9 pattern = %q, want IBBPBBPBB", p)
+	}
+	if p := (GOP{M: 1, N: 5}).Pattern(); p != "IPPPP" {
+		t.Errorf("M=1 N=5 pattern = %q, want IPPPP", p)
+	}
+	// The four experimental sequences.
+	if p := (GOP{M: 2, N: 6}).Pattern(); p != "IBPBPB" {
+		t.Errorf("M=2 N=6 pattern = %q, want IBPBPB", p)
+	}
+	if p := (GOP{M: 3, N: 12}).Pattern(); p != "IBBPBBPBBPBB" {
+		t.Errorf("M=3 N=12 pattern = %q, want IBBPBBPBBPBB", p)
+	}
+}
+
+func TestGOPTypeOfRepeats(t *testing.T) {
+	g := GOP{M: 3, N: 9}
+	for i := 0; i < 100; i++ {
+		if g.TypeOf(i) != g.TypeOf(i+9) {
+			t.Fatalf("pattern does not repeat at %d", i)
+		}
+	}
+}
+
+func TestTransmissionOrderPaperExample(t *testing.T) {
+	// Section 2: display IBBPBBPBBIBBP... transmits as IPBBPBBIBBPBB...
+	g := GOP{M: 3, N: 9}
+	order := g.TransmissionOrder(13)
+	var types strings.Builder
+	for _, d := range order {
+		types.WriteString(g.TypeOf(d).String())
+	}
+	if got := types.String(); got != "IPBBPBBIBBPBB" {
+		t.Fatalf("transmission types = %q, want IPBBPBBIBBPBB", got)
+	}
+	wantIdx := []int{0, 3, 1, 2, 6, 4, 5, 9, 7, 8, 12, 10, 11}
+	for i, d := range order {
+		if d != wantIdx[i] {
+			t.Fatalf("order[%d] = %d, want %d (full %v)", i, d, wantIdx[i], order)
+		}
+	}
+}
+
+func TestTransmissionOrderIsPermutation(t *testing.T) {
+	for _, g := range []GOP{{3, 9}, {2, 6}, {1, 5}, {3, 12}, {1, 1}} {
+		for _, count := range []int{1, 2, 5, 9, 10, 27, 100} {
+			order := g.TransmissionOrder(count)
+			if len(order) != count {
+				t.Fatalf("GOP %v count %d: got %d entries", g, count, len(order))
+			}
+			seen := make([]bool, count)
+			for _, d := range order {
+				if d < 0 || d >= count || seen[d] {
+					t.Fatalf("GOP %v count %d: bad permutation %v", g, count, order)
+				}
+				seen[d] = true
+			}
+		}
+	}
+}
+
+func TestTransmissionOrderReferencesPrecedeBs(t *testing.T) {
+	// Every B picture must appear after both of its display-order
+	// neighbouring references in transmission order.
+	g := GOP{M: 3, N: 9}
+	count := 50
+	order := g.TransmissionOrder(count)
+	posOf := make([]int, count)
+	for pos, d := range order {
+		posOf[d] = pos
+	}
+	for d := 0; d < count; d++ {
+		if g.TypeOf(d) != TypeB {
+			continue
+		}
+		// Forward reference: latest I/P with display index < d.
+		fwd := -1
+		for r := d - 1; r >= 0; r-- {
+			if g.TypeOf(r) != TypeB {
+				fwd = r
+				break
+			}
+		}
+		// Backward reference: earliest I/P with display index > d.
+		bwd := -1
+		for r := d + 1; r < count; r++ {
+			if g.TypeOf(r) != TypeB {
+				bwd = r
+				break
+			}
+		}
+		if fwd >= 0 && posOf[fwd] > posOf[d] {
+			t.Fatalf("B %d transmitted before its forward reference %d", d, fwd)
+		}
+		if bwd >= 0 && posOf[bwd] > posOf[d] {
+			t.Fatalf("B %d transmitted before its backward reference %d", d, bwd)
+		}
+	}
+}
+
+func TestPictureTypeString(t *testing.T) {
+	for _, c := range []struct {
+		t PictureType
+		s string
+	}{{TypeI, "I"}, {TypeP, "P"}, {TypeB, "B"}} {
+		if c.t.String() != c.s {
+			t.Errorf("%v.String() = %q", c.t, c.t.String())
+		}
+		got, err := ParsePictureType(c.s)
+		if err != nil || got != c.t {
+			t.Errorf("ParsePictureType(%q) = %v, %v", c.s, got, err)
+		}
+	}
+	if _, err := ParsePictureType("X"); err == nil {
+		t.Error("ParsePictureType(X) should fail")
+	}
+}
+
+func TestM1HasNoBPictures(t *testing.T) {
+	g := GOP{M: 1, N: 5}
+	for i := 0; i < 20; i++ {
+		if g.TypeOf(i) == TypeB {
+			t.Fatalf("M=1 produced a B picture at %d", i)
+		}
+	}
+	// Transmission order is display order when there are no B pictures.
+	order := g.TransmissionOrder(10)
+	for i, d := range order {
+		if i != d {
+			t.Fatalf("M=1 transmission order should be identity, got %v", order)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package vlc implements the variable-length entropy codes of the
+// simplified MPEG-1-style codec: run/level coding of quantized DCT
+// coefficients with escape codes, differential DC coding with the MPEG-1
+// dct_dc_size tables, and Exp-Golomb codes used for motion vectors and
+// macroblock address increments.
+//
+// As in MPEG, the most common (run, level) pairs get short codes from a
+// fixed table (a subset of ISO 11172-2 Table B.5), and everything else is
+// escape-coded with fixed-length run and level fields. All codes are
+// prefix-free and never produce 23 consecutive zero bits, preserving
+// start-code uniqueness in the stream (zero-bit stuffing, Section 2 of
+// Lam/Chow/Yau).
+package vlc
+
+import (
+	"errors"
+	"fmt"
+
+	"mpegsmooth/internal/bitio"
+)
+
+// EOB marks the end of a coefficient block in the AC code space.
+const (
+	eobBits = 0b10
+	eobLen  = 2
+
+	escBits = 0b000001
+	escLen  = 6
+
+	// MaxRun and MaxLevel bound escape-coded symbols.
+	MaxRun   = 63
+	MaxLevel = 2047
+)
+
+// ErrInvalidCode reports an undecodable bit pattern.
+var ErrInvalidCode = errors.New("vlc: invalid code")
+
+// runLevel is a run of zeros followed by a nonzero level magnitude.
+type runLevel struct {
+	run   int
+	level int32
+}
+
+// acCode pairs a run/level symbol with its VLC bits (sign bit excluded).
+type acCode struct {
+	sym  runLevel
+	bits uint32
+	len  uint
+}
+
+// acTable is the subset of the MPEG-1 transform-coefficient VLC table used
+// for the most frequent symbols. All remaining symbols use the escape code.
+var acTable = []acCode{
+	{runLevel{0, 1}, 0b11, 2},
+	{runLevel{1, 1}, 0b011, 3},
+	{runLevel{0, 2}, 0b0100, 4},
+	{runLevel{2, 1}, 0b0101, 4},
+	{runLevel{0, 3}, 0b00101, 5},
+	{runLevel{4, 1}, 0b00110, 5},
+	{runLevel{3, 1}, 0b00111, 5},
+	{runLevel{7, 1}, 0b000100, 6},
+	{runLevel{6, 1}, 0b000101, 6},
+	{runLevel{1, 2}, 0b000110, 6},
+	{runLevel{5, 1}, 0b000111, 6},
+	{runLevel{2, 2}, 0b0000100, 7},
+	{runLevel{9, 1}, 0b0000101, 7},
+	{runLevel{0, 4}, 0b0000110, 7},
+	{runLevel{8, 1}, 0b0000111, 7},
+}
+
+// acEncode maps symbol -> code for encoding.
+var acEncode = map[runLevel]acCode{}
+
+// acDecode maps (len<<16 | bits) -> symbol for decoding.
+var acDecode = map[uint32]runLevel{}
+
+// acLens lists the distinct code lengths present in acTable, ascending.
+var acLens []uint
+
+func init() {
+	seen := map[uint]bool{}
+	for _, c := range acTable {
+		acEncode[c.sym] = c
+		acDecode[uint32(c.len)<<16|c.bits] = c.sym
+		if !seen[c.len] {
+			seen[c.len] = true
+			acLens = append(acLens, c.len)
+		}
+	}
+	for i := 1; i < len(acLens); i++ {
+		for j := i; j > 0 && acLens[j] < acLens[j-1]; j-- {
+			acLens[j], acLens[j-1] = acLens[j-1], acLens[j]
+		}
+	}
+}
+
+// WriteAC writes one (run, level) coefficient symbol. level must be nonzero
+// and |level| <= MaxLevel; run must be in [0, MaxRun].
+func WriteAC(w *bitio.Writer, run int, level int32) error {
+	if level == 0 {
+		return errors.New("vlc: AC level must be nonzero")
+	}
+	mag := level
+	sign := uint32(0)
+	if mag < 0 {
+		mag = -mag
+		sign = 1
+	}
+	if run < 0 || run > MaxRun || mag > MaxLevel {
+		return fmt.Errorf("vlc: AC symbol out of range (run=%d level=%d)", run, level)
+	}
+	if c, ok := acEncode[runLevel{run, mag}]; ok {
+		w.WriteBits(c.bits, c.len)
+		w.WriteBit(sign)
+		return nil
+	}
+	// Escape: 6-bit escape code, 6-bit run, 12-bit two's-complement level.
+	w.WriteBits(escBits, escLen)
+	w.WriteBits(uint32(run), 6)
+	w.WriteBits(uint32(level)&0xFFF, 12)
+	return nil
+}
+
+// WriteEOB terminates a coefficient block.
+func WriteEOB(w *bitio.Writer) {
+	w.WriteBits(eobBits, eobLen)
+}
+
+// ReadAC decodes one AC symbol. It returns eob=true at end of block, in
+// which case run and level are meaningless.
+func ReadAC(r *bitio.Reader) (run int, level int32, eob bool, err error) {
+	// EOB and table codes share the short-prefix space; try ascending code
+	// lengths (prefix-freeness makes the first exact match unambiguous).
+	if v, perr := r.PeekBits(eobLen); perr == nil && v == eobBits {
+		r.SkipBits(eobLen)
+		return 0, 0, true, nil
+	}
+	if v, perr := r.PeekBits(escLen); perr == nil && v == escBits {
+		r.SkipBits(escLen)
+		rv, err := r.ReadBits(6)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		lv, err := r.ReadBits(12)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		level := int32(lv)
+		if level&0x800 != 0 {
+			level -= 0x1000 // sign-extend 12 bits
+		}
+		if level == 0 {
+			return 0, 0, false, ErrInvalidCode
+		}
+		return int(rv), level, false, nil
+	}
+	for _, l := range acLens {
+		v, perr := r.PeekBits(l)
+		if perr != nil {
+			return 0, 0, false, perr
+		}
+		if sym, ok := acDecode[uint32(l)<<16|v]; ok {
+			r.SkipBits(int64(l))
+			s, err := r.ReadBit()
+			if err != nil {
+				return 0, 0, false, err
+			}
+			level := sym.level
+			if s == 1 {
+				level = -level
+			}
+			return sym.run, level, false, nil
+		}
+	}
+	return 0, 0, false, ErrInvalidCode
+}
+
+// dcLumaCodes maps dct_dc_size (0..8) to its luminance VLC (ISO 11172-2
+// Table B.1).
+var dcLumaCodes = [9]struct {
+	bits uint32
+	len  uint
+}{
+	{0b100, 3}, {0b00, 2}, {0b01, 2}, {0b101, 3}, {0b110, 3},
+	{0b1110, 4}, {0b11110, 5}, {0b111110, 6}, {0b1111110, 7},
+}
+
+// dcChromaCodes maps dct_dc_size (0..8) to its chrominance VLC (Table B.2).
+var dcChromaCodes = [9]struct {
+	bits uint32
+	len  uint
+}{
+	{0b00, 2}, {0b01, 2}, {0b10, 2}, {0b110, 3}, {0b1110, 4},
+	{0b11110, 5}, {0b111110, 6}, {0b1111110, 7}, {0b11111110, 8},
+}
+
+// dcSize returns the number of bits needed to represent |diff|.
+func dcSize(diff int32) uint {
+	if diff < 0 {
+		diff = -diff
+	}
+	var n uint
+	for diff > 0 {
+		n++
+		diff >>= 1
+	}
+	return n
+}
+
+// WriteDC writes a differential DC value using the MPEG dct_dc_size code
+// followed by the differential bits. luma selects the luminance table.
+// diff must fit in 8 magnitude bits (|diff| <= 255).
+func WriteDC(w *bitio.Writer, diff int32, luma bool) error {
+	size := dcSize(diff)
+	if size > 8 {
+		return fmt.Errorf("vlc: DC differential %d out of range", diff)
+	}
+	codes := &dcChromaCodes
+	if luma {
+		codes = &dcLumaCodes
+	}
+	c := codes[size]
+	w.WriteBits(c.bits, c.len)
+	if size > 0 {
+		v := diff
+		if diff < 0 {
+			v = diff + (1 << size) - 1 // one's-complement style negative coding
+		}
+		w.WriteBits(uint32(v), size)
+	}
+	return nil
+}
+
+// ReadDC decodes a differential DC value written by WriteDC.
+func ReadDC(r *bitio.Reader, luma bool) (int32, error) {
+	codes := &dcChromaCodes
+	if luma {
+		codes = &dcLumaCodes
+	}
+	size := -1
+	for l := uint(2); l <= 8 && size < 0; l++ {
+		v, err := r.PeekBits(l)
+		if err != nil {
+			return 0, err
+		}
+		for s, c := range codes {
+			if c.len == l && c.bits == v {
+				size = s
+				r.SkipBits(int64(l))
+				break
+			}
+		}
+	}
+	if size < 0 {
+		return 0, ErrInvalidCode
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	v, err := r.ReadBits(uint(size))
+	if err != nil {
+		return 0, err
+	}
+	diff := int32(v)
+	if diff < 1<<(size-1) {
+		diff -= (1 << size) - 1
+	}
+	return diff, nil
+}
+
+// WriteUE writes v >= 0 as an unsigned Exp-Golomb code. Used for
+// macroblock address increments in the simplified syntax (MPEG-1 proper
+// uses its own table; Exp-Golomb has the same prefix-free property and
+// comparable lengths for small values).
+func WriteUE(w *bitio.Writer, v uint32) {
+	if v == 0 {
+		w.WriteBit(1)
+		return
+	}
+	x := v + 1
+	n := uint(0)
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	w.WriteBits(0, n)
+	w.WriteBits(x, n+1)
+}
+
+// ReadUE reads an unsigned Exp-Golomb code.
+func ReadUE(r *bitio.Reader) (uint32, error) {
+	var zeros uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 31 {
+			return 0, ErrInvalidCode
+		}
+	}
+	if zeros == 0 {
+		return 0, nil
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<zeros | rest) - 1, nil
+}
+
+// WriteSE writes a signed value as a signed Exp-Golomb code. Used for
+// motion-vector components.
+func WriteSE(w *bitio.Writer, v int32) {
+	var u uint32
+	switch {
+	case v > 0:
+		u = uint32(2*v - 1)
+	case v < 0:
+		u = uint32(-2 * v)
+	}
+	WriteUE(w, u)
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func ReadSE(r *bitio.Reader) (int32, error) {
+	u, err := ReadUE(r)
+	if err != nil {
+		return 0, err
+	}
+	if u == 0 {
+		return 0, nil
+	}
+	if u&1 == 1 {
+		return int32(u+1) / 2, nil
+	}
+	return -int32(u) / 2, nil
+}
+
+// WriteCoeffs writes the AC portion (scan positions 1..63) of a
+// zigzag-scanned quantized coefficient block followed by EOB. The DC
+// coefficient (scan position 0) is the caller's responsibility because
+// intra blocks code it differentially via WriteDC.
+func WriteCoeffs(w *bitio.Writer, scanned *[64]int32) error {
+	return WriteCoeffsFrom(w, scanned, 1)
+}
+
+// WriteCoeffsFrom writes scan positions first..63 as run/level symbols
+// followed by EOB. Non-intra blocks use first == 0 because their DC is
+// coded like any other coefficient.
+func WriteCoeffsFrom(w *bitio.Writer, scanned *[64]int32, first int) error {
+	run := 0
+	for i := first; i < 64; i++ {
+		v := scanned[i]
+		if v == 0 {
+			run++
+			continue
+		}
+		if err := WriteAC(w, run, v); err != nil {
+			return err
+		}
+		run = 0
+	}
+	WriteEOB(w)
+	return nil
+}
+
+// ReadCoeffs reads AC coefficients into scan positions 1..63 of scanned
+// until EOB. Scan position 0 is left untouched.
+func ReadCoeffs(r *bitio.Reader, scanned *[64]int32) error {
+	return ReadCoeffsFrom(r, scanned, 1)
+}
+
+// ReadCoeffsFrom reads coefficients into scan positions first..63 until
+// EOB. Positions before first are left untouched.
+func ReadCoeffsFrom(r *bitio.Reader, scanned *[64]int32, first int) error {
+	for i := first; i < 64; i++ {
+		scanned[i] = 0
+	}
+	pos := first
+	for {
+		run, level, eob, err := ReadAC(r)
+		if err != nil {
+			return err
+		}
+		if eob {
+			return nil
+		}
+		pos += run
+		if pos > 63 {
+			return fmt.Errorf("vlc: coefficient run overflows block (pos=%d)", pos)
+		}
+		scanned[pos] = level
+		pos++
+	}
+}

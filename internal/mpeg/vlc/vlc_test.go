@@ -1,0 +1,369 @@
+package vlc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mpegsmooth/internal/bitio"
+)
+
+func TestACTablePrefixFree(t *testing.T) {
+	type code struct {
+		bits uint32
+		len  uint
+	}
+	all := []code{{eobBits, eobLen}, {escBits, escLen}}
+	for _, c := range acTable {
+		all = append(all, code{c.bits, c.len})
+	}
+	asString := func(c code) string {
+		s := ""
+		for i := int(c.len) - 1; i >= 0; i-- {
+			if c.bits>>uint(i)&1 == 1 {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		return s
+	}
+	for i, a := range all {
+		for j, b := range all {
+			if i == j {
+				continue
+			}
+			sa, sb := asString(a), asString(b)
+			if strings.HasPrefix(sb, sa) {
+				t.Fatalf("code %q is a prefix of %q", sa, sb)
+			}
+		}
+	}
+}
+
+func TestACTableRoundTrip(t *testing.T) {
+	for _, c := range acTable {
+		for _, sign := range []int32{1, -1} {
+			w := bitio.NewWriter()
+			level := c.sym.level * sign
+			if err := WriteAC(w, c.sym.run, level); err != nil {
+				t.Fatal(err)
+			}
+			r := bitio.NewReader(w.Bytes())
+			run, lv, eob, err := ReadAC(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eob || run != c.sym.run || lv != level {
+				t.Fatalf("(%d,%d) decoded as (%d,%d,eob=%v)", c.sym.run, level, run, lv, eob)
+			}
+		}
+	}
+}
+
+func TestACEscapeRoundTrip(t *testing.T) {
+	cases := []struct {
+		run   int
+		level int32
+	}{
+		{0, 5}, {10, 1}, {63, 1}, {0, MaxLevel}, {0, -MaxLevel},
+		{31, -100}, {0, 4}, {5, 2}, {0, -4},
+	}
+	for _, c := range cases {
+		w := bitio.NewWriter()
+		if err := WriteAC(w, c.run, c.level); err != nil {
+			t.Fatal(err)
+		}
+		r := bitio.NewReader(w.Bytes())
+		run, lv, eob, err := ReadAC(r)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.run, c.level, err)
+		}
+		if eob || run != c.run || lv != c.level {
+			t.Fatalf("(%d,%d) decoded as (%d,%d,eob=%v)", c.run, c.level, run, lv, eob)
+		}
+	}
+}
+
+func TestACRejectsOutOfRange(t *testing.T) {
+	w := bitio.NewWriter()
+	if err := WriteAC(w, 0, 0); err == nil {
+		t.Fatal("level 0 must be rejected")
+	}
+	if err := WriteAC(w, 64, 1); err == nil {
+		t.Fatal("run 64 must be rejected")
+	}
+	if err := WriteAC(w, 0, MaxLevel+1); err == nil {
+		t.Fatal("level > MaxLevel must be rejected")
+	}
+	if err := WriteAC(w, -1, 1); err == nil {
+		t.Fatal("negative run must be rejected")
+	}
+}
+
+func TestEOB(t *testing.T) {
+	w := bitio.NewWriter()
+	WriteEOB(w)
+	r := bitio.NewReader(w.Bytes())
+	_, _, eob, err := ReadAC(r)
+	if err != nil || !eob {
+		t.Fatalf("eob=%v err=%v", eob, err)
+	}
+}
+
+func TestDCRoundTrip(t *testing.T) {
+	for _, luma := range []bool{true, false} {
+		for diff := int32(-255); diff <= 255; diff++ {
+			w := bitio.NewWriter()
+			if err := WriteDC(w, diff, luma); err != nil {
+				t.Fatalf("diff=%d: %v", diff, err)
+			}
+			r := bitio.NewReader(w.Bytes())
+			got, err := ReadDC(r, luma)
+			if err != nil {
+				t.Fatalf("diff=%d luma=%v: %v", diff, luma, err)
+			}
+			if got != diff {
+				t.Fatalf("diff=%d luma=%v decoded %d", diff, luma, got)
+			}
+		}
+	}
+}
+
+func TestDCOutOfRange(t *testing.T) {
+	w := bitio.NewWriter()
+	if err := WriteDC(w, 256, true); err == nil {
+		t.Fatal("DC diff 256 must be rejected")
+	}
+	if err := WriteDC(w, -256, true); err == nil {
+		t.Fatal("DC diff -256 must be rejected")
+	}
+}
+
+func TestDCZeroIsShort(t *testing.T) {
+	w := bitio.NewWriter()
+	if err := WriteDC(w, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if w.BitsWritten() != 3 {
+		t.Fatalf("luma DC size-0 code should be 3 bits, got %d", w.BitsWritten())
+	}
+	w2 := bitio.NewWriter()
+	if err := WriteDC(w2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if w2.BitsWritten() != 2 {
+		t.Fatalf("chroma DC size-0 code should be 2 bits, got %d", w2.BitsWritten())
+	}
+}
+
+func TestUERoundTrip(t *testing.T) {
+	for v := uint32(0); v < 1000; v++ {
+		w := bitio.NewWriter()
+		WriteUE(w, v)
+		r := bitio.NewReader(w.Bytes())
+		got, err := ReadUE(r)
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("v=%d decoded %d", v, got)
+		}
+	}
+}
+
+func TestSERoundTrip(t *testing.T) {
+	for v := int32(-500); v <= 500; v++ {
+		w := bitio.NewWriter()
+		WriteSE(w, v)
+		r := bitio.NewReader(w.Bytes())
+		got, err := ReadSE(r)
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("v=%d decoded %d", v, got)
+		}
+	}
+}
+
+func TestUEZeroIsOneBit(t *testing.T) {
+	w := bitio.NewWriter()
+	WriteUE(w, 0)
+	if w.BitsWritten() != 1 {
+		t.Fatalf("ue(0) should be 1 bit, got %d", w.BitsWritten())
+	}
+}
+
+func TestCoeffsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		var scanned [64]int32
+		nz := rng.Intn(30)
+		for k := 0; k < nz; k++ {
+			pos := rng.Intn(63) + 1
+			lv := int32(rng.Intn(2*MaxLevel+1) - MaxLevel)
+			if lv == 0 {
+				lv = 1
+			}
+			scanned[pos] = lv
+		}
+		w := bitio.NewWriter()
+		if err := WriteCoeffs(w, &scanned); err != nil {
+			t.Fatal(err)
+		}
+		r := bitio.NewReader(w.Bytes())
+		var back [64]int32
+		back[0] = 12345 // DC must be left untouched
+		if err := ReadCoeffs(r, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back[0] != 12345 {
+			t.Fatal("ReadCoeffs touched DC")
+		}
+		for i := 1; i < 64; i++ {
+			if back[i] != scanned[i] {
+				t.Fatalf("trial %d pos %d: got %d want %d", trial, i, back[i], scanned[i])
+			}
+		}
+	}
+}
+
+func TestCoeffsSparseBlocksAreSmall(t *testing.T) {
+	// An all-zero AC block is just EOB: 2 bits.
+	var scanned [64]int32
+	w := bitio.NewWriter()
+	if err := WriteCoeffs(w, &scanned); err != nil {
+		t.Fatal(err)
+	}
+	if w.BitsWritten() != 2 {
+		t.Fatalf("empty block should cost 2 bits, got %d", w.BitsWritten())
+	}
+	// Common symbols beat escape coding.
+	w2 := bitio.NewWriter()
+	if err := WriteAC(w2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if w2.BitsWritten() != 3 { // 2-bit code + sign
+		t.Fatalf("(0,1) should cost 3 bits, got %d", w2.BitsWritten())
+	}
+}
+
+func TestReadDCInvalidCode(t *testing.T) {
+	// All-ones bits beyond any DC size code length must error for the
+	// luma table (whose longest code is 7 bits of ones would be size 8's
+	// prefix... use a pattern that matches nothing).
+	r := bitio.NewReader([]byte{0xFF, 0xFF})
+	if _, err := ReadDC(r, true); err == nil {
+		t.Fatal("invalid luma DC code accepted")
+	}
+}
+
+func TestReadUEOverflowGuard(t *testing.T) {
+	// More than 31 leading zeros is not a valid Exp-Golomb code.
+	r := bitio.NewReader(make([]byte, 8)) // 64 zero bits
+	if _, err := ReadUE(r); err != ErrInvalidCode {
+		t.Fatalf("want ErrInvalidCode, got %v", err)
+	}
+}
+
+func TestReadSEAtEOF(t *testing.T) {
+	r := bitio.NewReader(nil)
+	if _, err := ReadSE(r); err == nil {
+		t.Fatal("SE at EOF should error")
+	}
+}
+
+func TestInvalidStreamDetected(t *testing.T) {
+	// A stream of zero bits decodes to neither EOB nor any short code and
+	// must eventually error rather than loop or fabricate symbols.
+	r := bitio.NewReader([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	var scanned [64]int32
+	if err := ReadCoeffs(r, &scanned); err == nil {
+		t.Fatal("all-zero stream should not decode cleanly")
+	}
+}
+
+func TestNoLongZeroRuns(t *testing.T) {
+	// Start-code uniqueness: no encoded block may contain 23 consecutive
+	// zero bits. Exercise worst-case escape symbols.
+	w := bitio.NewWriter()
+	for i := 0; i < 20; i++ {
+		if err := WriteAC(w, 32, 1); err != nil { // escape with zero-heavy fields
+			t.Fatal(err)
+		}
+		if err := WriteAC(w, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	WriteEOB(w)
+	data := w.Bytes()
+	run, maxRun := 0, 0
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			if b>>uint(i)&1 == 0 {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if maxRun >= 23 {
+		t.Fatalf("encoded stream contains %d consecutive zeros (start-code aliasing)", maxRun)
+	}
+}
+
+// Property: arbitrary sparse blocks round-trip exactly.
+func TestCoeffsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var scanned [64]int32
+		for i := 1; i < 64; i++ {
+			if rng.Intn(4) == 0 {
+				scanned[i] = int32(rng.Intn(2*MaxLevel) - MaxLevel)
+				if scanned[i] == 0 {
+					scanned[i] = -1
+				}
+			}
+		}
+		w := bitio.NewWriter()
+		if WriteCoeffs(w, &scanned) != nil {
+			return false
+		}
+		var back [64]int32
+		if ReadCoeffs(bitio.NewReader(w.Bytes()), &back) != nil {
+			return false
+		}
+		for i := 1; i < 64; i++ {
+			if back[i] != scanned[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteCoeffs(b *testing.B) {
+	var scanned [64]int32
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i < 20; i++ {
+		scanned[i] = int32(rng.Intn(64) - 32)
+	}
+	w := bitio.NewWriter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&0x3FF == 0 {
+			w.Reset()
+		}
+		if err := WriteCoeffs(w, &scanned); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

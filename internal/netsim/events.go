@@ -1,0 +1,87 @@
+// Package netsim is a discrete-event simulator of a finite-buffer FIFO
+// packet multiplexer fed by rate-scheduled video sources.
+//
+// The paper motivates lossless smoothing with the observation, due to
+// Reibman/Berger and Reininger et al., that "the statistical multiplexing
+// gain of finite-buffer packet switches can improve substantially by
+// reducing the variance of input traffic rates" for a specified bound on
+// loss probability. This package reproduces that motivating experiment:
+// n video streams — either raw (each picture sent in one picture period)
+// or smoothed (sent at the rates chosen by the smoothing algorithm) —
+// share an ATM-like multiplexer, and the cell-loss probability is
+// measured as n grows.
+package netsim
+
+import "container/heap"
+
+// Event is a scheduled simulation action.
+type Event struct {
+	Time float64
+	// Seq breaks ties deterministically (FIFO among simultaneous events).
+	Seq int64
+	// Fire runs the event's action.
+	Fire func()
+}
+
+// eventQueue is a min-heap of events ordered by (Time, Seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].Seq < q[j].Seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler drives a discrete-event simulation.
+type Scheduler struct {
+	queue eventQueue
+	now   float64
+	seq   int64
+}
+
+// NewScheduler returns an empty scheduler at time 0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// At schedules fire to run at time t. Scheduling in the past panics —
+// that is always a simulation bug.
+func (s *Scheduler) At(t float64, fire func()) {
+	if t < s.now {
+		panic("netsim: scheduling event in the past")
+	}
+	s.seq++
+	heap.Push(&s.queue, &Event{Time: t, Seq: s.seq, Fire: fire})
+}
+
+// Run executes events in time order until the queue is empty or the
+// horizon is passed. It returns the number of events fired.
+func (s *Scheduler) Run(horizon float64) int {
+	fired := 0
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.Time > horizon {
+			s.now = horizon
+			return fired
+		}
+		s.now = e.Time
+		e.Fire()
+		fired++
+	}
+	return fired
+}

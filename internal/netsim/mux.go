@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mpegsmooth/internal/metrics"
+)
+
+// CellBits is the payload-bearing size of one fixed-length cell in bits
+// (ATM: 53 bytes on the wire).
+const CellBits = 424
+
+// MuxStats counts cells through a multiplexer.
+type MuxStats struct {
+	Arrived int64
+	Served  int64
+	Lost    int64
+	// MaxQueue is the high-water mark of the waiting queue.
+	MaxQueue int
+}
+
+// LossProbability returns Lost/Arrived (0 when nothing arrived).
+func (s MuxStats) LossProbability() float64 {
+	if s.Arrived == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Arrived)
+}
+
+// Mux is a finite-buffer FIFO cell multiplexer: cells from all sources
+// share one output link of LinkRate bits/s and a waiting buffer of
+// BufferCells cells (excluding the cell in service). A cell arriving to a
+// full buffer is lost — the loss the smoothing algorithm exists to
+// minimize for a given multiplexing level.
+type Mux struct {
+	LinkRate    float64
+	BufferCells int
+
+	sched   *Scheduler
+	queue   int
+	serving bool
+	stats   MuxStats
+}
+
+// NewMux attaches a multiplexer to a scheduler.
+func NewMux(sched *Scheduler, linkRate float64, bufferCells int) (*Mux, error) {
+	if linkRate <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive link rate %v", linkRate)
+	}
+	if bufferCells < 0 {
+		return nil, fmt.Errorf("netsim: negative buffer %d", bufferCells)
+	}
+	return &Mux{LinkRate: linkRate, BufferCells: bufferCells, sched: sched}, nil
+}
+
+// Arrive delivers one cell to the multiplexer at the current simulation
+// time.
+func (m *Mux) Arrive() {
+	m.stats.Arrived++
+	if m.serving && m.queue >= m.BufferCells {
+		m.stats.Lost++
+		return
+	}
+	if !m.serving {
+		m.startService()
+		return
+	}
+	m.queue++
+	if m.queue > m.stats.MaxQueue {
+		m.stats.MaxQueue = m.queue
+	}
+}
+
+func (m *Mux) startService() {
+	m.serving = true
+	m.sched.At(m.sched.Now()+CellBits/m.LinkRate, m.finishService)
+}
+
+func (m *Mux) finishService() {
+	m.stats.Served++
+	if m.queue > 0 {
+		m.queue--
+		m.startService()
+		return
+	}
+	m.serving = false
+}
+
+// Stats returns the current counters.
+func (m *Mux) Stats() MuxStats { return m.stats }
+
+// QueueLen returns the number of cells waiting (excluding in service).
+func (m *Mux) QueueLen() int { return m.queue }
+
+// Source packetizes a fluid rate function into cells and injects them
+// into a multiplexer: while the rate function has value r > 0, cells are
+// emitted every CellBits/r seconds. The offset passed at construction
+// shifts the whole emission in time, decorrelating the phases of
+// otherwise identical sources.
+type Source struct {
+	// Rate is the (already offset-shifted) emission rate function.
+	Rate *metrics.StepFunc
+
+	mux     *Mux
+	sched   *Scheduler
+	emitted int64
+}
+
+// NewSource creates a source and schedules its first cell. The rate
+// function is shifted right by offset once at construction so that all
+// later time arithmetic happens in absolute simulation time (repeatedly
+// subtracting the offset would accumulate float error).
+func NewSource(sched *Scheduler, mux *Mux, rate *metrics.StepFunc, offset float64) *Source {
+	if offset != 0 {
+		rate = rate.Shift(offset)
+	}
+	s := &Source{Rate: rate, mux: mux, sched: sched}
+	s.scheduleNext(rate.Times[0])
+	return s
+}
+
+// Emitted returns the number of cells this source has injected.
+func (s *Source) Emitted() int64 { return s.emitted }
+
+// scheduleNext schedules the next cell at or after time t.
+func (s *Source) scheduleNext(t float64) {
+	// Find the next instant with positive rate at or after t.
+	for {
+		if s.Rate.At(t) > 0 {
+			s.sched.At(t, s.emit)
+			return
+		}
+		// Jump to the next breakpoint after t, if any.
+		next, ok := s.nextBreak(t)
+		if !ok {
+			return // rate function exhausted: source done
+		}
+		t = next
+	}
+}
+
+func (s *Source) emit() {
+	now := s.sched.Now()
+	r := s.Rate.At(now)
+	if r <= 0 {
+		s.scheduleNext(now)
+		return
+	}
+	s.mux.Arrive()
+	s.emitted++
+	s.scheduleNext(now + CellBits/r)
+}
+
+// nextBreak returns the first rate-function breakpoint strictly after t.
+func (s *Source) nextBreak(t float64) (float64, bool) {
+	for _, bt := range s.Rate.Times {
+		if bt > t {
+			return bt, true
+		}
+	}
+	return 0, false
+}

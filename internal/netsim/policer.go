@@ -1,0 +1,82 @@
+package netsim
+
+import "fmt"
+
+// Policer is a token-bucket usage-parameter-control element: a network
+// ingress checks that a source honours the rates it declared via
+// notify(i, rate). Tokens accrue at the declared rate up to a burst
+// depth; traffic that finds insufficient tokens is non-conforming (an
+// ATM UPC would tag or drop those cells).
+//
+// Because the smoothing algorithm declares each picture's exact
+// transmission rate ahead of time, a correctly paced sender conforms
+// with a burst allowance of only a few cells — which is exactly what
+// makes smoothed VBR video attractive to admission control.
+type Policer struct {
+	burst  float64 // bucket depth in bits
+	rate   float64 // declared rate, bits/second
+	tokens float64 // available bits
+	last   float64 // time of last update
+
+	conforming int64
+	dropped    int64
+}
+
+// NewPolicer creates a policer with the given burst tolerance in bits.
+// The bucket starts full.
+func NewPolicer(burstBits float64) (*Policer, error) {
+	if burstBits <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive burst %v", burstBits)
+	}
+	return &Policer{burst: burstBits, tokens: burstBits}, nil
+}
+
+// SetRate records a rate declaration effective at time t. Time must not
+// run backwards.
+func (p *Policer) SetRate(t, rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("netsim: non-positive declared rate %v", rate)
+	}
+	if err := p.advance(t); err != nil {
+		return err
+	}
+	p.rate = rate
+	return nil
+}
+
+// Offer presents bits arriving at time t. It reports whether they
+// conform (and consumes tokens if so).
+func (p *Policer) Offer(t float64, bits float64) (bool, error) {
+	if bits <= 0 {
+		return false, fmt.Errorf("netsim: non-positive offer %v", bits)
+	}
+	if err := p.advance(t); err != nil {
+		return false, err
+	}
+	if p.tokens >= bits {
+		p.tokens -= bits
+		p.conforming++
+		return true, nil
+	}
+	p.dropped++
+	return false, nil
+}
+
+// advance accrues tokens to time t.
+func (p *Policer) advance(t float64) error {
+	if t < p.last {
+		return fmt.Errorf("netsim: policer time ran backwards (%v < %v)", t, p.last)
+	}
+	p.tokens += p.rate * (t - p.last)
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+	p.last = t
+	return nil
+}
+
+// Conforming returns the count of conforming offers.
+func (p *Policer) Conforming() int64 { return p.conforming }
+
+// Dropped returns the count of non-conforming offers.
+func (p *Policer) Dropped() int64 { return p.dropped }

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/trace"
+)
+
+func TestPolicerValidation(t *testing.T) {
+	if _, err := NewPolicer(0); err == nil {
+		t.Error("zero burst should fail")
+	}
+	p, err := NewPolicer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRate(0, -1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if err := p.SetRate(1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRate(0.5, 1e6); err == nil {
+		t.Error("time running backwards should fail")
+	}
+	if _, err := p.Offer(1, 0); err == nil {
+		t.Error("zero offer should fail")
+	}
+}
+
+func TestPolicerConformingStream(t *testing.T) {
+	p, err := NewPolicer(2 * CellBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRate(0, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	// Cells spaced exactly at the declared rate conform forever.
+	gap := CellBits / 1e6
+	for i := 0; i < 1000; i++ {
+		ok, err := p.Offer(float64(i)*gap, CellBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("conforming cell %d dropped", i)
+		}
+	}
+	if p.Dropped() != 0 || p.Conforming() != 1000 {
+		t.Fatalf("counters %d/%d", p.Conforming(), p.Dropped())
+	}
+}
+
+func TestPolicerCatchesCheating(t *testing.T) {
+	p, err := NewPolicer(2 * CellBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRate(0, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	// Send at double the declared rate: about half must be dropped once
+	// the initial bucket drains.
+	gap := CellBits / 2e6
+	for i := 0; i < 1000; i++ {
+		if _, err := p.Offer(float64(i)*gap, CellBits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drop := float64(p.Dropped()) / 1000
+	if drop < 0.4 || drop > 0.6 {
+		t.Fatalf("drop fraction %.3f, want about 0.5", drop)
+	}
+}
+
+// TestSmoothedScheduleConformsToDeclaredRates is the admission-control
+// story: a sender pacing at the schedule's rates, declaring each change
+// via notify(i, rate), passes a tight token-bucket policer.
+func TestSmoothedScheduleConformsToDeclaredRates(t *testing.T) {
+	tr, err := trace.Driving1(135, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Smooth(tr, core.Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPolicer(4 * CellBits) // a few cells of tolerance
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < tr.Len(); j++ {
+		if err := p.SetRate(s.Start[j], s.Rates[j]); err != nil {
+			t.Fatal(err)
+		}
+		// Emit picture j's bits as cells paced exactly at r_j.
+		bits := float64(tr.Sizes[j])
+		tcur := s.Start[j]
+		for bits > 0 {
+			cell := float64(CellBits)
+			if bits < cell {
+				cell = bits
+			}
+			ok, err := p.Offer(tcur, cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("picture %d: conforming cell dropped at t=%.4f", j, tcur)
+			}
+			bits -= cell
+			tcur += cell / s.Rates[j]
+		}
+	}
+	if p.Dropped() != 0 {
+		t.Fatalf("%d drops for a conforming schedule", p.Dropped())
+	}
+}
+
+// TestRawStreamViolatesSmoothedDeclaration: sending each picture within
+// its own period while declaring only the smoothed rates is caught.
+func TestRawStreamViolatesSmoothedDeclaration(t *testing.T) {
+	tr, err := trace.Driving1(135, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Smooth(tr, core.Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPolicer(4 * CellBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < tr.Len(); j++ {
+		if err := p.SetRate(float64(j)*tr.Tau, s.Rates[j]); err != nil {
+			t.Fatal(err)
+		}
+		// Cheat: burst the whole picture at S_j/τ inside its period.
+		instRate := float64(tr.Sizes[j]) / tr.Tau
+		bits := float64(tr.Sizes[j])
+		tcur := float64(j) * tr.Tau
+		for bits > 0 {
+			cell := float64(CellBits)
+			if bits < cell {
+				cell = bits
+			}
+			if _, err := p.Offer(tcur, cell); err != nil {
+				t.Fatal(err)
+			}
+			bits -= cell
+			tcur += cell / instRate
+		}
+	}
+	if p.Dropped() == 0 {
+		t.Fatal("policer missed a raw burst against smoothed declarations")
+	}
+}

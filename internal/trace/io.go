@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+// WriteCSV serializes the trace as CSV with metadata comment lines:
+//
+//	# name=Driving1 tau=0.033333 M=3 N=9
+//	index,type,bits
+//	0,I,214016
+//	...
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name=%s tau=%.9f M=%d N=%d\n", sanitizeName(t.Name), t.Tau, t.GOP.M, t.GOP.N); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"index", "type", "bits"}); err != nil {
+		return err
+	}
+	for i, s := range t.Sizes {
+		rec := []string{
+			strconv.Itoa(i),
+			t.TypeOf(i).String(),
+			strconv.FormatInt(s, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\r' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// ReadCSV parses a trace written by WriteCSV. Picture types in the file
+// are validated against the GOP pattern.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	meta, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("trace: missing metadata line: %w", err)
+	}
+	t := &Trace{}
+	if !strings.HasPrefix(meta, "#") {
+		return nil, fmt.Errorf("trace: metadata line must start with #, got %q", meta)
+	}
+	for _, field := range strings.Fields(strings.TrimPrefix(meta, "#")) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("trace: bad metadata field %q", field)
+		}
+		switch kv[0] {
+		case "name":
+			t.Name = kv[1]
+		case "tau":
+			if t.Tau, err = strconv.ParseFloat(kv[1], 64); err != nil {
+				return nil, fmt.Errorf("trace: bad tau: %w", err)
+			}
+		case "M":
+			if t.GOP.M, err = strconv.Atoi(kv[1]); err != nil {
+				return nil, fmt.Errorf("trace: bad M: %w", err)
+			}
+		case "N":
+			if t.GOP.N, err = strconv.Atoi(kv[1]); err != nil {
+				return nil, fmt.Errorf("trace: bad N: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("trace: unknown metadata key %q", kv[0])
+		}
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: missing header row: %w", err)
+	}
+	if header[0] != "index" || header[1] != "type" || header[2] != "bits" {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	var types []mpeg.PictureType
+	followsPattern := true
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		idx, err := strconv.Atoi(rec[0])
+		if err != nil || idx != i {
+			return nil, fmt.Errorf("trace: row %d has index %q", i, rec[0])
+		}
+		ty, err := mpeg.ParsePictureType(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i, err)
+		}
+		if ty != t.GOP.TypeOf(i) {
+			// The file's types deviate from the nominal pattern: an
+			// adaptive-pattern trace. Keep them explicitly.
+			followsPattern = false
+		}
+		types = append(types, ty)
+		bits, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d bits: %w", i, err)
+		}
+		t.Sizes = append(t.Sizes, bits)
+	}
+	if !followsPattern {
+		t.Types = types
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

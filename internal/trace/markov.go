@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+// MarkovState is one activity state of a Markov-modulated video source:
+// the scene-level model used by the VBR multiplexing literature the
+// paper builds its motivation on (Reininger et al. model MPEG sources as
+// processes whose scene activity switches states).
+type MarkovState struct {
+	// Name labels the state in diagnostics.
+	Name string
+	// Complexity scales I picture sizes, Motion scales P/B sizes, as in
+	// ScenePhase.
+	Complexity, Motion float64
+	// MeanDwell is the mean sojourn time in pictures; dwell times are
+	// geometric (the discrete analogue of the exponential sojourns in
+	// continuous Markov models). Must be >= 1.
+	MeanDwell float64
+}
+
+// MarkovConfig parameterizes a Markov-modulated trace.
+type MarkovConfig struct {
+	Name string
+	GOP  mpeg.GOP
+	// Tau is the picture period (default 1/30 s).
+	Tau float64
+	// IBase, PBase, BBase are nominal sizes at Complexity = Motion = 1.
+	IBase, PBase, BBase float64
+	// States is the activity state space (at least one).
+	States []MarkovState
+	// Transitions[i][j] is the probability of jumping to state j when
+	// leaving state i. Must be row-stochastic with zero diagonal (self
+	// transitions are expressed by MeanDwell). Nil means uniform over
+	// the other states.
+	Transitions [][]float64
+	// Pictures is the trace length.
+	Pictures int
+	// Jitter is the relative per-picture noise (default 0.08).
+	Jitter float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// GenerateMarkov produces a Markov-modulated trace: scene activity
+// follows the state chain, and each state change behaves like a scene
+// cut (pictures predicting across it inflate toward intra cost).
+func GenerateMarkov(cfg MarkovConfig) (*Trace, error) {
+	if cfg.Tau == 0 {
+		cfg.Tau = 1.0 / 30
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.08
+	}
+	if err := cfg.GOP.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IBase <= 0 || cfg.PBase <= 0 || cfg.BBase <= 0 {
+		return nil, fmt.Errorf("trace: non-positive base sizes")
+	}
+	if cfg.Pictures <= 0 {
+		return nil, fmt.Errorf("trace: non-positive length %d", cfg.Pictures)
+	}
+	ns := len(cfg.States)
+	if ns == 0 {
+		return nil, fmt.Errorf("trace: no Markov states")
+	}
+	for i, st := range cfg.States {
+		if st.MeanDwell < 1 {
+			return nil, fmt.Errorf("trace: state %d mean dwell %v < 1", i, st.MeanDwell)
+		}
+	}
+	if cfg.Transitions != nil {
+		if len(cfg.Transitions) != ns {
+			return nil, fmt.Errorf("trace: %d transition rows for %d states", len(cfg.Transitions), ns)
+		}
+		for i, row := range cfg.Transitions {
+			if len(row) != ns {
+				return nil, fmt.Errorf("trace: transition row %d has %d entries", i, len(row))
+			}
+			sum := 0.0
+			for j, p := range row {
+				if p < 0 {
+					return nil, fmt.Errorf("trace: negative transition probability at (%d,%d)", i, j)
+				}
+				if i == j && p != 0 {
+					return nil, fmt.Errorf("trace: self transition at state %d (use MeanDwell)", i)
+				}
+				sum += p
+			}
+			if ns > 1 && math.Abs(sum-1) > 1e-9 {
+				return nil, fmt.Errorf("trace: transition row %d sums to %v", i, sum)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nextState := func(cur int) int {
+		if ns == 1 {
+			return cur
+		}
+		if cfg.Transitions == nil {
+			k := rng.Intn(ns - 1)
+			if k >= cur {
+				k++
+			}
+			return k
+		}
+		u := rng.Float64()
+		acc := 0.0
+		for j, p := range cfg.Transitions[cur] {
+			acc += p
+			if u < acc {
+				return j
+			}
+		}
+		return (cur + 1) % ns
+	}
+
+	sizes := make([]int64, 0, cfg.Pictures)
+	state := 0
+	sinceSwitch := math.MaxInt32 // no cut at the very start
+	noise := 0.0
+	const rho = 0.85
+	for i := 0; i < cfg.Pictures; i++ {
+		st := cfg.States[state]
+		noise = rho*noise + (1-rho)*(rng.Float64()*2-1)
+		mul := 1 + cfg.Jitter*noise*3
+
+		var base float64
+		switch cfg.GOP.TypeOf(i) {
+		case mpeg.TypeI:
+			base = cfg.IBase * st.Complexity
+		case mpeg.TypeP:
+			base = cfg.PBase * st.Complexity * motionScale(st.Motion)
+		case mpeg.TypeB:
+			base = cfg.BBase * st.Complexity * motionScale(st.Motion)
+		}
+		if sinceSwitch < cfg.GOP.M && cfg.GOP.TypeOf(i) != mpeg.TypeI {
+			base = math.Max(base, 0.55*cfg.IBase*st.Complexity)
+		}
+		s := int64(base * mul)
+		if s < 1024 {
+			s = 1024
+		}
+		sizes = append(sizes, s)
+		sinceSwitch++
+
+		// Geometric dwell: leave with probability 1/MeanDwell.
+		if ns > 1 && rng.Float64() < 1/st.MeanDwell {
+			state = nextState(state)
+			sinceSwitch = 0
+		}
+	}
+	return &Trace{Name: cfg.Name, Tau: cfg.Tau, GOP: cfg.GOP, Sizes: sizes}, nil
+}

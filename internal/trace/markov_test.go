@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+func markovBase() MarkovConfig {
+	return MarkovConfig{
+		Name:  "mm",
+		GOP:   mpeg.GOP{M: 3, N: 9},
+		IBase: 200_000, PBase: 90_000, BBase: 30_000,
+		States: []MarkovState{
+			{Name: "calm", Complexity: 0.6, Motion: 0.2, MeanDwell: 60},
+			{Name: "busy", Complexity: 1.0, Motion: 1.2, MeanDwell: 60},
+		},
+		Pictures: 540,
+		Seed:     11,
+	}
+}
+
+func TestGenerateMarkovBasics(t *testing.T) {
+	tr, err := GenerateMarkov(markovBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 540 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	// Deterministic per seed.
+	tr2, err := GenerateMarkov(markovBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Sizes {
+		if tr.Sizes[i] != tr2.Sizes[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	cfg := markovBase()
+	cfg.Seed = 12
+	tr3, err := GenerateMarkov(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range tr.Sizes {
+		if tr.Sizes[i] != tr3.Sizes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateMarkovStateModulation(t *testing.T) {
+	// With long dwells, pattern rates should be bimodal: the trace
+	// spends time at two clearly different scene-level rates.
+	tr, err := GenerateMarkov(markovBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := tr.PatternRates()
+	min, max := rates[0], rates[0]
+	for _, r := range rates {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max < 1.5*min {
+		t.Fatalf("pattern rates not visibly modulated: min %.0f max %.0f", min, max)
+	}
+}
+
+func TestGenerateMarkovSmoothable(t *testing.T) {
+	// The Markov trace is a drop-in workload: Theorem 1 must hold.
+	tr, err := GenerateMarkov(markovBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.GOP.Pattern() != "IBBPBBPBB" {
+		t.Fatal("pattern wrong")
+	}
+	// Smoothing happens in core; here just confirm the trace validates
+	// and has the expected I>P>B structure.
+	st := tr.Stats()
+	if !(st[mpeg.TypeI].Mean > st[mpeg.TypeP].Mean && st[mpeg.TypeP].Mean > st[mpeg.TypeB].Mean) {
+		t.Fatalf("ordering violated: %+v", st)
+	}
+}
+
+func TestGenerateMarkovValidation(t *testing.T) {
+	for name, mut := range map[string]func(*MarkovConfig){
+		"no states":      func(c *MarkovConfig) { c.States = nil },
+		"bad dwell":      func(c *MarkovConfig) { c.States[0].MeanDwell = 0.5 },
+		"zero pictures":  func(c *MarkovConfig) { c.Pictures = 0 },
+		"bad base":       func(c *MarkovConfig) { c.IBase = 0 },
+		"bad gop":        func(c *MarkovConfig) { c.GOP = mpeg.GOP{M: 3, N: 10} },
+		"short row":      func(c *MarkovConfig) { c.Transitions = [][]float64{{0, 1}} },
+		"non stochastic": func(c *MarkovConfig) { c.Transitions = [][]float64{{0, 0.5}, {1, 0}} },
+		"self loop":      func(c *MarkovConfig) { c.Transitions = [][]float64{{0.5, 0.5}, {1, 0}} },
+		"negative":       func(c *MarkovConfig) { c.Transitions = [][]float64{{0, -1}, {1, 0}} },
+	} {
+		cfg := markovBase()
+		mut(&cfg)
+		if _, err := GenerateMarkov(cfg); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+	// Explicit valid transitions work.
+	cfg := markovBase()
+	cfg.Transitions = [][]float64{{0, 1}, {1, 0}}
+	if _, err := GenerateMarkov(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Single state works (no transitions ever taken).
+	cfg = markovBase()
+	cfg.States = cfg.States[:1]
+	cfg.Transitions = nil
+	if _, err := GenerateMarkov(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocorrelation returns the sample autocorrelation of the picture-size
+// sequence at lags 0..maxLag. MPEG traces are strongly periodic at the
+// pattern length N — the I pictures recur every N — which is exactly the
+// structure the smoothing algorithm's pattern estimator exploits.
+func (t *Trace) Autocorrelation(maxLag int) ([]float64, error) {
+	n := t.Len()
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("trace: autocorrelation lag %d out of range for %d pictures", maxLag, n)
+	}
+	mean := float64(t.TotalBits()) / float64(n)
+	var c0 float64
+	for _, s := range t.Sizes {
+		d := float64(s) - mean
+		c0 += d * d
+	}
+	out := make([]float64, maxLag+1)
+	if c0 == 0 {
+		out[0] = 1
+		return out, nil // constant sequence: define acf as delta
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		var c float64
+		for i := 0; i+lag < n; i++ {
+			c += (float64(t.Sizes[i]) - mean) * (float64(t.Sizes[i+lag]) - mean)
+		}
+		out[lag] = c / c0
+	}
+	return out, nil
+}
+
+// PatternRates returns the average bit rate of each pattern-aligned
+// block of N pictures — the scene-level rate signal that remains after
+// ideal smoothing ("the rate of the coded bit stream still fluctuates
+// from pattern to pattern. Such fluctuations, however, are inherent
+// characteristics of the video sequence").
+func (t *Trace) PatternRates() []float64 {
+	N := t.GOP.N
+	var out []float64
+	for from := 0; from < t.Len(); from += N {
+		to := from + N
+		if to > t.Len() {
+			to = t.Len()
+		}
+		var sum int64
+		for i := from; i < to; i++ {
+			sum += t.Sizes[i]
+		}
+		out = append(out, float64(sum)/(float64(to-from)*t.Tau))
+	}
+	return out
+}
+
+// PeakToMean returns the ratio of the largest single-picture rate to the
+// long-run mean rate: the burstiness the smoother removes.
+func (t *Trace) PeakToMean() float64 {
+	mean := t.MeanRate()
+	if mean == 0 {
+		return 0
+	}
+	return t.PeakPictureRate() / mean
+}
+
+// SceneRateSpread returns max/min over the pattern rates: the paper's
+// observation that "the (smoothed) output rates from one scene to the
+// next differ by about a factor of 3 in the worst case".
+func (t *Trace) SceneRateSpread() float64 {
+	rates := t.PatternRates()
+	if len(rates) == 0 {
+		return 0
+	}
+	min, max := math.Inf(1), 0.0
+	for _, r := range rates {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return max / min
+}

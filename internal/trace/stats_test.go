@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+func TestAutocorrelationPeaksAtPatternLength(t *testing.T) {
+	tr := mustDriving1(t, 270)
+	acf, err := tr.Autocorrelation(2 * tr.GOP.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acf[0]-1) > 1e-12 {
+		t.Fatalf("acf[0] = %v, want 1", acf[0])
+	}
+	// The correlation at lag N (same pattern position: I aligns with I)
+	// dominates every intermediate lag — the structure the pattern
+	// estimator exploits.
+	n := tr.GOP.N
+	for lag := 1; lag < n; lag++ {
+		if acf[lag] >= acf[n] {
+			t.Fatalf("acf[%d]=%.3f >= acf[N]=%.3f: pattern periodicity missing", lag, acf[lag], acf[n])
+		}
+	}
+	if acf[n] < 0.5 {
+		t.Fatalf("acf[N] = %.3f, expected strong periodicity", acf[n])
+	}
+}
+
+func TestAutocorrelationValidation(t *testing.T) {
+	tr := mustDriving1(t, 27)
+	if _, err := tr.Autocorrelation(-1); err == nil {
+		t.Error("negative lag should fail")
+	}
+	if _, err := tr.Autocorrelation(27); err == nil {
+		t.Error("lag >= length should fail")
+	}
+}
+
+func TestAutocorrelationConstantSequence(t *testing.T) {
+	tr := &Trace{Name: "c", Tau: 0.1, GOP: mpeg.GOP{M: 1, N: 1}, Sizes: []int64{5, 5, 5, 5}}
+	acf, err := tr.Autocorrelation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 || acf[1] != 0 || acf[2] != 0 {
+		t.Fatalf("constant acf = %v", acf)
+	}
+}
+
+func TestPatternRates(t *testing.T) {
+	tr := &Trace{Name: "p", Tau: 0.1, GOP: mpeg.GOP{M: 1, N: 2}, Sizes: []int64{300, 100, 500, 300, 200}}
+	rates := tr.PatternRates()
+	if len(rates) != 3 {
+		t.Fatalf("%d pattern rates", len(rates))
+	}
+	if math.Abs(rates[0]-2000) > 1e-9 { // 400 bits / 0.2 s
+		t.Fatalf("rate 0 = %v", rates[0])
+	}
+	if math.Abs(rates[2]-2000) > 1e-9 { // partial block: 200 bits / 0.1 s
+		t.Fatalf("rate 2 = %v", rates[2])
+	}
+}
+
+func TestSceneRateSpreadNearPaperValue(t *testing.T) {
+	// Section 1: scene-to-scene smoothed rates differ by about 3x worst
+	// case. Our Driving1 calibration must sit in that neighbourhood.
+	tr := mustDriving1(t, 270)
+	spread := tr.SceneRateSpread()
+	if spread < 1.5 || spread > 5 {
+		t.Fatalf("scene rate spread %.2f outside the ~3x neighbourhood", spread)
+	}
+}
+
+func TestPeakToMean(t *testing.T) {
+	tr := mustDriving1(t, 270)
+	ptm := tr.PeakToMean()
+	// I pictures an order of magnitude above B push the single-picture
+	// peak well above the mean.
+	if ptm < 2 || ptm > 10 {
+		t.Fatalf("peak-to-mean %.2f implausible", ptm)
+	}
+}

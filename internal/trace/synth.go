@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+// ScenePhase describes one scene segment of a synthetic trace. Within a
+// scene, picture sizes fluctuate mildly around per-type baselines; across
+// scene boundaries they jump, because scene content changes abruptly and
+// the pictures straddling the cut lose their temporal prediction.
+type ScenePhase struct {
+	// Pictures is the length of the scene in pictures.
+	Pictures int
+	// Complexity scales I picture sizes (spatial detail), 1.0 = nominal.
+	Complexity float64
+	// Motion scales P and B picture sizes (temporal activity), 1.0 =
+	// nominal. The paper: "Pictures also require more bits to encode when
+	// there is a lot of motion in a scene (P and B pictures in
+	// particular)."
+	Motion float64
+	// MotionRamp linearly ramps Motion to Motion+MotionRamp across the
+	// scene (Tennis's instructor standing up).
+	MotionRamp float64
+	// PSpikes lists picture offsets (within the scene) at which an
+	// isolated large P picture occurs, as in the Tennis sequence.
+	PSpikes []int
+}
+
+// SynthConfig parameterizes a synthetic trace.
+type SynthConfig struct {
+	Name string
+	GOP  mpeg.GOP
+	// Tau is the picture period (default 1/30 s if zero).
+	Tau float64
+	// IBase, PBase, BBase are nominal picture sizes in bits at
+	// Complexity = Motion = 1.
+	IBase, PBase, BBase float64
+	// Scenes is the scene script; sizes are generated scene by scene.
+	Scenes []ScenePhase
+	// Jitter is the relative amplitude of correlated per-picture noise
+	// (0.08 means sizes wander ±~8%). Defaults to 0.08 if zero.
+	Jitter float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// Generate produces the trace described by cfg.
+func Generate(cfg SynthConfig) (*Trace, error) {
+	if cfg.Tau == 0 {
+		cfg.Tau = 1.0 / 30
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.08
+	}
+	if err := cfg.GOP.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IBase <= 0 || cfg.PBase <= 0 || cfg.BBase <= 0 {
+		return nil, fmt.Errorf("trace: non-positive base sizes %v/%v/%v", cfg.IBase, cfg.PBase, cfg.BBase)
+	}
+	if len(cfg.Scenes) == 0 {
+		return nil, fmt.Errorf("trace: no scenes")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sizes []int64
+	// AR(1) multiplicative noise: consecutive pictures of the same scene
+	// are correlated, like real encoder output.
+	noise := 0.0
+	const rho = 0.85
+
+	idx := 0
+	for si, scene := range cfg.Scenes {
+		if scene.Pictures <= 0 {
+			return nil, fmt.Errorf("trace: scene %d has %d pictures", si, scene.Pictures)
+		}
+		// Snap each requested spike offset to the first P picture at or
+		// after it within the scene, since only P pictures spike.
+		spikes := map[int]bool{}
+		for _, off := range scene.PSpikes {
+			for k := off; k < scene.Pictures; k++ {
+				if cfg.GOP.TypeOf(idx+k) == mpeg.TypeP {
+					spikes[k] = true
+					break
+				}
+			}
+		}
+		for k := 0; k < scene.Pictures; k++ {
+			progress := 0.0
+			if scene.Pictures > 1 {
+				progress = float64(k) / float64(scene.Pictures-1)
+			}
+			motion := scene.Motion + scene.MotionRamp*progress
+			noise = rho*noise + (1-rho)*(rng.Float64()*2-1)
+			mul := 1 + cfg.Jitter*noise*3 // scale AR(1) to target amplitude
+
+			var base float64
+			switch cfg.GOP.TypeOf(idx) {
+			case mpeg.TypeI:
+				base = cfg.IBase * scene.Complexity
+			case mpeg.TypeP:
+				base = cfg.PBase * scene.Complexity * motionScale(motion)
+				if spikes[k] {
+					base *= 2.8 // isolated large P (Tennis)
+				}
+			case mpeg.TypeB:
+				base = cfg.BBase * scene.Complexity * motionScale(motion)
+			}
+			// Pictures straddling a scene cut: the first reference-distance
+			// worth of P/B pictures in a new scene predict across the cut
+			// and blow up toward intra cost.
+			if si > 0 && k < cfg.GOP.M && cfg.GOP.TypeOf(idx) != mpeg.TypeI {
+				base = math.Max(base, 0.55*cfg.IBase*scene.Complexity)
+			}
+			s := int64(base * mul)
+			if s < 1024 {
+				s = 1024 // headers alone cost something
+			}
+			sizes = append(sizes, s)
+			idx++
+		}
+	}
+	return &Trace{Name: cfg.Name, Tau: cfg.Tau, GOP: cfg.GOP, Sizes: sizes}, nil
+}
+
+// motionScale maps a motion level to a P/B size multiplier: near-static
+// scenes compress their predicted pictures dramatically (skipped
+// macroblocks), while fast scenes approach the nominal size.
+func motionScale(motion float64) float64 {
+	if motion < 0 {
+		motion = 0
+	}
+	return 0.15 + 0.85*math.Min(motion, 1.5)
+}
+
+// The four MPEG video sequences of Section 5.1, reconstructed as
+// calibrated synthetic generators. Sizes follow the paper's Figure 3 and
+// prose: 640x480 sequences have I pictures around 200,000-283,000 bits
+// and B pictures an order of magnitude smaller; smoothed rates run 1-3
+// Mbps (and about 1.5 Mbps for the 352x288 Backyard sequence); scene
+// changes cause abrupt size jumps; Tennis ramps gradually with two
+// isolated large P pictures in its first half.
+
+// Driving1 returns the Driving video coded with N=9, M=3 (IBBPBBPBB) at
+// 640x480: fast countryside, a close-up of the driver, then back.
+func Driving1(pictures int, seed int64) (*Trace, error) {
+	return drivingTrace("Driving1", mpeg.GOP{M: 3, N: 9}, pictures, seed)
+}
+
+// Driving2 returns the same Driving video coded with N=6, M=2 (IBPBPB).
+func Driving2(pictures int, seed int64) (*Trace, error) {
+	return drivingTrace("Driving2", mpeg.GOP{M: 2, N: 6}, pictures, seed)
+}
+
+func drivingTrace(name string, gop mpeg.GOP, pictures int, seed int64) (*Trace, error) {
+	a := pictures * 2 / 5
+	b := pictures * 3 / 10
+	c := pictures - a - b
+	return Generate(SynthConfig{
+		Name: name,
+		GOP:  gop,
+		// 640x480 at quantizer scales 4/6/15: I ≈ 210 kbit, countryside
+		// P ≈ 95 kbit, B ≈ 32 kbit.
+		IBase: 210_000, PBase: 95_000, BBase: 32_000,
+		Scenes: []ScenePhase{
+			{Pictures: a, Complexity: 1.0, Motion: 1.2},   // fast countryside
+			{Pictures: b, Complexity: 0.55, Motion: 0.15}, // driver close-up
+			{Pictures: c, Complexity: 1.0, Motion: 1.25},  // countryside again
+		},
+		Seed: seed,
+	})
+}
+
+// Tennis returns the Tennis video (N=9, M=3, 640x480): one scene, motion
+// ramping up as the instructor gets up, with two isolated large P
+// pictures in the first half.
+func Tennis(pictures int, seed int64) (*Trace, error) {
+	return Generate(SynthConfig{
+		Name:  "Tennis",
+		GOP:   mpeg.GOP{M: 3, N: 9},
+		IBase: 265_000, PBase: 85_000, BBase: 25_000,
+		Scenes: []ScenePhase{
+			{
+				Pictures:   pictures,
+				Complexity: 1.0,
+				Motion:     0.25,
+				MotionRamp: 1.0,
+				PSpikes:    []int{pictures / 5, pictures * 2 / 5},
+			},
+		},
+		Seed: seed,
+	})
+}
+
+// Backyard returns the Backyard video (N=12, M=3, 352x288): complex
+// detailed backgrounds, unhurried motion, two scene changes. The smaller
+// spatial resolution halves picture sizes relative to the other
+// sequences (maximum smoothed rate about 1.5 Mbps).
+func Backyard(pictures int, seed int64) (*Trace, error) {
+	a := pictures * 2 / 5
+	b := pictures * 3 / 10
+	c := pictures - a - b
+	return Generate(SynthConfig{
+		Name:  "Backyard",
+		GOP:   mpeg.GOP{M: 3, N: 12},
+		IBase: 110_000, PBase: 38_000, BBase: 13_000,
+		Scenes: []ScenePhase{
+			{Pictures: a, Complexity: 1.0, Motion: 0.4},
+			{Pictures: b, Complexity: 0.92, Motion: 0.45},
+			{Pictures: c, Complexity: 1.05, Motion: 0.4},
+		},
+		Seed: seed,
+	})
+}
+
+// PaperSequences returns all four experimental sequences at the given
+// length, in the order the paper lists them.
+func PaperSequences(pictures int, seed int64) ([]*Trace, error) {
+	var out []*Trace
+	for _, gen := range []func(int, int64) (*Trace, error){Driving1, Driving2, Tennis, Backyard} {
+		tr, err := gen(pictures, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,236 @@
+// Package trace models MPEG picture-size traces: the sequence S_1, S_2,
+// ... of coded picture sizes (in bits) that the smoothing algorithm of
+// Lam/Chow/Yau consumes, together with the repeating GOP pattern and the
+// picture period τ.
+//
+// The paper's experiments used statistics from four MPEG video sequences
+// (Driving1, Driving2, Tennis, Backyard) encoded by the authors. Those
+// encodings are not available, so this package provides deterministic
+// synthetic generators calibrated to the published statistics — see
+// DESIGN.md §2 for the substitution argument — plus CSV persistence and a
+// bridge from the internal MPEG encoder.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+// Trace is a picture-size trace in display order.
+type Trace struct {
+	Name string
+	// Tau is the picture period in seconds (1/Tau is the picture rate).
+	Tau float64
+	// GOP is the repeating pattern the sizes follow.
+	GOP mpeg.GOP
+	// Sizes[i] is the coded size of picture i in bits, display order.
+	Sizes []int64
+	// Types, when non-nil, gives every picture's type explicitly,
+	// overriding the GOP pattern. This models an encoder that changes M
+	// and N adaptively mid-sequence (Section 4.4: "An MPEG encoder may
+	// change the values of M and N adaptively as the scene ... changes.
+	// Note that the basic algorithm does not depend on M, and it uses N
+	// only in picture size estimation"). When set, len(Types) must equal
+	// len(Sizes); GOP then serves only as the nominal pattern for
+	// N-dependent defaults.
+	Types []mpeg.PictureType
+}
+
+// Validate checks structural invariants.
+func (t *Trace) Validate() error {
+	if t.Tau <= 0 {
+		return fmt.Errorf("trace: non-positive picture period %v", t.Tau)
+	}
+	if err := t.GOP.Validate(); err != nil {
+		return err
+	}
+	if len(t.Sizes) == 0 {
+		return fmt.Errorf("trace: empty trace")
+	}
+	if t.Types != nil && len(t.Types) != len(t.Sizes) {
+		return fmt.Errorf("trace: %d explicit types for %d pictures", len(t.Types), len(t.Sizes))
+	}
+	for i, ty := range t.Types {
+		if ty > mpeg.TypeB {
+			return fmt.Errorf("trace: picture %d has invalid type %d", i, ty)
+		}
+	}
+	for i, s := range t.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("trace: picture %d has size %d", i, s)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of pictures.
+func (t *Trace) Len() int { return len(t.Sizes) }
+
+// TypeOf returns the picture type at display index i: the explicit type
+// when Types is set, otherwise the GOP pattern's.
+func (t *Trace) TypeOf(i int) mpeg.PictureType {
+	if t.Types != nil && i >= 0 && i < len(t.Types) {
+		return t.Types[i]
+	}
+	return t.GOP.TypeOf(i)
+}
+
+// Duration returns the display duration of the trace in seconds.
+func (t *Trace) Duration() float64 { return float64(len(t.Sizes)) * t.Tau }
+
+// TotalBits returns the sum of all picture sizes.
+func (t *Trace) TotalBits() int64 {
+	var sum int64
+	for _, s := range t.Sizes {
+		sum += s
+	}
+	return sum
+}
+
+// MeanRate returns the long-run average bit rate in bits/second.
+func (t *Trace) MeanRate() float64 {
+	if len(t.Sizes) == 0 {
+		return 0
+	}
+	return float64(t.TotalBits()) / t.Duration()
+}
+
+// PeakPictureRate returns the rate needed to send the largest picture in
+// one picture period — the unsmoothed peak the paper's introduction
+// computes (a 200,000-bit I picture at 30 pictures/s needs 6 Mbps).
+func (t *Trace) PeakPictureRate() float64 {
+	var max int64
+	for _, s := range t.Sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / t.Tau
+}
+
+// Slice returns a sub-trace of pictures [from, to). The sub-trace keeps
+// the pattern alignment only if from is a multiple of GOP.N; callers that
+// need pattern-aligned traces should slice at pattern boundaries.
+func (t *Trace) Slice(from, to int) (*Trace, error) {
+	if from < 0 || to > len(t.Sizes) || from >= to {
+		return nil, fmt.Errorf("trace: bad slice [%d,%d) of %d", from, to, len(t.Sizes))
+	}
+	sub := &Trace{
+		Name:  fmt.Sprintf("%s[%d:%d]", t.Name, from, to),
+		Tau:   t.Tau,
+		GOP:   t.GOP,
+		Sizes: append([]int64(nil), t.Sizes[from:to]...),
+	}
+	if t.Types != nil {
+		sub.Types = append([]mpeg.PictureType(nil), t.Types[from:to]...)
+	}
+	return sub, nil
+}
+
+// TypeStats aggregates sizes for one picture type.
+type TypeStats struct {
+	Count     int
+	Min, Max  int64
+	Mean, Std float64
+}
+
+// Stats returns per-type size statistics keyed by picture type.
+func (t *Trace) Stats() map[mpeg.PictureType]TypeStats {
+	acc := map[mpeg.PictureType][]int64{}
+	for i, s := range t.Sizes {
+		ty := t.TypeOf(i)
+		acc[ty] = append(acc[ty], s)
+	}
+	out := map[mpeg.PictureType]TypeStats{}
+	for ty, sizes := range acc {
+		st := TypeStats{Count: len(sizes), Min: sizes[0], Max: sizes[0]}
+		var sum float64
+		for _, s := range sizes {
+			if s < st.Min {
+				st.Min = s
+			}
+			if s > st.Max {
+				st.Max = s
+			}
+			sum += float64(s)
+		}
+		st.Mean = sum / float64(len(sizes))
+		var va float64
+		for _, s := range sizes {
+			d := float64(s) - st.Mean
+			va += d * d
+		}
+		st.Std = math.Sqrt(va / float64(len(sizes)))
+		out[ty] = st
+	}
+	return out
+}
+
+// Concat joins traces end to end. All inputs must share τ and the GOP
+// pattern, and each must be pattern-aligned (a multiple of N pictures)
+// so types remain consistent; traces with explicit Types are joined
+// type-exactly without the alignment requirement.
+func Concat(name string, traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: nothing to concatenate")
+	}
+	first := traces[0]
+	explicit := false
+	for _, t := range traces {
+		if t.Types != nil {
+			explicit = true
+		}
+	}
+	out := &Trace{Name: name, Tau: first.Tau, GOP: first.GOP}
+	for i, t := range traces {
+		if t.Tau != first.Tau {
+			return nil, fmt.Errorf("trace: input %d has tau %v, want %v", i, t.Tau, first.Tau)
+		}
+		if t.GOP != first.GOP {
+			return nil, fmt.Errorf("trace: input %d has pattern %v, want %v", i, t.GOP, first.GOP)
+		}
+		if !explicit && t.Len()%t.GOP.N != 0 && i != len(traces)-1 {
+			return nil, fmt.Errorf("trace: input %d has %d pictures, not pattern aligned", i, t.Len())
+		}
+		out.Sizes = append(out.Sizes, t.Sizes...)
+		if explicit {
+			for j := 0; j < t.Len(); j++ {
+				out.Types = append(out.Types, t.TypeOf(j))
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Repeat tiles a trace n times (the trace must be pattern aligned unless
+// it carries explicit types). Useful for building hour-long workloads
+// from a short calibrated sequence.
+func (t *Trace) Repeat(n int) (*Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("trace: repeat count %d", n)
+	}
+	inputs := make([]*Trace, n)
+	for i := range inputs {
+		inputs[i] = t
+	}
+	return Concat(fmt.Sprintf("%s-x%d", t.Name, n), inputs...)
+}
+
+// FromPictureSizes builds a trace from encoder or inspector output.
+func FromPictureSizes(name string, tau float64, gop mpeg.GOP, sizes []int64) (*Trace, error) {
+	t := &Trace{
+		Name:  name,
+		Tau:   tau,
+		GOP:   gop,
+		Sizes: append([]int64(nil), sizes...),
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,452 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+func mustDriving1(t testing.TB, n int) *Trace {
+	t.Helper()
+	tr, err := Driving1(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestValidate(t *testing.T) {
+	good := &Trace{Name: "x", Tau: 1.0 / 30, GOP: mpeg.GOP{M: 3, N: 9}, Sizes: []int64{100, 50, 50}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good trace invalid: %v", err)
+	}
+	for _, bad := range []*Trace{
+		{Tau: 0, GOP: mpeg.GOP{M: 3, N: 9}, Sizes: []int64{1}},
+		{Tau: 1.0 / 30, GOP: mpeg.GOP{M: 3, N: 10}, Sizes: []int64{1}},
+		{Tau: 1.0 / 30, GOP: mpeg.GOP{M: 3, N: 9}},
+		{Tau: 1.0 / 30, GOP: mpeg.GOP{M: 3, N: 9}, Sizes: []int64{100, 0}},
+		{Tau: 1.0 / 30, GOP: mpeg.GOP{M: 3, N: 9}, Sizes: []int64{-5}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("trace %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	tr := &Trace{Name: "x", Tau: 0.1, GOP: mpeg.GOP{M: 1, N: 2}, Sizes: []int64{1000, 500, 800, 700}}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.TotalBits() != 3000 {
+		t.Fatalf("TotalBits = %d", tr.TotalBits())
+	}
+	if math.Abs(tr.Duration()-0.4) > 1e-12 {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	if math.Abs(tr.MeanRate()-7500) > 1e-9 {
+		t.Fatalf("MeanRate = %v", tr.MeanRate())
+	}
+	if math.Abs(tr.PeakPictureRate()-10000) > 1e-9 {
+		t.Fatalf("PeakPictureRate = %v", tr.PeakPictureRate())
+	}
+	if tr.TypeOf(0) != mpeg.TypeI || tr.TypeOf(1) != mpeg.TypeP {
+		t.Fatal("TypeOf wrong")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := mustDriving1(t, 90)
+	sub, err := tr.Slice(9, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 18 {
+		t.Fatalf("sub len %d", sub.Len())
+	}
+	if sub.Sizes[0] != tr.Sizes[9] {
+		t.Fatal("slice copied wrong range")
+	}
+	sub.Sizes[0] = 42
+	if tr.Sizes[9] == 42 {
+		t.Fatal("Slice aliases parent storage")
+	}
+	if _, err := tr.Slice(5, 5); err == nil {
+		t.Fatal("empty slice should fail")
+	}
+	if _, err := tr.Slice(-1, 5); err == nil {
+		t.Fatal("negative from should fail")
+	}
+	if _, err := tr.Slice(0, 1000); err == nil {
+		t.Fatal("overlong slice should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustDriving1(t, 270)
+	b := mustDriving1(t, 270)
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatalf("trace differs at %d between identical seeds", i)
+		}
+	}
+	c, err := Driving1(270, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Sizes {
+		if a.Sizes[i] != c.Sizes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestPaperCalibration asserts the qualitative statistics the paper
+// reports for its sequences (Figure 3 and Section 5.1).
+func TestPaperCalibration(t *testing.T) {
+	seqs, err := PaperSequences(270, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Trace{}
+	for _, tr := range seqs {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		byName[tr.Name] = tr
+	}
+
+	// Every sequence: I pictures are much larger than B pictures —
+	// "for typical natural scenes, the size of an I picture is larger
+	// than the size of a B picture by an order of magnitude."
+	for name, tr := range byName {
+		st := tr.Stats()
+		iMean := st[mpeg.TypeI].Mean
+		bMean := st[mpeg.TypeB].Mean
+		pMean := st[mpeg.TypeP].Mean
+		if iMean < 4*bMean {
+			t.Errorf("%s: I mean %.0f not ≫ B mean %.0f", name, iMean, bMean)
+		}
+		if !(iMean > pMean && pMean > bMean) {
+			t.Errorf("%s: ordering I=%.0f P=%.0f B=%.0f violated", name, iMean, pMean, bMean)
+		}
+	}
+
+	// Driving1: I pictures around 200 kbit (Section 1's realistic numbers:
+	// I about 200,000 bits, B about 20,000 bits at 640x480).
+	d1 := byName["Driving1"].Stats()
+	if d1[mpeg.TypeI].Mean < 150_000 || d1[mpeg.TypeI].Mean > 300_000 {
+		t.Errorf("Driving1 I mean %.0f out of paper's range", d1[mpeg.TypeI].Mean)
+	}
+	// Mean rates: 640x480 sequences in the 1-3 Mbps band.
+	for _, name := range []string{"Driving1", "Driving2", "Tennis"} {
+		r := byName[name].MeanRate()
+		if r < 1e6 || r > 3.2e6 {
+			t.Errorf("%s mean rate %.2f Mbps outside 1-3 Mbps", name, r/1e6)
+		}
+	}
+	// Backyard (352x288) runs near half: max smoothed rate about 1.5 Mbps.
+	if r := byName["Backyard"].MeanRate(); r < 0.4e6 || r > 1.6e6 {
+		t.Errorf("Backyard mean rate %.2f Mbps outside sub-1.5 Mbps band", r/1e6)
+	}
+	// Scene-to-scene smoothed rates differ by about a factor of 3 worst
+	// case (Section 1). Compare driving scene vs close-up GOP sums.
+	dtr := byName["Driving1"]
+	gopRate := func(from int) float64 {
+		var sum int64
+		for i := from; i < from+9; i++ {
+			sum += dtr.Sizes[i]
+		}
+		return float64(sum) / (9 * dtr.Tau)
+	}
+	fast := gopRate(27)  // inside scene 1
+	slow := gopRate(135) // inside the close-up
+	if ratio := fast / slow; ratio < 1.5 || ratio > 4.5 {
+		t.Errorf("Driving1 scene rate ratio %.2f outside ~3x band", ratio)
+	}
+	// Unsmoothed peak: the intro's example — an I picture needs several
+	// Mbps if sent in one picture period.
+	if pk := dtr.PeakPictureRate(); pk < 5e6 {
+		t.Errorf("Driving1 unsmoothed peak %.1f Mbps, expected > 5 Mbps", pk/1e6)
+	}
+
+	// GOP patterns match the paper.
+	if byName["Driving1"].GOP.Pattern() != "IBBPBBPBB" {
+		t.Error("Driving1 pattern wrong")
+	}
+	if byName["Driving2"].GOP.Pattern() != "IBPBPB" {
+		t.Error("Driving2 pattern wrong")
+	}
+	if byName["Backyard"].GOP.Pattern() != "IBBPBBPBBPBB" {
+		t.Error("Backyard pattern wrong")
+	}
+}
+
+func TestSceneChangeVisibleInSizes(t *testing.T) {
+	tr := mustDriving1(t, 270)
+	// P/B pictures in the close-up scene (pictures 108..189) are much
+	// smaller than in the driving scenes, per Section 5.1.
+	stats := func(from, to int) (p, b float64) {
+		var sp, sb, np, nb float64
+		for i := from; i < to; i++ {
+			switch tr.TypeOf(i) {
+			case mpeg.TypeP:
+				sp += float64(tr.Sizes[i])
+				np++
+			case mpeg.TypeB:
+				sb += float64(tr.Sizes[i])
+				nb++
+			}
+		}
+		return sp / np, sb / nb
+	}
+	fastP, fastB := stats(18, 100)
+	slowP, slowB := stats(120, 180)
+	if fastP < 2*slowP {
+		t.Errorf("driving-scene P mean %.0f not much larger than close-up %.0f", fastP, slowP)
+	}
+	if fastB < 2*slowB {
+		t.Errorf("driving-scene B mean %.0f not much larger than close-up %.0f", fastB, slowB)
+	}
+}
+
+func TestTennisRampAndSpikes(t *testing.T) {
+	tr, err := Tennis(270, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gradually increasing P/B sizes.
+	early := meanType(tr, mpeg.TypeB, 0, 90)
+	late := meanType(tr, mpeg.TypeB, 180, 270)
+	if late < 1.5*early {
+		t.Errorf("Tennis B sizes should ramp: early %.0f late %.0f", early, late)
+	}
+	// Two isolated large P pictures in the first half.
+	pMean := meanType(tr, mpeg.TypeP, 0, 135)
+	spikes := 0
+	for i := 0; i < 135; i++ {
+		if tr.TypeOf(i) == mpeg.TypeP && float64(tr.Sizes[i]) > 1.8*pMean {
+			spikes++
+		}
+	}
+	if spikes < 1 || spikes > 6 {
+		t.Errorf("Tennis first half has %d P spikes, expected a couple", spikes)
+	}
+}
+
+func meanType(tr *Trace, ty mpeg.PictureType, from, to int) float64 {
+	var s, n float64
+	for i := from; i < to && i < tr.Len(); i++ {
+		if tr.TypeOf(i) == ty {
+			s += float64(tr.Sizes[i])
+			n++
+		}
+	}
+	return s / n
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := SynthConfig{
+		Name: "x", GOP: mpeg.GOP{M: 3, N: 9},
+		IBase: 1000, PBase: 500, BBase: 100,
+		Scenes: []ScenePhase{{Pictures: 9, Complexity: 1, Motion: 1}},
+	}
+	if _, err := Generate(base); err != nil {
+		t.Fatalf("base config: %v", err)
+	}
+	for i, mut := range []func(*SynthConfig){
+		func(c *SynthConfig) { c.GOP.N = 10 },
+		func(c *SynthConfig) { c.IBase = 0 },
+		func(c *SynthConfig) { c.Scenes = nil },
+		func(c *SynthConfig) { c.Scenes = []ScenePhase{{Pictures: 0}} },
+	} {
+		c := base
+		mut(&c)
+		if _, err := Generate(c); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := &Trace{Name: "s", Tau: 1.0 / 30, GOP: mpeg.GOP{M: 1, N: 3}, Sizes: []int64{300, 100, 200, 330, 90, 210}}
+	st := tr.Stats()
+	i := st[mpeg.TypeI]
+	if i.Count != 2 || i.Min != 300 || i.Max != 330 || math.Abs(i.Mean-315) > 1e-9 {
+		t.Fatalf("I stats %+v", i)
+	}
+	p := st[mpeg.TypeP]
+	if p.Count != 4 {
+		t.Fatalf("P stats %+v", p)
+	}
+	if math.Abs(p.Mean-150) > 1e-9 {
+		t.Fatalf("P mean %v", p.Mean)
+	}
+	if _, ok := st[mpeg.TypeB]; ok {
+		t.Fatal("M=1 trace should have no B stats")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mustDriving1(t, 90)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.GOP != tr.GOP || math.Abs(got.Tau-tr.Tau) > 1e-9 {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, tr)
+	}
+	if len(got.Sizes) != len(tr.Sizes) {
+		t.Fatalf("size count %d vs %d", len(got.Sizes), len(tr.Sizes))
+	}
+	for i := range got.Sizes {
+		if got.Sizes[i] != tr.Sizes[i] {
+			t.Fatalf("size %d: %d vs %d", i, got.Sizes[i], tr.Sizes[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsCorruption(t *testing.T) {
+	tr := mustDriving1(t, 18)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	for name, bad := range map[string]string{
+		"no metadata":  strings.SplitN(good, "\n", 2)[1],
+		"invalid type": strings.Replace(good, "0,I,", "0,X,", 1),
+		"bad index":    strings.Replace(good, "\n1,B,", "\n7,B,", 1),
+		"bad bits":     strings.Replace(good, "0,I,", "0,I,x", 1),
+		"unknown key":  strings.Replace(good, "name=", "nom=", 1),
+		"empty":        "",
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: corrupted CSV accepted", name)
+		}
+	}
+	// A type deviating from the nominal pattern is NOT corruption: it is
+	// an adaptive-pattern trace and round-trips through explicit Types.
+	adaptive := strings.Replace(good, "\n1,B,", "\n1,P,", 1)
+	tr2, err := ReadCSV(strings.NewReader(adaptive))
+	if err != nil {
+		t.Fatalf("adaptive-pattern CSV rejected: %v", err)
+	}
+	if tr2.Types == nil || tr2.TypeOf(1) != mpeg.TypeP {
+		t.Fatal("explicit types not preserved")
+	}
+}
+
+func TestConcatAndRepeat(t *testing.T) {
+	a := mustDriving1(t, 90) // 10 patterns
+	b := mustDriving1(t, 45) // 5 patterns
+	joined, err := Concat("joined", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 135 {
+		t.Fatalf("len %d", joined.Len())
+	}
+	if joined.Sizes[90] != b.Sizes[0] {
+		t.Fatal("second trace misplaced")
+	}
+	if err := joined.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := a.Repeat(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 270 {
+		t.Fatalf("repeat len %d", rep.Len())
+	}
+	for i := 0; i < 90; i++ {
+		if rep.Sizes[i] != rep.Sizes[i+90] || rep.Sizes[i] != rep.Sizes[i+180] {
+			t.Fatalf("tile %d differs", i)
+		}
+	}
+
+	// Misaligned middle input fails.
+	c, err := a.Slice(0, 13) // not a multiple of 9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Concat("bad", c, b); err == nil {
+		t.Fatal("misaligned concat should fail")
+	}
+	// Mismatched tau fails.
+	d := *b
+	d.Tau = 0.05
+	if _, err := Concat("bad", a, &d); err == nil {
+		t.Fatal("tau mismatch should fail")
+	}
+	if _, err := Concat("empty"); err == nil {
+		t.Fatal("empty concat should fail")
+	}
+	if _, err := a.Repeat(0); err == nil {
+		t.Fatal("repeat 0 should fail")
+	}
+}
+
+func TestFromPictureSizes(t *testing.T) {
+	tr, err := FromPictureSizes("enc", 1.0/30, mpeg.GOP{M: 3, N: 9}, []int64{1000, 100, 100, 500, 100, 100, 500, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	if _, err := FromPictureSizes("bad", 1.0/30, mpeg.GOP{M: 3, N: 9}, []int64{0}); err == nil {
+		t.Fatal("zero size should fail")
+	}
+}
+
+// Property: generated traces always validate and repeat deterministically.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64, nScenes uint8, picsPerScene uint8) bool {
+		ns := int(nScenes)%4 + 1
+		pp := int(picsPerScene)%50 + 1
+		cfg := SynthConfig{
+			Name: "prop", GOP: mpeg.GOP{M: 3, N: 9},
+			IBase: 200_000, PBase: 90_000, BBase: 30_000,
+			Seed: seed,
+		}
+		for i := 0; i < ns; i++ {
+			cfg.Scenes = append(cfg.Scenes, ScenePhase{Pictures: pp, Complexity: 0.5 + float64(i)*0.3, Motion: float64(i)})
+		}
+		tr, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		if tr.Len() != ns*pp {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerateDriving1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Driving1(270, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

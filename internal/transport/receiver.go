@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+// ReceivedPicture records one picture as observed by the receiver.
+type ReceivedPicture struct {
+	Index int
+	Type  mpeg.PictureType
+	Bytes int
+	// Sum64 is the FNV-1a hash of the payload, for end-to-end integrity
+	// checks without retaining the payload itself.
+	Sum64 uint64
+	// Arrival is the wall-clock time the last payload byte was read,
+	// relative to the receiver's start.
+	Arrival time.Duration
+	// NotifiedRate is the sender's declared rate in effect when the
+	// picture arrived (bits/second).
+	NotifiedRate float64
+}
+
+// PayloadSum64 computes the same FNV-1a hash the receiver records, for
+// sender-side comparison.
+func PayloadSum64(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// Report summarizes a receive session.
+type Report struct {
+	Pictures      []ReceivedPicture
+	Notifications []RateNotification
+	// Elapsed is the total session duration.
+	Elapsed time.Duration
+}
+
+// TotalBytes sums the received payload sizes.
+func (r *Report) TotalBytes() int {
+	total := 0
+	for _, p := range r.Pictures {
+		total += p.Bytes
+	}
+	return total
+}
+
+// Receive drains a sender's stream until the end marker, recording
+// arrival times and rate notifications. The reader should be the
+// connection's read side; cancellation is honoured between messages when
+// conn supports read deadlines via the optional deadline hook.
+func Receive(ctx context.Context, conn io.Reader) (*Report, error) {
+	start := time.Now()
+	report := &Report{}
+	currentRate := 0.0
+	for {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		msg, err := ReadMessage(conn)
+		if err == ErrClosed {
+			report.Elapsed = time.Since(start)
+			return report, nil
+		}
+		if err != nil {
+			return report, err
+		}
+		switch m := msg.(type) {
+		case *RateNotification:
+			report.Notifications = append(report.Notifications, *m)
+			currentRate = m.Rate
+		case *PictureFrame:
+			report.Pictures = append(report.Pictures, ReceivedPicture{
+				Index:        m.Index,
+				Type:         m.Type,
+				Bytes:        len(m.Payload),
+				Sum64:        PayloadSum64(m.Payload),
+				Arrival:      time.Since(start),
+				NotifiedRate: currentRate,
+			})
+		default:
+			return report, fmt.Errorf("transport: unexpected message %T", msg)
+		}
+	}
+}

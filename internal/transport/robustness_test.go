@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadMessageOnRandomBytes: the wire parser must be total — any byte
+// stream yields a message or an error, never a panic, and payload
+// allocation is bounded by the announced-size check.
+func TestReadMessageOnRandomBytes(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)%2048)
+		rng.Read(data)
+		r := bytes.NewReader(data)
+		for {
+			_, err := ReadMessage(r)
+			if err != nil {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReceiveOnRandomBytes: the full receive loop is equally total.
+func TestReceiveOnRandomBytes(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)%2048)
+		rng.Read(data)
+		Receive(context.Background(), bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptedSessionStream: flip bytes in a valid session recording;
+// the receiver must stop with an error or complete, never hang or panic.
+func TestCorruptedSessionStream(t *testing.T) {
+	sched, payloads := testSchedule(t, 18)
+	var buf bytes.Buffer
+	s := &Sender{TimeScale: 1e6} // effectively unpaced
+	if err := s.Send(context.Background(), &buf, sched, payloads); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		data := append([]byte(nil), clean...)
+		for k := rng.Intn(8) + 1; k > 0; k-- {
+			data[rng.Intn(len(data))] ^= byte(rng.Intn(255) + 1)
+		}
+		Receive(context.Background(), bytes.NewReader(data))
+	}
+}

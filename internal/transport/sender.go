@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mpegsmooth/internal/core"
+)
+
+// Clock abstracts time for the paced sender so tests can run with
+// compressed timescales.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock, returning early if ctx is cancelled.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Sender transmits a smoothing schedule over a connection, pacing each
+// picture's bytes at its scheduled rate.
+type Sender struct {
+	// Chunk is the pacing granularity in bytes (default 1024): the sender
+	// writes at most Chunk bytes, then sleeps until the pacing deadline
+	// for the next chunk.
+	Chunk int
+	// Clock defaults to RealClock.
+	Clock Clock
+	// TimeScale compresses the schedule's timeline: wall-clock durations
+	// are schedule durations divided by TimeScale (default 1; tests use
+	// large factors to replay multi-second schedules in milliseconds).
+	TimeScale float64
+}
+
+// Send replays the schedule over w: for each picture it waits until the
+// scheduled start time t_i (relative to the session origin), emits the
+// rate notification, and streams the picture's payload paced at r_i.
+// payloads[i] must hold ceil(S_i/8) bytes of picture i's data.
+func (s *Sender) Send(ctx context.Context, w interface{ Write([]byte) (int, error) }, sched *core.Schedule, payloads [][]byte) error {
+	n := len(sched.Rates)
+	if len(payloads) != n {
+		return fmt.Errorf("transport: %d payloads for %d pictures", len(payloads), n)
+	}
+	chunk := s.Chunk
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	clock := s.Clock
+	if clock == nil {
+		clock = RealClock{}
+	}
+	scale := s.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	origin := clock.Now()
+	deadline := func(schedTime float64) time.Time {
+		return origin.Add(time.Duration(schedTime / scale * float64(time.Second)))
+	}
+
+	lastRate := 0.0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Wait for the scheduled start of picture i (continuous service
+		// makes this a no-op after the first picture, modulo pacing
+		// error).
+		if err := clock.Sleep(ctx, deadline(sched.Start[i]).Sub(clock.Now())); err != nil {
+			return err
+		}
+		if sched.Rates[i] != lastRate {
+			if err := WriteRate(w, RateNotification{Index: i, Rate: sched.Rates[i]}); err != nil {
+				return fmt.Errorf("transport: rate notification %d: %w", i, err)
+			}
+			lastRate = sched.Rates[i]
+		}
+		payload := payloads[i]
+		if err := WritePictureHeader(w, i, sched.Trace.TypeOf(i), len(payload)); err != nil {
+			return fmt.Errorf("transport: picture header %d: %w", i, err)
+		}
+		// Pace the payload: after sending b bytes, the elapsed schedule
+		// time must be at least 8b/r_i.
+		rate := sched.Rates[i]
+		start := sched.Start[i]
+		sent := 0
+		for sent < len(payload) {
+			end := sent + chunk
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := w.Write(payload[sent:end]); err != nil {
+				return fmt.Errorf("transport: picture %d payload: %w", i, err)
+			}
+			sent = end
+			if err := clock.Sleep(ctx, deadline(start+float64(sent)*8/rate).Sub(clock.Now())); err != nil {
+				return err
+			}
+		}
+	}
+	if err := WriteEnd(w); err != nil {
+		return fmt.Errorf("transport: end marker: %w", err)
+	}
+	return nil
+}

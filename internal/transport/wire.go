@@ -1,0 +1,141 @@
+// Package transport carries a smoothed MPEG picture stream over a byte
+// connection, pacing transmission at the per-picture rates chosen by the
+// smoothing algorithm.
+//
+// The paper positions the algorithm inside "transport protocols for
+// compressed video": the smoother calls notify(i, rate) to tell the
+// transmitter the rate for picture i, and the transmitter drains the
+// picture at that rate. This package implements that contract over any
+// net.Conn (the tests use both net.Pipe and TCP loopback), with explicit
+// rate-notification messages ahead of each rate change so a receiver (or
+// a network resource manager) can track the sender's declared rate.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+// Message kinds on the wire.
+const (
+	kindRate    byte = 'R'
+	kindPicture byte = 'P'
+	kindEnd     byte = 'E'
+)
+
+// MaxPictureBytes bounds a picture payload; a peer announcing more is
+// malformed (the largest legal picture in this codec is far smaller).
+const MaxPictureBytes = 16 << 20
+
+// ErrClosed reports an orderly end-of-stream message.
+var ErrClosed = errors.New("transport: stream closed by sender")
+
+// RateNotification announces the transmission rate for a picture:
+// notify(i, rate) from the algorithm specification.
+type RateNotification struct {
+	Index int
+	Rate  float64 // bits per second
+}
+
+// PictureFrame carries one coded picture.
+type PictureFrame struct {
+	Index   int
+	Type    mpeg.PictureType
+	Payload []byte
+}
+
+// WriteRate writes a rate notification.
+func WriteRate(w io.Writer, n RateNotification) error {
+	if n.Index < 0 || n.Index > math.MaxUint32 {
+		return fmt.Errorf("transport: picture index %d out of range", n.Index)
+	}
+	if n.Rate <= 0 || math.IsNaN(n.Rate) || math.IsInf(n.Rate, 0) {
+		return fmt.Errorf("transport: invalid rate %v", n.Rate)
+	}
+	var buf [13]byte
+	buf[0] = kindRate
+	binary.BigEndian.PutUint32(buf[1:5], uint32(n.Index))
+	binary.BigEndian.PutUint64(buf[5:13], math.Float64bits(n.Rate))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// WritePictureHeader writes the header of a picture frame; the caller
+// streams the payload bytes (paced) immediately after.
+func WritePictureHeader(w io.Writer, index int, t mpeg.PictureType, size int) error {
+	if index < 0 || index > math.MaxUint32 {
+		return fmt.Errorf("transport: picture index %d out of range", index)
+	}
+	if size <= 0 || size > MaxPictureBytes {
+		return fmt.Errorf("transport: picture size %d out of range", size)
+	}
+	var buf [10]byte
+	buf[0] = kindPicture
+	binary.BigEndian.PutUint32(buf[1:5], uint32(index))
+	buf[5] = byte(t)
+	binary.BigEndian.PutUint32(buf[6:10], uint32(size))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// WriteEnd writes the orderly end-of-stream marker.
+func WriteEnd(w io.Writer) error {
+	_, err := w.Write([]byte{kindEnd})
+	return err
+}
+
+// ReadMessage reads the next message. It returns either a
+// *RateNotification or a *PictureFrame (with the payload fully read), or
+// ErrClosed on the end marker.
+func ReadMessage(r io.Reader) (any, error) {
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		return nil, err
+	}
+	switch kind[0] {
+	case kindRate:
+		var buf [12]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("transport: short rate notification: %w", err)
+		}
+		rate := math.Float64frombits(binary.BigEndian.Uint64(buf[4:12]))
+		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+			return nil, fmt.Errorf("transport: peer sent invalid rate %v", rate)
+		}
+		return &RateNotification{
+			Index: int(binary.BigEndian.Uint32(buf[0:4])),
+			Rate:  rate,
+		}, nil
+	case kindPicture:
+		var buf [9]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("transport: short picture header: %w", err)
+		}
+		size := binary.BigEndian.Uint32(buf[5:9])
+		if size == 0 || size > MaxPictureBytes {
+			return nil, fmt.Errorf("transport: peer announced picture of %d bytes", size)
+		}
+		ty := mpeg.PictureType(buf[4])
+		if ty > mpeg.TypeB {
+			return nil, fmt.Errorf("transport: invalid picture type %d", buf[4])
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("transport: truncated picture payload: %w", err)
+		}
+		return &PictureFrame{
+			Index:   int(binary.BigEndian.Uint32(buf[0:4])),
+			Type:    ty,
+			Payload: payload,
+		}, nil
+	case kindEnd:
+		return nil, ErrClosed
+	default:
+		return nil, fmt.Errorf("transport: unknown message kind %#02x", kind[0])
+	}
+}

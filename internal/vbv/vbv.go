@@ -1,0 +1,144 @@
+// Package vbv analyzes the decoder-side buffer implied by a smoothing
+// schedule — the "model decoder" buffer (Video Buffering Verifier) that
+// the MPEG standard's rate-control methods protect (Lam/Chow/Yau §3.1:
+// the standard's techniques "ensure that the input buffer of the model
+// decoder neither overflows nor underflows").
+//
+// The model: the sender transmits picture bits according to the
+// schedule's rate function; the channel is ideal (no loss, no delay); the
+// decoder removes picture j's S_j bits instantaneously at time
+// startup + jτ, where startup is the decoder's start-up delay. Then
+//
+//   - no underflow  ⇔  picture j fully received by startup + jτ for all
+//     j  ⇔  startup ≥ max_j (d_j − jτ) — precisely the schedule's
+//     maximum picture delay, which Theorem 1 bounds by D. The delay
+//     bound IS the decoder start-up delay guarantee.
+//   - the peak buffer occupancy (with the minimal startup) is the
+//     decoder memory the stream demands.
+package vbv
+
+import (
+	"fmt"
+	"sort"
+
+	"mpegsmooth/internal/core"
+)
+
+// Analysis reports the decoder buffering a schedule demands.
+type Analysis struct {
+	// StartupDelay is the minimum start-up delay (seconds) for underflow-
+	// free decoding: max_j (d_j − jτ).
+	StartupDelay float64
+	// PeakBuffer is the maximum decoder buffer occupancy in bits when
+	// decoding starts exactly StartupDelay after transmission begins.
+	PeakBuffer float64
+	// PeakAtPicture is the picture index whose decode instant sees the
+	// peak occupancy.
+	PeakAtPicture int
+}
+
+// cumulativeCurve is the piecewise-linear cumulative bits-received
+// function implied by a schedule.
+type cumulativeCurve struct {
+	t []float64 // vertex times, non-decreasing
+	y []float64 // cumulative bits at each vertex
+}
+
+// newCurve builds the reception curve: flat before t_0, linear at r_j
+// during each picture's transmission, flat across any idle gaps.
+func newCurve(s *core.Schedule) cumulativeCurve {
+	n := len(s.Rates)
+	c := cumulativeCurve{t: make([]float64, 0, 2*n), y: make([]float64, 0, 2*n)}
+	cum := 0.0
+	push := func(t, y float64) {
+		if len(c.t) > 0 && t == c.t[len(c.t)-1] {
+			c.y[len(c.y)-1] = y
+			return
+		}
+		c.t = append(c.t, t)
+		c.y = append(c.y, y)
+	}
+	push(s.Start[0], 0)
+	for j := 0; j < n; j++ {
+		if j > 0 && s.Start[j] > s.Depart[j-1] {
+			push(s.Start[j], cum) // idle gap (ideal smoothing can idle)
+		}
+		cum += float64(s.Trace.Sizes[j])
+		push(s.Depart[j], cum)
+	}
+	return c
+}
+
+// at evaluates the curve at time t.
+func (c cumulativeCurve) at(t float64) float64 {
+	if t <= c.t[0] {
+		return c.y[0]
+	}
+	last := len(c.t) - 1
+	if t >= c.t[last] {
+		return c.y[last]
+	}
+	k := sort.SearchFloat64s(c.t, t)
+	if c.t[k] == t {
+		return c.y[k]
+	}
+	// Interpolate within segment k-1 .. k.
+	t0, t1 := c.t[k-1], c.t[k]
+	y0, y1 := c.y[k-1], c.y[k]
+	return y0 + (y1-y0)*(t-t0)/(t1-t0)
+}
+
+// Analyze computes the minimum start-up delay and the peak decoder
+// buffer occupancy for a schedule.
+func Analyze(s *core.Schedule) (Analysis, error) {
+	if len(s.Rates) == 0 {
+		return Analysis{}, fmt.Errorf("vbv: empty schedule")
+	}
+	tau := s.Trace.Tau
+	a := Analysis{}
+	for j, d := range s.Depart {
+		if need := d - float64(j)*tau; need > a.StartupDelay {
+			a.StartupDelay = need
+		}
+	}
+	curve := newCurve(s)
+	// Occupancy grows between decode instants, so the peak occurs just
+	// before some picture's removal: B(j) = X(startup + jτ) − Σ_{i<j} S_i.
+	removed := 0.0
+	for j := 0; j < len(s.Rates); j++ {
+		occ := curve.at(a.StartupDelay+float64(j)*tau) - removed
+		if occ > a.PeakBuffer {
+			a.PeakBuffer = occ
+			a.PeakAtPicture = j
+		}
+		removed += float64(s.Trace.Sizes[j])
+	}
+	return a, nil
+}
+
+// Check verifies that decoding with the given start-up delay and buffer
+// capacity (bits) neither underflows nor overflows. It returns nil when
+// both hold, or an error naming the first failing picture.
+func Check(s *core.Schedule, startup, bufferBits float64) error {
+	if len(s.Rates) == 0 {
+		return fmt.Errorf("vbv: empty schedule")
+	}
+	tau := s.Trace.Tau
+	curve := newCurve(s)
+	removed := 0.0
+	for j := 0; j < len(s.Rates); j++ {
+		decodeAt := startup + float64(j)*tau
+		have := curve.at(decodeAt) - removed
+		need := float64(s.Trace.Sizes[j])
+		if have < need-1e-6 {
+			return fmt.Errorf("vbv: underflow at picture %d (have %.0f of %.0f bits at t=%.4f)",
+				j, have, need, decodeAt)
+		}
+		if have > bufferBits+1e-6 {
+			return fmt.Errorf("vbv: overflow at picture %d (%.0f bits > capacity %.0f)",
+				j, have, bufferBits)
+		}
+		removed += need
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package vbv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/mpeg"
+	"mpegsmooth/internal/trace"
+)
+
+func driving(t testing.TB, n int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Driving1(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStartupDelayEqualsMaxDelay(t *testing.T) {
+	tr := driving(t, 135)
+	s, err := core.Smooth(tr, core.Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.StartupDelay-s.MaxDelay()) > 1e-12 {
+		t.Fatalf("startup %.6f != max delay %.6f", a.StartupDelay, s.MaxDelay())
+	}
+	// Theorem 1: the needed startup never exceeds the delay bound D.
+	if a.StartupDelay > 0.2+1e-9 {
+		t.Fatalf("startup %.4f exceeds the delay bound", a.StartupDelay)
+	}
+}
+
+func TestCheckAtAnalyzedPoint(t *testing.T) {
+	tr := driving(t, 135)
+	s, err := core.Smooth(tr, core.Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the analyzed startup and buffer must pass...
+	if err := Check(s, a.StartupDelay, a.PeakBuffer); err != nil {
+		t.Fatalf("analyzed point fails: %v", err)
+	}
+	// ...a smaller startup must underflow...
+	if err := Check(s, a.StartupDelay*0.7, a.PeakBuffer); err == nil {
+		t.Fatal("reduced startup should underflow")
+	}
+	// ...and a smaller buffer must overflow.
+	if err := Check(s, a.StartupDelay, a.PeakBuffer*0.8); err == nil {
+		t.Fatal("reduced buffer should overflow")
+	}
+}
+
+func TestFlatScheduleBuffersOnePicture(t *testing.T) {
+	// Constant sizes at constant rate: the decoder holds roughly one
+	// picture plus the startup accumulation — sanity-check magnitudes.
+	sizes := make([]int64, 60)
+	for i := range sizes {
+		sizes[i] = 30_000
+	}
+	tr := &trace.Trace{Name: "flat", Tau: 1.0 / 30, GOP: mpeg.GOP{M: 1, N: 1}, Sizes: sizes}
+	s, err := core.Smooth(tr, core.Config{K: 1, H: 1, D: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeakBuffer <= 0 {
+		t.Fatal("peak buffer must be positive")
+	}
+	// With a 0.1 s bound the decoder can never need more than the bits
+	// of D seconds of stream at the (constant) smoothed rate, ~3
+	// pictures' worth here.
+	if a.PeakBuffer > 4*30_000 {
+		t.Fatalf("flat stream peak buffer %.0f implausibly large", a.PeakBuffer)
+	}
+}
+
+func TestIdealScheduleAnalyzable(t *testing.T) {
+	// Ideal smoothing can idle between blocks; the reception curve must
+	// handle the gaps.
+	tr := driving(t, 135)
+	s, err := core.Ideal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s, a.StartupDelay, a.PeakBuffer); err != nil {
+		t.Fatalf("ideal schedule at analyzed point: %v", err)
+	}
+}
+
+// Property: for any valid schedule, Check passes at the analyzed
+// (startup, peak) point, and the startup never exceeds D for K >= 1.
+func TestAnalyzeCheckProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gops := []mpeg.GOP{{M: 3, N: 9}, {M: 1, N: 5}, {M: 2, N: 6}}
+		g := gops[rng.Intn(len(gops))]
+		n := rng.Intn(80) + 2
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(300_000) + 1_000)
+		}
+		tr := &trace.Trace{Name: "prop", Tau: 1.0 / 30, GOP: g, Sizes: sizes}
+		k := rng.Intn(3) + 1
+		d := float64(k+1)*tr.Tau + rng.Float64()*0.3
+		s, err := core.Smooth(tr, core.Config{K: k, H: g.N, D: d})
+		if err != nil {
+			return false
+		}
+		a, err := Analyze(s)
+		if err != nil {
+			return false
+		}
+		if a.StartupDelay > d+1e-9 {
+			t.Logf("seed %d: startup %.4f > D %.4f", seed, a.StartupDelay, d)
+			return false
+		}
+		if err := Check(s, a.StartupDelay, a.PeakBuffer); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyScheduleRejected(t *testing.T) {
+	s := &core.Schedule{}
+	if _, err := Analyze(s); err == nil {
+		t.Error("empty schedule should fail Analyze")
+	}
+	if err := Check(s, 1, 1); err == nil {
+		t.Error("empty schedule should fail Check")
+	}
+}

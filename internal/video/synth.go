@@ -1,0 +1,306 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SceneSpec describes one synthetic scene segment. A Script concatenates
+// segments with hard cuts between them, which is what defeats the MPEG
+// encoder's temporal prediction exactly the way real scene changes do
+// (Section 5.1 of the paper: "the scene changes give rise to abrupt
+// changes in picture sizes").
+type SceneSpec struct {
+	// Frames is the number of frames in this segment.
+	Frames int
+	// Detail in [0,1] controls spatial complexity (texture amplitude and
+	// frequency content). High detail inflates I pictures.
+	Detail float64
+	// Motion in [0,1] controls how fast the content moves per frame.
+	// High motion inflates P and B pictures.
+	Motion float64
+	// MotionRamp, if nonzero, linearly ramps Motion to Motion+MotionRamp
+	// across the segment (the Tennis instructor getting up).
+	MotionRamp float64
+	// BaseLuma sets the average brightness of the segment's background,
+	// also serving to make cuts between segments visually abrupt.
+	BaseLuma uint8
+	// Objects is the number of independently moving foreground objects.
+	Objects int
+}
+
+// Script is a sequence of scenes rendered back to back.
+type Script struct {
+	W, H   int
+	Scenes []SceneSpec
+	Seed   int64
+}
+
+// TotalFrames returns the number of frames the script renders.
+func (s *Script) TotalFrames() int {
+	n := 0
+	for _, sc := range s.Scenes {
+		n += sc.Frames
+	}
+	return n
+}
+
+// object is a moving textured rectangle.
+type object struct {
+	x, y   float64
+	vx, vy float64
+	w, h   int
+	luma   uint8
+	cb, cr uint8
+}
+
+// Synthesizer renders a Script frame by frame, deterministically for a
+// given seed. It is NOT safe for concurrent use.
+type Synthesizer struct {
+	script  Script
+	rng     *rand.Rand
+	frameNo int
+
+	sceneIdx   int
+	sceneFrame int
+	objects    []object
+	texPhaseX  float64
+	texPhaseY  float64
+	noise      []float64 // per-scene static texture field
+}
+
+// NewSynthesizer prepares a renderer for the script. The frame size must
+// be a positive multiple of 16 in both dimensions.
+func NewSynthesizer(script Script) (*Synthesizer, error) {
+	if _, err := NewFrame(script.W, script.H); err != nil {
+		return nil, err
+	}
+	s := &Synthesizer{
+		script: script,
+		rng:    rand.New(rand.NewSource(script.Seed)),
+	}
+	if len(script.Scenes) > 0 {
+		s.enterScene(0)
+	}
+	return s, nil
+}
+
+// enterScene resets per-scene state: new object set, new texture field.
+// Zero-length scenes (which short scripts can produce) are skipped.
+func (s *Synthesizer) enterScene(idx int) {
+	for idx < len(s.script.Scenes) && s.script.Scenes[idx].Frames <= 0 {
+		idx++
+	}
+	s.sceneIdx = idx
+	s.sceneFrame = 0
+	if idx >= len(s.script.Scenes) {
+		return // done
+	}
+	sc := s.script.Scenes[idx]
+	s.objects = s.objects[:0]
+	for i := 0; i < sc.Objects; i++ {
+		s.objects = append(s.objects, object{
+			x:    s.rng.Float64() * float64(s.script.W),
+			y:    s.rng.Float64() * float64(s.script.H),
+			vx:   (s.rng.Float64()*2 - 1) * 8,
+			vy:   (s.rng.Float64()*2 - 1) * 4,
+			w:    16 + s.rng.Intn(s.script.W/4),
+			h:    16 + s.rng.Intn(s.script.H/4),
+			luma: uint8(64 + s.rng.Intn(128)),
+			cb:   uint8(96 + s.rng.Intn(64)),
+			cr:   uint8(96 + s.rng.Intn(64)),
+		})
+	}
+	// Static per-scene texture: sum of random sinusoids. Regenerating it on
+	// every cut is what makes the first picture of a scene expensive to
+	// predict from the previous scene.
+	s.noise = make([]float64, 64)
+	for i := range s.noise {
+		s.noise[i] = s.rng.Float64()*2 - 1
+	}
+	s.texPhaseX = s.rng.Float64() * 100
+	s.texPhaseY = s.rng.Float64() * 100
+}
+
+// Done reports whether the script has been fully rendered.
+func (s *Synthesizer) Done() bool {
+	return s.sceneIdx >= len(s.script.Scenes)
+}
+
+// Next renders the next frame of the script, or returns nil when done.
+func (s *Synthesizer) Next() *Frame {
+	if s.Done() {
+		return nil
+	}
+	sc := s.script.Scenes[s.sceneIdx]
+	f := MustNewFrame(s.script.W, s.script.H)
+	f.DisplayIdx = s.frameNo
+
+	progress := 0.0
+	if sc.Frames > 1 {
+		progress = float64(s.sceneFrame) / float64(sc.Frames-1)
+	}
+	motion := sc.Motion + sc.MotionRamp*progress
+
+	s.renderBackground(f, sc, motion)
+	s.renderObjects(f, motion)
+	s.addSensorNoise(f, sc.Detail)
+
+	// Advance state. The global pan moves by a whole number of pixels per
+	// frame so that full-pixel motion compensation can track the
+	// background, as it can for real camera pans; objects move at
+	// fractional speeds and leave genuine prediction error.
+	s.texPhaseX += math.Round(motion * 6)
+	s.texPhaseY += math.Round(motion * 1.5)
+	for i := range s.objects {
+		o := &s.objects[i]
+		o.x += o.vx * motion
+		o.y += o.vy * motion
+		o.x = wrap(o.x, float64(s.script.W))
+		o.y = wrap(o.y, float64(s.script.H))
+	}
+	s.frameNo++
+	s.sceneFrame++
+	if s.sceneFrame >= sc.Frames {
+		s.enterScene(s.sceneIdx + 1)
+	}
+	return f
+}
+
+// renderBackground paints a panning multi-frequency texture whose
+// amplitude scales with Detail.
+func (s *Synthesizer) renderBackground(f *Frame, sc SceneSpec, motion float64) {
+	amp := sc.Detail * 60
+	base := float64(sc.BaseLuma)
+	n := s.noise
+	for y := 0; y < f.H; y++ {
+		fy := float64(y) + s.texPhaseY
+		// Precompute row-dependent terms. Banding is keyed to the panned
+		// coordinate so that integer pans are exact translations — what a
+		// camera pan over a static scene looks like to the encoder.
+		band := int(fy) / 3 % 8
+		if band < 0 {
+			band += 8
+		}
+		rowA := n[band+8] * amp
+		for x := 0; x < f.W; x++ {
+			fx := float64(x) + s.texPhaseX
+			v := base
+			v += amp * math.Sin(fx*0.11*(1+n[0]*0.3)+fy*0.07)
+			v += amp * 0.6 * math.Sin(fx*0.31+n[1]*3)
+			v += rowA * math.Sin(fx*0.53+fy*0.29)
+			f.Y[y*f.W+x] = clamp8(v)
+		}
+	}
+	cw, ch := f.ChromaW(), f.ChromaH()
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			fx := float64(x)*2 + s.texPhaseX
+			f.Cb[y*cw+x] = clamp8(128 + sc.Detail*20*math.Sin(fx*0.05))
+			f.Cr[y*cw+x] = clamp8(128 + sc.Detail*20*math.Cos(fx*0.04))
+		}
+	}
+}
+
+// renderObjects draws the moving foreground rectangles with simple
+// per-object texture.
+func (s *Synthesizer) renderObjects(f *Frame, motion float64) {
+	cw := f.ChromaW()
+	for oi := range s.objects {
+		o := &s.objects[oi]
+		x0, y0 := int(o.x), int(o.y)
+		for dy := 0; dy < o.h; dy++ {
+			y := y0 + dy
+			if y < 0 || y >= f.H {
+				continue
+			}
+			for dx := 0; dx < o.w; dx++ {
+				x := x0 + dx
+				if x < 0 || x >= f.W {
+					continue
+				}
+				tex := 20 * math.Sin(float64(dx)*0.4+float64(oi))
+				f.Y[y*f.W+x] = clamp8(float64(o.luma) + tex)
+				if x%2 == 0 && y%2 == 0 {
+					ci := (y/2)*cw + x/2
+					f.Cb[ci] = o.cb
+					f.Cr[ci] = o.cr
+				}
+			}
+		}
+	}
+}
+
+// addSensorNoise adds small deterministic pseudo-noise so that even static
+// scenes never compress to nothing, like real camera output.
+func (s *Synthesizer) addSensorNoise(f *Frame, detail float64) {
+	if detail <= 0 {
+		return
+	}
+	amp := 2 + detail*3
+	// Cheap hash noise keyed by position and frame number: deterministic
+	// across runs, uncorrelated between frames.
+	fn := uint32(s.frameNo)
+	for y := 0; y < f.H; y += 2 {
+		for x := 0; x < f.W; x += 3 {
+			h := (uint32(x)*2654435761 ^ uint32(y)*40503 ^ fn*97) >> 16
+			d := (float64(h&0xFF)/255 - 0.5) * amp
+			i := y*f.W + x
+			f.Y[i] = clamp8(float64(f.Y[i]) + d)
+		}
+	}
+}
+
+func wrap(v, max float64) float64 {
+	for v < -32 {
+		v += max + 64
+	}
+	for v > max+32 {
+		v -= max + 64
+	}
+	return v
+}
+
+// DrivingScript models the paper's Driving video: fast-moving countryside,
+// a cut to a low-motion close-up of the driver, and a cut back.
+// frames is the total length; it is split 40% / 30% / 30%.
+func DrivingScript(w, h, frames int, seed int64) Script {
+	a := frames * 2 / 5
+	b := frames * 3 / 10
+	c := frames - a - b
+	return Script{
+		W: w, H: h, Seed: seed,
+		Scenes: []SceneSpec{
+			{Frames: a, Detail: 0.85, Motion: 0.9, BaseLuma: 110, Objects: 4},
+			{Frames: b, Detail: 0.35, Motion: 0.15, BaseLuma: 150, Objects: 1},
+			{Frames: c, Detail: 0.85, Motion: 0.95, BaseLuma: 105, Objects: 4},
+		},
+	}
+}
+
+// TennisScript models the Tennis video: one scene, low motion ramping up
+// as the instructor gets up and moves away.
+func TennisScript(w, h, frames int, seed int64) Script {
+	return Script{
+		W: w, H: h, Seed: seed,
+		Scenes: []SceneSpec{
+			{Frames: frames, Detail: 0.6, Motion: 0.1, MotionRamp: 0.8, BaseLuma: 130, Objects: 2},
+		},
+	}
+}
+
+// BackyardScript models the Backyard video: complex detailed backgrounds,
+// slow motion, two scene changes.
+func BackyardScript(w, h, frames int, seed int64) Script {
+	a := frames * 2 / 5
+	b := frames * 3 / 10
+	c := frames - a - b
+	return Script{
+		W: w, H: h, Seed: seed,
+		Scenes: []SceneSpec{
+			{Frames: a, Detail: 0.95, Motion: 0.25, BaseLuma: 120, Objects: 2},
+			{Frames: b, Detail: 0.9, Motion: 0.3, BaseLuma: 100, Objects: 3},
+			{Frames: c, Detail: 0.95, Motion: 0.25, BaseLuma: 125, Objects: 2},
+		},
+	}
+}

@@ -1,0 +1,312 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameValidation(t *testing.T) {
+	for _, c := range []struct {
+		w, h int
+		ok   bool
+	}{
+		{16, 16, true}, {640, 480, true}, {352, 288, true},
+		{0, 16, false}, {16, 0, false}, {-16, 16, false},
+		{15, 16, false}, {16, 17, false}, {8, 8, false},
+	} {
+		_, err := NewFrame(c.w, c.h)
+		if (err == nil) != c.ok {
+			t.Errorf("NewFrame(%d,%d): err=%v, want ok=%v", c.w, c.h, err, c.ok)
+		}
+	}
+}
+
+func TestFramePlaneSizes(t *testing.T) {
+	f := MustNewFrame(64, 48)
+	if len(f.Y) != 64*48 {
+		t.Fatalf("Y plane %d, want %d", len(f.Y), 64*48)
+	}
+	if len(f.Cb) != 32*24 || len(f.Cr) != 32*24 {
+		t.Fatalf("chroma planes %d/%d, want %d", len(f.Cb), len(f.Cr), 32*24)
+	}
+	if f.ChromaW() != 32 || f.ChromaH() != 24 {
+		t.Fatalf("chroma dims %dx%d", f.ChromaW(), f.ChromaH())
+	}
+	if f.MacroblocksX() != 4 || f.MacroblocksY() != 3 {
+		t.Fatalf("macroblocks %dx%d, want 4x3", f.MacroblocksX(), f.MacroblocksY())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := MustNewFrame(16, 16)
+	f.Fill(100, 110, 120)
+	g := f.Clone()
+	g.Y[0] = 7
+	g.Cb[0] = 8
+	g.Cr[0] = 9
+	if f.Y[0] != 100 || f.Cb[0] != 110 || f.Cr[0] != 120 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := MustNewFrame(16, 16)
+	b := MustNewFrame(16, 16)
+	a.Fill(100, 128, 128)
+	b.Fill(100, 128, 128)
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Fatalf("identical frames PSNR = %v, want +Inf", p)
+	}
+	b.Fill(110, 128, 128) // uniform error of 10
+	p, err = PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", p, want)
+	}
+	c := MustNewFrame(32, 16)
+	if _, err := PSNR(a, c); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestRGBYCbCrRoundTrip(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		y, cb, cr := RGBToYCbCr(r, g, b)
+		r2, g2, b2 := YCbCrToRGB(y, cb, cr)
+		const tol = 3 // 8-bit quantization in both directions
+		return absInt(int(r)-int(r2)) <= tol &&
+			absInt(int(g)-int(g2)) <= tol &&
+			absInt(int(b)-int(b2)) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRGBGrayMapsToNeutralChroma(t *testing.T) {
+	for _, v := range []uint8{0, 64, 128, 200, 255} {
+		y, cb, cr := RGBToYCbCr(v, v, v)
+		if absInt(int(cb)-128) > 1 || absInt(int(cr)-128) > 1 {
+			t.Fatalf("gray %d: cb=%d cr=%d, want ~128", v, cb, cr)
+		}
+		if absInt(int(y)-int(v)) > 1 {
+			t.Fatalf("gray %d: y=%d", v, y)
+		}
+	}
+}
+
+func TestSynthesizerDeterminism(t *testing.T) {
+	mk := func() []*Frame {
+		s, err := NewSynthesizer(DrivingScript(64, 48, 10, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*Frame
+		for !s.Done() {
+			out = append(out, s.Next())
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("frame counts %d/%d, want 10", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i].Y {
+			if a[i].Y[j] != b[i].Y[j] {
+				t.Fatalf("frame %d differs between runs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSynthesizerFrameCountMatchesScript(t *testing.T) {
+	script := DrivingScript(32, 32, 23, 1)
+	if script.TotalFrames() != 23 {
+		t.Fatalf("TotalFrames = %d, want 23", script.TotalFrames())
+	}
+	s, err := NewSynthesizer(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for !s.Done() {
+		f := s.Next()
+		if f == nil {
+			t.Fatal("Next returned nil before Done")
+		}
+		if f.DisplayIdx != n {
+			t.Fatalf("DisplayIdx = %d, want %d", f.DisplayIdx, n)
+		}
+		n++
+		if n > 100 {
+			t.Fatal("runaway synthesizer")
+		}
+	}
+	if n != 23 {
+		t.Fatalf("rendered %d frames, want 23", n)
+	}
+	if s.Next() != nil {
+		t.Fatal("Next after Done should return nil")
+	}
+}
+
+func TestZeroFrameScenesSkipped(t *testing.T) {
+	// Short scripts can produce zero-length scenes; they must render
+	// nothing. DrivingScript(…, 2, …) splits 2 frames as 0/0/2.
+	s, err := NewSynthesizer(DrivingScript(32, 32, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for !s.Done() {
+		if s.Next() == nil {
+			t.Fatal("nil frame before Done")
+		}
+		n++
+		if n > 10 {
+			t.Fatal("runaway")
+		}
+	}
+	if n != 2 {
+		t.Fatalf("rendered %d frames, want 2", n)
+	}
+	// A script that is all zero-length scenes renders nothing.
+	s2, err := NewSynthesizer(Script{W: 32, H: 32, Scenes: []SceneSpec{{Frames: 0}, {Frames: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Done() || s2.Next() != nil {
+		t.Fatal("all-empty script should be immediately done")
+	}
+}
+
+func TestSceneCutChangesContent(t *testing.T) {
+	// The last frame of scene 1 and the first frame of scene 2 must differ
+	// much more than two consecutive frames within a scene.
+	script := Script{
+		W: 64, H: 48, Seed: 9,
+		Scenes: []SceneSpec{
+			{Frames: 5, Detail: 0.8, Motion: 0.5, BaseLuma: 100, Objects: 2},
+			{Frames: 5, Detail: 0.3, Motion: 0.1, BaseLuma: 180, Objects: 1},
+		},
+	}
+	s, err := NewSynthesizer(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*Frame
+	for !s.Done() {
+		frames = append(frames, s.Next())
+	}
+	intra := frameDiff(frames[2], frames[3]) // within scene 1
+	cut := frameDiff(frames[4], frames[5])   // across the cut
+	if cut < intra*2 {
+		t.Fatalf("scene cut diff %.1f not much larger than intra-scene diff %.1f", cut, intra)
+	}
+}
+
+func TestMotionRampIncreasesFrameDiff(t *testing.T) {
+	script := TennisScript(64, 48, 30, 3)
+	s, err := NewSynthesizer(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*Frame
+	for !s.Done() {
+		frames = append(frames, s.Next())
+	}
+	early := frameDiff(frames[1], frames[2])
+	late := frameDiff(frames[27], frames[28])
+	if late <= early {
+		t.Fatalf("motion ramp should raise frame-to-frame diff: early %.1f late %.1f", early, late)
+	}
+}
+
+func TestDetailControlsVariance(t *testing.T) {
+	mk := func(detail float64) *Frame {
+		s, err := NewSynthesizer(Script{
+			W: 64, H: 48, Seed: 4,
+			Scenes: []SceneSpec{{Frames: 1, Detail: detail, BaseLuma: 128}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Next()
+	}
+	low := lumaVariance(mk(0.1))
+	high := lumaVariance(mk(0.9))
+	if high < low*3 {
+		t.Fatalf("high detail variance %.1f should dwarf low detail %.1f", high, low)
+	}
+}
+
+func TestPaperScriptsShapes(t *testing.T) {
+	for name, script := range map[string]Script{
+		"driving":  DrivingScript(64, 48, 100, 1),
+		"tennis":   TennisScript(64, 48, 100, 1),
+		"backyard": BackyardScript(64, 48, 100, 1),
+	} {
+		if script.TotalFrames() != 100 {
+			t.Errorf("%s: TotalFrames = %d, want 100", name, script.TotalFrames())
+		}
+	}
+	if n := len(DrivingScript(64, 48, 100, 1).Scenes); n != 3 {
+		t.Errorf("driving should have 3 scenes (2 cuts), got %d", n)
+	}
+	if n := len(TennisScript(64, 48, 100, 1).Scenes); n != 1 {
+		t.Errorf("tennis should have 1 scene, got %d", n)
+	}
+	if n := len(BackyardScript(64, 48, 100, 1).Scenes); n != 3 {
+		t.Errorf("backyard should have 3 scenes, got %d", n)
+	}
+}
+
+func frameDiff(a, b *Frame) float64 {
+	var s float64
+	for i := range a.Y {
+		d := float64(int(a.Y[i]) - int(b.Y[i]))
+		s += d * d
+	}
+	return s / float64(len(a.Y))
+}
+
+func lumaVariance(f *Frame) float64 {
+	var mean float64
+	for _, v := range f.Y {
+		mean += float64(v)
+	}
+	mean /= float64(len(f.Y))
+	var va float64
+	for _, v := range f.Y {
+		d := float64(v) - mean
+		va += d * d
+	}
+	return va / float64(len(f.Y))
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func BenchmarkSynthesizeFrame(b *testing.B) {
+	s, err := NewSynthesizer(DrivingScript(320, 240, 1<<30, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

@@ -1,0 +1,193 @@
+package mpegsmooth
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The root-package tests exercise the public facade end to end — the
+// exact surface the examples and downstream users see.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	tr, err := Driving1(135, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Smooth(tr, Config{K: 1, H: tr.GOP.N, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sched); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxRate <= 0 || m.StdDev < 0 || math.IsNaN(m.AreaDiff) {
+		t.Fatalf("degenerate measures %+v", m)
+	}
+	if m.MaxRate >= tr.PeakPictureRate() {
+		t.Fatal("smoothing did not reduce the peak")
+	}
+	d := SummarizeDelays(sched)
+	if d.Violations != 0 || d.Max > 0.2+1e-9 {
+		t.Fatalf("delay stats %+v", d)
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	for _, gen := range []func(int, int64) (*Trace, error){Driving1, Driving2, Tennis, Backyard} {
+		tr, err := gen(54, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadTraceCSV(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		if back.Name != tr.Name || back.Len() != tr.Len() {
+			t.Fatalf("%s: round trip mangled trace", tr.Name)
+		}
+	}
+}
+
+func TestPublicPaperSequences(t *testing.T) {
+	seqs, err := PaperSequences(54, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("%d sequences", len(seqs))
+	}
+	want := []string{"Driving1", "Driving2", "Tennis", "Backyard"}
+	for i, tr := range seqs {
+		if tr.Name != want[i] {
+			t.Fatalf("sequence %d is %s, want %s", i, tr.Name, want[i])
+		}
+	}
+}
+
+func TestPublicOfflineAndIdeal(t *testing.T) {
+	tr, err := Backyard(96, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Ideal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ideal.Rates) != tr.Len() {
+		t.Fatal("ideal schedule wrong length")
+	}
+	off, err := OfflineSmooth(tr, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := off.CheckDelayBound(); v != -1 {
+		t.Fatalf("offline delay bound violated at %d", v)
+	}
+}
+
+func TestPublicRawRateFunc(t *testing.T) {
+	tr, err := Driving1(27, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := RawRateFunc(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value during picture 0's period is S_0/tau.
+	want := float64(tr.Sizes[0]) / tr.Tau
+	if got := f.At(tr.Tau / 2); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("raw rate %.1f, want %.1f", got, want)
+	}
+	// Total integral equals total bits.
+	if got := f.Integral(); math.Abs(got-float64(tr.TotalBits())) > 1 {
+		t.Fatalf("integral %.0f, want %d", got, tr.TotalBits())
+	}
+}
+
+func TestPublicCodecFlow(t *testing.T) {
+	synth, err := NewSynthesizer(TennisVideoScript(48, 32, 12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*Frame
+	for !synth.Done() {
+		frames = append(frames, synth.Next())
+	}
+	enc, err := NewEncoder(DefaultEncoderConfig(48, 32, GOP{M: 3, N: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := enc.EncodeSequence(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectStream(seq.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := info.SizesInDisplayOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceFromPictureSizes("enc", 1.0/30, GOP{M: 3, N: 9}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Smooth(tr, Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sched); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDecoder().Decode(seq.Data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyReportsViolations(t *testing.T) {
+	tr, err := Driving1(54, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Smooth(tr, Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the schedule and confirm Verify notices.
+	sched.Delays[10] = 99
+	if err := Verify(sched); err == nil {
+		t.Fatal("Verify missed a delay violation")
+	}
+}
+
+func TestEstimatorAliasesUsable(t *testing.T) {
+	tr, err := Driving1(54, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range []Estimator{
+		PatternEstimator{},
+		TypeMeanEstimator{},
+		EWMAEstimator{Alpha: 0.3},
+		OracleEstimator{},
+	} {
+		s, err := Smooth(tr, Config{K: 1, H: 9, D: 0.2, Estimator: est})
+		if err != nil {
+			t.Fatalf("%s: %v", est.Name(), err)
+		}
+		if err := Verify(s); err != nil {
+			t.Fatalf("%s: %v", est.Name(), err)
+		}
+	}
+}

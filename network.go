@@ -1,0 +1,71 @@
+package mpegsmooth
+
+import (
+	"context"
+	"io"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/netsim"
+	"mpegsmooth/internal/transport"
+	"mpegsmooth/internal/vbv"
+)
+
+// Network-facing re-exports: the finite-buffer multiplexer simulator
+// (the paper's statistical-multiplexing motivation) and the paced
+// transport (the notify(i, rate) contract over a real connection).
+type (
+	// MuxRunConfig describes one multiplexing simulation.
+	MuxRunConfig = netsim.RunConfig
+	// MuxStats counts cells through the multiplexer.
+	MuxStats = netsim.MuxStats
+
+	// Sender paces a smoothed schedule over a connection.
+	Sender = transport.Sender
+	// Report summarizes a transport receive session.
+	Report = transport.Report
+	// ReceivedPicture records one picture at the receiver.
+	ReceivedPicture = transport.ReceivedPicture
+	// RateNotification is the notify(i, rate) wire message.
+	RateNotification = transport.RateNotification
+
+	// Policer is a token-bucket usage-parameter-control element that
+	// checks traffic against its declared rates.
+	Policer = netsim.Policer
+
+	// VBVAnalysis reports the decoder-side buffering a schedule demands:
+	// minimum start-up delay (= the schedule's maximum picture delay,
+	// which Theorem 1 bounds by D) and peak buffer occupancy.
+	VBVAnalysis = vbv.Analysis
+)
+
+// CellBits is the fixed cell size of the multiplexer model (ATM: 53
+// bytes).
+const CellBits = netsim.CellBits
+
+// RunMux simulates rate-scheduled sources through a shared finite-buffer
+// multiplexer and returns loss statistics.
+func RunMux(cfg MuxRunConfig) (MuxStats, error) { return netsim.Run(cfg) }
+
+// Receive drains a sender's stream until its end marker, recording
+// per-picture arrival times, integrity hashes, and rate notifications.
+func Receive(ctx context.Context, conn io.Reader) (*Report, error) {
+	return transport.Receive(ctx, conn)
+}
+
+// PayloadSum64 is the integrity hash the receiver records per picture.
+func PayloadSum64(payload []byte) uint64 { return transport.PayloadSum64(payload) }
+
+// NewPolicer creates a token-bucket policer with the given burst
+// tolerance in bits.
+func NewPolicer(burstBits float64) (*Policer, error) { return netsim.NewPolicer(burstBits) }
+
+// AnalyzeVBV computes the minimum decoder start-up delay and peak
+// decoder buffer occupancy implied by a schedule (the MPEG "model
+// decoder" view of smoothing).
+func AnalyzeVBV(s *core.Schedule) (VBVAnalysis, error) { return vbv.Analyze(s) }
+
+// CheckVBV verifies that decoding with the given start-up delay and
+// buffer capacity (bits) neither underflows nor overflows.
+func CheckVBV(s *core.Schedule, startup, bufferBits float64) error {
+	return vbv.Check(s, startup, bufferBits)
+}
