@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench results examples clean
+.PHONY: all build test test-race vet bench results examples clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# The batch runner (SmoothAll) shards streams across a worker pool;
+# the race detector guards the sharding and the shared Config values.
+test-race:
+	$(GO) test -race ./...
+
 # Regenerate every figure of the paper's evaluation (plus extensions)
 # into results/ as CSV, with console summaries.
 results:
 	$(GO) run ./cmd/experiments -fig all -out results
 
-# Time the regeneration of every figure and the core primitives.
+# Time the regeneration of every figure and the core primitives,
+# without re-running the unit tests.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 examples:
 	$(GO) run ./examples/quickstart

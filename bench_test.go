@@ -152,6 +152,35 @@ func BenchmarkSmoothPerPicture(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tr.Len()), "ns/picture")
 }
 
+// BenchmarkSmoothAll times the concurrent batch runner over many
+// streams, serial vs parallel, to show the worker pool's speedup.
+func BenchmarkSmoothAll(b *testing.B) {
+	seqs, err := PaperSequences(benchPictures, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Replicate the four sequences so the pool has enough work per
+	// picture of parallelism to amortize goroutine overhead.
+	var traces []*Trace
+	for i := 0; i < 4; i++ {
+		traces = append(traces, seqs...)
+	}
+	cfg := Config{K: 1, H: 0, D: 0.2}
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{{"serial", 1}, {"parallel8", 8}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SmoothAll(traces, cfg, bc.parallelism); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOfflineSmooth times the taut-string offline optimum.
 func BenchmarkOfflineSmooth(b *testing.B) {
 	tr, err := Driving1(benchPictures, 1)

@@ -7,6 +7,13 @@
 //	experiments -fig all -out results/
 //	experiments -fig 6            # one figure
 //	experiments -fig extB -out results/
+//	experiments -fig 6 -policy min-var -parallelism 8
+//
+// The -policy flag (basic | moving-average | capped:<bps> | min-var)
+// selects the rate-selection policy for the sweep figures (6, 7, 8);
+// the paper's figures use basic. -parallelism bounds the worker pool
+// the sweeps use to smooth the four sequences concurrently (0 = one
+// worker per CPU).
 package main
 
 import (
@@ -16,18 +23,30 @@ import (
 	"path/filepath"
 	"strings"
 
+	"mpegsmooth"
 	"mpegsmooth/internal/experiments"
 	"mpegsmooth/internal/mpeg"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, extA, extB, extC, extD, extE, all")
-		out      = flag.String("out", "results", "output directory for CSV series")
-		pictures = flag.Int("pictures", experiments.DefaultPictures, "trace length in pictures")
-		seed     = flag.Int64("seed", experiments.DefaultSeed, "trace generation seed")
+		fig         = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, extA, extB, extC, extD, extE, all")
+		out         = flag.String("out", "results", "output directory for CSV series")
+		pictures    = flag.Int("pictures", experiments.DefaultPictures, "trace length in pictures")
+		seed        = flag.Int64("seed", experiments.DefaultSeed, "trace generation seed")
+		policy      = flag.String("policy", "", "rate selection for sweep figures: basic | moving-average | capped:<bps> | min-var")
+		parallelism = flag.Int("parallelism", 0, "worker pool size for batch smoothing (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	var opts []experiments.SweepOption
+	if *policy != "" {
+		p, err := mpegsmooth.ParsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, experiments.WithPolicy(p))
+	}
+	opts = append(opts, experiments.WithParallelism(*parallelism))
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -36,7 +55,7 @@ func main() {
 		figs = []string{"3", "4", "5", "6", "7", "8", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI"}
 	}
 	for _, f := range figs {
-		if err := runFigure(strings.TrimSpace(f), *out, *pictures, *seed); err != nil {
+		if err := runFigure(strings.TrimSpace(f), *out, *pictures, *seed, opts...); err != nil {
 			fatal(fmt.Errorf("figure %s: %w", f, err))
 		}
 	}
@@ -47,7 +66,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runFigure(fig, out string, pictures int, seed int64) error {
+func runFigure(fig, out string, pictures int, seed int64, opts ...experiments.SweepOption) error {
 	switch fig {
 	case "3":
 		return figure3(out, pictures, seed)
@@ -57,15 +76,15 @@ func runFigure(fig, out string, pictures int, seed int64) error {
 		return figure5(out, pictures, seed)
 	case "6":
 		return sweep(out, "fig6_sweep_D.csv", "Figure 6 (measures vs delay bound D; K=1, H=N)", "D_seconds",
-			func() ([]experiments.SweepRow, error) { return experiments.Figure6(pictures, seed) })
+			func() ([]experiments.SweepRow, error) { return experiments.Figure6(pictures, seed, opts...) })
 	case "7":
 		return sweep(out, "fig7_sweep_H.csv", "Figure 7 (measures vs lookahead H; D=0.2, K=1)", "H_pictures",
-			func() ([]experiments.SweepRow, error) { return experiments.Figure7(pictures, seed) })
+			func() ([]experiments.SweepRow, error) { return experiments.Figure7(pictures, seed, opts...) })
 	case "8":
 		return sweep(out, "fig8_sweep_K.csv", "Figure 8 (measures vs K; D=0.1333+(K+1)/30, H=N)", "K_pictures",
-			func() ([]experiments.SweepRow, error) { return experiments.Figure8(pictures, seed) })
+			func() ([]experiments.SweepRow, error) { return experiments.Figure8(pictures, seed, opts...) })
 	case "extA":
-		return extA(out, pictures, seed)
+		return extA(out, pictures, seed, opts...)
 	case "extB":
 		return extB(out, seed)
 	case "extC":
@@ -298,8 +317,8 @@ func sweep(out, file, title, xlabel string, gen func() ([]experiments.SweepRow, 
 	return nil
 }
 
-func extA(out string, pictures int, seed int64) error {
-	rows, err := experiments.ExtA(pictures, seed)
+func extA(out string, pictures int, seed int64, opts ...experiments.SweepOption) error {
+	rows, err := experiments.ExtA(pictures, seed, opts...)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"mpegsmooth"
+	"mpegsmooth/internal/experiments"
 )
 
 func TestRunEveryFigure(t *testing.T) {
@@ -50,6 +53,20 @@ func TestRunExtE(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "extE_pipeline.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepWithPolicyAndParallelism(t *testing.T) {
+	dir := t.TempDir()
+	opts := []experiments.SweepOption{
+		experiments.WithPolicy(mpegsmooth.MinimumVariability{}),
+		experiments.WithParallelism(8),
+	}
+	if err := runFigure("6", dir, 54, 7, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6_sweep_D.csv")); err != nil {
 		t.Fatal(err)
 	}
 }

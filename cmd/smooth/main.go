@@ -5,7 +5,16 @@
 //
 //	smooth -in driving1.csv -K 1 -H 9 -D 0.2
 //	smooth -seq driving1 -D 0.2 -schedule     # built-in trace, full table
-//	smooth -seq tennis -variant moving -D 0.2
+//	smooth -seq tennis -policy moving-average -D 0.2
+//	smooth -seq driving1 -policy capped:2.5e6 # hard 2.5 Mbps ceiling
+//	smooth -seq backyard -policy min-var      # centre in the feasible band
+//
+// The -policy flag selects the rate-selection policy: basic (hold the
+// previous rate; fewest changes), moving-average (track Eq. 15),
+// capped:<bps> (basic under a hard bits/s ceiling; unavoidable
+// delay-bound violations are reported, never silently exceeded), or
+// min-var (centre within the feasible band). The older -variant flag
+// survives as a deprecated alias for basic/moving.
 package main
 
 import (
@@ -26,19 +35,20 @@ func main() {
 		k        = flag.Int("K", 1, "pictures with known sizes before sending (Theorem 1 needs K >= 1)")
 		h        = flag.Int("H", 0, "lookahead interval in pictures (0 = pattern length N)")
 		d        = flag.Float64("D", 0.2, "delay bound in seconds")
-		variant  = flag.String("variant", "basic", "rate selection: basic or moving")
+		policy   = flag.String("policy", "", "rate selection: basic | moving-average | capped:<bps> | min-var")
+		variant  = flag.String("variant", "basic", "deprecated alias of -policy: basic or moving")
 		schedule = flag.Bool("schedule", false, "print the full per-picture schedule")
 		compare  = flag.Bool("compare", false, "also run ideal smoothing and the offline optimum")
 		out      = flag.String("o", "", "write the schedule as CSV to this file")
 	)
 	flag.Parse()
-	if err := run(*in, *seq, *pictures, *seed, *k, *h, *d, *variant, *schedule, *compare, *out); err != nil {
+	if err := run(*in, *seq, *pictures, *seed, *k, *h, *d, *variant, *policy, *schedule, *compare, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "smooth: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, seq string, pictures int, seed int64, k, h int, d float64, variant string, schedule, compare bool, out string) error {
+func run(in, seq string, pictures int, seed int64, k, h int, d float64, variant, policy string, schedule, compare bool, out string) error {
 	tr, err := loadTrace(in, seq, pictures, seed)
 	if err != nil {
 		return err
@@ -47,20 +57,38 @@ func run(in, seq string, pictures int, seed int64, k, h int, d float64, variant 
 		h = tr.GOP.N
 	}
 	cfg := mpegsmooth.Config{K: k, H: h, D: d}
-	switch strings.ToLower(variant) {
-	case "basic":
-	case "moving", "moving-average":
-		cfg.Variant = mpegsmooth.MovingAverage
-	default:
-		return fmt.Errorf("unknown variant %q", variant)
+	if policy == "" {
+		// Deprecated -variant alias.
+		switch strings.ToLower(variant) {
+		case "basic":
+			policy = "basic"
+		case "moving", "moving-average":
+			policy = "moving-average"
+		default:
+			return fmt.Errorf("unknown variant %q", variant)
+		}
 	}
-
-	s, err := mpegsmooth.Smooth(tr, cfg)
+	p, err := mpegsmooth.ParsePolicy(policy)
 	if err != nil {
 		return err
 	}
+	cfg.Policy = p
+
+	stats := mpegsmooth.NewDecisionStats()
+	s, err := mpegsmooth.SmoothObserved(tr, cfg, func(o mpegsmooth.Observation) {
+		stats.Add(o.LowerSlack, o.UpperSlack, o.Depth, o.EstimatorError)
+	})
+	if err != nil {
+		return err
+	}
+	violations := s.PolicyViolations()
 	if err := mpegsmooth.Verify(s); err != nil && k >= 1 {
-		return fmt.Errorf("invariant check failed: %w", err)
+		if len(violations) == 0 {
+			return fmt.Errorf("invariant check failed: %w", err)
+		}
+		// The policy knowingly traded bound violations for its own
+		// constraint (a binding rate cap); report rather than fail.
+		fmt.Printf("note: %v\n", err)
 	}
 	m, err := mpegsmooth.Evaluate(s)
 	if err != nil {
@@ -70,12 +98,18 @@ func run(in, seq string, pictures int, seed int64, k, h int, d float64, variant 
 
 	fmt.Printf("trace %s: %d pictures, pattern %s, mean %.3f Mbps, unsmoothed peak %.3f Mbps\n",
 		tr.Name, tr.Len(), tr.GOP.Pattern(), tr.MeanRate()/1e6, tr.PeakPictureRate()/1e6)
-	fmt.Printf("algorithm: K=%d H=%d D=%.4fs variant=%s\n", k, h, d, cfg.Variant)
+	fmt.Printf("algorithm: K=%d H=%d D=%.4fs policy=%s\n", k, h, d, p.Name())
 	fmt.Printf("  area difference   %.4f\n", m.AreaDiff)
 	fmt.Printf("  rate changes      %d\n", m.RateChanges)
 	fmt.Printf("  max rate          %.3f Mbps\n", m.MaxRate/1e6)
 	fmt.Printf("  S.D. of rate      %.3f Mbps\n", m.StdDev/1e6)
 	fmt.Printf("  max delay         %.4f s (bound %.4f, %d violations)\n", ds.Max, d, ds.Violations)
+	fmt.Printf("decisions: %d (mean lookahead %.2f, min slack %.0f bps, estimator error mean %.4f rms %.4f)\n",
+		stats.Decisions, stats.MeanDepth(), stats.MinSlack(), stats.MeanAbsEstimatorError(), stats.RMSEstimatorError())
+	if len(violations) > 0 {
+		fmt.Printf("policy violations: %d pictures outside the Theorem 1 band (first at %d)\n",
+			len(violations), violations[0])
+	}
 
 	if compare {
 		ideal, err := mpegsmooth.Ideal(tr)

@@ -9,20 +9,40 @@ import (
 // Smooth runs the smoothing algorithm of Figure 2 over a complete trace
 // and returns the resulting schedule. The algorithm is online: at each
 // picture it sees only the sizes of pictures that have arrived by t_i and
-// estimates the rest through cfg.Estimator. For an incremental form that
-// consumes sizes as they are encoded, see LiveSmoother — both run the
-// same decision kernel and produce identical schedules.
+// estimates the rest through cfg.Estimator. Smooth is "new Session, push
+// all, close": it drives the same Session kernel as LiveSmoother and the
+// transport, so every driver produces identical schedules.
 func Smooth(tr *trace.Trace, cfg Config) (*Schedule, error) {
+	return SmoothObserved(tr, cfg, nil)
+}
+
+// SmoothObserved is Smooth with a per-decision Observer hook: obs (when
+// non-nil) sees every decision as the schedule is computed, exactly as
+// a Session observer would.
+func SmoothObserved(tr *trace.Trace, cfg Config, obs Observer) (*Schedule, error) {
+	var opts []SessionOption
+	if obs != nil {
+		opts = append(opts, WithObserver(obs))
+	}
+	sess, err := newTraceSession(tr, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return scheduleFrom(tr, sess.cfg, sess.runAll(tr.Sizes)), nil
+}
+
+// newTraceSession builds a Session for a validated complete trace,
+// carrying the trace's explicit picture types into the estimator view.
+func newTraceSession(tr *trace.Trace, cfg Config, opts ...SessionOption) (*Session, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Validate(tr.Tau); err != nil {
-		return nil, err
-	}
-	if cfg.Estimator == nil {
-		cfg.Estimator = PatternEstimator{}
-	}
+	opts = append([]SessionOption{withTypes(tr.Types)}, opts...)
+	return NewSession(tr.Tau, tr.GOP, cfg, opts...)
+}
 
+// scheduleFrom assembles a Schedule from a full decision sequence.
+func scheduleFrom(tr *trace.Trace, cfg Config, ds []Decision) *Schedule {
 	n := tr.Len()
 	s := &Schedule{
 		Trace:      tr,
@@ -34,21 +54,16 @@ func Smooth(tr *trace.Trace, cfg Config) (*Schedule, error) {
 		LowerBound: make([]float64, n),
 		UpperBound: make([]float64, n),
 	}
-
-	e := &engine{cfg: cfg, tau: tr.Tau, gop: tr.GOP, types: tr.Types}
-	depart := 0.0
-	rate := 0.0 // persists across pictures: the basic variant holds it
-	for j := 0; j < n; j++ {
-		d := e.decide(j, tr.Sizes, depart, rate, n)
+	for _, d := range ds {
+		j := d.Picture
 		s.Rates[j] = d.Rate
 		s.Start[j] = d.Start
 		s.Depart[j] = d.Depart
 		s.Delays[j] = d.Delay
 		s.LowerBound[j] = d.Lower
 		s.UpperBound[j] = d.Upper
-		depart, rate = d.Depart, d.Rate
 	}
-	return s, nil
+	return s
 }
 
 // MustSmooth is Smooth for statically valid inputs; it panics on error.

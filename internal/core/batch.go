@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mpegsmooth/internal/trace"
+)
+
+// SmoothAll smooths independent streams concurrently on a worker pool
+// and returns one schedule per trace, in input order. Each stream runs
+// in its own single-goroutine Session — the pool shards streams, never
+// a stream — so the result is bit-for-bit identical at any parallelism
+// (asserted by tests). parallelism <= 0 means GOMAXPROCS; it is clamped
+// to the number of traces.
+//
+// All streams share cfg (and therefore its Policy and Estimator values,
+// which must be safe for concurrent use by value — every provided
+// implementation is). cfg.H = 0 is resolved per stream to the trace's
+// pattern length N, so one Config can express "H = N" across traces
+// with different GOP patterns. The first error encountered, in input
+// order, is returned along with a nil schedule slice.
+func SmoothAll(traces []*trace.Trace, cfg Config, parallelism int) ([]*Schedule, error) {
+	n := len(traces)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	scheds := make([]*Schedule, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cfg
+				if c.H == 0 {
+					c.H = traces[i].GOP.N
+				}
+				scheds[i], errs[i] = Smooth(traces[i], c)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: stream %d (%s): %w", i, traces[i].Name, err)
+		}
+	}
+	return scheds, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpegsmooth/internal/trace"
+)
+
+// TestSmoothAllMatchesSerial: the batch runner at parallelism 8 must
+// produce bit-for-bit the schedules of serial smoothing on the four
+// paper sequences.
+func TestSmoothAllMatchesSerial(t *testing.T) {
+	seqs, err := trace.PaperSequences(108, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 1, H: 9, D: 0.2}
+	parallel, err := SmoothAll(seqs, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(seqs) {
+		t.Fatalf("%d schedules for %d traces", len(parallel), len(seqs))
+	}
+	for i, tr := range seqs {
+		serial, err := Smooth(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].Trace != tr {
+			t.Fatalf("schedule %d is for trace %q, want %q", i, parallel[i].Trace.Name, tr.Name)
+		}
+		if scheduleFingerprint(parallel[i]) != scheduleFingerprint(serial) {
+			t.Errorf("%s: parallel schedule differs from serial", tr.Name)
+		}
+	}
+}
+
+// TestSmoothAllParallelismProperty: for random trace sets and
+// configurations, parallelism 1 and 8 yield identical schedules.
+func TestSmoothAllParallelismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		traces := make([]*trace.Trace, n)
+		for i := range traces {
+			traces[i] = randomTrace(rng)
+		}
+		cfg := randomConfig(rng, traces[0])
+		// The config must be valid for every trace; randomConfig already
+		// guarantees K >= 1 and D >= (K+1)τ at the shared τ = 1/30.
+		one, err := SmoothAll(traces, cfg, 1)
+		if err != nil {
+			return false
+		}
+		eight, err := SmoothAll(traces, cfg, 8)
+		if err != nil {
+			return false
+		}
+		for i := range traces {
+			if scheduleFingerprint(one[i]) != scheduleFingerprint(eight[i]) {
+				t.Logf("seed %d trace %d: parallelism 1 vs 8 schedules differ", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmoothAllEdgeCases: empty input, error propagation, parallelism
+// clamping.
+func TestSmoothAllEdgeCases(t *testing.T) {
+	if s, err := SmoothAll(nil, Config{K: 1, H: 9, D: 0.2}, 4); err != nil || s != nil {
+		t.Fatalf("empty batch: %v, %v", s, err)
+	}
+	tr := paperTrace(t, 27)
+	if _, err := SmoothAll([]*trace.Trace{tr}, Config{K: 1, H: 9, D: -1}, 4); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	// H = 0 resolves to the pattern length N per trace.
+	hz, err := SmoothAll([]*trace.Trace{tr}, Config{K: 1, H: 0, D: 0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := Smooth(tr, Config{K: 1, H: tr.GOP.N, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduleFingerprint(hz[0]) != scheduleFingerprint(hn) {
+		t.Error("H=0 batch schedule differs from explicit H=N")
+	}
+	// parallelism beyond trace count and <= 0 both work.
+	for _, p := range []int{-1, 0, 1, 64} {
+		s, err := SmoothAll([]*trace.Trace{tr}, Config{K: 1, H: 9, D: 0.2}, p)
+		if err != nil || len(s) != 1 {
+			t.Fatalf("parallelism %d: %v, %d schedules", p, err, len(s))
+		}
+	}
+}

@@ -6,38 +6,36 @@ import (
 	"mpegsmooth/internal/mpeg"
 )
 
-// engine is the decision kernel shared by the offline Smooth and the
-// incremental LiveSmoother: one call of decide corresponds to one pass
-// of the outer loop in the paper's Figure 2 specification.
+// engine is the decision kernel shared by every driver (the offline
+// Smooth, Session, and the LiveSmoother wrapper): one call of decide
+// corresponds to one pass of the outer loop in the paper's Figure 2
+// specification. The kernel owns the Theorem 1 bound accumulation
+// (Eqs. 12–13); rate selection within (or, for CappedRate, against) the
+// accumulated band is delegated to the configured Policy.
 type engine struct {
-	cfg   Config
-	tau   float64
-	gop   mpeg.GOP
-	types []mpeg.PictureType // explicit types for adaptive-pattern traces
+	cfg    Config
+	policy Policy
+	tau    float64
+	gop    mpeg.GOP
+	types  []mpeg.PictureType // explicit types for adaptive-pattern traces
 }
 
-// decision is the outcome of scheduling one picture.
-type decision struct {
-	// Picture is the 0-based display index.
-	Picture int
-	// Rate is the selected r_i in bits/second.
-	Rate float64
-	// Start and Depart are t_i and d_i; Delay is Eq. (4).
-	Start, Depart, Delay float64
-	// Lower and Upper are the Theorem 1 (h = 0, actual size) bounds
-	// recorded for verification.
-	Lower, Upper float64
+// newEngine resolves the configured policy once so decide stays
+// allocation-free on the hot path.
+func newEngine(cfg Config, tau float64, gop mpeg.GOP, types []mpeg.PictureType) *engine {
+	return &engine{cfg: cfg, policy: cfg.policy(), tau: tau, gop: gop, types: types}
 }
 
 // decide schedules picture j.
 //
 //	sizes    the prefix of picture sizes the system has learned so far;
-//	         must include picture j and every picture visible at t_j
+//	         must include picture j and every picture visible at t_j,
+//	         plus the whole lookahead window the caller admits
 //	depart   d_{j-1} (0 for the first picture)
-//	held     the rate selected for picture j−1 (the basic variant holds it)
+//	held     the rate selected for picture j−1 (the basic policy holds it)
 //	end      total sequence length if known, else -1 (live operation):
 //	         bounds the lookahead at the end of a finite sequence
-func (e *engine) decide(j int, sizes []int64, depart, held float64, end int) decision {
+func (e *engine) decide(j int, sizes []int64, depart, held float64, end int) Decision {
 	cfg := e.cfg
 	tau := e.tau
 	// Eq. (2): the server may begin sending picture j once the previous
@@ -45,28 +43,34 @@ func (e *engine) decide(j int, sizes []int64, depart, held float64, end int) dec
 	// K-th arrives by (j+K)τ in 0-based indexing).
 	now := math.Max(depart, float64(j+cfg.K)*tau)
 	view := View{tau: tau, gop: e.gop, types: e.types, sizes: sizes, now: now}
-	size := func(jj int) float64 {
-		if actual, ok := view.Size(jj); ok {
-			return float64(actual)
-		}
-		return float64(cfg.Estimator.Estimate(jj, view))
-	}
 
 	// Inner lookahead loop: accumulate the running max of lower bounds
-	// (12) and min of upper bounds (13) for h = 0 .. H−1.
+	// (12) and min of upper bounds (13) for h = 0 .. H−1. Estimated and
+	// actual contributions are tracked separately so the estimator's
+	// window error can be observed per decision.
 	var (
 		sum      float64
 		lower    = 0.0
 		upper    = math.Inf(1)
 		lowerOld = 0.0
+		upperOld = math.Inf(1)
+		estSum   float64 // estimated bits for not-yet-arrived pictures
+		actSum   float64 // their actual bits (always known to the driver)
 	)
 	h := 0
 	for {
 		if end >= 0 && j+h >= end {
 			break // finite sequence: nothing to look ahead at
 		}
-		sum += size(j + h)
-		lowerOld = lower
+		if actual, ok := view.Size(j + h); ok {
+			sum += float64(actual)
+		} else {
+			est := float64(cfg.Estimator.Estimate(j+h, view))
+			sum += est
+			estSum += est
+			actSum += float64(sizes[j+h])
+		}
+		lowerOld, upperOld = lower, upper
 		l := math.Inf(1)
 		if den := cfg.D + float64(j+h)*tau - now; den > 0 {
 			l = sum / den
@@ -83,33 +87,20 @@ func (e *engine) decide(j int, sizes []int64, depart, held float64, end int) dec
 		}
 	}
 
-	rate := held
-	if lower > upper {
-		// Early exit: the accumulated bounds crossed at lookahead h−1.
-		// Exactly one of the bounds moved in the crossing iteration;
-		// select the rate that defers the next forced change.
-		if lower > lowerOld {
-			rate = upper // upper == upperOld
-		} else {
-			rate = lower // lower == lowerOld, upper < upperOld
-		}
-	} else {
-		// Normal exit: the whole lookahead window admits one rate.
-		switch {
-		case j == 0:
-			rate = (lower + upper) / 2
-		case cfg.Variant == MovingAverage:
-			// Eq. (15): track the pattern moving average.
-			rate = sum / (float64(e.gop.N) * tau)
-		}
-		// Hold the previous rate (or the proposal above) unless it falls
-		// outside the accumulated bounds.
-		if rate > upper {
-			rate = upper
-		} else if rate < lower {
-			rate = lower
-		}
+	bounds := Bounds{
+		Lower: lower, Upper: upper,
+		LowerPrev: lowerOld, UpperPrev: upperOld,
+		Crossed: lower > upper,
+		Sum:     sum,
+		Depth:   h,
 	}
+	rate := e.policy.Select(bounds, State{
+		Picture:  j,
+		Held:     held,
+		Now:      now,
+		Tau:      tau,
+		PatternN: e.gop.N,
+	})
 	if math.IsInf(rate, 1) || rate <= 0 {
 		// Only reachable in K = 0 runs whose delay bound is already
 		// unsatisfiable (the lower-bound denominator went negative).
@@ -120,13 +111,19 @@ func (e *engine) decide(j int, sizes []int64, depart, held float64, end int) dec
 	// Eqs. (3)–(4) with the picture's ACTUAL size: the transmitter
 	// always sends real bits, whatever the estimator believed.
 	actual := float64(sizes[j])
-	d := decision{
-		Picture: j,
-		Rate:    rate,
-		Start:   now,
-		Depart:  now + actual/rate,
+	d := Decision{
+		Picture:   j,
+		Rate:      rate,
+		Start:     now,
+		Depart:    now + actual/rate,
+		BandLower: lower,
+		BandUpper: upper,
+		Depth:     h,
 	}
 	d.Delay = d.Depart - float64(j)*tau
+	if actSum > 0 {
+		d.EstimatorError = (estSum - actSum) / actSum
+	}
 
 	// Theorem 1 (h = 0, actual size) bounds for verification.
 	d.Lower = math.Inf(1)
@@ -137,5 +134,8 @@ func (e *engine) decide(j int, sizes []int64, depart, held float64, end int) dec
 	if ub := float64(cfg.K+j+1) * tau; now < ub {
 		d.Upper = actual / (ub - now)
 	}
+	// A policy (or the K = 0 fallback) may force a rate outside the
+	// Theorem 1 band; record the transgression rather than correct it.
+	d.OutOfBand = rate < d.Lower*(1-1e-12)-1e-9 || rate > d.Upper*(1+1e-12)+1e-9
 	return d
 }

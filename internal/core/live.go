@@ -1,9 +1,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-
 	"mpegsmooth/internal/mpeg"
 )
 
@@ -14,134 +11,35 @@ import (
 // same schedule as Smooth over the same data (asserted by tests), so the
 // Theorem 1 guarantees carry over unchanged.
 //
-// A decision for picture j is computable once
-//
-//   - pictures j .. j+K−1 have been pushed (Eq. 2's arrival condition),
-//   - every picture visible at t_j — i.e. with (i+1)τ ≤ t_j — has been
-//     pushed, so the estimator's view is complete, and
-//   - the existence of the H-picture lookahead window is settled, which
-//     before Close means pictures j .. j+H−1 have been pushed.
-//
-// Close marks the end of the sequence and flushes the remaining
-// decisions, bounding the lookahead at the sequence end exactly as the
-// offline algorithm does.
-//
-// LiveSmoother is not safe for concurrent use.
+// LiveSmoother is a thin wrapper over Session, kept for API stability;
+// new code should use Session directly (it adds the Observer hook and
+// policy access). It is not safe for concurrent use.
 type LiveSmoother struct {
-	cfg    Config
-	engine *engine
-	sizes  []int64
-
-	next   int // next picture awaiting a decision
-	depart float64
-	rate   float64
-	closed bool
-}
-
-// Decision reports one scheduled picture. The fields mirror Schedule's
-// per-picture arrays.
-type Decision struct {
-	Picture              int
-	Rate                 float64
-	Start, Depart, Delay float64
-	Lower, Upper         float64
+	s *Session
 }
 
 // NewLiveSmoother prepares an incremental smoother for a stream with the
 // given picture period and coding pattern.
 func NewLiveSmoother(tau float64, gop mpeg.GOP, cfg Config) (*LiveSmoother, error) {
-	if tau <= 0 {
-		return nil, fmt.Errorf("core: non-positive picture period %v", tau)
-	}
-	if err := gop.Validate(); err != nil {
+	s, err := NewSession(tau, gop, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := cfg.Validate(tau); err != nil {
-		return nil, err
-	}
-	if cfg.Estimator == nil {
-		cfg.Estimator = PatternEstimator{}
-	}
-	return &LiveSmoother{
-		cfg:    cfg,
-		engine: &engine{cfg: cfg, tau: tau, gop: gop},
-	}, nil
+	return &LiveSmoother{s: s}, nil
 }
 
 // Push appends the size of the next encoded picture (display order) and
 // returns any decisions that became determined. It returns an error
 // after Close or for a non-positive size.
-func (l *LiveSmoother) Push(size int64) ([]Decision, error) {
-	if l.closed {
-		return nil, errors.New("core: Push after Close")
-	}
-	if size <= 0 {
-		return nil, fmt.Errorf("core: non-positive picture size %d", size)
-	}
-	l.sizes = append(l.sizes, size)
-	return l.drain(), nil
-}
+func (l *LiveSmoother) Push(size int64) ([]Decision, error) { return l.s.Push(size) }
 
 // Close marks the end of the picture sequence and returns all remaining
 // decisions. Close is idempotent.
-func (l *LiveSmoother) Close() []Decision {
-	l.closed = true
-	return l.drain()
-}
+func (l *LiveSmoother) Close() []Decision { return l.s.Close() }
 
 // Pushed returns the number of picture sizes received so far.
-func (l *LiveSmoother) Pushed() int { return len(l.sizes) }
+func (l *LiveSmoother) Pushed() int { return l.s.Pushed() }
 
 // Pending returns the number of pushed pictures that do not yet have a
 // rate decision.
-func (l *LiveSmoother) Pending() int { return len(l.sizes) - l.next }
-
-// drain emits every decision whose inputs are determined.
-func (l *LiveSmoother) drain() []Decision {
-	var out []Decision
-	tau := l.engine.tau
-	for l.next < len(l.sizes) {
-		j := l.next
-		a := len(l.sizes)
-		if !l.closed {
-			// Arrival condition: pictures j..j+K−1 pushed.
-			if a < j+l.cfg.K {
-				break
-			}
-			// Lookahead existence: the offline algorithm would examine
-			// pictures j..j+H−1 unless the sequence ends first; before
-			// Close we cannot know it ends, so wait for them.
-			if a < j+l.cfg.H {
-				break
-			}
-			// View completeness: every picture visible at t_j must be
-			// pushed. t_j is already determined by depart and (j+K)τ.
-			now := l.depart
-			if t := float64(j+l.cfg.K) * tau; t > now {
-				now = t
-			}
-			// Count pictures with (i+1)τ <= now using the same float
-			// comparison View.Arrived uses, so live and offline views
-			// agree bit for bit.
-			visible := int(now / tau)
-			for float64(visible+1)*tau <= now {
-				visible++
-			}
-			for visible > 0 && float64(visible)*tau > now {
-				visible--
-			}
-			if visible > a {
-				break
-			}
-		}
-		end := -1
-		if l.closed {
-			end = len(l.sizes)
-		}
-		d := l.engine.decide(j, l.sizes, l.depart, l.rate, end)
-		l.depart, l.rate = d.Depart, d.Rate
-		l.next++
-		out = append(out, Decision(d))
-	}
-	return out
-}
+func (l *LiveSmoother) Pending() int { return l.s.Pending() }

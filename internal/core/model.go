@@ -36,6 +36,11 @@ import (
 
 // Variant selects the rate-selection rule on normal lookahead exit
 // (Section 4.4).
+//
+// Deprecated: Variant survives as an alias onto the Policy interface
+// (Basic maps to BasicPolicy, MovingAverage to MovingAveragePolicy).
+// New code should set Config.Policy instead, which also admits
+// CappedRate and MinimumVariability.
 type Variant int
 
 const (
@@ -71,10 +76,19 @@ type Config struct {
 	// D ≥ (K+1)τ for the bound to be satisfiable (Eq. 1).
 	D float64
 	// H is the lookahead interval in pictures (H ≥ 1). The inner loop
-	// examines pictures i .. i+H−1.
+	// examines pictures i .. i+H−1. SmoothAll (only) resolves H = 0 to
+	// each trace's pattern length N — the paper's usual choice, and the
+	// form that lets one Config serve a batch of traces with different
+	// patterns.
 	H int
 	// Variant selects Basic or MovingAverage rate selection.
+	//
+	// Deprecated: use Policy. Variant is consulted only when Policy is
+	// nil, as a backwards-compatible alias.
 	Variant Variant
+	// Policy owns rate selection within the accumulated Theorem 1 band.
+	// nil means the policy implied by Variant (BasicPolicy by default).
+	Policy Policy
 	// Estimator supplies sizes for pictures that have not arrived.
 	// Defaults to PatternEstimator with the paper's initial estimates.
 	Estimator Estimator
@@ -95,6 +109,11 @@ func (c Config) Validate(tau float64) error {
 	// experiments any positive D is accepted (violations are the point).
 	if c.K >= 1 && c.D < float64(c.K+1)*tau-1e-12 {
 		return fmt.Errorf("core: D = %v violates D >= (K+1)τ = %v", c.D, float64(c.K+1)*tau)
+	}
+	if v, ok := c.Policy.(policyValidator); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -174,6 +193,23 @@ func (s *Schedule) CheckRatesWithinBounds() int {
 		}
 	}
 	return -1
+}
+
+// PolicyViolations is the policy's violation report: the pictures whose
+// selected rate lies outside the Theorem 1 band. For K ≥ 1 and a
+// band-respecting policy (BasicPolicy, MovingAveragePolicy,
+// MinimumVariability) it is always empty; a CappedRate ceiling below the
+// band's lower bound forces entries here — each one a picture whose
+// delay bound the cap made unavoidable (Verify reports the resulting
+// delay violation too).
+func (s *Schedule) PolicyViolations() []int {
+	var out []int
+	for i, r := range s.Rates {
+		if r < s.LowerBound[i]*(1-1e-12)-1e-9 || r > s.UpperBound[i]*(1+1e-12)+1e-9 {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // CheckConservation verifies that every picture's bits are fully

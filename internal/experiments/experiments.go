@@ -27,6 +27,35 @@ func Sequences(pictures int, seed int64) ([]*trace.Trace, error) {
 	return trace.PaperSequences(pictures, seed)
 }
 
+// SweepOption adjusts how a parameter sweep runs: the rate-selection
+// policy under test and the batch parallelism.
+type SweepOption func(*sweepConfig)
+
+type sweepConfig struct {
+	policy      core.Policy
+	parallelism int
+}
+
+// WithPolicy runs a sweep under a rate-selection policy other than the
+// default BasicPolicy.
+func WithPolicy(p core.Policy) SweepOption {
+	return func(c *sweepConfig) { c.policy = p }
+}
+
+// WithParallelism sets the SmoothAll worker count for a sweep
+// (<= 0 means GOMAXPROCS). The results are identical at any setting.
+func WithParallelism(n int) SweepOption {
+	return func(c *sweepConfig) { c.parallelism = n }
+}
+
+func applySweepOptions(opts []SweepOption) sweepConfig {
+	var c sweepConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
 // MeasuresFor runs the algorithm with cfg and evaluates the paper's four
 // measures against ideal smoothing (Eq. 16 alignment).
 func MeasuresFor(tr *trace.Trace, cfg core.Config) (metrics.Measures, *core.Schedule, error) {
@@ -34,24 +63,49 @@ func MeasuresFor(tr *trace.Trace, cfg core.Config) (metrics.Measures, *core.Sche
 	if err != nil {
 		return metrics.Measures{}, nil, err
 	}
-	ideal, err := core.Ideal(tr)
-	if err != nil {
-		return metrics.Measures{}, nil, err
-	}
-	rf, err := s.RateFunc()
-	if err != nil {
-		return metrics.Measures{}, nil, err
-	}
-	idf, err := ideal.RateFunc()
-	if err != nil {
-		return metrics.Measures{}, nil, err
-	}
-	advance := float64(tr.GOP.N-cfg.K) * tr.Tau
-	m, err := metrics.Compute(rf, idf, advance, tr.Duration()+cfg.D)
+	m, err := evaluateSchedule(tr, cfg, s)
 	if err != nil {
 		return metrics.Measures{}, nil, err
 	}
 	return m, s, nil
+}
+
+// evaluateSchedule computes the four measures for an already-smoothed
+// schedule — the per-schedule tail of MeasuresFor, shared with the
+// batched sweeps.
+func evaluateSchedule(tr *trace.Trace, cfg core.Config, s *core.Schedule) (metrics.Measures, error) {
+	ideal, err := core.Ideal(tr)
+	if err != nil {
+		return metrics.Measures{}, err
+	}
+	rf, err := s.RateFunc()
+	if err != nil {
+		return metrics.Measures{}, err
+	}
+	idf, err := ideal.RateFunc()
+	if err != nil {
+		return metrics.Measures{}, err
+	}
+	advance := float64(tr.GOP.N-cfg.K) * tr.Tau
+	return metrics.Compute(rf, idf, advance, tr.Duration()+cfg.D)
+}
+
+// batchMeasures smooths every trace under one configuration on the
+// SmoothAll worker pool and evaluates the four measures per trace.
+func batchMeasures(traces []*trace.Trace, cfg core.Config, parallelism int) ([]metrics.Measures, error) {
+	scheds, err := core.SmoothAll(traces, cfg, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]metrics.Measures, len(traces))
+	for i, tr := range traces {
+		m, err := evaluateSchedule(tr, cfg, scheds[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
 }
 
 // Figure3 regenerates the trace-characteristics figure: picture size vs
@@ -159,61 +213,94 @@ type SweepRow struct {
 }
 
 // Figure6 sweeps the delay bound D with K=1, H=N for all four sequences.
-func Figure6(pictures int, seed int64) ([]SweepRow, error) {
+// Each D value is one SmoothAll batch: the four sequences smooth in
+// parallel under the shared configuration (H=0 resolves to each trace's
+// pattern length).
+func Figure6(pictures int, seed int64, opts ...SweepOption) ([]SweepRow, error) {
+	sc := applySweepOptions(opts)
 	seqs, err := Sequences(pictures, seed)
 	if err != nil {
 		return nil, err
 	}
-	var rows []SweepRow
-	for _, tr := range seqs {
-		// D from just above (K+1)τ = 2/30 up to 0.3 s, as in the figure.
-		for _, d := range []float64{0.0667, 0.1, 0.1333, 0.1667, 0.2, 0.2333, 0.2667, 0.3} {
-			m, _, err := MeasuresFor(tr, core.Config{K: 1, H: tr.GOP.N, D: d})
-			if err != nil {
-				return nil, fmt.Errorf("%s D=%v: %w", tr.Name, d, err)
-			}
-			rows = append(rows, SweepRow{Sequence: tr.Name, X: d, Measures: m})
+	// D from just above (K+1)τ = 2/30 up to 0.3 s, as in the figure.
+	ds := []float64{0.0667, 0.1, 0.1333, 0.1667, 0.2, 0.2333, 0.2667, 0.3}
+	bySeq := make([][]SweepRow, len(seqs))
+	for _, d := range ds {
+		ms, err := batchMeasures(seqs, core.Config{K: 1, H: 0, D: d, Policy: sc.policy}, sc.parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("D=%v: %w", d, err)
+		}
+		for i, tr := range seqs {
+			bySeq[i] = append(bySeq[i], SweepRow{Sequence: tr.Name, X: d, Measures: ms[i]})
 		}
 	}
-	return rows, nil
+	return flattenRows(bySeq), nil
 }
 
 // Figure7 sweeps the lookahead H with D=0.2, K=1 for all four sequences.
-func Figure7(pictures int, seed int64) ([]SweepRow, error) {
+// Each H value batches the sequences whose sweep range (1..2N) reaches
+// it through SmoothAll.
+func Figure7(pictures int, seed int64, opts ...SweepOption) ([]SweepRow, error) {
+	sc := applySweepOptions(opts)
 	seqs, err := Sequences(pictures, seed)
 	if err != nil {
 		return nil, err
 	}
-	var rows []SweepRow
+	maxH := 0
 	for _, tr := range seqs {
-		for h := 1; h <= 2*tr.GOP.N; h++ {
-			m, _, err := MeasuresFor(tr, core.Config{K: 1, H: h, D: 0.2})
-			if err != nil {
-				return nil, fmt.Errorf("%s H=%d: %w", tr.Name, h, err)
-			}
-			rows = append(rows, SweepRow{Sequence: tr.Name, X: float64(h), Measures: m})
+		if 2*tr.GOP.N > maxH {
+			maxH = 2 * tr.GOP.N
 		}
 	}
-	return rows, nil
+	bySeq := make([][]SweepRow, len(seqs))
+	for h := 1; h <= maxH; h++ {
+		var batch []*trace.Trace
+		var idx []int
+		for i, tr := range seqs {
+			if h <= 2*tr.GOP.N {
+				batch = append(batch, tr)
+				idx = append(idx, i)
+			}
+		}
+		ms, err := batchMeasures(batch, core.Config{K: 1, H: h, D: 0.2, Policy: sc.policy}, sc.parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("H=%d: %w", h, err)
+		}
+		for b, i := range idx {
+			bySeq[i] = append(bySeq[i], SweepRow{Sequence: seqs[i].Name, X: float64(h), Measures: ms[b]})
+		}
+	}
+	return flattenRows(bySeq), nil
 }
 
 // Figure8 sweeps K with D = 0.1333 + (K+1)/30 (constant slack 0.1333 s)
-// and H = N for all four sequences.
-func Figure8(pictures int, seed int64) ([]SweepRow, error) {
+// and H = N for all four sequences, one SmoothAll batch per K.
+func Figure8(pictures int, seed int64, opts ...SweepOption) ([]SweepRow, error) {
+	sc := applySweepOptions(opts)
 	seqs, err := Sequences(pictures, seed)
 	if err != nil {
 		return nil, err
 	}
-	var rows []SweepRow
-	for _, tr := range seqs {
-		for k := 1; k <= 12; k++ {
-			d := 0.1333 + float64(k+1)/30
-			m, _, err := MeasuresFor(tr, core.Config{K: k, H: tr.GOP.N, D: d})
-			if err != nil {
-				return nil, fmt.Errorf("%s K=%d: %w", tr.Name, k, err)
-			}
-			rows = append(rows, SweepRow{Sequence: tr.Name, X: float64(k), Measures: m})
+	bySeq := make([][]SweepRow, len(seqs))
+	for k := 1; k <= 12; k++ {
+		d := 0.1333 + float64(k+1)/30
+		ms, err := batchMeasures(seqs, core.Config{K: k, H: 0, D: d, Policy: sc.policy}, sc.parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("K=%d: %w", k, err)
+		}
+		for i, tr := range seqs {
+			bySeq[i] = append(bySeq[i], SweepRow{Sequence: tr.Name, X: float64(k), Measures: ms[i]})
 		}
 	}
-	return rows, nil
+	return flattenRows(bySeq), nil
+}
+
+// flattenRows serializes per-sequence row groups into the sequence-major
+// order the CSV outputs have always used.
+func flattenRows(bySeq [][]SweepRow) []SweepRow {
+	var rows []SweepRow
+	for _, g := range bySeq {
+		rows = append(rows, g...)
+	}
+	return rows
 }

@@ -21,26 +21,28 @@ type VariantRow struct {
 }
 
 // ExtA compares the two algorithm variants across the four sequences at
-// the paper's recommended parameters (K=1, H=N, D=0.2).
-func ExtA(pictures int, seed int64) ([]VariantRow, error) {
+// the paper's recommended parameters (K=1, H=N, D=0.2), one SmoothAll
+// batch per policy.
+func ExtA(pictures int, seed int64, opts ...SweepOption) ([]VariantRow, error) {
+	sc := applySweepOptions(opts)
 	seqs, err := Sequences(pictures, seed)
 	if err != nil {
 		return nil, err
 	}
-	var rows []VariantRow
-	for _, tr := range seqs {
-		base := core.Config{K: 1, H: tr.GOP.N, D: 0.2}
-		mb, _, err := MeasuresFor(tr, base)
-		if err != nil {
-			return nil, err
-		}
-		mod := base
-		mod.Variant = core.MovingAverage
-		mm, _, err := MeasuresFor(tr, mod)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, VariantRow{Sequence: tr.Name, Basic: mb, Moving: mm})
+	base := core.Config{K: 1, H: 0, D: 0.2, Policy: core.BasicPolicy{}}
+	mb, err := batchMeasures(seqs, base, sc.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	mod := base
+	mod.Policy = core.MovingAveragePolicy{}
+	mm, err := batchMeasures(seqs, mod, sc.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]VariantRow, len(seqs))
+	for i, tr := range seqs {
+		rows[i] = VariantRow{Sequence: tr.Name, Basic: mb[i], Moving: mm[i]}
 	}
 	return rows, nil
 }

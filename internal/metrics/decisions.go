@@ -1,0 +1,85 @@
+package metrics
+
+import "math"
+
+// DecisionStats accumulates per-decision observations from a smoothing
+// session's Observer hook: how deep the lookahead ran before exiting,
+// how much slack the policy kept to the Theorem 1 band, and how wrong
+// the size estimator was over each window. It is a plain accumulator
+// (no locking): feed it from one session, or merge per-session
+// collectors afterwards.
+type DecisionStats struct {
+	// Decisions is the number of observations accumulated.
+	Decisions int
+	// OutOfBand counts decisions whose rate left the Theorem 1 bounds
+	// (negative slack) — nonzero only under a constraint-trading policy
+	// such as CappedRate, or K = 0.
+	OutOfBand int
+
+	depthSum   int
+	minSlack   float64
+	absErrSum  float64
+	errSqSum   float64
+	estimated  int // decisions whose window contained estimates
+	depthCount map[int]int
+}
+
+// NewDecisionStats returns an empty collector.
+func NewDecisionStats() *DecisionStats {
+	return &DecisionStats{minSlack: math.Inf(1), depthCount: map[int]int{}}
+}
+
+// Add records one decision. lowerSlack and upperSlack are the margins
+// the selected rate keeps to the Theorem 1 bounds (negative when out of
+// band), depth is the lookahead depth at exit, and estErr the relative
+// window estimation error (0 when the window held no estimates).
+func (d *DecisionStats) Add(lowerSlack, upperSlack float64, depth int, estErr float64) {
+	d.Decisions++
+	d.depthSum += depth
+	d.depthCount[depth]++
+	slack := math.Min(lowerSlack, upperSlack)
+	if slack < d.minSlack {
+		d.minSlack = slack
+	}
+	if slack < 0 {
+		d.OutOfBand++
+	}
+	if estErr != 0 {
+		d.estimated++
+		d.absErrSum += math.Abs(estErr)
+		d.errSqSum += estErr * estErr
+	}
+}
+
+// MeanDepth returns the mean lookahead depth at exit.
+func (d *DecisionStats) MeanDepth() float64 {
+	if d.Decisions == 0 {
+		return 0
+	}
+	return float64(d.depthSum) / float64(d.Decisions)
+}
+
+// DepthHistogram returns the count of decisions per exit depth.
+func (d *DecisionStats) DepthHistogram() map[int]int { return d.depthCount }
+
+// MinSlack returns the smallest band margin any decision kept
+// (negative if a policy ever went out of band), or +Inf with no data.
+func (d *DecisionStats) MinSlack() float64 { return d.minSlack }
+
+// MeanAbsEstimatorError returns the mean absolute relative estimation
+// error over decisions whose windows contained estimates.
+func (d *DecisionStats) MeanAbsEstimatorError() float64 {
+	if d.estimated == 0 {
+		return 0
+	}
+	return d.absErrSum / float64(d.estimated)
+}
+
+// RMSEstimatorError returns the root-mean-square relative estimation
+// error over decisions whose windows contained estimates.
+func (d *DecisionStats) RMSEstimatorError() float64 {
+	if d.estimated == 0 {
+		return 0
+	}
+	return math.Sqrt(d.errSqSum / float64(d.estimated))
+}

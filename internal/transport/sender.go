@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/mpeg"
 )
 
 // Clock abstracts time for the paced sender so tests can run with
@@ -55,8 +56,27 @@ type Sender struct {
 // scheduled start time t_i (relative to the session origin), emits the
 // rate notification, and streams the picture's payload paced at r_i.
 // payloads[i] must hold ceil(S_i/8) bytes of picture i's data.
+//
+// Send is a wrapper over SendDecisions: the schedule's per-picture
+// arrays are the stored form of the Session decision stream the sender
+// actually consumes.
 func (s *Sender) Send(ctx context.Context, w interface{ Write([]byte) (int, error) }, sched *core.Schedule, payloads [][]byte) error {
-	n := len(sched.Rates)
+	decisions := make([]core.Decision, len(sched.Rates))
+	for i := range decisions {
+		decisions[i] = core.Decision{Picture: i, Rate: sched.Rates[i], Start: sched.Start[i]}
+	}
+	return s.SendDecisions(ctx, w, decisions, sched.Trace.TypeOf, payloads)
+}
+
+// SendDecisions paces pictures over w directly from a Session's decision
+// stream: for each decision it waits until the scheduled start time
+// (relative to the session origin), emits a rate notification when the
+// rate changed, and streams the picture's payload paced at the decided
+// rate. typeOf supplies the picture type for wire headers (for a pure
+// GOP-pattern stream, gop.TypeOf); payloads[i] holds picture
+// decisions[i].Picture's data, ceil(S_i/8) bytes.
+func (s *Sender) SendDecisions(ctx context.Context, w interface{ Write([]byte) (int, error) }, decisions []core.Decision, typeOf func(int) mpeg.PictureType, payloads [][]byte) error {
+	n := len(decisions)
 	if len(payloads) != n {
 		return fmt.Errorf("transport: %d payloads for %d pictures", len(payloads), n)
 	}
@@ -78,30 +98,28 @@ func (s *Sender) Send(ctx context.Context, w interface{ Write([]byte) (int, erro
 	}
 
 	lastRate := 0.0
-	for i := 0; i < n; i++ {
+	for i, d := range decisions {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// Wait for the scheduled start of picture i (continuous service
-		// makes this a no-op after the first picture, modulo pacing
-		// error).
-		if err := clock.Sleep(ctx, deadline(sched.Start[i]).Sub(clock.Now())); err != nil {
+		// Wait for the scheduled start of the picture (continuous
+		// service makes this a no-op after the first picture, modulo
+		// pacing error).
+		if err := clock.Sleep(ctx, deadline(d.Start).Sub(clock.Now())); err != nil {
 			return err
 		}
-		if sched.Rates[i] != lastRate {
-			if err := WriteRate(w, RateNotification{Index: i, Rate: sched.Rates[i]}); err != nil {
-				return fmt.Errorf("transport: rate notification %d: %w", i, err)
+		if d.Rate != lastRate {
+			if err := WriteRate(w, RateNotification{Index: d.Picture, Rate: d.Rate}); err != nil {
+				return fmt.Errorf("transport: rate notification %d: %w", d.Picture, err)
 			}
-			lastRate = sched.Rates[i]
+			lastRate = d.Rate
 		}
 		payload := payloads[i]
-		if err := WritePictureHeader(w, i, sched.Trace.TypeOf(i), len(payload)); err != nil {
-			return fmt.Errorf("transport: picture header %d: %w", i, err)
+		if err := WritePictureHeader(w, d.Picture, typeOf(d.Picture), len(payload)); err != nil {
+			return fmt.Errorf("transport: picture header %d: %w", d.Picture, err)
 		}
 		// Pace the payload: after sending b bytes, the elapsed schedule
 		// time must be at least 8b/r_i.
-		rate := sched.Rates[i]
-		start := sched.Start[i]
 		sent := 0
 		for sent < len(payload) {
 			end := sent + chunk
@@ -109,10 +127,10 @@ func (s *Sender) Send(ctx context.Context, w interface{ Write([]byte) (int, erro
 				end = len(payload)
 			}
 			if _, err := w.Write(payload[sent:end]); err != nil {
-				return fmt.Errorf("transport: picture %d payload: %w", i, err)
+				return fmt.Errorf("transport: picture %d payload: %w", d.Picture, err)
 			}
 			sent = end
-			if err := clock.Sleep(ctx, deadline(start+float64(sent)*8/rate).Sub(clock.Now())); err != nil {
+			if err := clock.Sleep(ctx, deadline(d.Start+float64(sent)*8/d.Rate).Sub(clock.Now())); err != nil {
 				return err
 			}
 		}

@@ -212,6 +212,50 @@ func TestSessionOverPipe(t *testing.T) {
 	verifyReport(t, sched, payloads, report)
 }
 
+// TestSendDecisionsFromSession drives the sender straight from a
+// core.Session's decision stream — no Schedule in between — and checks
+// the receiver sees the same pictures, rates, and payloads as the
+// schedule path.
+func TestSendDecisionsFromSession(t *testing.T) {
+	sched, payloads := testSchedule(t, 18)
+	tr := sched.Trace
+	sess, err := core.NewSession(tr.Tau, tr.GOP, sched.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decisions []core.Decision
+	for _, size := range tr.Sizes {
+		ds, err := sess.Push(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions = append(decisions, ds...)
+	}
+	decisions = append(decisions, sess.Close()...)
+	if len(decisions) != tr.Len() {
+		t.Fatalf("%d decisions for %d pictures", len(decisions), tr.Len())
+	}
+
+	cw, cr := net.Pipe()
+	defer cw.Close()
+	defer cr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sendErr := make(chan error, 1)
+	go func() {
+		s := &Sender{TimeScale: 100, Chunk: 512}
+		sendErr <- s.SendDecisions(ctx, cw, decisions, tr.TypeOf, payloads)
+	}()
+	report, err := Receive(ctx, cr)
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	verifyReport(t, sched, payloads, report)
+}
+
 func TestPacingHonorsSchedule(t *testing.T) {
 	// At TimeScale 100, a ~0.9 s schedule replays in ~9 ms. Verify the
 	// session takes at least the scheduled duration (pacing is real) and

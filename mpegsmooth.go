@@ -65,13 +65,32 @@ type (
 	// PictureType is I, P, or B.
 	PictureType = mpeg.PictureType
 
-	// Config parameterizes the smoothing algorithm (K, D, H, variant,
+	// Config parameterizes the smoothing algorithm (K, D, H, policy,
 	// estimator).
 	Config = core.Config
 	// Schedule is a smoothing run's result: per-picture rates and timing.
 	Schedule = core.Schedule
 	// Variant selects the basic or moving-average rate-selection rule.
+	//
+	// Deprecated: set Config.Policy instead; Variant survives as an
+	// alias onto the corresponding policy.
 	Variant = core.Variant
+	// Policy owns rate selection within the Theorem 1 band the decision
+	// kernel accumulates; implement it to add a new selection rule.
+	Policy = core.Policy
+	// Bounds is the accumulated Theorem 1 band handed to Policy.Select.
+	Bounds = core.Bounds
+	// State is the per-decision context handed to Policy.Select.
+	State = core.State
+	// BasicPolicy holds the previous rate (fewest rate changes).
+	BasicPolicy = core.BasicPolicy
+	// MovingAveragePolicy tracks the pattern moving average (Eq. 15).
+	MovingAveragePolicy = core.MovingAveragePolicy
+	// CappedRate enforces a hard bits/second ceiling, reporting the
+	// bound violations the cap makes unavoidable.
+	CappedRate = core.CappedRate
+	// MinimumVariability centres the rate within the feasible band.
+	MinimumVariability = core.MinimumVariability
 	// Estimator predicts sizes of pictures that have not arrived.
 	Estimator = core.Estimator
 	// View is what an estimator may observe at a point in time.
@@ -88,10 +107,22 @@ type (
 	OracleEstimator = core.OracleEstimator
 	// OfflineSchedule is the offline-optimal (taut string) schedule.
 	OfflineSchedule = core.OfflineSchedule
-	// LiveSmoother is the incremental, transport-embeddable smoother.
+	// Session is the unified incremental driver around the decision
+	// kernel: push sizes, collect decisions, observe each one.
+	Session = core.Session
+	// SessionOption configures a Session at construction.
+	SessionOption = core.SessionOption
+	// Observer is a per-decision hook on a Session.
+	Observer = core.Observer
+	// Observation is the measurement handed to an Observer.
+	Observation = core.Observation
+	// LiveSmoother is the incremental, transport-embeddable smoother, a
+	// thin wrapper over Session kept for API stability.
 	LiveSmoother = core.LiveSmoother
 	// Decision is one live rate decision.
 	Decision = core.Decision
+	// DecisionStats accumulates Observer output into summary statistics.
+	DecisionStats = metrics.DecisionStats
 
 	// Measures bundles the paper's four smoothness measures.
 	Measures = metrics.Measures
@@ -108,14 +139,35 @@ const (
 	TypeB = mpeg.TypeB
 )
 
-// Rate-selection variants.
+// Rate-selection variants (deprecated aliases onto the policies).
 const (
 	Basic         = core.Basic
 	MovingAverage = core.MovingAverage
 )
 
+// ParsePolicy parses a command-line policy specification: basic,
+// moving-average, capped:<bps>, or min-var.
+func ParsePolicy(spec string) (Policy, error) { return core.ParsePolicy(spec) }
+
 // Smooth runs the smoothing algorithm over a trace.
 func Smooth(tr *Trace, cfg Config) (*Schedule, error) { return core.Smooth(tr, cfg) }
+
+// SmoothObserved is Smooth with a per-decision Observer hook.
+func SmoothObserved(tr *Trace, cfg Config, obs Observer) (*Schedule, error) {
+	return core.SmoothObserved(tr, cfg, obs)
+}
+
+// SmoothAll smooths independent traces concurrently on a worker pool of
+// the given parallelism (<= 0 means GOMAXPROCS), returning one schedule
+// per trace in input order. Results are bit-for-bit identical at any
+// parallelism.
+func SmoothAll(traces []*Trace, cfg Config, parallelism int) ([]*Schedule, error) {
+	return core.SmoothAll(traces, cfg, parallelism)
+}
+
+// NewDecisionStats returns an empty per-decision statistics collector,
+// meant to be fed from a Session Observer.
+func NewDecisionStats() *DecisionStats { return metrics.NewDecisionStats() }
 
 // Ideal computes the ideal per-pattern smoothing of Section 3.2.
 func Ideal(tr *Trace) (*Schedule, error) { return core.Ideal(tr) }
@@ -133,6 +185,17 @@ func PiecewiseCBR(tr *Trace, window int) (*Schedule, error) {
 func OfflineSmooth(tr *Trace, d float64) (*OfflineSchedule, error) {
 	return core.OfflineSmooth(tr, d)
 }
+
+// NewSession prepares the unified incremental smoothing driver: sizes
+// are pushed as the encoder produces them, decisions emerge as soon as
+// they are determined, and an optional WithObserver hook sees each one.
+// It computes exactly the schedule Smooth would.
+func NewSession(tau float64, gop GOP, cfg Config, opts ...SessionOption) (*Session, error) {
+	return core.NewSession(tau, gop, cfg, opts...)
+}
+
+// WithObserver installs a per-decision observer hook on a Session.
+func WithObserver(o Observer) SessionOption { return core.WithObserver(o) }
 
 // NewLiveSmoother prepares an incremental smoother that consumes picture
 // sizes as the encoder produces them and emits rate decisions as soon as
