@@ -1,0 +1,128 @@
+// Command smoothd is the multi-stream smoothing server: it accepts
+// picture-stream sessions over TCP, admits each one against a shared
+// egress link's capacity by its declared smoothed peak rate, smooths
+// every admitted stream through its own session with the configured
+// policy, and paces all output onto the shared link. An operations
+// endpoint on a side port reports live counters as JSON and expvar.
+//
+// Usage:
+//
+//	smoothd -listen 127.0.0.1:8402 -ops 127.0.0.1:8403 -capacity 10e6
+//	streamer send -connect 127.0.0.1:8402 -handshake -seq driving1
+//
+// SIGINT/SIGTERM drain gracefully: no new sessions are admitted, active
+// streams run to completion (bounded by -drain-timeout), then the
+// process exits with a summary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpegsmooth"
+	"mpegsmooth/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "smoothd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smoothd", flag.ContinueOnError)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:8402", "stream session listen address")
+		opsAddr      = fs.String("ops", "127.0.0.1:8403", "operations endpoint listen address (empty = disabled)")
+		capacity     = fs.Float64("capacity", 10e6, "shared egress link capacity (bits/s)")
+		policySpec   = fs.String("policy", "basic", "rate policy: basic, moving-average, capped:<bps>, min-var")
+		hFlag        = fs.Int("H", 0, "lookahead in pictures (0 = each stream's pattern length)")
+		queueLen     = fs.Int("queue", 32, "per-stream decision queue length (backpressure bound)")
+		maxStreams   = fs.Int("max-streams", 0, "concurrent stream cap (0 = capacity-limited only)")
+		readTimeout  = fs.Duration("read-timeout", 30*time.Second, "per-message read deadline")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful drain limit on shutdown")
+		timescale    = fs.Float64("timescale", 1, "egress pacing speed multiplier (1 = real time)")
+		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := mpegsmooth.ParsePolicy(*policySpec)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	srv, err := server.New(server.Config{
+		LinkRate:    *capacity,
+		Policy:      policy,
+		H:           *hFlag,
+		QueueLen:    *queueLen,
+		MaxStreams:  *maxStreams,
+		ReadTimeout: *readTimeout,
+		TimeScale:   *timescale,
+		Logf:        logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(out, "smoothd: streams on %s, capacity %.0f bps, policy %s\n",
+		ln.Addr(), *capacity, policy.Name())
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			return err
+		}
+		opsSrv = &http.Server{Handler: srv.OpsHandler()}
+		go opsSrv.Serve(opsLn)
+		defer opsSrv.Close()
+		fmt.Fprintf(out, "smoothd: ops on http://%s/stats\n", opsLn.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "smoothd: draining (up to %v)...\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	<-serveErr
+	snap := srv.Snapshot()
+	fmt.Fprintf(out, "smoothd: exit — %d admitted, %d rejected, %d completed, %d failed, %d bits egressed\n",
+		snap.Streams.Admitted, snap.Streams.Rejected, snap.Streams.Completed,
+		snap.Streams.Failed, snap.EgressedBits)
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	if errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintf(out, "smoothd: drain timed out; %d stream(s) cancelled\n", snap.Streams.Active)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpegsmooth"
+)
+
+// syncBuffer makes run's output safe to read while server goroutines
+// are still logging to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var (
+	streamAddrRe = regexp.MustCompile(`streams on (\S+),`)
+	opsAddrRe    = regexp.MustCompile(`ops on http://(\S+)/stats`)
+)
+
+func waitAddr(t *testing.T, out *syncBuffer, re *regexp.Regexp) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("address line %v never appeared in output:\n%s", re, out.String())
+	return ""
+}
+
+// TestRunServesAndDrains boots the daemon on ephemeral ports, streams
+// one handshaked session through it, reads the ops endpoint, then
+// cancels the context and expects a clean drain with an exit summary.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0",
+			"-ops", "127.0.0.1:0",
+			"-capacity", "50e6",
+			"-policy", "moving-average",
+			"-timescale", "200",
+		}, out)
+	}()
+	addr := waitAddr(t, out, streamAddrRe)
+	opsAddr := waitAddr(t, out, opsAddrRe)
+
+	// One full client session, exactly what `streamer send -handshake`
+	// does: declare, await the verdict, pace the schedule.
+	tr, err := mpegsmooth.Driving1(36, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mpegsmooth.Config{K: 1, H: tr.GOP.N, D: 0.2}
+	sched, err := mpegsmooth.Smooth(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, tr.Len())
+	for i, s := range tr.Sizes {
+		payloads[i] = make([]byte, int((s+7)/8))
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = mpegsmooth.WriteHello(conn, mpegsmooth.StreamHello{
+		Tau: tr.Tau, GOP: tr.GOP, K: cfg.K, D: cfg.D,
+		Pictures: tr.Len(), PeakRate: sched.PeakRate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mpegsmooth.ReadVerdict(conn)
+	if err != nil || !v.IsAdmitted() {
+		t.Fatalf("admission: %+v, %v", v, err)
+	}
+	sender := &mpegsmooth.Sender{TimeScale: 200}
+	if err := sender.Send(ctx, conn, sched, payloads); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ops endpoint on its ephemeral port answers while serving.
+	waitStats := func(substr string) string {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		var last string
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + opsAddr + "/stats")
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				last = string(body)
+				if strings.Contains(last, substr) {
+					return last
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("/stats never contained %q; last:\n%s", substr, last)
+		return ""
+	}
+	stats := waitStats(`"completed": 1`)
+	if !strings.Contains(stats, `"admitted": 1`) {
+		t.Fatalf("stats missing admitted count:\n%s", stats)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+	text := out.String()
+	if !strings.Contains(text, "draining") || !strings.Contains(text, "1 admitted") ||
+		!strings.Contains(text, "1 completed, 0 failed") {
+		t.Fatalf("exit summary missing:\n%s", text)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := &syncBuffer{}
+	cases := [][]string{
+		{"-capacity", "0"},
+		{"-policy", "no-such-policy"},
+		{"-listen", "256.0.0.1:bad"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

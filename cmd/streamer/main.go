@@ -57,7 +57,9 @@ func send(args []string) error {
 		seed      = fs.Int64("seed", 1, "trace seed")
 		k         = fs.Int("K", 1, "known pictures before sending")
 		d         = fs.Float64("D", 0.2, "delay bound (seconds)")
+		policy    = fs.String("policy", "basic", "rate policy: basic, moving-average, capped:<bps>, min-var")
 		timescale = fs.Float64("timescale", 1, "replay speed multiplier (1 = real time)")
+		handshake = fs.Bool("handshake", false, "declare the stream to a smoothd server and await admission before sending")
 	)
 	fs.Parse(args)
 
@@ -75,7 +77,11 @@ func send(args []string) error {
 	if err != nil {
 		return err
 	}
-	sched, err := mpegsmooth.Smooth(tr, mpegsmooth.Config{K: *k, H: tr.GOP.N, D: *d})
+	pol, err := mpegsmooth.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	sched, err := mpegsmooth.Smooth(tr, mpegsmooth.Config{K: *k, H: tr.GOP.N, D: *d, Policy: pol})
 	if err != nil {
 		return err
 	}
@@ -94,6 +100,24 @@ func send(args []string) error {
 		return err
 	}
 	defer conn.Close()
+	if *handshake {
+		hello := mpegsmooth.StreamHello{
+			Tau: tr.Tau, GOP: tr.GOP, K: *k, D: *d,
+			Pictures: tr.Len(), PeakRate: sched.PeakRate(),
+		}
+		if err := mpegsmooth.WriteHello(conn, hello); err != nil {
+			return err
+		}
+		v, err := mpegsmooth.ReadVerdict(conn)
+		if err != nil {
+			return err
+		}
+		if !v.IsAdmitted() {
+			return fmt.Errorf("stream %s by server (%.0f bps available, declared peak %.0f)",
+				v.Code, v.Available, hello.PeakRate)
+		}
+		fmt.Printf("admitted at peak %.0f bps (%.0f bps still available)\n", hello.PeakRate, v.Available)
+	}
 	fmt.Printf("sending %s: %d pictures over %.1f s of schedule at %gx speed to %s\n",
 		tr.Name, tr.Len(), sched.Depart[tr.Len()-1], *timescale, conn.RemoteAddr())
 	sender := &mpegsmooth.Sender{TimeScale: *timescale}

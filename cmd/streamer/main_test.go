@@ -69,6 +69,62 @@ func TestServeOneMalformedPeer(t *testing.T) {
 	}
 }
 
+// TestSendHandshakePolicy drives the new -handshake and -policy flags
+// against a real smoothd server: an admitted session completes, and a
+// session that cannot fit the link is refused before any pictures move.
+func TestSendHandshakePolicy(t *testing.T) {
+	newServer := func(capacity float64) (*mpegsmooth.Smoothd, string) {
+		t.Helper()
+		srv, err := mpegsmooth.NewSmoothd(mpegsmooth.SmoothdConfig{
+			LinkRate:  capacity,
+			TimeScale: 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		return srv, ln.Addr().String()
+	}
+
+	srv, addr := newServer(50e6)
+	if err := send([]string{
+		"-connect", addr,
+		"-seq", "driving1",
+		"-pictures", "36",
+		"-timescale", "200",
+		"-policy", "moving-average",
+		"-handshake",
+	}); err != nil {
+		t.Fatalf("admitted session: %v", err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for srv.Snapshot().Streams.Completed != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never completed: %+v", srv.Snapshot().Streams)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	_, tiny := newServer(1) // 1 bps: nothing fits
+	if err := send([]string{
+		"-connect", tiny,
+		"-seq", "driving1",
+		"-pictures", "36",
+		"-handshake",
+	}); err == nil {
+		t.Fatal("over-capacity session should be refused at admission")
+	}
+}
+
 // Guard: the receive loop must respect cancellation even while blocked.
 func TestReceiveCancellable(t *testing.T) {
 	client, server := net.Pipe()

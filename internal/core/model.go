@@ -150,6 +150,21 @@ func (s *Schedule) RateFunc() (*metrics.StepFunc, error) {
 	return metrics.NewStepFunc(times, values, s.Depart[n-1])
 }
 
+// PeakRate returns the largest per-picture transmission rate: the
+// schedule's traffic descriptor. A sender declares it in a transport
+// StreamHello, and an admission controller reserves it against a shared
+// link — the sum of admitted peaks never exceeding the link capacity is
+// what makes the multiplexing of Section 5 lossless.
+func (s *Schedule) PeakRate() float64 {
+	peak := 0.0
+	for _, r := range s.Rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
 // MaxDelay returns the largest per-picture delay.
 func (s *Schedule) MaxDelay() float64 {
 	max := 0.0

@@ -35,6 +35,7 @@ type Session struct {
 	next     int // next picture awaiting a decision
 	depart   float64
 	rate     float64
+	peak     float64
 	closed   bool
 	observer Observer
 }
@@ -158,6 +159,13 @@ func (s *Session) Pending() int { return len(s.sizes) - s.next }
 // Policy returns the session's effective rate-selection policy.
 func (s *Session) Policy() Policy { return s.engine.policy }
 
+// PeakRate returns the maximum transmission rate decided so far in
+// bits/second (0 before the first decision): the stream's running
+// traffic descriptor, which admission control reserves against a shared
+// link. For a completed session it equals Schedule.PeakRate of the
+// equivalent offline run.
+func (s *Session) PeakRate() float64 { return s.peak }
+
 // runAll consumes a complete, already-validated size sequence in one
 // shot — the offline mode: push all, close. Because the sequence length
 // is known before the first decision, every decide call sees the bounded
@@ -212,6 +220,9 @@ func (s *Session) drain() []Decision {
 		}
 		d := s.engine.decide(j, s.sizes, s.depart, s.rate, end)
 		s.depart, s.rate = d.Depart, d.Rate
+		if d.Rate > s.peak {
+			s.peak = d.Rate
+		}
 		s.next++
 		if s.observer != nil {
 			s.observer(Observation{

@@ -187,3 +187,46 @@ func TestSessionObserverSeesCapViolations(t *testing.T) {
 		t.Fatal("binding cap but schedule reports no violations")
 	}
 }
+
+// TestSessionPeakRateMatchesSchedule: the Session's running peak — the
+// traffic descriptor a smoothd admission controller reserves — is
+// monotone during the stream and ends exactly at the offline schedule's
+// PeakRate.
+func TestSessionPeakRateMatchesSchedule(t *testing.T) {
+	tr := paperTrace(t, 54)
+	sched, err := Smooth(tr, Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(tr.Tau, tr.GOP, Config{K: 1, H: 9, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeakRate() != 0 {
+		t.Fatalf("peak before any decision: %v", s.PeakRate())
+	}
+	prev := 0.0
+	for _, size := range tr.Sizes {
+		if _, err := s.Push(size); err != nil {
+			t.Fatal(err)
+		}
+		if s.PeakRate() < prev {
+			t.Fatalf("peak decreased: %v -> %v", prev, s.PeakRate())
+		}
+		prev = s.PeakRate()
+	}
+	s.Close()
+	if got, want := s.PeakRate(), sched.PeakRate(); got != want {
+		t.Fatalf("session peak %v, schedule peak %v", got, want)
+	}
+	// And the schedule's peak really is the max of its rates.
+	max := 0.0
+	for _, r := range sched.Rates {
+		if r > max {
+			max = r
+		}
+	}
+	if sched.PeakRate() != max {
+		t.Fatalf("PeakRate %v, max rate %v", sched.PeakRate(), max)
+	}
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// BenchmarkServerIngest pushes 8 concurrent streams through the full
+// admission + smoothing + shared-egress path per iteration. TimeScale
+// 1e6 collapses pacing so the benchmark measures the server machinery,
+// not the schedule clock.
+func BenchmarkServerIngest(b *testing.B) {
+	const streams = 8
+	kit := makeClient(b, testTrace(b, 54))
+	var streamBytes int64
+	for _, p := range kit.payloads {
+		streamBytes += int64(len(p))
+	}
+	srv, addr := startServer(b, Config{
+		LinkRate:  float64(streams) * kit.hello.PeakRate,
+		TimeScale: 1e6,
+	})
+
+	b.SetBytes(streams * streamBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < streams; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := kit.stream(context.Background(), addr)
+				if err != nil {
+					b.Error(err)
+				} else if !v.IsAdmitted() {
+					b.Errorf("rejected: %+v", v)
+				}
+			}()
+		}
+		wg.Wait()
+		want := int64(i+1) * streams
+		waitForBench(b, srv, want)
+	}
+	b.StopTimer()
+}
+
+func waitForBench(b *testing.B, srv *Server, completed int64) {
+	waitFor(b, "iteration drain", func() bool {
+		s := srv.Snapshot()
+		return s.Streams.Completed == completed && s.Streams.Active == 0
+	})
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"net/http"
+	"sort"
+)
+
+// StreamCounts are the admission and lifecycle counters.
+type StreamCounts struct {
+	Admitted          int64 `json:"admitted"`
+	Rejected          int64 `json:"rejected"`
+	RejectedCapacity  int64 `json:"rejected_capacity"`
+	RejectedMalformed int64 `json:"rejected_malformed"`
+	RejectedBusy      int64 `json:"rejected_busy"`
+	Active            int64 `json:"active"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+}
+
+// Snapshot is the full ops view of the server at one instant.
+type Snapshot struct {
+	// CapacityBPS is the configured shared link capacity; ReservedPeak
+	// the sum of admitted streams' declared peaks; AvailablePeak the
+	// headroom admission still has to give out.
+	CapacityBPS   float64 `json:"capacity_bps"`
+	ReservedPeak  float64 `json:"reserved_peak_bps"`
+	AvailablePeak float64 `json:"available_peak_bps"`
+	// AggregateRate is the sum of active streams' current decided
+	// egress rates — by the admission invariant, never above capacity.
+	AggregateRate float64 `json:"aggregate_egress_bps"`
+	// Utilization is AggregateRate / CapacityBPS.
+	Utilization float64 `json:"utilization"`
+	// EgressedBits counts bits actually written to the shared link.
+	EgressedBits int64        `json:"egressed_bits"`
+	Streams      StreamCounts `json:"streams"`
+	// DelayViolations counts finished streams whose largest per-picture
+	// delay exceeded their bound D — always 0 for K ≥ 1 streams, by
+	// Theorem 1. WorstDelayHeadroomS is the smallest D − maxDelay margin
+	// any finished stream kept (0 until a stream finishes).
+	DelayViolations     int64            `json:"delay_violations"`
+	WorstDelayHeadroomS float64          `json:"worst_delay_headroom_s"`
+	PerStream           []StreamSnapshot `json:"active_streams"`
+}
+
+// Snapshot collects the live counters: admission state, aggregate
+// egress, and one StreamSnapshot per active stream.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	streams := make([]*stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	snap := Snapshot{
+		CapacityBPS:   s.admission.Capacity(),
+		ReservedPeak:  s.admission.Reserved(),
+		AvailablePeak: s.admission.Available(),
+		Streams: StreamCounts{
+			Admitted:          s.admission.Admitted(),
+			RejectedCapacity:  s.admission.Rejected(),
+			RejectedMalformed: s.rejectedMalformed,
+			RejectedBusy:      s.rejectedBusy,
+			Active:            s.admission.Active(),
+			Completed:         s.completed,
+			Failed:            s.failed,
+		},
+		DelayViolations: s.delayViolations,
+	}
+	if !math.IsInf(s.worstHeadroom, 1) {
+		snap.WorstDelayHeadroomS = s.worstHeadroom
+	}
+	s.mu.Unlock()
+	snap.Streams.Rejected = snap.Streams.RejectedCapacity +
+		snap.Streams.RejectedMalformed + snap.Streams.RejectedBusy
+	snap.EgressedBits = s.egress.totalBits()
+	snap.PerStream = make([]StreamSnapshot, 0, len(streams))
+	for _, st := range streams {
+		ss := st.snapshot()
+		snap.AggregateRate += ss.CurrentRate
+		snap.PerStream = append(snap.PerStream, ss)
+	}
+	sort.Slice(snap.PerStream, func(i, j int) bool { return snap.PerStream[i].ID < snap.PerStream[j].ID })
+	if snap.CapacityBPS > 0 {
+		snap.Utilization = snap.AggregateRate / snap.CapacityBPS
+	}
+	return snap
+}
+
+// OpsHandler serves the operations endpoint:
+//
+//	GET /healthz     liveness probe
+//	GET /stats       full JSON Snapshot
+//	GET /debug/vars  expvar (includes the "smoothd" snapshot)
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,399 @@
+// Package server implements smoothd: a multi-stream smoothing daemon
+// that multiplexes many concurrent live picture streams onto one shared
+// egress link of fixed capacity.
+//
+// The paper's argument for lossless smoothing is statistical
+// multiplexing (Section 5): many smoothed VBR streams share a
+// finite-buffer link far better than unsmoothed ones. smoothd turns
+// that into a serving system. Each sender opens a session with a
+// StreamHello declaring its encoding parameters and the peak rate of
+// its smoothed schedule; a peak-rate admission controller
+// (netsim.Admission) reserves that peak against the link capacity and
+// rejects streams that would overload it — at admission time, before
+// their first picture, never by dropping cells mid-stream. Every
+// admitted stream is driven through its own core.Session (one
+// goroutine, per the Session contract) with the server's configured
+// rate-selection policy, and its pictures are paced onto the shared
+// link at the decided rates. Because every admitted stream transmits at
+// or below its reserved peak, the aggregate egress never exceeds the
+// link capacity: the multiplexing stays lossless by construction.
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/netsim"
+	"mpegsmooth/internal/transport"
+)
+
+// egressChunk is the pacing granularity in bytes: streams interleave on
+// the shared link at this grain.
+const egressChunk = 4096
+
+// delayTolerance absorbs float rounding when a schedule's maximum
+// per-picture delay is compared against its bound D.
+const delayTolerance = 1e-9
+
+// Config parameterizes a smoothd server.
+type Config struct {
+	// LinkRate is the shared egress link capacity in bits/second; the
+	// admission controller reserves declared stream peaks against it.
+	LinkRate float64
+	// Policy selects rates for every stream's smoothing session; nil
+	// means core.BasicPolicy (fewest rate changes).
+	Policy core.Policy
+	// H is the lookahead interval in pictures; 0 resolves to each
+	// stream's own pattern length N (the paper's usual choice).
+	H int
+	// QueueLen bounds each stream's decision queue between ingest and
+	// egress (default 32). A full queue blocks ingest, which stops
+	// reading the connection — backpressure propagates to the sender
+	// through TCP flow control rather than growing memory.
+	QueueLen int
+	// MaxStreams caps concurrently active streams (0 = no cap beyond
+	// link capacity).
+	MaxStreams int
+	// ReadTimeout bounds the wait for each inbound message so a stalled
+	// sender cannot wedge its stream forever (default 30s).
+	ReadTimeout time.Duration
+	// TimeScale compresses egress pacing, like transport.Sender: wall
+	// durations are schedule durations divided by TimeScale (default 1).
+	TimeScale float64
+	// Egress is the shared link sink; nil means io.Discard. Writes from
+	// all streams are serialized onto it in pacing order.
+	Egress io.Writer
+	// Clock abstracts time for tests; nil means the wall clock.
+	Clock transport.Clock
+	// Logf, when set, receives one line per session outcome.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Policy == nil {
+		cfg.Policy = core.BasicPolicy{}
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 32
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.Egress == nil {
+		cfg.Egress = io.Discard
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = transport.RealClock{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg
+}
+
+// Server is a running smoothd instance. Create with New, drive with
+// Serve, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	egress *link
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	admission *netsim.Admission
+	streams   map[uint64]*stream
+	nextID    uint64
+	ln        net.Listener
+	closed    bool
+
+	completed         int64
+	failed            int64
+	rejectedMalformed int64
+	rejectedBusy      int64
+
+	// finished keeps the last finishedKeep stream snapshots for ops and
+	// post-mortems; worstHeadroom and delayViolations aggregate the
+	// delay-bound outcome over every finished stream.
+	finished        []StreamSnapshot
+	worstHeadroom   float64
+	delayViolations int64
+}
+
+// finishedKeep bounds the retained per-stream history.
+const finishedKeep = 256
+
+// activeServer backs the process-wide "smoothd" expvar: the most
+// recently created server is the one a production process runs.
+var (
+	activeServer atomic.Pointer[Server]
+	expvarOnce   sync.Once
+)
+
+// New validates the configuration and prepares a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.LinkRate <= 0 || math.IsNaN(cfg.LinkRate) || math.IsInf(cfg.LinkRate, 0) {
+		return nil, fmt.Errorf("server: non-positive link rate %v", cfg.LinkRate)
+	}
+	adm, err := netsim.NewAdmission(cfg.LinkRate)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:           cfg.withDefaults(),
+		ctx:           ctx,
+		cancel:        cancel,
+		admission:     adm,
+		streams:       map[uint64]*stream{},
+		worstHeadroom: math.Inf(1),
+	}
+	s.egress = &link{w: s.cfg.Egress}
+	activeServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("smoothd", expvar.Func(func() any {
+			if srv := activeServer.Load(); srv != nil {
+				return srv.Snapshot()
+			}
+			return nil
+		}))
+	})
+	return s, nil
+}
+
+// Serve accepts stream sessions on ln until the listener is closed
+// (normally by Shutdown). Each connection is handled on its own
+// goroutine pair: ingest (read, smooth, enqueue) and egress (pace onto
+// the shared link).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: it stops accepting sessions and waits for
+// active streams to finish. If ctx expires first, remaining streams are
+// cancelled and their connections closed, and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		s.mu.Lock()
+		for _, st := range s.streams {
+			st.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle runs one connection from hello to completion.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	st, verdict, err := s.admit(conn)
+	if werr := s.writeVerdict(conn, verdict); werr != nil && err == nil {
+		err = werr
+	}
+	if st == nil {
+		s.cfg.Logf("smoothd: %s %s: %v", conn.RemoteAddr(), verdict.Code, err)
+		return
+	}
+	err = s.run(st, err)
+	s.finish(st, err)
+}
+
+// admit reads and validates the hello and takes the admission decision.
+// A nil stream means the connection ends after the verdict.
+func (s *Server) admit(conn net.Conn) (*stream, transport.Verdict, error) {
+	reject := func(code transport.VerdictCode, err error) (*stream, transport.Verdict, error) {
+		s.mu.Lock()
+		switch code {
+		case transport.RejectedMalformed:
+			s.rejectedMalformed++
+		case transport.RejectedBusy:
+			s.rejectedBusy++
+		}
+		avail := s.admission.Available()
+		s.mu.Unlock()
+		return nil, transport.Verdict{Code: code, Available: avail}, err
+	}
+
+	msg, err := transport.ReadMessageTimeout(conn, s.cfg.ReadTimeout)
+	if err != nil {
+		return reject(transport.RejectedMalformed, err)
+	}
+	hello, ok := msg.(*transport.StreamHello)
+	if !ok {
+		return reject(transport.RejectedMalformed, fmt.Errorf("server: expected hello, got %T", msg))
+	}
+	h := s.cfg.H
+	if h <= 0 {
+		h = hello.GOP.N
+	}
+	st := newStream(conn, *hello, s.cfg.QueueLen)
+	sess, err := core.NewSession(hello.Tau, hello.GOP, core.Config{
+		K: hello.K, D: hello.D, H: h, Policy: s.cfg.Policy,
+	}, core.WithObserver(st.observe))
+	if err != nil {
+		return reject(transport.RejectedMalformed, err)
+	}
+	st.sess = sess
+
+	s.mu.Lock()
+	if s.closed || (s.cfg.MaxStreams > 0 && int64(s.cfg.MaxStreams) <= s.admission.Active()) {
+		s.mu.Unlock()
+		return reject(transport.RejectedBusy, errors.New("server: at stream limit or shutting down"))
+	}
+	if !s.admission.Admit(hello.PeakRate) {
+		avail := s.admission.Available()
+		s.mu.Unlock()
+		return nil, transport.Verdict{Code: transport.RejectedCapacity, Available: avail},
+			fmt.Errorf("server: peak %.0f bps exceeds available %.0f bps", hello.PeakRate, avail)
+	}
+	s.nextID++
+	st.id = s.nextID
+	s.streams[st.id] = st
+	avail := s.admission.Available()
+	s.mu.Unlock()
+	return st, transport.Verdict{Code: transport.Admitted, Available: avail}, nil
+}
+
+// writeVerdict answers the hello (with a write deadline so a dead peer
+// cannot block the handler).
+func (s *Server) writeVerdict(conn net.Conn, v transport.Verdict) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	defer conn.SetWriteDeadline(time.Time{})
+	return transport.WriteVerdict(conn, v)
+}
+
+// run drives an admitted stream: ingest on this goroutine, egress on a
+// second. admitErr carries a verdict-write failure from handle.
+func (s *Server) run(st *stream, admitErr error) error {
+	if admitErr != nil {
+		close(st.queue)
+		return admitErr
+	}
+	egressDone := make(chan error, 1)
+	go func() {
+		egressDone <- st.runEgress(s.ctx, s.egress, s.cfg.Clock, s.cfg.TimeScale)
+	}()
+	ingestErr := st.runIngest(s.ctx, s.cfg.ReadTimeout)
+	egressErr := <-egressDone
+	if ingestErr != nil {
+		return ingestErr
+	}
+	return egressErr
+}
+
+// finish releases the stream's reservation and records its outcome.
+func (s *Server) finish(st *stream, err error) {
+	ss := st.snapshot()
+	s.mu.Lock()
+	s.admission.Release(st.hello.PeakRate)
+	delete(s.streams, st.id)
+	if err != nil {
+		s.failed++
+	} else {
+		s.completed++
+	}
+	s.finished = append(s.finished, ss)
+	if len(s.finished) > finishedKeep {
+		s.finished = s.finished[1:]
+	}
+	if ss.Decisions > 0 && ss.DelayHeadroom < s.worstHeadroom {
+		s.worstHeadroom = ss.DelayHeadroom
+	}
+	if ss.MaxDelay > ss.DelayBound+delayTolerance {
+		s.delayViolations++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.cfg.Logf("smoothd: stream %d from %s failed: %v", st.id, st.remote, err)
+	} else {
+		s.cfg.Logf("smoothd: stream %d from %s completed: %d pictures, peak %.0f bps",
+			st.id, st.remote, ss.Pictures, ss.SessionPeak)
+	}
+}
+
+// FinishedStreams returns snapshots of the most recently finished
+// streams (up to finishedKeep), oldest first.
+func (s *Server) FinishedStreams() []StreamSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StreamSnapshot, len(s.finished))
+	copy(out, s.finished)
+	return out
+}
+
+// link serializes all streams' paced writes onto the shared egress sink
+// and accounts the bits that crossed it.
+type link struct {
+	mu   sync.Mutex
+	w    io.Writer
+	bits int64
+}
+
+func (l *link) write(p []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(p); err != nil {
+		return err
+	}
+	l.bits += int64(len(p)) * 8
+	return nil
+}
+
+func (l *link) totalBits() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bits
+}

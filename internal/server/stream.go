@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/metrics"
+	"mpegsmooth/internal/transport"
+)
+
+// item is one scheduled picture handed from ingest to egress.
+type item struct {
+	dec     core.Decision
+	payload []byte
+}
+
+// stream is one admitted session: an ingest loop reading the connection
+// and driving the smoothing Session, a bounded queue, and an egress loop
+// pacing decided pictures onto the shared link. The Session itself is
+// touched only by ingest (it is single-goroutine by contract); mu exists
+// so the ops endpoint can snapshot live counters.
+type stream struct {
+	id     uint64
+	remote string
+	conn   net.Conn
+	hello  transport.StreamHello
+	queue  chan item
+
+	mu             sync.Mutex
+	sess           *core.Session
+	stats          *metrics.DecisionStats
+	pictures       int
+	decisions      int
+	maxDelay       float64
+	sessionPeak    float64
+	peakViolations int
+	currentRate    float64
+	egressedBits   int64
+}
+
+// newStream builds the stream skeleton; the caller creates the Session
+// with st.observe installed and assigns it to st.sess before the stream
+// is published.
+func newStream(conn net.Conn, hello transport.StreamHello, queueLen int) *stream {
+	return &stream{
+		remote: conn.RemoteAddr().String(),
+		conn:   conn,
+		hello:  hello,
+		queue:  make(chan item, queueLen),
+		stats:  metrics.NewDecisionStats(),
+	}
+}
+
+// observe feeds the per-stream DecisionStats; installed as the Session
+// observer by the caller that owns the Session. It runs inside Push or
+// Close, which ingest always calls under st.mu.
+func (st *stream) observe(o core.Observation) {
+	st.stats.Add(o.LowerSlack, o.UpperSlack, o.Depth, o.EstimatorError)
+}
+
+// push hands one picture size to the Session and records the emitted
+// decisions' delay and peak under the stream lock.
+func (st *stream) push(bits int64) ([]core.Decision, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	decs, err := st.sess.Push(bits)
+	if err != nil {
+		return nil, err
+	}
+	st.pictures++
+	st.note(decs)
+	return decs, nil
+}
+
+// closeSession flushes the Session's remaining decisions.
+func (st *stream) closeSession() []core.Decision {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	decs := st.sess.Close()
+	st.note(decs)
+	return decs
+}
+
+// note must run under st.mu.
+func (st *stream) note(decs []core.Decision) {
+	st.decisions += len(decs)
+	for _, d := range decs {
+		if d.Delay > st.maxDelay {
+			st.maxDelay = d.Delay
+		}
+	}
+	st.sessionPeak = st.sess.PeakRate()
+}
+
+// runIngest reads the connection until the end marker, pushing picture
+// sizes through the smoothing session and enqueueing decided pictures
+// for egress. The bounded queue is the backpressure point: when egress
+// falls behind, enqueue blocks, ingest stops reading, and TCP flow
+// control pushes back on the sender. The queue is closed on every exit
+// path; runIngest is its only sender.
+func (st *stream) runIngest(ctx context.Context, readTimeout time.Duration) error {
+	defer close(st.queue)
+	pending := make(map[int][]byte)
+	expected := 0
+	enqueue := func(decs []core.Decision) error {
+		for _, d := range decs {
+			payload, ok := pending[d.Picture]
+			if !ok {
+				return fmt.Errorf("server: decision for picture %d without payload", d.Picture)
+			}
+			delete(pending, d.Picture)
+			select {
+			case st.queue <- item{dec: d, payload: payload}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		msg, err := transport.ReadMessageTimeout(st.conn, readTimeout)
+		if err == transport.ErrClosed {
+			return enqueue(st.closeSession())
+		}
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *transport.RateNotification:
+			// The sender's own declared rates are informational here (the
+			// server re-decides), but a declaration above the admitted
+			// peak breaks the traffic contract — count it, as a Policer
+			// parameterized at the declared peak would.
+			if m.Rate > st.hello.PeakRate*(1+1e-9) {
+				st.mu.Lock()
+				st.peakViolations++
+				st.mu.Unlock()
+			}
+		case *transport.PictureFrame:
+			if m.Index != expected {
+				return fmt.Errorf("server: picture %d out of order (expected %d)", m.Index, expected)
+			}
+			pending[expected] = m.Payload
+			expected++
+			decs, err := st.push(int64(len(m.Payload)) * 8)
+			if err != nil {
+				return err
+			}
+			if err := enqueue(decs); err != nil {
+				return err
+			}
+		case *transport.StreamHello:
+			return fmt.Errorf("server: duplicate hello mid-stream")
+		default:
+			return fmt.Errorf("server: unexpected message %T", msg)
+		}
+	}
+}
+
+// runEgress paces decided pictures onto the shared link at their decided
+// rates, on the stream's own schedule clock (origin = first dequeue).
+// Decision Start/Depart times are schedule seconds; TimeScale compresses
+// them to wall time exactly as transport.Sender does.
+func (st *stream) runEgress(ctx context.Context, lk *link, clock transport.Clock, scale float64) error {
+	defer st.setCurrentRate(0)
+	var origin time.Time
+	started := false
+	deadline := func(schedTime float64) time.Time {
+		return origin.Add(time.Duration(schedTime / scale * float64(time.Second)))
+	}
+	for it := range st.queue {
+		if !started {
+			// Anchor the pacing clock so the first decision's start time
+			// is "now": the stream's schedule origin.
+			origin = clock.Now().Add(-time.Duration(it.dec.Start / scale * float64(time.Second)))
+			started = true
+		}
+		d := it.dec
+		if err := clock.Sleep(ctx, deadline(d.Start).Sub(clock.Now())); err != nil {
+			return err
+		}
+		st.setCurrentRate(d.Rate)
+		sent := 0
+		for sent < len(it.payload) {
+			end := sent + egressChunk
+			if end > len(it.payload) {
+				end = len(it.payload)
+			}
+			if err := lk.write(it.payload[sent:end]); err != nil {
+				return err
+			}
+			sent = end
+			if err := clock.Sleep(ctx, deadline(d.Start+float64(sent)*8/d.Rate).Sub(clock.Now())); err != nil {
+				return err
+			}
+		}
+		st.mu.Lock()
+		st.egressedBits += int64(len(it.payload)) * 8
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+func (st *stream) setCurrentRate(r float64) {
+	st.mu.Lock()
+	st.currentRate = r
+	st.mu.Unlock()
+}
+
+// StreamSnapshot is the ops view of one active stream.
+type StreamSnapshot struct {
+	ID     uint64 `json:"id"`
+	Remote string `json:"remote"`
+	// DeclaredPeak is the hello's reserved traffic descriptor;
+	// SessionPeak is the largest rate the server's own session has
+	// decided so far (≤ DeclaredPeak for a truthful sender using the
+	// same smoothing parameters).
+	DeclaredPeak float64 `json:"declared_peak_bps"`
+	SessionPeak  float64 `json:"session_peak_bps"`
+	CurrentRate  float64 `json:"current_rate_bps"`
+	Pictures     int     `json:"pictures"`
+	Decisions    int     `json:"decisions"`
+	EgressedBits int64   `json:"egressed_bits"`
+	// PeakViolations counts sender rate declarations above the admitted
+	// peak — traffic-contract breaches a Policer would tag.
+	PeakViolations int `json:"peak_violations"`
+	// DecisionStats summary: see metrics.DecisionStats.
+	OutOfBand    int     `json:"out_of_band"`
+	MeanDepth    float64 `json:"mean_depth"`
+	MinSlack     float64 `json:"min_slack_bps"`
+	MeanAbsEstimatorError float64 `json:"mean_abs_estimator_error"`
+	// Delay-bound headroom: the stream's bound D, the largest per-picture
+	// delay any decision has incurred, and the margin between them.
+	DelayBound    float64 `json:"delay_bound_s"`
+	MaxDelay      float64 `json:"max_delay_s"`
+	DelayHeadroom float64 `json:"delay_headroom_s"`
+}
+
+func (st *stream) snapshot() StreamSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	minSlack := st.stats.MinSlack()
+	if math.IsInf(minSlack, 0) {
+		minSlack = 0 // no decisions yet; keep the snapshot JSON-encodable
+	}
+	return StreamSnapshot{
+		ID:           st.id,
+		Remote:       st.remote,
+		DeclaredPeak: st.hello.PeakRate,
+		SessionPeak:  st.sessionPeak,
+		CurrentRate:  st.currentRate,
+		Pictures:     st.pictures,
+		Decisions:    st.decisions,
+		EgressedBits: st.egressedBits,
+
+		PeakViolations:        st.peakViolations,
+		OutOfBand:             st.stats.OutOfBand,
+		MeanDepth:             st.stats.MeanDepth(),
+		MinSlack:              minSlack,
+		MeanAbsEstimatorError: st.stats.MeanAbsEstimatorError(),
+
+		DelayBound:    st.hello.D,
+		MaxDelay:      st.maxDelay,
+		DelayHeadroom: headroom(st.hello.D, st.maxDelay),
+	}
+}
+
+// headroom is D − maxDelay with sub-nanosecond float noise clamped to
+// zero: a schedule that rides the delay bound exactly (maxDelay == D up
+// to rounding) has zero headroom, not a violation-looking −1e-17.
+func headroom(d, maxDelay float64) float64 {
+	h := d - maxDelay
+	if h < 0 && h > -delayTolerance {
+		return 0
+	}
+	return h
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mpegsmooth/internal/mpeg"
+)
+
+func validHello() StreamHello {
+	return StreamHello{
+		Tau: 1.0 / 30, GOP: mpeg.GOP{M: 3, N: 9},
+		K: 1, D: 0.2, Pictures: 270, PeakRate: 2.5e6,
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := validHello()
+	if err := WriteHello(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(*StreamHello)
+	if !ok {
+		t.Fatalf("got %#v", msg)
+	}
+	if *got != want {
+		t.Fatalf("hello round trip: got %+v, want %+v", *got, want)
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	cases := map[string]func(*StreamHello){
+		"zero tau":      func(h *StreamHello) { h.Tau = 0 },
+		"NaN tau":       func(h *StreamHello) { h.Tau = math.NaN() },
+		"bad gop":       func(h *StreamHello) { h.GOP = mpeg.GOP{M: 2, N: 9} },
+		"negative K":    func(h *StreamHello) { h.K = -1 },
+		"zero D":        func(h *StreamHello) { h.D = 0 },
+		"inf D":         func(h *StreamHello) { h.D = math.Inf(1) },
+		"negative len":  func(h *StreamHello) { h.Pictures = -1 },
+		"zero peak":     func(h *StreamHello) { h.PeakRate = 0 },
+		"infinite peak": func(h *StreamHello) { h.PeakRate = math.Inf(1) },
+	}
+	for name, corrupt := range cases {
+		h := validHello()
+		corrupt(&h)
+		var buf bytes.Buffer
+		if err := WriteHello(&buf, h); err == nil {
+			t.Errorf("%s: write accepted %+v", name, h)
+		}
+	}
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	for _, want := range []Verdict{
+		{Code: Admitted, Available: 4.5e6},
+		{Code: RejectedCapacity, Available: 0},
+		{Code: RejectedMalformed, Available: 1e7},
+		{Code: RejectedBusy, Available: 2e6},
+	} {
+		var buf bytes.Buffer
+		if err := WriteVerdict(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadVerdict(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("verdict round trip: got %+v, want %+v", got, want)
+		}
+		if got.IsAdmitted() != (want.Code == Admitted) {
+			t.Fatalf("IsAdmitted wrong for %v", want.Code)
+		}
+	}
+}
+
+func TestVerdictValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerdict(&buf, Verdict{Code: 9}); err == nil {
+		t.Error("invalid code accepted")
+	}
+	if err := WriteVerdict(&buf, Verdict{Code: Admitted, Available: math.NaN()}); err == nil {
+		t.Error("NaN capacity accepted")
+	}
+	if err := WriteVerdict(&buf, Verdict{Code: Admitted, Available: -1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	// A non-verdict message where a verdict is expected is an error, not
+	// a silent misparse.
+	if err := WriteEnd(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVerdict(&buf); err == nil {
+		t.Error("end marker accepted as verdict")
+	}
+}
+
+// TestReceiveRecordsHello: a plain receiver notes the declaration and
+// carries on with the stream.
+func TestReceiveRecordsHello(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, validHello()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEnd(&buf); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Receive(t.Context(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Hello == nil || *report.Hello != validHello() {
+		t.Fatalf("hello not recorded: %+v", report.Hello)
+	}
+}

@@ -38,6 +38,8 @@ func PayloadSum64(payload []byte) uint64 {
 type Report struct {
 	Pictures      []ReceivedPicture
 	Notifications []RateNotification
+	// Hello is the stream-opening declaration, when the sender sent one.
+	Hello *StreamHello
 	// Elapsed is the total session duration.
 	Elapsed time.Duration
 }
@@ -51,11 +53,43 @@ func (r *Report) TotalBytes() int {
 	return total
 }
 
+// deadlineReader is the read-deadline surface of net.Conn (net.Pipe
+// supports it too); any other reader gets no deadline.
+type deadlineReader interface {
+	SetReadDeadline(time.Time) error
+}
+
+// ReadMessageTimeout arms a read deadline covering the whole next
+// message — header and payload — before reading it, so a sender that
+// stalls mid-picture cannot wedge the reader forever. A zero timeout, or
+// a reader without SetReadDeadline, reads without a deadline.
+func ReadMessageTimeout(conn io.Reader, timeout time.Duration) (any, error) {
+	if d, ok := conn.(deadlineReader); ok {
+		if timeout > 0 {
+			if err := d.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+				return nil, fmt.Errorf("transport: arming read deadline: %w", err)
+			}
+		} else {
+			d.SetReadDeadline(time.Time{})
+		}
+	}
+	return ReadMessage(conn)
+}
+
+// Receiver drains a sender's stream with configurable robustness knobs.
+// The zero value behaves exactly like the package-level Receive.
+type Receiver struct {
+	// ReadTimeout bounds the wait for each message (header through
+	// payload). Zero means wait forever. It takes effect only when the
+	// connection supports read deadlines (net.Conn does).
+	ReadTimeout time.Duration
+}
+
 // Receive drains a sender's stream until the end marker, recording
 // arrival times and rate notifications. The reader should be the
-// connection's read side; cancellation is honoured between messages when
-// conn supports read deadlines via the optional deadline hook.
-func Receive(ctx context.Context, conn io.Reader) (*Report, error) {
+// connection's read side; cancellation is honoured between messages, and
+// a stalled sender is cut off after ReadTimeout when configured.
+func (rc *Receiver) Receive(ctx context.Context, conn io.Reader) (*Report, error) {
 	start := time.Now()
 	report := &Report{}
 	currentRate := 0.0
@@ -63,7 +97,7 @@ func Receive(ctx context.Context, conn io.Reader) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return report, err
 		}
-		msg, err := ReadMessage(conn)
+		msg, err := ReadMessageTimeout(conn, rc.ReadTimeout)
 		if err == ErrClosed {
 			report.Elapsed = time.Since(start)
 			return report, nil
@@ -72,6 +106,8 @@ func Receive(ctx context.Context, conn io.Reader) (*Report, error) {
 			return report, err
 		}
 		switch m := msg.(type) {
+		case *StreamHello:
+			report.Hello = m
 		case *RateNotification:
 			report.Notifications = append(report.Notifications, *m)
 			currentRate = m.Rate
@@ -88,4 +124,10 @@ func Receive(ctx context.Context, conn io.Reader) (*Report, error) {
 			return report, fmt.Errorf("transport: unexpected message %T", msg)
 		}
 	}
+}
+
+// Receive drains a sender's stream until the end marker with no read
+// timeout; see Receiver for the configurable form.
+func Receive(ctx context.Context, conn io.Reader) (*Report, error) {
+	return (&Receiver{}).Receive(ctx, conn)
 }

@@ -3,9 +3,12 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand"
+	"net"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // TestReadMessageOnRandomBytes: the wire parser must be total — any byte
@@ -40,6 +43,57 @@ func TestReceiveOnRandomBytes(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReceiverCutsOffStalledSender: a sender that goes silent — here
+// mid-payload, the worst case, after the header promised more bytes —
+// must not wedge the receiver forever. The configured read deadline cuts
+// the stream with a timeout error.
+func TestReceiverCutsOffStalledSender(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		WriteRate(client, RateNotification{Index: 0, Rate: 1e6})
+		WritePictureHeader(client, 0, 0, 1024)
+		client.Write(make([]byte, 100)) // then stall, 924 bytes short
+	}()
+
+	rc := &Receiver{ReadTimeout: 100 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := rc.Receive(context.Background(), server)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled sender did not produce an error")
+		}
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Fatalf("want a timeout error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read deadline did not fire: receiver wedged by stalled sender")
+	}
+}
+
+// TestReceiverNoTimeoutStillWorks: the zero Receiver must behave like
+// the plain Receive (no deadline armed, clean end honoured).
+func TestReceiverNoTimeoutStillWorks(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRate(&buf, RateNotification{Index: 0, Rate: 1e6})
+	WriteEnd(&buf)
+	rc := &Receiver{}
+	report, err := rc.Receive(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Notifications) != 1 {
+		t.Fatalf("got %d notifications", len(report.Notifications))
 	}
 }
 

@@ -26,6 +26,8 @@ const (
 	kindRate    byte = 'R'
 	kindPicture byte = 'P'
 	kindEnd     byte = 'E'
+	kindHello   byte = 'H'
+	kindVerdict byte = 'V'
 )
 
 // MaxPictureBytes bounds a picture payload; a peer announcing more is
@@ -47,6 +49,148 @@ type PictureFrame struct {
 	Index   int
 	Type    mpeg.PictureType
 	Payload []byte
+}
+
+// StreamHello opens a stream session with a server that performs
+// admission control (smoothd): the sender declares its encoding
+// parameters and, crucially, the peak rate of its smoothed schedule —
+// the traffic descriptor the admission controller reserves against the
+// shared link, in the spirit of the usage-parameter contract a Policer
+// enforces. A receiver that does not perform admission (plain Receive)
+// records the hello and carries on.
+type StreamHello struct {
+	// Tau is the picture period in seconds.
+	Tau float64
+	// GOP is the repeating picture-type pattern.
+	GOP mpeg.GOP
+	// K and D are the smoothing parameters the sender encoded with.
+	K int
+	D float64
+	// Pictures is the expected stream length (0 = unknown/live).
+	Pictures int
+	// PeakRate is the declared maximum smoothed transmission rate in
+	// bits/second; admission reserves this much link capacity.
+	PeakRate float64
+}
+
+// Validate checks the hello's fields for wire-level sanity.
+func (h StreamHello) Validate() error {
+	if h.Tau <= 0 || math.IsNaN(h.Tau) || math.IsInf(h.Tau, 0) {
+		return fmt.Errorf("transport: hello picture period %v", h.Tau)
+	}
+	if err := h.GOP.Validate(); err != nil {
+		return fmt.Errorf("transport: hello %w", err)
+	}
+	if h.K < 0 {
+		return fmt.Errorf("transport: hello K = %d", h.K)
+	}
+	if h.D <= 0 || math.IsNaN(h.D) || math.IsInf(h.D, 0) {
+		return fmt.Errorf("transport: hello delay bound %v", h.D)
+	}
+	if h.Pictures < 0 {
+		return fmt.Errorf("transport: hello pictures %d", h.Pictures)
+	}
+	if h.PeakRate <= 0 || math.IsNaN(h.PeakRate) || math.IsInf(h.PeakRate, 0) {
+		return fmt.Errorf("transport: hello peak rate %v", h.PeakRate)
+	}
+	return nil
+}
+
+// WriteHello writes a stream-opening hello.
+func WriteHello(w io.Writer, h StreamHello) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	if h.GOP.N > math.MaxUint16 || h.GOP.M > math.MaxUint16 ||
+		h.K > math.MaxUint16 || h.Pictures > math.MaxUint32 {
+		return fmt.Errorf("transport: hello field out of wire range")
+	}
+	var buf [35]byte
+	buf[0] = kindHello
+	binary.BigEndian.PutUint64(buf[1:9], math.Float64bits(h.Tau))
+	binary.BigEndian.PutUint16(buf[9:11], uint16(h.GOP.N))
+	binary.BigEndian.PutUint16(buf[11:13], uint16(h.GOP.M))
+	binary.BigEndian.PutUint16(buf[13:15], uint16(h.K))
+	binary.BigEndian.PutUint64(buf[15:23], math.Float64bits(h.D))
+	binary.BigEndian.PutUint32(buf[23:27], uint32(h.Pictures))
+	binary.BigEndian.PutUint64(buf[27:35], math.Float64bits(h.PeakRate))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// VerdictCode classifies an admission decision.
+type VerdictCode byte
+
+// Admission verdict codes.
+const (
+	// Admitted: the stream's declared peak rate has been reserved on
+	// the shared link; the sender may begin streaming.
+	Admitted VerdictCode = iota
+	// RejectedCapacity: the declared peak exceeds the link capacity
+	// still available.
+	RejectedCapacity
+	// RejectedMalformed: the hello was missing or invalid.
+	RejectedMalformed
+	// RejectedBusy: the server is at its concurrent-stream limit or
+	// shutting down.
+	RejectedBusy
+)
+
+// String names the verdict code.
+func (c VerdictCode) String() string {
+	switch c {
+	case Admitted:
+		return "admitted"
+	case RejectedCapacity:
+		return "rejected-capacity"
+	case RejectedMalformed:
+		return "rejected-malformed"
+	case RejectedBusy:
+		return "rejected-busy"
+	}
+	return fmt.Sprintf("VerdictCode(%d)", byte(c))
+}
+
+// Verdict is the server's admission answer to a StreamHello.
+type Verdict struct {
+	Code VerdictCode
+	// Available is the link capacity still unreserved (bits/second) at
+	// decision time — on rejection, what the sender would have to fit
+	// under to be admitted.
+	Available float64
+}
+
+// Admitted reports whether the stream may proceed.
+func (v Verdict) IsAdmitted() bool { return v.Code == Admitted }
+
+// WriteVerdict writes an admission verdict.
+func WriteVerdict(w io.Writer, v Verdict) error {
+	if v.Code > RejectedBusy {
+		return fmt.Errorf("transport: invalid verdict code %d", v.Code)
+	}
+	if math.IsNaN(v.Available) || math.IsInf(v.Available, 0) || v.Available < 0 {
+		return fmt.Errorf("transport: invalid verdict capacity %v", v.Available)
+	}
+	var buf [10]byte
+	buf[0] = kindVerdict
+	buf[1] = byte(v.Code)
+	binary.BigEndian.PutUint64(buf[2:10], math.Float64bits(v.Available))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadVerdict reads an admission verdict — the one message that flows
+// server→sender, immediately after the hello.
+func ReadVerdict(r io.Reader) (Verdict, error) {
+	msg, err := ReadMessage(r)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v, ok := msg.(*Verdict)
+	if !ok {
+		return Verdict{}, fmt.Errorf("transport: expected verdict, got %T", msg)
+	}
+	return *v, nil
 }
 
 // WriteRate writes a rate notification.
@@ -89,15 +233,51 @@ func WriteEnd(w io.Writer) error {
 	return err
 }
 
-// ReadMessage reads the next message. It returns either a
-// *RateNotification or a *PictureFrame (with the payload fully read), or
-// ErrClosed on the end marker.
+// ReadMessage reads the next message. It returns a *StreamHello, a
+// *Verdict, a *RateNotification, or a *PictureFrame (with the payload
+// fully read), or ErrClosed on the end marker.
 func ReadMessage(r io.Reader) (any, error) {
 	var kind [1]byte
 	if _, err := io.ReadFull(r, kind[:]); err != nil {
 		return nil, err
 	}
 	switch kind[0] {
+	case kindHello:
+		var buf [34]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("transport: short hello: %w", err)
+		}
+		h := StreamHello{
+			Tau: math.Float64frombits(binary.BigEndian.Uint64(buf[0:8])),
+			GOP: mpeg.GOP{
+				N: int(binary.BigEndian.Uint16(buf[8:10])),
+				M: int(binary.BigEndian.Uint16(buf[10:12])),
+			},
+			K:        int(binary.BigEndian.Uint16(buf[12:14])),
+			D:        math.Float64frombits(binary.BigEndian.Uint64(buf[14:22])),
+			Pictures: int(binary.BigEndian.Uint32(buf[22:26])),
+			PeakRate: math.Float64frombits(binary.BigEndian.Uint64(buf[26:34])),
+		}
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+		return &h, nil
+	case kindVerdict:
+		var buf [9]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("transport: short verdict: %w", err)
+		}
+		v := Verdict{
+			Code:      VerdictCode(buf[0]),
+			Available: math.Float64frombits(binary.BigEndian.Uint64(buf[1:9])),
+		}
+		if v.Code > RejectedBusy {
+			return nil, fmt.Errorf("transport: invalid verdict code %d", buf[0])
+		}
+		if math.IsNaN(v.Available) || math.IsInf(v.Available, 0) || v.Available < 0 {
+			return nil, fmt.Errorf("transport: invalid verdict capacity %v", v.Available)
+		}
+		return &v, nil
 	case kindRate:
 		var buf [12]byte
 		if _, err := io.ReadFull(r, buf[:]); err != nil {

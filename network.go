@@ -6,6 +6,7 @@ import (
 
 	"mpegsmooth/internal/core"
 	"mpegsmooth/internal/netsim"
+	"mpegsmooth/internal/server"
 	"mpegsmooth/internal/transport"
 	"mpegsmooth/internal/vbv"
 )
@@ -28,9 +29,36 @@ type (
 	// RateNotification is the notify(i, rate) wire message.
 	RateNotification = transport.RateNotification
 
+	// Receiver is the configurable receive loop (read deadlines for
+	// stalled senders); the zero value matches Receive.
+	Receiver = transport.Receiver
+	// StreamHello opens a stream session with a smoothd server: the
+	// declared encoding parameters and peak smoothed rate.
+	StreamHello = transport.StreamHello
+	// Verdict is the server's admission answer to a StreamHello.
+	Verdict = transport.Verdict
+	// VerdictCode classifies an admission decision.
+	VerdictCode = transport.VerdictCode
+
 	// Policer is a token-bucket usage-parameter-control element that
 	// checks traffic against its declared rates.
 	Policer = netsim.Policer
+	// Admission is a peak-rate admission controller for a shared link:
+	// the lossless analogue of the paper's multiplexing experiment.
+	Admission = netsim.Admission
+
+	// Smoothd is the multi-stream smoothing server: admission control,
+	// one smoothing session per stream, shared paced egress, and an
+	// operations endpoint.
+	Smoothd = server.Server
+	// SmoothdConfig parameterizes a Smoothd server.
+	SmoothdConfig = server.Config
+	// SmoothdSnapshot is the ops view of a running server.
+	SmoothdSnapshot = server.Snapshot
+	// SmoothdStreamCounts are the admission/lifecycle counters.
+	SmoothdStreamCounts = server.StreamCounts
+	// SmoothdStreamSnapshot is the ops view of one stream.
+	SmoothdStreamSnapshot = server.StreamSnapshot
 
 	// VBVAnalysis reports the decoder-side buffering a schedule demands:
 	// minimum start-up delay (= the schedule's maximum picture delay,
@@ -41,6 +69,19 @@ type (
 // CellBits is the fixed cell size of the multiplexer model (ATM: 53
 // bytes).
 const CellBits = netsim.CellBits
+
+// Admission verdict codes.
+const (
+	// StreamAdmitted: the declared peak has been reserved; stream away.
+	StreamAdmitted = transport.Admitted
+	// StreamRejectedCapacity: the declared peak does not fit in the
+	// link capacity still available.
+	StreamRejectedCapacity = transport.RejectedCapacity
+	// StreamRejectedMalformed: the hello was missing or invalid.
+	StreamRejectedMalformed = transport.RejectedMalformed
+	// StreamRejectedBusy: stream limit reached or server draining.
+	StreamRejectedBusy = transport.RejectedBusy
+)
 
 // RunMux simulates rate-scheduled sources through a shared finite-buffer
 // multiplexer and returns loss statistics.
@@ -58,6 +99,20 @@ func PayloadSum64(payload []byte) uint64 { return transport.PayloadSum64(payload
 // NewPolicer creates a token-bucket policer with the given burst
 // tolerance in bits.
 func NewPolicer(burstBits float64) (*Policer, error) { return netsim.NewPolicer(burstBits) }
+
+// NewAdmission creates a peak-rate admission controller for a link of
+// the given capacity in bits/second.
+func NewAdmission(capacity float64) (*Admission, error) { return netsim.NewAdmission(capacity) }
+
+// NewSmoothd validates the configuration and prepares a smoothd server;
+// drive it with Serve and stop it with Shutdown.
+func NewSmoothd(cfg SmoothdConfig) (*Smoothd, error) { return server.New(cfg) }
+
+// WriteHello declares a stream session to a smoothd server.
+func WriteHello(w io.Writer, h StreamHello) error { return transport.WriteHello(w, h) }
+
+// ReadVerdict reads the server's admission answer to a hello.
+func ReadVerdict(r io.Reader) (Verdict, error) { return transport.ReadVerdict(r) }
 
 // AnalyzeVBV computes the minimum decoder start-up delay and peak
 // decoder buffer occupancy implied by a schedule (the MPEG "model
