@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench results examples clean
+.PHONY: all build test test-race vet bench chaos results examples clean
 
 all: build vet test test-race
 
@@ -19,6 +19,11 @@ test:
 # the race detector guards the sharding and the shared Config values.
 test-race:
 	$(GO) test -race ./...
+
+# The chaos suite: fault-injected soaks (corruption, resets, stalls)
+# under the race detector — resumable streams must complete byte-exact.
+chaos:
+	$(GO) test -race -v -run 'Chaos|Resum|Stall|Fault|Malformed' ./internal/server/ ./internal/transport/ ./internal/faultnet/
 
 # Regenerate every figure of the paper's evaluation (plus extensions)
 # into results/ as CSV, with console summaries.

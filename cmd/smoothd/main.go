@@ -52,6 +52,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queueLen     = fs.Int("queue", 32, "per-stream decision queue length (backpressure bound)")
 		maxStreams   = fs.Int("max-streams", 0, "concurrent stream cap (0 = capacity-limited only)")
 		readTimeout  = fs.Duration("read-timeout", 30*time.Second, "per-message read deadline")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-write deadline for verdicts and deadline-capable egress sinks")
+		resumeWindow = fs.Duration("resume-window", 10*time.Second, "how long a disconnected stream may reconnect and resume (0 = disabled)")
+		maxPicture   = fs.Int("max-picture-bytes", 0, "declared picture payload size cap (0 = default 4 MiB)")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful drain limit on shutdown")
 		timescale    = fs.Float64("timescale", 1, "egress pacing speed multiplier (1 = real time)")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
@@ -72,10 +75,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Policy:      policy,
 		H:           *hFlag,
 		QueueLen:    *queueLen,
-		MaxStreams:  *maxStreams,
-		ReadTimeout: *readTimeout,
-		TimeScale:   *timescale,
-		Logf:        logf,
+		MaxStreams:      *maxStreams,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		ResumeWindow:    *resumeWindow,
+		MaxPictureBytes: *maxPicture,
+		TimeScale:       *timescale,
+		Logf:            logf,
 	})
 	if err != nil {
 		return err
@@ -115,9 +121,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	drainErr := srv.Shutdown(drainCtx)
 	<-serveErr
 	snap := srv.Snapshot()
-	fmt.Fprintf(out, "smoothd: exit — %d admitted, %d rejected, %d completed, %d failed, %d bits egressed\n",
+	fmt.Fprintf(out, "smoothd: exit — %d admitted, %d rejected, %d completed, %d failed, %d resumed, %d bits egressed\n",
 		snap.Streams.Admitted, snap.Streams.Rejected, snap.Streams.Completed,
-		snap.Streams.Failed, snap.EgressedBits)
+		snap.Streams.Failed, snap.Faults.Resumed, snap.EgressedBits)
 	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
 		return drainErr
 	}

@@ -92,19 +92,20 @@ func TestRunServesAndDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	err = mpegsmooth.WriteHello(conn, mpegsmooth.StreamHello{
+	fw := mpegsmooth.NewFrameWriter(conn)
+	err = fw.WriteHello(mpegsmooth.StreamHello{
 		Tau: tr.Tau, GOP: tr.GOP, K: cfg.K, D: cfg.D,
 		Pictures: tr.Len(), PeakRate: sched.PeakRate(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := mpegsmooth.ReadVerdict(conn)
+	v, err := mpegsmooth.NewFrameReader(conn).ReadVerdict()
 	if err != nil || !v.IsAdmitted() {
 		t.Fatalf("admission: %+v, %v", v, err)
 	}
 	sender := &mpegsmooth.Sender{TimeScale: 200}
-	if err := sender.Send(ctx, conn, sched, payloads); err != nil {
+	if err := sender.Send(ctx, fw, sched, payloads); err != nil {
 		t.Fatal(err)
 	}
 

@@ -60,6 +60,8 @@ func send(args []string) error {
 		policy    = fs.String("policy", "basic", "rate policy: basic, moving-average, capped:<bps>, min-var")
 		timescale = fs.Float64("timescale", 1, "replay speed multiplier (1 = real time)")
 		handshake = fs.Bool("handshake", false, "declare the stream to a smoothd server and await admission before sending")
+		retries   = fs.Int("retries", 8, "max consecutive reconnect attempts before abandoning the stream (handshake mode)")
+		writeTO   = fs.Duration("write-timeout", 30*time.Second, "per-message write deadline (0 = none)")
 	)
 	fs.Parse(args)
 
@@ -95,35 +97,51 @@ func send(args []string) error {
 		rng.Read(payloads[i])
 	}
 
-	conn, err := net.Dial("tcp", *connect)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
+	fmt.Printf("sending %s: %d pictures over %.1f s of schedule at %gx speed to %s\n",
+		tr.Name, tr.Len(), sched.Depart[tr.Len()-1], *timescale, *connect)
+	start := time.Now()
 	if *handshake {
-		hello := mpegsmooth.StreamHello{
-			Tau: tr.Tau, GOP: tr.GOP, K: *k, D: *d,
-			Pictures: tr.Len(), PeakRate: sched.PeakRate(),
+		// Admission handshake plus reconnect-and-resume: a transient
+		// fault (corruption, reset, timeout) redials with backoff and
+		// replays from the server's NextIndex instead of failing.
+		rs := &mpegsmooth.ResumableSender{
+			Sender: mpegsmooth.Sender{TimeScale: *timescale, WriteTimeout: *writeTO},
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", *connect)
+			},
+			Hello: mpegsmooth.StreamHello{
+				Tau: tr.Tau, GOP: tr.GOP, K: *k, D: *d,
+				Pictures: tr.Len(), PeakRate: sched.PeakRate(),
+			},
+			MaxAttempts: *retries,
+			OnEvent: func(ev mpegsmooth.ResumeEvent) {
+				if ev.Resumed {
+					fmt.Printf("resumed at picture %d\n", ev.NextIndex)
+				} else {
+					fmt.Printf("stream fault (%s, attempt %d): %v\n", ev.Class, ev.Attempt, ev.Err)
+				}
+			},
 		}
-		if err := mpegsmooth.WriteHello(conn, hello); err != nil {
-			return err
-		}
-		v, err := mpegsmooth.ReadVerdict(conn)
+		res, err := rs.StreamSchedule(context.Background(), sched, payloads)
 		if err != nil {
 			return err
 		}
-		if !v.IsAdmitted() {
-			return fmt.Errorf("stream %s by server (%.0f bps available, declared peak %.0f)",
-				v.Code, v.Available, hello.PeakRate)
+		fmt.Printf("admitted at peak %.0f bps (%.0f bps still available)\n",
+			sched.PeakRate(), res.Verdict.Available)
+		if res.Resumes > 0 {
+			fmt.Printf("survived %d disconnect(s)\n", res.Resumes)
 		}
-		fmt.Printf("admitted at peak %.0f bps (%.0f bps still available)\n", hello.PeakRate, v.Available)
-	}
-	fmt.Printf("sending %s: %d pictures over %.1f s of schedule at %gx speed to %s\n",
-		tr.Name, tr.Len(), sched.Depart[tr.Len()-1], *timescale, conn.RemoteAddr())
-	sender := &mpegsmooth.Sender{TimeScale: *timescale}
-	start := time.Now()
-	if err := sender.Send(context.Background(), conn, sched, payloads); err != nil {
-		return err
+	} else {
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		sender := &mpegsmooth.Sender{TimeScale: *timescale, WriteTimeout: *writeTO}
+		if err := sender.Send(context.Background(), mpegsmooth.NewFrameWriter(conn), sched, payloads); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -133,6 +151,7 @@ func recv(args []string) error {
 	fs := flag.NewFlagSet("recv", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:8402", "listen address")
 	once := fs.Bool("once", true, "exit after one session")
+	readTO := fs.Duration("read-timeout", 30*time.Second, "per-message read deadline (0 = none)")
 	fs.Parse(args)
 
 	ln, err := net.Listen("tcp", *listen)
@@ -146,7 +165,7 @@ func recv(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := serveOne(conn); err != nil {
+		if err := serveOne(conn, *readTO); err != nil {
 			fmt.Fprintf(os.Stderr, "session: %v\n", err)
 		}
 		if *once {
@@ -155,10 +174,11 @@ func recv(args []string) error {
 	}
 }
 
-func serveOne(conn net.Conn) error {
+func serveOne(conn net.Conn, readTimeout time.Duration) error {
 	defer conn.Close()
 	fmt.Printf("session from %s\n", conn.RemoteAddr())
-	report, err := mpegsmooth.Receive(context.Background(), conn)
+	rc := &mpegsmooth.Receiver{ReadTimeout: readTimeout}
+	report, err := rc.Receive(context.Background(), conn)
 	if err != nil {
 		return err
 	}

@@ -25,7 +25,7 @@ func TestSendRecvSession(t *testing.T) {
 			done <- err
 			return
 		}
-		done <- serveOne(conn)
+		done <- serveOne(conn, 30*time.Second)
 	}()
 
 	if err := send([]string{
@@ -64,7 +64,7 @@ func TestServeOneMalformedPeer(t *testing.T) {
 		client.Write([]byte{0xFF, 0x00, 0x01})
 		client.Close()
 	}()
-	if err := serveOne(server); err == nil {
+	if err := serveOne(server, 5*time.Second); err == nil {
 		t.Fatal("malformed stream should error")
 	}
 }

@@ -66,7 +66,7 @@ func main() {
 	start := time.Now()
 	go func() {
 		sender := &mpegsmooth.Sender{TimeScale: 20}
-		if err := sender.Send(ctx, client, sched, payloads); err != nil {
+		if err := sender.Send(ctx, mpegsmooth.NewFrameWriter(client), sched, payloads); err != nil {
 			log.Fatalf("send: %v", err)
 		}
 	}()

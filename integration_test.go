@@ -189,7 +189,7 @@ func TestPipelineCodecToTransport(t *testing.T) {
 	defer cancel()
 	go func() {
 		s := &Sender{TimeScale: 100}
-		s.Send(ctx, client, sched, payloads)
+		s.Send(ctx, NewFrameWriter(client), sched, payloads)
 	}()
 	report, err := Receive(ctx, server)
 	if err != nil {

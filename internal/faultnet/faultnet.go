@@ -1,0 +1,265 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seed-driven fault injection: byte corruption, mid-message stalls,
+// latency/jitter, abrupt resets, and timed partitions. It exists so the
+// transport layer's robustness claims — CRC-detected corruption,
+// deadline-cut stalls, resumable streams through resets — can be
+// exercised in ordinary Go tests against a real TCP (or in-memory)
+// network rather than hand-mocked error returns.
+//
+// Determinism: every connection accepted or wrapped gets its own
+// math/rand stream seeded from Config.Seed plus the connection's accept
+// index, so a chaos soak replays the same fault sequence per connection
+// regardless of goroutine interleaving.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjectedReset is returned by a connection the harness abruptly
+// reset. It also closes the underlying conn, so the peer observes a
+// genuine EOF/reset. It wraps ECONNRESET so fault classifiers treat it
+// exactly like the real thing.
+var ErrInjectedReset = fmt.Errorf("faultnet: injected connection reset: %w", syscall.ECONNRESET)
+
+// ErrPartitioned is returned while the network is partitioned.
+var ErrPartitioned = errors.New("faultnet: network partitioned")
+
+// Config sets the fault mix. Probabilities are per I/O operation
+// (per Read and per Write call), evaluated independently.
+type Config struct {
+	// Seed drives all randomness. The same seed and per-connection
+	// operation sequence replays the same faults.
+	Seed int64
+	// CorruptProb flips one byte of the transferred data.
+	CorruptProb float64
+	// ResetProb abruptly closes the connection mid-operation.
+	ResetProb float64
+	// StallProb pauses the operation for Stall before proceeding —
+	// long stalls trip peer deadlines, short ones add burstiness.
+	StallProb float64
+	// Stall is the pause injected on a stall fault (default 50ms).
+	Stall time.Duration
+	// Latency delays every operation; Jitter adds a uniform random
+	// extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// FaultFreeBytes exempts the first N bytes of each direction of each
+	// connection from corruption and resets (latency still applies).
+	// Chaos tests use it to protect the admission handshake so faults
+	// concentrate on the picture stream.
+	FaultFreeBytes int
+}
+
+// Counts reports the faults a Network has injected so far.
+type Counts struct {
+	Corrupted  int64
+	Resets     int64
+	Stalls     int64
+	Partitions int64
+}
+
+// Network is a fault-injecting wrapper factory. The zero value with a
+// zero Config passes traffic through untouched.
+type Network struct {
+	cfg Config
+
+	connIndex atomic.Int64
+
+	corrupted atomic.Int64
+	resets    atomic.Int64
+	stalls    atomic.Int64
+	partials  atomic.Int64
+
+	mu          sync.Mutex
+	partitioned bool
+	partTimer   *time.Timer
+}
+
+// New builds a Network with the given fault mix.
+func New(cfg Config) *Network {
+	if cfg.Stall <= 0 {
+		cfg.Stall = 50 * time.Millisecond
+	}
+	return &Network{cfg: cfg}
+}
+
+// Counts snapshots the injected-fault counters.
+func (n *Network) Counts() Counts {
+	return Counts{
+		Corrupted:  n.corrupted.Load(),
+		Resets:     n.resets.Load(),
+		Stalls:     n.stalls.Load(),
+		Partitions: n.partials.Load(),
+	}
+}
+
+// PartitionFor severs every connection's traffic for d: operations fail
+// immediately with ErrPartitioned until the window elapses. Overlapping
+// calls extend the window.
+func (n *Network) PartitionFor(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partials.Add(1)
+	n.partitioned = true
+	if n.partTimer != nil {
+		n.partTimer.Stop()
+	}
+	n.partTimer = time.AfterFunc(d, func() {
+		n.mu.Lock()
+		n.partitioned = false
+		n.mu.Unlock()
+	})
+}
+
+func (n *Network) isPartitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned
+}
+
+// Wrap returns conn with this network's faults injected on both its
+// read and write paths.
+func (n *Network) Wrap(conn net.Conn) net.Conn {
+	seed := n.cfg.Seed + n.connIndex.Add(1)
+	return &faultConn{
+		Conn: conn,
+		net:  n,
+		read: dirState{rng: rand.New(rand.NewSource(seed))},
+		// Writes draw from an offset stream so the two directions fault
+		// independently but still deterministically.
+		write: dirState{rng: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))},
+	}
+}
+
+// Listener wraps l so every accepted connection is fault-injected.
+func (n *Network) Listener(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, net: n}
+}
+
+type faultListener struct {
+	net.Listener
+	net *Network
+}
+
+func (fl *faultListener) Accept() (net.Conn, error) {
+	conn, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return fl.net.Wrap(conn), nil
+}
+
+// dirState is one direction's fault-decision state. Its RNG is only
+// touched under the parent conn's mutex.
+type dirState struct {
+	rng   *rand.Rand
+	bytes int // transferred so far, for the FaultFreeBytes grace
+}
+
+type faultConn struct {
+	net.Conn
+	net   *Network
+	mu    sync.Mutex
+	read  dirState
+	write dirState
+	reset bool
+}
+
+// decide rolls this operation's faults under the conn mutex so the RNG
+// stream is well-defined, returning the actions to take outside it.
+func (fc *faultConn) decide(dir *dirState, size int) (stall, reset bool, corruptAt int) {
+	cfg := &fc.net.cfg
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	corruptAt = -1
+	if fc.reset {
+		return false, true, -1
+	}
+	if cfg.StallProb > 0 && dir.rng.Float64() < cfg.StallProb {
+		stall = true
+	}
+	inGrace := dir.bytes < cfg.FaultFreeBytes
+	if !inGrace {
+		if cfg.ResetProb > 0 && dir.rng.Float64() < cfg.ResetProb {
+			fc.reset = true
+			return stall, true, -1
+		}
+		if size > 0 && cfg.CorruptProb > 0 && dir.rng.Float64() < cfg.CorruptProb {
+			corruptAt = dir.rng.Intn(size)
+		}
+	}
+	dir.bytes += size
+	return stall, false, corruptAt
+}
+
+func (fc *faultConn) jitter(dir *dirState) time.Duration {
+	cfg := &fc.net.cfg
+	d := cfg.Latency
+	if cfg.Jitter > 0 {
+		fc.mu.Lock()
+		d += time.Duration(dir.rng.Int63n(int64(cfg.Jitter)))
+		fc.mu.Unlock()
+	}
+	return d
+}
+
+// pre applies the pre-operation faults (partition, latency, stall,
+// reset) shared by both directions.
+func (fc *faultConn) pre(dir *dirState, size int) (corruptAt int, err error) {
+	if fc.net.isPartitioned() {
+		return -1, ErrPartitioned
+	}
+	if d := fc.jitter(dir); d > 0 {
+		time.Sleep(d)
+	}
+	stall, reset, corruptAt := fc.decide(dir, size)
+	if stall {
+		fc.net.stalls.Add(1)
+		time.Sleep(fc.net.cfg.Stall)
+	}
+	if reset {
+		fc.net.resets.Add(1)
+		fc.Conn.Close()
+		return -1, ErrInjectedReset
+	}
+	return corruptAt, nil
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	// The fault decision must size-bound the corruption offset, but the
+	// eventual read may be shorter; re-check after the read.
+	corruptAt, err := fc.pre(&fc.read, len(p))
+	if err != nil {
+		return 0, err
+	}
+	n, err := fc.Conn.Read(p)
+	if corruptAt >= 0 && corruptAt < n {
+		p[corruptAt] ^= 0xFF
+		fc.net.corrupted.Add(1)
+	}
+	return n, err
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	corruptAt, err := fc.pre(&fc.write, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if corruptAt >= 0 && corruptAt < len(p) {
+		// Corrupt a copy: the caller's buffer is not ours to damage.
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[corruptAt] ^= 0xFF
+		fc.net.corrupted.Add(1)
+		return fc.Conn.Write(q)
+	}
+	return fc.Conn.Write(p)
+}

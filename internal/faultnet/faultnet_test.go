@@ -1,0 +1,171 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// collect reads everything the wrapped writer pushes through a pipe:
+// the returned bytes are what a peer would observe.
+func collect(t *testing.T, nw *Network, chunks [][]byte) []byte {
+	t.Helper()
+	client, server := net.Pipe()
+	wrapped := nw.Wrap(client)
+	done := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, server)
+		done <- buf.Bytes()
+	}()
+	for _, c := range chunks {
+		if _, err := wrapped.Write(c); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	wrapped.Close()
+	return <-done
+}
+
+func TestDeterministicCorruption(t *testing.T) {
+	chunks := make([][]byte, 50)
+	var clean bytes.Buffer
+	for i := range chunks {
+		chunks[i] = bytes.Repeat([]byte{byte(i)}, 16)
+		clean.Write(chunks[i])
+	}
+	cfg := Config{Seed: 9, CorruptProb: 0.3}
+	first := collect(t, New(cfg), chunks)
+	second := collect(t, New(cfg), chunks)
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed, same writes, different corruption")
+	}
+	if bytes.Equal(first, clean.Bytes()) {
+		t.Fatal("corruption probability 0.3 over 50 writes corrupted nothing")
+	}
+}
+
+func TestCorruptionFlipsExactlyOneByteAndCounts(t *testing.T) {
+	nw := New(Config{Seed: 1, CorruptProb: 1})
+	got := collect(t, nw, [][]byte{bytes.Repeat([]byte{0xAA}, 32)})
+	if len(got) != 32 {
+		t.Fatalf("received %d bytes, want 32", len(got))
+	}
+	diff := 0
+	for _, b := range got {
+		if b != 0xAA {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 per write op", diff)
+	}
+	if c := nw.Counts().Corrupted; c != 1 {
+		t.Fatalf("counted %d corruptions, want 1", c)
+	}
+}
+
+func TestFaultFreeBytesGrace(t *testing.T) {
+	nw := New(Config{Seed: 1, CorruptProb: 1, FaultFreeBytes: 64})
+	chunks := [][]byte{
+		bytes.Repeat([]byte{1}, 32), // bytes 0–31: in grace
+		bytes.Repeat([]byte{2}, 32), // bytes 32–63: in grace
+		bytes.Repeat([]byte{3}, 32), // bytes 64–95: fair game
+	}
+	got := collect(t, nw, chunks)
+	if !bytes.Equal(got[:64], append(bytes.Repeat([]byte{1}, 32), bytes.Repeat([]byte{2}, 32)...)) {
+		t.Fatal("grace bytes were corrupted")
+	}
+	if bytes.Equal(got[64:], bytes.Repeat([]byte{3}, 32)) {
+		t.Fatal("post-grace bytes escaped corruption at probability 1")
+	}
+}
+
+func TestInjectedResetLooksReal(t *testing.T) {
+	nw := New(Config{Seed: 1, ResetProb: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	wrapped := nw.Wrap(client)
+	_, err := wrapped.Write([]byte("hello"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write after reset roll: %v", err)
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatal("injected reset does not classify as a connection reset")
+	}
+	if c := nw.Counts().Resets; c != 1 {
+		t.Fatalf("counted %d resets, want 1", c)
+	}
+	// The reset is sticky and the underlying conn is closed.
+	if _, err := wrapped.Write([]byte("again")); err == nil {
+		t.Fatal("write succeeded on a reset connection")
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	nw := New(Config{Seed: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	go io.Copy(io.Discard, server)
+	wrapped := nw.Wrap(client)
+
+	if _, err := wrapped.Write([]byte("before")); err != nil {
+		t.Fatalf("write before partition: %v", err)
+	}
+	nw.PartitionFor(100 * time.Millisecond)
+	if _, err := wrapped.Write([]byte("during")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write during partition: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := wrapped.Write([]byte("after")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c := nw.Counts().Partitions; c != 1 {
+		t.Fatalf("counted %d partitions, want 1", c)
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	nw := New(Config{Seed: 1, CorruptProb: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fl := nw.Listener(ln)
+
+	msg := bytes.Repeat([]byte{0x55}, 64)
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write(msg)
+	}()
+	conn, err := fl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("accepted connection not fault-injected")
+	}
+	if nw.Counts().Corrupted == 0 {
+		t.Fatal("read-path corruption not counted")
+	}
+}

@@ -25,6 +25,7 @@ type Admission struct {
 	admitted int64
 	rejected int64
 	active   int64
+	parked   int64
 }
 
 // NewAdmission creates a controller for a link of the given capacity in
@@ -89,3 +90,20 @@ func (a *Admission) Rejected() int64 { return a.rejected }
 
 // Active returns the count of admitted streams not yet released.
 func (a *Admission) Active() int64 { return a.active }
+
+// Park marks one active stream as disconnected-but-reserved: its sender
+// dropped, the server is holding its reservation through a resume
+// window. The stream stays Active — the whole point of parking is that
+// the capacity remains spoken for, so a reconnecting sender is never
+// re-admitted against different arithmetic.
+func (a *Admission) Park() { a.parked++ }
+
+// Unpark clears one parked mark (on resume or on window expiry).
+func (a *Admission) Unpark() {
+	if a.parked > 0 {
+		a.parked--
+	}
+}
+
+// Parked returns the count of active streams currently awaiting resume.
+func (a *Admission) Parked() int64 { return a.parked }

@@ -46,6 +46,30 @@ func TestAdmissionReservesAndRejects(t *testing.T) {
 	}
 }
 
+func TestAdmissionParkGauge(t *testing.T) {
+	a, err := NewAdmission(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Admit(4e6) {
+		t.Fatal("admit failed")
+	}
+	a.Park()
+	// A parked stream stays active with its reservation held: the link
+	// arithmetic must not change just because the sender dropped.
+	if a.Parked() != 1 || a.Active() != 1 || a.Reserved() != 4e6 {
+		t.Fatalf("parked=%d active=%d reserved=%.0f", a.Parked(), a.Active(), a.Reserved())
+	}
+	a.Unpark()
+	if a.Parked() != 0 {
+		t.Fatalf("parked %d after unpark", a.Parked())
+	}
+	a.Unpark() // floor at zero, never negative
+	if a.Parked() != 0 {
+		t.Fatalf("parked %d after extra unpark", a.Parked())
+	}
+}
+
 func TestAdmissionRejectsBadPeaks(t *testing.T) {
 	a, err := NewAdmission(1e6)
 	if err != nil {

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mpegsmooth/internal/faultnet"
+	"mpegsmooth/internal/transport"
+)
+
+// payloadFNV is the sender-side mirror of the server's running integrity
+// hash: FNV-1a over every payload in index order.
+func payloadFNV(payloads [][]byte) uint64 {
+	h := fnv.New64a()
+	for _, p := range payloads {
+		h.Write(p)
+	}
+	return h.Sum64()
+}
+
+// startChaosServer is startServer with the listener wrapped in a
+// fault-injecting network.
+func startChaosServer(t testing.TB, cfg Config, nw *faultnet.Network) (*Server, string) {
+	t.Helper()
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = soakTimeScale
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(nw.Listener(ln)) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func resumableClient(kit *clientKit, addr string, seed int64) *transport.ResumableSender {
+	return &transport.ResumableSender{
+		Sender: transport.Sender{TimeScale: soakTimeScale, Chunk: 512, WriteTimeout: 5 * time.Second},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+		Hello:       kit.hello,
+		Backoff:     transport.Backoff{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond},
+		MaxAttempts: 25,
+		Seed:        seed,
+	}
+}
+
+// TestChaosSoakResumableStreams is the acceptance soak: 20 resumable
+// clients stream through a network that corrupts bytes, stalls reads,
+// and abruptly resets connections. Every stream must complete with a
+// byte-exact payload hash — a flaky link costs delay and reconnects,
+// never pictures — and the classified fault counters must show the
+// chaos actually happened.
+func TestChaosSoakResumableStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	const clients = 20
+	kit := makeClient(t, testTrace(t, 72))
+	wantFNV := payloadFNV(kit.payloads)
+
+	nw := faultnet.New(faultnet.Config{
+		Seed:        42,
+		CorruptProb: 0.02,
+		ResetProb:   0.01,
+		StallProb:   0.02,
+		Stall:       20 * time.Millisecond,
+		// Keep the hello/resume/verdict/ack exchanges clean so faults
+		// concentrate on the picture stream rather than re-rolling
+		// admission.
+		FaultFreeBytes: 256,
+	})
+	srv, addr := startChaosServer(t, Config{
+		LinkRate:     float64(clients+1) * kit.hello.PeakRate,
+		ReadTimeout:  2 * time.Second,
+		ResumeWindow: 5 * time.Second,
+	}, nw)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		resumes  int
+		failures []error
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs := resumableClient(kit, addr, int64(i+1))
+			res, err := rs.StreamSchedule(ctx, kit.sched, kit.payloads)
+			mu.Lock()
+			defer mu.Unlock()
+			resumes += res.Resumes
+			if err != nil {
+				failures = append(failures, fmt.Errorf("client %d: %w", i, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range failures {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	waitFor(t, "all streams drained", func() bool {
+		s := srv.Snapshot()
+		return s.Streams.Completed == clients && s.Streams.Active == 0
+	})
+
+	snap := srv.Snapshot()
+	if snap.Streams.Failed != 0 {
+		t.Fatalf("%d streams failed under chaos", snap.Streams.Failed)
+	}
+	if snap.Streams.Parked != 0 {
+		t.Fatalf("%d streams still parked", snap.Streams.Parked)
+	}
+	// Lossless and byte-exact: every finished stream accepted every
+	// picture, in order, with the sender's exact bytes.
+	fin := srv.FinishedStreams()
+	if len(fin) != clients {
+		t.Fatalf("%d finished snapshots, want %d", len(fin), clients)
+	}
+	for _, ss := range fin {
+		if ss.Pictures != kit.tr.Len() {
+			t.Fatalf("stream %d: %d pictures, want %d", ss.ID, ss.Pictures, kit.tr.Len())
+		}
+		if ss.PayloadFNV != wantFNV {
+			t.Fatalf("stream %d: payload hash %x, want %x — bytes corrupted or lost",
+				ss.ID, ss.PayloadFNV, wantFNV)
+		}
+	}
+	// The chaos was real: the harness injected faults, the server
+	// classified them, and streams came back.
+	counts := nw.Counts()
+	if counts.Corrupted+counts.Resets+counts.Stalls == 0 {
+		t.Fatal("fault harness injected nothing; soak proved nothing")
+	}
+	if got := snap.Faults.Corrupt + snap.Faults.Timeout + snap.Faults.Reset; got == 0 {
+		t.Fatalf("server classified no faults (harness injected %+v)", counts)
+	}
+	if snap.Faults.Resumed < 1 || resumes < 1 {
+		t.Fatalf("no stream resumed (server %d, clients %d)", snap.Faults.Resumed, resumes)
+	}
+	// The reservation ledger survived the churn.
+	if snap.ReservedPeak != 0 || snap.AvailablePeak != snap.CapacityBPS {
+		t.Fatalf("reservations leaked: %.0f reserved", snap.ReservedPeak)
+	}
+}
+
+// stallOnceConn pauses its write side once, after `after` bytes, for
+// longer than the server's read deadline — a sender that freezes
+// mid-payload and then comes back to a connection the server gave up on.
+type stallOnceConn struct {
+	net.Conn
+	after int
+	stall time.Duration
+	once  sync.Once
+	sent  int
+}
+
+func (c *stallOnceConn) Write(p []byte) (int, error) {
+	if c.sent >= c.after {
+		c.once.Do(func() { time.Sleep(c.stall) })
+	}
+	n, err := c.Conn.Write(p)
+	c.sent += n
+	return n, err
+}
+
+// TestStalledSenderParksAndResumes: a mid-payload stall trips the
+// server's read deadline, the stream parks as a timeout fault, and the
+// sender — finding its connection dead when it wakes — reconnects and
+// resumes. The stream completes byte-exact.
+func TestStalledSenderParksAndResumes(t *testing.T) {
+	kit := makeClient(t, testTrace(t, 54))
+	wantFNV := payloadFNV(kit.payloads)
+	srv, addr := startServer(t, Config{
+		LinkRate:     2 * kit.hello.PeakRate,
+		ReadTimeout:  150 * time.Millisecond,
+		ResumeWindow: 10 * time.Second,
+	})
+
+	dials := 0
+	rs := resumableClient(kit, addr, 7)
+	plainDial := rs.Dial
+	rs.Dial = func(ctx context.Context) (net.Conn, error) {
+		conn, err := plainDial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		if dials == 1 {
+			return &stallOnceConn{Conn: conn, after: 2048, stall: 600 * time.Millisecond}, nil
+		}
+		return conn, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := rs.StreamSchedule(ctx, kit.sched, kit.payloads)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if res.Resumes < 1 {
+		t.Fatalf("stall did not force a resume: %+v", res)
+	}
+	waitFor(t, "completion", func() bool { return srv.Snapshot().Streams.Completed == 1 })
+
+	snap := srv.Snapshot()
+	if snap.Streams.Failed != 0 {
+		t.Fatalf("stream failed: %+v", snap.Streams)
+	}
+	if snap.Faults.Timeout < 1 {
+		t.Fatalf("stall not classified as timeout: %+v", snap.Faults)
+	}
+	if snap.Faults.Resumed < 1 {
+		t.Fatalf("resume not counted: %+v", snap.Faults)
+	}
+	fin := srv.FinishedStreams()
+	if len(fin) != 1 || fin[0].PayloadFNV != wantFNV {
+		t.Fatalf("stream not byte-exact after stall+resume")
+	}
+}
+
+// TestMalformedHelloRejectedCleanly: garbage, truncated hellos, and
+// unknown resume tokens each get a clean malformed verdict (best
+// effort), reserve nothing, and leak no goroutines.
+func TestMalformedHelloRejectedCleanly(t *testing.T) {
+	kit := makeClient(t, testTrace(t, 27))
+	srv, addr := startServer(t, Config{
+		LinkRate:     1e7,
+		ReadTimeout:  200 * time.Millisecond,
+		ResumeWindow: time.Second,
+	})
+	before := runtime.NumGoroutine()
+
+	// A valid hello frame to truncate mid-body.
+	var helloBuf bytes.Buffer
+	if err := transport.NewFrameWriter(&helloBuf).WriteHello(kit.hello); err != nil {
+		t.Fatal(err)
+	}
+	helloBytes := helloBuf.Bytes()
+
+	const rounds = 9
+	for i := 0; i < rounds; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0: // not our protocol at all
+			conn.Write([]byte("GET /stats HTTP/1.1\r\n\r\n"))
+			v, err := transport.NewFrameReader(conn).ReadVerdictTimeout(5 * time.Second)
+			if err != nil {
+				t.Fatalf("round %d: no verdict for garbage: %v", i, err)
+			}
+			if v.Code != transport.RejectedMalformed {
+				t.Fatalf("round %d: verdict %+v, want rejected-malformed", i, v)
+			}
+		case 1: // a hello that dies mid-frame
+			conn.Write(helloBytes[:len(helloBytes)-5])
+		case 2: // resume with a token the server never issued
+			if err := transport.NewFrameWriter(conn).WriteResume(transport.StreamResume{Token: 0xBAD}); err != nil {
+				t.Fatal(err)
+			}
+			v, err := transport.NewFrameReader(conn).ReadVerdictTimeout(5 * time.Second)
+			if err != nil {
+				t.Fatalf("round %d: no verdict for bad token: %v", i, err)
+			}
+			if v.Code != transport.RejectedMalformed {
+				t.Fatalf("round %d: verdict %+v, want rejected-malformed", i, v)
+			}
+		}
+		conn.Close()
+	}
+	waitFor(t, "malformed rejections counted", func() bool {
+		return srv.Snapshot().Streams.RejectedMalformed == rounds
+	})
+	snap := srv.Snapshot()
+	if snap.Streams.Admitted != 0 || snap.ReservedPeak != 0 {
+		t.Fatalf("malformed sessions admitted or reserved: %+v, %.0f reserved",
+			snap.Streams, snap.ReservedPeak)
+	}
+	// Every handler goroutine must have exited: no parked phantoms, no
+	// leaked readers. Allow slack for runtime background goroutines.
+	waitFor(t, "handler goroutines to exit", func() bool {
+		return runtime.NumGoroutine() <= before+3
+	})
+}

@@ -6,6 +6,8 @@ import (
 	"math"
 	"net/http"
 	"sort"
+
+	"mpegsmooth/internal/transport"
 )
 
 // StreamCounts are the admission and lifecycle counters.
@@ -16,8 +18,51 @@ type StreamCounts struct {
 	RejectedMalformed int64 `json:"rejected_malformed"`
 	RejectedBusy      int64 `json:"rejected_busy"`
 	Active            int64 `json:"active"`
-	Completed         int64 `json:"completed"`
-	Failed            int64 `json:"failed"`
+	// Parked streams are active streams currently disconnected and
+	// holding their reservation through the resume window.
+	Parked    int64 `json:"parked"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+}
+
+// FaultCounts are the classified transport-fault counters (the keys
+// match transport.FaultClass.String()), plus the recovery outcomes.
+type FaultCounts struct {
+	Corrupt int64 `json:"corrupt"`
+	Timeout int64 `json:"timeout"`
+	Reset   int64 `json:"reset"`
+	Other   int64 `json:"other"`
+	// Resumed counts accepted reconnects; DuplicatesDropped the replayed
+	// pictures deduplicated after them; ResumeExpired the parked streams
+	// no sender came back for.
+	Resumed           int64 `json:"resumed"`
+	DuplicatesDropped int64 `json:"duplicates_dropped"`
+	ResumeExpired     int64 `json:"resume_expired"`
+}
+
+// record counts one classified fault.
+func (f *FaultCounts) record(class transport.FaultClass) {
+	switch class {
+	case transport.FaultCorrupt:
+		f.Corrupt++
+	case transport.FaultTimeout:
+		f.Timeout++
+	case transport.FaultReset:
+		f.Reset++
+	case transport.FaultOther:
+		f.Other++
+	}
+}
+
+// add accumulates another counter set into f.
+func (f *FaultCounts) add(g FaultCounts) {
+	f.Corrupt += g.Corrupt
+	f.Timeout += g.Timeout
+	f.Reset += g.Reset
+	f.Other += g.Other
+	f.Resumed += g.Resumed
+	f.DuplicatesDropped += g.DuplicatesDropped
+	f.ResumeExpired += g.ResumeExpired
 }
 
 // Snapshot is the full ops view of the server at one instant.
@@ -36,6 +81,9 @@ type Snapshot struct {
 	// EgressedBits counts bits actually written to the shared link.
 	EgressedBits int64        `json:"egressed_bits"`
 	Streams      StreamCounts `json:"streams"`
+	// Faults aggregates classified transport faults over every stream,
+	// finished and active.
+	Faults FaultCounts `json:"faults"`
 	// DelayViolations counts finished streams whose largest per-picture
 	// delay exceeded their bound D — always 0 for K ≥ 1 streams, by
 	// Theorem 1. WorstDelayHeadroomS is the smallest D − maxDelay margin
@@ -46,7 +94,8 @@ type Snapshot struct {
 }
 
 // Snapshot collects the live counters: admission state, aggregate
-// egress, and one StreamSnapshot per active stream.
+// egress, classified fault totals, and one StreamSnapshot per active
+// stream.
 func (s *Server) Snapshot() Snapshot {
 	s.mu.Lock()
 	streams := make([]*stream, 0, len(s.streams))
@@ -63,9 +112,11 @@ func (s *Server) Snapshot() Snapshot {
 			RejectedMalformed: s.rejectedMalformed,
 			RejectedBusy:      s.rejectedBusy,
 			Active:            s.admission.Active(),
+			Parked:            s.admission.Parked(),
 			Completed:         s.completed,
 			Failed:            s.failed,
 		},
+		Faults:          s.faultTotals,
 		DelayViolations: s.delayViolations,
 	}
 	if !math.IsInf(s.worstHeadroom, 1) {
@@ -79,6 +130,7 @@ func (s *Server) Snapshot() Snapshot {
 	for _, st := range streams {
 		ss := st.snapshot()
 		snap.AggregateRate += ss.CurrentRate
+		snap.Faults.add(ss.Faults)
 		snap.PerStream = append(snap.PerStream, ss)
 	}
 	sort.Slice(snap.PerStream, func(i, j int) bool { return snap.PerStream[i].ID < snap.PerStream[j].ID })

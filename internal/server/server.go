@@ -17,10 +17,21 @@
 // link at the decided rates. Because every admitted stream transmits at
 // or below its reserved peak, the aggregate egress never exceeds the
 // link capacity: the multiplexing stays lossless by construction.
+//
+// The transport under the server is chaos-hardened: frames are CRC- and
+// sequence-checked, so corruption and loss are detected rather than
+// decoded, and an admitted stream that drops mid-session can reconnect
+// with its resume token inside the configured ResumeWindow. The server
+// parks the disconnected stream — Session, queue, and admission
+// reservation intact — and on resume tells the sender exactly which
+// picture to replay from, deduplicating anything it already accepted.
+// A flaky link therefore costs delay, never pictures.
 package server
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"expvar"
 	"fmt"
@@ -66,6 +77,19 @@ type Config struct {
 	// ReadTimeout bounds the wait for each inbound message so a stalled
 	// sender cannot wedge its stream forever (default 30s).
 	ReadTimeout time.Duration
+	// WriteTimeout bounds each outbound write — verdicts and, when the
+	// egress sink supports write deadlines, shared-link writes (default:
+	// ReadTimeout).
+	WriteTimeout time.Duration
+	// ResumeWindow is how long a disconnected admitted stream is parked
+	// (reservation held, Session intact) awaiting a StreamResume with
+	// its token. Zero disables resumption: a connection fault fails the
+	// stream immediately.
+	ResumeWindow time.Duration
+	// MaxPictureBytes caps the payload size a frame may declare before
+	// the server allocates for it (default
+	// transport.DefaultMaxPictureBytes).
+	MaxPictureBytes int
 	// TimeScale compresses egress pacing, like transport.Sender: wall
 	// durations are schedule durations divided by TimeScale (default 1).
 	TimeScale float64
@@ -88,6 +112,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.ReadTimeout <= 0 {
 		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = cfg.ReadTimeout
+	}
+	if cfg.MaxPictureBytes <= 0 {
+		cfg.MaxPictureBytes = transport.DefaultMaxPictureBytes
 	}
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1
@@ -116,6 +146,7 @@ type Server struct {
 	mu        sync.Mutex
 	admission *netsim.Admission
 	streams   map[uint64]*stream
+	resumable map[uint64]*stream // resume token → parked-capable stream
 	nextID    uint64
 	ln        net.Listener
 	closed    bool
@@ -124,6 +155,10 @@ type Server struct {
 	failed            int64
 	rejectedMalformed int64
 	rejectedBusy      int64
+
+	// faultTotals accumulates finished streams' fault counters; active
+	// streams' counters are added at snapshot time.
+	faultTotals FaultCounts
 
 	// finished keeps the last finishedKeep stream snapshots for ops and
 	// post-mortems; worstHeadroom and delayViolations aggregate the
@@ -159,9 +194,10 @@ func New(cfg Config) (*Server, error) {
 		cancel:        cancel,
 		admission:     adm,
 		streams:       map[uint64]*stream{},
+		resumable:     map[uint64]*stream{},
 		worstHeadroom: math.Inf(1),
 	}
-	s.egress = &link{w: s.cfg.Egress}
+	s.egress = newLink(s.cfg.Egress, s.cfg.WriteTimeout)
 	activeServer.Store(s)
 	expvarOnce.Do(func() {
 		expvar.Publish("smoothd", expvar.Func(func() any {
@@ -228,7 +264,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.cancel()
 		s.mu.Lock()
 		for _, st := range s.streams {
-			st.conn.Close()
+			st.closeConn()
 		}
 		s.mu.Unlock()
 		<-done
@@ -236,24 +272,128 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// handle runs one connection from hello to completion.
+// handle runs one connection: the first message decides whether it is a
+// new session (StreamHello) or a reconnect (StreamResume). One
+// FrameReader/FrameWriter pair owns each direction for the connection's
+// whole life — the frame sequence counters span handshake and stream.
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	st, verdict, err := s.admit(conn)
-	if werr := s.writeVerdict(conn, verdict); werr != nil && err == nil {
+	fr := transport.NewFrameReader(conn)
+	fr.MaxPayload = s.cfg.MaxPictureBytes
+	fw := transport.NewFrameWriter(conn)
+	fw.WriteTimeout = s.cfg.WriteTimeout
+	fw.MaxPayload = s.cfg.MaxPictureBytes
+
+	msg, err := fr.ReadMessageTimeout(s.cfg.ReadTimeout)
+	if err != nil {
+		s.rejectConn(conn, fw, transport.RejectedMalformed, err)
+		return
+	}
+	switch m := msg.(type) {
+	case *transport.StreamHello:
+		s.handleHello(conn, fr, fw, m)
+	case *transport.StreamResume:
+		s.handleResume(conn, fr, fw, m)
+	default:
+		s.rejectConn(conn, fw, transport.RejectedMalformed,
+			fmt.Errorf("server: expected hello or resume, got %T", msg))
+	}
+}
+
+// rejectConn answers a doomed connection with a verdict (best effort)
+// and closes it.
+func (s *Server) rejectConn(conn net.Conn, fw *transport.FrameWriter, code transport.VerdictCode, cause error) {
+	s.mu.Lock()
+	switch code {
+	case transport.RejectedMalformed:
+		s.rejectedMalformed++
+	case transport.RejectedBusy:
+		s.rejectedBusy++
+	}
+	avail := s.admission.Available()
+	s.mu.Unlock()
+	fw.WriteVerdict(transport.Verdict{Code: code, Available: avail})
+	conn.Close()
+	s.cfg.Logf("smoothd: %s %s: %v", conn.RemoteAddr(), code, cause)
+}
+
+// handleHello runs a new session from admission to completion.
+func (s *Server) handleHello(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, hello *transport.StreamHello) {
+	st, verdict, err := s.admit(conn, fr, fw, hello)
+	if werr := fw.WriteVerdict(verdict); werr != nil && err == nil {
 		err = werr
 	}
 	if st == nil {
+		conn.Close()
 		s.cfg.Logf("smoothd: %s %s: %v", conn.RemoteAddr(), verdict.Code, err)
 		return
 	}
 	err = s.run(st, err)
 	s.finish(st, err)
+	st.closeConn()
 }
 
-// admit reads and validates the hello and takes the admission decision.
-// A nil stream means the connection ends after the verdict.
-func (s *Server) admit(conn net.Conn) (*stream, transport.Verdict, error) {
+// handleResume hands a reconnecting sender's connection to its parked
+// stream. The accepting flag (under the stream's lock) serializes
+// competing reconnect attempts; the verdict carrying the replay point is
+// written before the connection changes hands.
+func (s *Server) handleResume(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, m *transport.StreamResume) {
+	s.mu.Lock()
+	st := s.resumable[m.Token]
+	closed := s.closed
+	avail := s.admission.Available()
+	s.mu.Unlock()
+	if st == nil || closed {
+		s.rejectConn(conn, fw, transport.RejectedMalformed,
+			fmt.Errorf("server: resume with unknown token"))
+		return
+	}
+	st.mu.Lock()
+	if !st.accepting {
+		// The stream has not parked yet — most likely its ingest loop is
+		// still blocked on the dead connection. Close that connection to
+		// expedite fault detection; the sender's backoff retry will find
+		// the stream parked.
+		old := st.conn
+		st.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		s.rejectConn(conn, fw, transport.RejectedBusy,
+			fmt.Errorf("server: stream %d not yet accepting resume", st.id))
+		return
+	}
+	st.accepting = false // claim the resume slot
+	next := st.expected
+	st.mu.Unlock()
+
+	if err := fw.WriteVerdict(transport.Verdict{
+		Code: transport.Admitted, Available: avail,
+		ResumeToken: m.Token, NextIndex: next,
+	}); err != nil {
+		// Could not deliver the replay point; reopen the slot for the
+		// sender's next attempt.
+		st.mu.Lock()
+		st.accepting = true
+		st.mu.Unlock()
+		conn.Close()
+		return
+	}
+	st.mu.Lock()
+	if st.resumeGone {
+		// The resume window expired between our claim and now; the
+		// stream is finishing and will never read the channel.
+		st.mu.Unlock()
+		conn.Close()
+		return
+	}
+	st.resumeCh <- resumedConn{conn: conn, fr: fr, fw: fw}
+	st.mu.Unlock()
+	s.cfg.Logf("smoothd: stream %d resumed from %s at picture %d", st.id, conn.RemoteAddr(), next)
+}
+
+// admit validates the hello and takes the admission decision. A nil
+// stream means the connection ends after the verdict.
+func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, hello *transport.StreamHello) (*stream, transport.Verdict, error) {
 	reject := func(code transport.VerdictCode, err error) (*stream, transport.Verdict, error) {
 		s.mu.Lock()
 		switch code {
@@ -267,19 +407,11 @@ func (s *Server) admit(conn net.Conn) (*stream, transport.Verdict, error) {
 		return nil, transport.Verdict{Code: code, Available: avail}, err
 	}
 
-	msg, err := transport.ReadMessageTimeout(conn, s.cfg.ReadTimeout)
-	if err != nil {
-		return reject(transport.RejectedMalformed, err)
-	}
-	hello, ok := msg.(*transport.StreamHello)
-	if !ok {
-		return reject(transport.RejectedMalformed, fmt.Errorf("server: expected hello, got %T", msg))
-	}
 	h := s.cfg.H
 	if h <= 0 {
 		h = hello.GOP.N
 	}
-	st := newStream(conn, *hello, s.cfg.QueueLen)
+	st := newStream(conn, fr, fw, *hello, s.cfg.QueueLen)
 	sess, err := core.NewSession(hello.Tau, hello.GOP, core.Config{
 		K: hello.K, D: hello.D, H: h, Policy: s.cfg.Policy,
 	}, core.WithObserver(st.observe))
@@ -302,21 +434,41 @@ func (s *Server) admit(conn net.Conn) (*stream, transport.Verdict, error) {
 	s.nextID++
 	st.id = s.nextID
 	s.streams[st.id] = st
+	if s.cfg.ResumeWindow > 0 {
+		st.token = s.newTokenLocked()
+		s.resumable[st.token] = st
+	}
 	avail := s.admission.Available()
 	s.mu.Unlock()
-	return st, transport.Verdict{Code: transport.Admitted, Available: avail}, nil
+	return st, transport.Verdict{
+		Code: transport.Admitted, Available: avail, ResumeToken: st.token,
+	}, nil
 }
 
-// writeVerdict answers the hello (with a write deadline so a dead peer
-// cannot block the handler).
-func (s *Server) writeVerdict(conn net.Conn, v transport.Verdict) error {
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
-	defer conn.SetWriteDeadline(time.Time{})
-	return transport.WriteVerdict(conn, v)
+// newTokenLocked draws an unguessable, unused, nonzero resume token.
+// Caller holds s.mu.
+func (s *Server) newTokenLocked() uint64 {
+	var buf [8]byte
+	for {
+		if _, err := cryptorand.Read(buf[:]); err != nil {
+			// crypto/rand failing is a broken platform; fall back to the
+			// monotone id so the server still runs (tokens are then
+			// guessable, which only weakens resume hijack resistance).
+			return s.nextID<<32 | uint64(time.Now().UnixNano()&0xFFFFFFFF)
+		}
+		tok := binary.BigEndian.Uint64(buf[:])
+		if tok == 0 {
+			continue
+		}
+		if _, taken := s.resumable[tok]; taken {
+			continue
+		}
+		return tok
+	}
 }
 
 // run drives an admitted stream: ingest on this goroutine, egress on a
-// second. admitErr carries a verdict-write failure from handle.
+// second. admitErr carries a verdict-write failure from handleHello.
 func (s *Server) run(st *stream, admitErr error) error {
 	if admitErr != nil {
 		close(st.queue)
@@ -326,7 +478,7 @@ func (s *Server) run(st *stream, admitErr error) error {
 	go func() {
 		egressDone <- st.runEgress(s.ctx, s.egress, s.cfg.Clock, s.cfg.TimeScale)
 	}()
-	ingestErr := st.runIngest(s.ctx, s.cfg.ReadTimeout)
+	ingestErr := st.runIngest(s.ctx, s)
 	egressErr := <-egressDone
 	if ingestErr != nil {
 		return ingestErr
@@ -340,11 +492,15 @@ func (s *Server) finish(st *stream, err error) {
 	s.mu.Lock()
 	s.admission.Release(st.hello.PeakRate)
 	delete(s.streams, st.id)
+	if st.token != 0 {
+		delete(s.resumable, st.token)
+	}
 	if err != nil {
 		s.failed++
 	} else {
 		s.completed++
 	}
+	s.faultTotals.add(ss.Faults)
 	s.finished = append(s.finished, ss)
 	if len(s.finished) > finishedKeep {
 		s.finished = s.finished[1:]
@@ -357,11 +513,23 @@ func (s *Server) finish(st *stream, err error) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		s.cfg.Logf("smoothd: stream %d from %s failed: %v", st.id, st.remote, err)
+		s.cfg.Logf("smoothd: stream %d from %s failed: %v", st.id, ss.Remote, err)
 	} else {
 		s.cfg.Logf("smoothd: stream %d from %s completed: %d pictures, peak %.0f bps",
-			st.id, st.remote, ss.Pictures, ss.SessionPeak)
+			st.id, ss.Remote, ss.Pictures, ss.SessionPeak)
 	}
+}
+
+// parkGauge moves the admission parked gauge as streams enter and leave
+// the resume window.
+func (s *Server) parkGauge(delta int) {
+	s.mu.Lock()
+	if delta > 0 {
+		s.admission.Park()
+	} else {
+		s.admission.Unpark()
+	}
+	s.mu.Unlock()
 }
 
 // FinishedStreams returns snapshots of the most recently finished
@@ -375,16 +543,33 @@ func (s *Server) FinishedStreams() []StreamSnapshot {
 }
 
 // link serializes all streams' paced writes onto the shared egress sink
-// and accounts the bits that crossed it.
+// and accounts the bits that crossed it. When the sink supports write
+// deadlines (a net.Conn egress), each write is bounded by the server's
+// WriteTimeout so a wedged downstream cannot stall every stream forever.
 type link struct {
-	mu   sync.Mutex
-	w    io.Writer
-	bits int64
+	mu      sync.Mutex
+	w       io.Writer
+	d       interface{ SetWriteDeadline(time.Time) error }
+	timeout time.Duration
+	bits    int64
+}
+
+func newLink(w io.Writer, timeout time.Duration) *link {
+	l := &link{w: w, timeout: timeout}
+	if d, ok := w.(interface{ SetWriteDeadline(time.Time) error }); ok {
+		l.d = d
+	}
+	return l
 }
 
 func (l *link) write(p []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.d != nil && l.timeout > 0 {
+		if err := l.d.SetWriteDeadline(time.Now().Add(l.timeout)); err != nil {
+			return fmt.Errorf("server: arming egress write deadline: %w", err)
+		}
+	}
 	if _, err := l.w.Write(p); err != nil {
 		return err
 	}

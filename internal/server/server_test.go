@@ -68,18 +68,40 @@ func (c *clientKit) stream(ctx context.Context, addr string) (transport.Verdict,
 		return transport.Verdict{}, err
 	}
 	defer conn.Close()
-	if err := transport.WriteHello(conn, c.hello); err != nil {
+	fw := transport.NewFrameWriter(conn)
+	if err := fw.WriteHello(c.hello); err != nil {
 		return transport.Verdict{}, err
 	}
-	v, err := transport.ReadVerdict(conn)
+	v, err := transport.NewFrameReader(conn).ReadVerdict()
 	if err != nil || !v.IsAdmitted() {
 		return v, err
 	}
 	sender := &transport.Sender{TimeScale: soakTimeScale}
-	if err := sender.Send(ctx, conn, c.sched, c.payloads); err != nil {
+	if err := sender.Send(ctx, fw, c.sched, c.payloads); err != nil {
 		return v, err
 	}
 	return v, nil
+}
+
+// handshake dials and declares, returning the open connection with its
+// framers for tests that hold sessions without streaming.
+func (c *clientKit) handshake(t testing.TB, addr string) (net.Conn, *transport.FrameWriter, transport.Verdict) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := transport.NewFrameWriter(conn)
+	if err := fw.WriteHello(c.hello); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	v, err := transport.NewFrameReader(conn).ReadVerdict()
+	if err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	return conn, fw, v
 }
 
 func startServer(t testing.TB, cfg Config) (*Server, string) {
@@ -174,33 +196,16 @@ func TestAdmissionRejectsOverloadAtAdmission(t *testing.T) {
 	// Two sessions declare and then hold the link without finishing.
 	var held []net.Conn
 	for i := 0; i < 2; i++ {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			t.Fatal(err)
-		}
+		conn, _, v := kit.handshake(t, addr)
 		defer conn.Close()
-		if err := transport.WriteHello(conn, kit.hello); err != nil {
-			t.Fatal(err)
-		}
-		v, err := transport.ReadVerdict(conn)
-		if err != nil || !v.IsAdmitted() {
-			t.Fatalf("stream %d: %+v, %v", i, v, err)
+		if !v.IsAdmitted() {
+			t.Fatalf("stream %d: %+v", i, v)
 		}
 		held = append(held, conn)
 	}
 	// The third declaration must be rejected at admission time.
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	conn, _, v := kit.handshake(t, addr)
 	defer conn.Close()
-	if err := transport.WriteHello(conn, kit.hello); err != nil {
-		t.Fatal(err)
-	}
-	v, err := transport.ReadVerdict(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
 	if v.Code != transport.RejectedCapacity {
 		t.Fatalf("verdict %+v, want rejected-capacity", v)
 	}
@@ -223,10 +228,10 @@ func TestMalformedFirstMessageIsRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := transport.WriteRate(conn, transport.RateNotification{Index: 0, Rate: 1e6}); err != nil {
+	if err := transport.NewFrameWriter(conn).WriteRate(transport.RateNotification{Index: 0, Rate: 1e6}); err != nil {
 		t.Fatal(err)
 	}
-	v, err := transport.ReadVerdict(conn)
+	v, err := transport.NewFrameReader(conn).ReadVerdict()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,20 +243,10 @@ func TestMalformedFirstMessageIsRejected(t *testing.T) {
 	})
 	// An unsatisfiable smoothing config (D < (K+1)τ) is caught at the
 	// hello too, before any capacity is reserved.
-	bad := kit.hello
-	bad.D = bad.Tau / 2
-	conn2, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bad := *kit
+	bad.hello.D = bad.hello.Tau / 2
+	conn2, _, v2 := bad.handshake(t, addr)
 	defer conn2.Close()
-	if err := transport.WriteHello(conn2, bad); err != nil {
-		t.Fatal(err)
-	}
-	v2, err := transport.ReadVerdict(conn2)
-	if err != nil {
-		t.Fatal(err)
-	}
 	if v2.Code != transport.RejectedMalformed {
 		t.Fatalf("verdict %+v, want rejected-malformed", v2)
 	}
@@ -264,16 +259,10 @@ func TestServerReadTimeoutCutsStalledStream(t *testing.T) {
 	kit := makeClient(t, testTrace(t, 27))
 	srv, addr := startServer(t, Config{LinkRate: 1e7, ReadTimeout: 100 * time.Millisecond})
 
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	conn, _, v := kit.handshake(t, addr)
 	defer conn.Close()
-	if err := transport.WriteHello(conn, kit.hello); err != nil {
-		t.Fatal(err)
-	}
-	if v, err := transport.ReadVerdict(conn); err != nil || !v.IsAdmitted() {
-		t.Fatalf("%+v, %v", v, err)
+	if !v.IsAdmitted() {
+		t.Fatalf("%+v", v)
 	}
 	// Stall: send nothing further. The read deadline must fail the
 	// stream and release its reservation.
@@ -293,14 +282,10 @@ func TestOpsEndpoint(t *testing.T) {
 	defer ops.Close()
 
 	// One rejected stream (declares more than the whole link)...
-	big := kit.hello
-	big.PeakRate = 10 * srv.Snapshot().CapacityBPS
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	transport.WriteHello(conn, big)
-	if v, _ := transport.ReadVerdict(conn); v.Code != transport.RejectedCapacity {
+	big := *kit
+	big.hello.PeakRate = 10 * srv.Snapshot().CapacityBPS
+	conn, _, v := big.handshake(t, addr)
+	if v.Code != transport.RejectedCapacity {
 		t.Fatalf("verdict %+v", v)
 	}
 	conn.Close()
@@ -493,16 +478,10 @@ func TestShutdownForceCancelsStalledStreams(t *testing.T) {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
 
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
+	conn, _, v := kit.handshake(t, ln.Addr().String())
 	defer conn.Close()
-	if err := transport.WriteHello(conn, kit.hello); err != nil {
-		t.Fatal(err)
-	}
-	if v, err := transport.ReadVerdict(conn); err != nil || !v.IsAdmitted() {
-		t.Fatalf("%+v, %v", v, err)
+	if !v.IsAdmitted() {
+		t.Fatalf("%+v", v)
 	}
 	// The stream stalls; a bounded drain must cut it loose.
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)

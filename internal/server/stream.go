@@ -2,7 +2,10 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"math"
 	"net"
 	"sync"
@@ -19,19 +22,45 @@ type item struct {
 	payload []byte
 }
 
+// resumedConn is a reconnecting sender's connection, handed from the
+// accept handler to the parked stream's ingest loop.
+type resumedConn struct {
+	conn net.Conn
+	fr   *transport.FrameReader
+	fw   *transport.FrameWriter
+}
+
 // stream is one admitted session: an ingest loop reading the connection
 // and driving the smoothing Session, a bounded queue, and an egress loop
 // pacing decided pictures onto the shared link. The Session itself is
 // touched only by ingest (it is single-goroutine by contract); mu exists
-// so the ops endpoint can snapshot live counters.
+// so the ops endpoint can snapshot live counters and so a resume handler
+// can hand over a fresh connection.
+//
+// The connection (and its FrameReader) is mutable: a retryable fault
+// parks the stream, and a StreamResume handshake replaces them. The
+// accepting/resumeGone flags (under mu) serialize that handover against
+// the resume-window expiry.
 type stream struct {
-	id     uint64
-	remote string
-	conn   net.Conn
-	hello  transport.StreamHello
-	queue  chan item
+	id       uint64
+	remote   string
+	hello    transport.StreamHello
+	queue    chan item
+	token    uint64
+	resumeCh chan resumedConn // cap 1; guarded by accepting/resumeGone
 
-	mu             sync.Mutex
+	mu         sync.Mutex
+	conn       net.Conn
+	fr         *transport.FrameReader
+	fw         *transport.FrameWriter
+	accepting  bool // parked and willing to adopt a resumed connection
+	resumeGone bool // resume window expired; never deliver again
+	parked     bool
+	resumes    int
+	faults     FaultCounts
+	expected   int         // next picture index ingest will accept
+	fnvSum     hash.Hash64 // running FNV-1a over accepted payloads, in order
+
 	sess           *core.Session
 	stats          *metrics.DecisionStats
 	pictures       int
@@ -46,13 +75,17 @@ type stream struct {
 // newStream builds the stream skeleton; the caller creates the Session
 // with st.observe installed and assigns it to st.sess before the stream
 // is published.
-func newStream(conn net.Conn, hello transport.StreamHello, queueLen int) *stream {
+func newStream(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, hello transport.StreamHello, queueLen int) *stream {
 	return &stream{
-		remote: conn.RemoteAddr().String(),
-		conn:   conn,
-		hello:  hello,
-		queue:  make(chan item, queueLen),
-		stats:  metrics.NewDecisionStats(),
+		remote:   conn.RemoteAddr().String(),
+		conn:     conn,
+		fr:       fr,
+		fw:       fw,
+		hello:    hello,
+		queue:    make(chan item, queueLen),
+		resumeCh: make(chan resumedConn, 1),
+		fnvSum:   fnv.New64a(),
+		stats:    metrics.NewDecisionStats(),
 	}
 }
 
@@ -63,15 +96,28 @@ func (st *stream) observe(o core.Observation) {
 	st.stats.Add(o.LowerSlack, o.UpperSlack, o.Depth, o.EstimatorError)
 }
 
-// push hands one picture size to the Session and records the emitted
-// decisions' delay and peak under the stream lock.
-func (st *stream) push(bits int64) ([]core.Decision, error) {
+// closeConn closes whichever connection the stream currently owns.
+func (st *stream) closeConn() {
+	st.mu.Lock()
+	conn := st.conn
+	st.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// push hands one accepted picture to the Session and records the
+// emitted decisions' delay and peak — and the payload's contribution to
+// the stream's running integrity hash — under the stream lock.
+func (st *stream) push(payload []byte) ([]core.Decision, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	decs, err := st.sess.Push(bits)
+	decs, err := st.sess.Push(int64(len(payload)) * 8)
 	if err != nil {
 		return nil, err
 	}
+	st.expected++
+	st.fnvSum.Write(payload)
 	st.pictures++
 	st.note(decs)
 	return decs, nil
@@ -97,16 +143,28 @@ func (st *stream) note(decs []core.Decision) {
 	st.sessionPeak = st.sess.PeakRate()
 }
 
+// recordFault classifies and counts one ingest fault.
+func (st *stream) recordFault(class transport.FaultClass) {
+	st.mu.Lock()
+	st.faults.record(class)
+	st.mu.Unlock()
+}
+
 // runIngest reads the connection until the end marker, pushing picture
 // sizes through the smoothing session and enqueueing decided pictures
 // for egress. The bounded queue is the backpressure point: when egress
 // falls behind, enqueue blocks, ingest stops reading, and TCP flow
 // control pushes back on the sender. The queue is closed on every exit
 // path; runIngest is its only sender.
-func (st *stream) runIngest(ctx context.Context, readTimeout time.Duration) error {
+//
+// A classified retryable fault (corruption, timeout, reset) does not
+// fail the stream when resumption is enabled: the stream parks and
+// waits out the resume window for the sender to reconnect. Replayed
+// pictures below the accept watermark are deduplicated; a gap above it
+// is a protocol violation and fails the stream.
+func (st *stream) runIngest(ctx context.Context, s *Server) error {
 	defer close(st.queue)
 	pending := make(map[int][]byte)
-	expected := 0
 	enqueue := func(decs []core.Decision) error {
 		for _, d := range decs {
 			payload, ok := pending[d.Picture]
@@ -126,12 +184,42 @@ func (st *stream) runIngest(ctx context.Context, readTimeout time.Duration) erro
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		msg, err := transport.ReadMessageTimeout(st.conn, readTimeout)
-		if err == transport.ErrClosed {
+		st.mu.Lock()
+		fr, fw := st.fr, st.fw
+		st.mu.Unlock()
+		msg, err := fr.ReadMessageTimeout(s.cfg.ReadTimeout)
+		if errors.Is(err, transport.ErrClosed) {
+			// Echo the end marker as the completion ack: the sender only
+			// reports success once every picture was accepted here. If the
+			// ack cannot be delivered, park — the resume replays nothing
+			// and the ack is retried on the fresh connection.
+			if aerr := fw.WriteEnd(); aerr != nil {
+				class := transport.ClassifyFault(aerr)
+				if ctx.Err() == nil && class != transport.FaultNone {
+					st.recordFault(class)
+				}
+				if st.token != 0 && s.cfg.ResumeWindow > 0 && class.Retryable() && ctx.Err() == nil {
+					if rerr := st.awaitResume(ctx, s, aerr); rerr != nil {
+						return rerr
+					}
+					continue
+				}
+				// Unconfirmed, but complete: every picture was accepted.
+			}
 			return enqueue(st.closeSession())
 		}
 		if err != nil {
-			return err
+			class := transport.ClassifyFault(err)
+			if ctx.Err() == nil && class != transport.FaultNone {
+				st.recordFault(class)
+			}
+			if st.token == 0 || s.cfg.ResumeWindow <= 0 || !class.Retryable() || ctx.Err() != nil {
+				return err
+			}
+			if rerr := st.awaitResume(ctx, s, err); rerr != nil {
+				return rerr
+			}
+			continue
 		}
 		switch m := msg.(type) {
 		case *transport.RateNotification:
@@ -145,12 +233,22 @@ func (st *stream) runIngest(ctx context.Context, readTimeout time.Duration) erro
 				st.mu.Unlock()
 			}
 		case *transport.PictureFrame:
-			if m.Index != expected {
-				return fmt.Errorf("server: picture %d out of order (expected %d)", m.Index, expected)
+			st.mu.Lock()
+			exp := st.expected
+			st.mu.Unlock()
+			if m.Index < exp {
+				// Replay of a picture we already accepted (the sender's
+				// resume point trailed our watermark): drop, don't re-smooth.
+				st.mu.Lock()
+				st.faults.DuplicatesDropped++
+				st.mu.Unlock()
+				continue
 			}
-			pending[expected] = m.Payload
-			expected++
-			decs, err := st.push(int64(len(m.Payload)) * 8)
+			if m.Index > exp {
+				return fmt.Errorf("server: picture %d out of order (expected %d)", m.Index, exp)
+			}
+			pending[exp] = m.Payload
+			decs, err := st.push(m.Payload)
 			if err != nil {
 				return err
 			}
@@ -159,10 +257,79 @@ func (st *stream) runIngest(ctx context.Context, readTimeout time.Duration) erro
 			}
 		case *transport.StreamHello:
 			return fmt.Errorf("server: duplicate hello mid-stream")
+		case *transport.StreamResume:
+			return fmt.Errorf("server: resume request mid-stream")
 		default:
 			return fmt.Errorf("server: unexpected message %T", msg)
 		}
 	}
+}
+
+// awaitResume parks the stream for the resume window: the dead
+// connection is closed, the admission reservation stays held, and the
+// ingest loop blocks until a resume handler delivers a fresh connection
+// or the window expires. cause is the fault that parked us, reported if
+// no sender comes back.
+func (st *stream) awaitResume(ctx context.Context, s *Server, cause error) error {
+	st.mu.Lock()
+	if st.conn != nil {
+		st.conn.Close()
+	}
+	st.conn = nil
+	st.accepting = true
+	st.resumeGone = false
+	st.parked = true
+	st.mu.Unlock()
+	s.parkGauge(+1)
+	defer s.parkGauge(-1)
+
+	timer := time.NewTimer(s.cfg.ResumeWindow)
+	defer timer.Stop()
+	select {
+	case rc := <-st.resumeCh:
+		st.adopt(rc)
+		return nil
+	case <-ctx.Done():
+		st.mu.Lock()
+		st.accepting = false
+		st.resumeGone = true
+		st.parked = false
+		st.mu.Unlock()
+		return ctx.Err()
+	case <-timer.C:
+	}
+	// Window expired. Flip the flags under the lock, then drain once:
+	// a resume handler that claimed the slot before our flip has either
+	// already delivered (we adopt it and carry on) or will observe
+	// resumeGone and close its connection.
+	st.mu.Lock()
+	st.accepting = false
+	select {
+	case rc := <-st.resumeCh:
+		st.mu.Unlock()
+		st.adopt(rc)
+		return nil
+	default:
+		st.resumeGone = true
+		st.parked = false
+		st.faults.ResumeExpired++
+		st.mu.Unlock()
+	}
+	return fmt.Errorf("server: no resume within %v: %w", s.cfg.ResumeWindow, cause)
+}
+
+// adopt installs a resumed connection as the stream's current one.
+func (st *stream) adopt(rc resumedConn) {
+	st.mu.Lock()
+	st.conn = rc.conn
+	st.fr = rc.fr
+	st.fw = rc.fw
+	st.remote = rc.conn.RemoteAddr().String()
+	st.accepting = false
+	st.parked = false
+	st.resumes++
+	st.faults.Resumed++
+	st.mu.Unlock()
 }
 
 // runEgress paces decided pictures onto the shared link at their decided
@@ -232,10 +399,20 @@ type StreamSnapshot struct {
 	// PeakViolations counts sender rate declarations above the admitted
 	// peak — traffic-contract breaches a Policer would tag.
 	PeakViolations int `json:"peak_violations"`
+	// Resumes counts accepted reconnects; Parked reports a stream
+	// currently disconnected and waiting out its resume window. Faults
+	// are this stream's classified transport faults.
+	Resumes int         `json:"resumes"`
+	Parked  bool        `json:"parked"`
+	Faults  FaultCounts `json:"faults"`
+	// PayloadFNV is the running FNV-1a hash over every accepted payload
+	// in index order — a byte-exact integrity fingerprint chaos tests
+	// compare against the sender's.
+	PayloadFNV uint64 `json:"payload_fnv"`
 	// DecisionStats summary: see metrics.DecisionStats.
-	OutOfBand    int     `json:"out_of_band"`
-	MeanDepth    float64 `json:"mean_depth"`
-	MinSlack     float64 `json:"min_slack_bps"`
+	OutOfBand             int     `json:"out_of_band"`
+	MeanDepth             float64 `json:"mean_depth"`
+	MinSlack              float64 `json:"min_slack_bps"`
 	MeanAbsEstimatorError float64 `json:"mean_abs_estimator_error"`
 	// Delay-bound headroom: the stream's bound D, the largest per-picture
 	// delay any decision has incurred, and the margin between them.
@@ -261,7 +438,12 @@ func (st *stream) snapshot() StreamSnapshot {
 		Decisions:    st.decisions,
 		EgressedBits: st.egressedBits,
 
-		PeakViolations:        st.peakViolations,
+		PeakViolations: st.peakViolations,
+		Resumes:        st.resumes,
+		Parked:         st.parked,
+		Faults:         st.faults,
+		PayloadFNV:     st.fnvSum.Sum64(),
+
 		OutOfBand:             st.stats.OutOfBand,
 		MeanDepth:             st.stats.MeanDepth(),
 		MinSlack:              minSlack,

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+)
+
+// ErrResumeBusy reports a resume handshake the server answered with a
+// busy verdict: it has not yet detected the old connection's death. The
+// stream is still parked-able — the reconnect simply raced the fault —
+// so the error classifies as a retryable reset.
+var ErrResumeBusy = errors.New("transport: server not yet accepting resume")
+
+// FaultClass buckets transport failures for accounting and recovery
+// policy: every class except FaultOther is a transient link fault a
+// resumable stream recovers from by reconnecting.
+type FaultClass int
+
+// Fault classes, from "no fault" through the recoverable link faults to
+// the terminal catch-all.
+const (
+	// FaultNone: no error.
+	FaultNone FaultClass = iota
+	// FaultCorrupt: bytes on the wire failed verification — CRC
+	// mismatch, sequence discontinuity, unknown kind, or nonsense field
+	// values. The connection's framing cannot be trusted any further.
+	FaultCorrupt
+	// FaultTimeout: a read or write deadline expired (stalled peer or
+	// partitioned link).
+	FaultTimeout
+	// FaultReset: the connection dropped — reset, broken pipe, closed,
+	// or truncated mid-message.
+	FaultReset
+	// FaultOther: anything else (terminal; not retried).
+	FaultOther
+)
+
+// String names the fault class (the ops-counter key).
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultTimeout:
+		return "timeout"
+	case FaultReset:
+		return "reset"
+	}
+	return "other"
+}
+
+// Retryable reports whether a fault of this class is worth a reconnect
+// attempt on a resumable stream.
+func (c FaultClass) Retryable() bool {
+	return c == FaultCorrupt || c == FaultTimeout || c == FaultReset
+}
+
+// ClassifyFault buckets a transport error. ErrClosed (orderly end) and
+// nil map to FaultNone; context cancellation maps to FaultOther so
+// shutdown is never mistaken for a link fault.
+func ClassifyFault(err error) FaultClass {
+	switch {
+	case err == nil, errors.Is(err, ErrClosed):
+		return FaultNone
+	case errors.Is(err, ErrCorrupt), errors.Is(err, ErrBadSeq):
+		return FaultCorrupt
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return FaultTimeout
+	}
+	switch {
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return FaultTimeout
+	case errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, ErrResumeBusy):
+		return FaultReset
+	}
+	return FaultOther
+}

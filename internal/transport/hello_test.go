@@ -18,10 +18,10 @@ func validHello() StreamHello {
 func TestHelloRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	want := validHello()
-	if err := WriteHello(&buf, want); err != nil {
+	if err := NewFrameWriter(&buf).WriteHello(want); err != nil {
 		t.Fatal(err)
 	}
-	msg, err := ReadMessage(&buf)
+	msg, err := NewFrameReader(&buf).ReadMessage()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,24 +50,43 @@ func TestHelloValidation(t *testing.T) {
 		h := validHello()
 		corrupt(&h)
 		var buf bytes.Buffer
-		if err := WriteHello(&buf, h); err == nil {
+		if err := NewFrameWriter(&buf).WriteHello(h); err == nil {
 			t.Errorf("%s: write accepted %+v", name, h)
 		}
+	}
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewFrameWriter(&buf).WriteResume(StreamResume{Token: 0xDEADBEEFCAFE}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := NewFrameReader(&buf).ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(*StreamResume)
+	if !ok || got.Token != 0xDEADBEEFCAFE {
+		t.Fatalf("got %#v", msg)
+	}
+	if err := NewFrameWriter(&bytes.Buffer{}).WriteResume(StreamResume{}); err == nil {
+		t.Error("zero resume token accepted")
 	}
 }
 
 func TestVerdictRoundTrip(t *testing.T) {
 	for _, want := range []Verdict{
 		{Code: Admitted, Available: 4.5e6},
+		{Code: Admitted, Available: 4.5e6, ResumeToken: 42, NextIndex: 17},
 		{Code: RejectedCapacity, Available: 0},
 		{Code: RejectedMalformed, Available: 1e7},
 		{Code: RejectedBusy, Available: 2e6},
 	} {
 		var buf bytes.Buffer
-		if err := WriteVerdict(&buf, want); err != nil {
+		if err := NewFrameWriter(&buf).WriteVerdict(want); err != nil {
 			t.Fatal(err)
 		}
-		got, err := ReadVerdict(&buf)
+		got, err := NewFrameReader(&buf).ReadVerdict()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,21 +101,28 @@ func TestVerdictRoundTrip(t *testing.T) {
 
 func TestVerdictValidation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteVerdict(&buf, Verdict{Code: 9}); err == nil {
+	w := NewFrameWriter(&buf)
+	if err := w.WriteVerdict(Verdict{Code: 9}); err == nil {
 		t.Error("invalid code accepted")
 	}
-	if err := WriteVerdict(&buf, Verdict{Code: Admitted, Available: math.NaN()}); err == nil {
+	if err := w.WriteVerdict(Verdict{Code: Admitted, Available: math.NaN()}); err == nil {
 		t.Error("NaN capacity accepted")
 	}
-	if err := WriteVerdict(&buf, Verdict{Code: Admitted, Available: -1}); err == nil {
+	if err := w.WriteVerdict(Verdict{Code: Admitted, Available: -1}); err == nil {
 		t.Error("negative capacity accepted")
+	}
+	if err := w.WriteVerdict(Verdict{Code: Admitted, NextIndex: -1}); err == nil {
+		t.Error("negative next index accepted")
 	}
 	// A non-verdict message where a verdict is expected is an error, not
 	// a silent misparse.
-	if err := WriteEnd(&buf); err != nil {
+	if err := w.WriteEnd(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadVerdict(&buf); err == nil {
+	// The writer above advanced its sequence counter through the failed
+	// validations' early returns only on success, so the end marker is
+	// the first frame on the wire.
+	if _, err := NewFrameReader(&buf).ReadVerdict(); err == nil {
 		t.Error("end marker accepted as verdict")
 	}
 }
@@ -105,10 +131,11 @@ func TestVerdictValidation(t *testing.T) {
 // carries on with the stream.
 func TestReceiveRecordsHello(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteHello(&buf, validHello()); err != nil {
+	w := NewFrameWriter(&buf)
+	if err := w.WriteHello(validHello()); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteEnd(&buf); err != nil {
+	if err := w.WriteEnd(); err != nil {
 		t.Fatal(err)
 	}
 	report, err := Receive(t.Context(), &buf)

@@ -53,29 +53,6 @@ func (r *Report) TotalBytes() int {
 	return total
 }
 
-// deadlineReader is the read-deadline surface of net.Conn (net.Pipe
-// supports it too); any other reader gets no deadline.
-type deadlineReader interface {
-	SetReadDeadline(time.Time) error
-}
-
-// ReadMessageTimeout arms a read deadline covering the whole next
-// message — header and payload — before reading it, so a sender that
-// stalls mid-picture cannot wedge the reader forever. A zero timeout, or
-// a reader without SetReadDeadline, reads without a deadline.
-func ReadMessageTimeout(conn io.Reader, timeout time.Duration) (any, error) {
-	if d, ok := conn.(deadlineReader); ok {
-		if timeout > 0 {
-			if err := d.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-				return nil, fmt.Errorf("transport: arming read deadline: %w", err)
-			}
-		} else {
-			d.SetReadDeadline(time.Time{})
-		}
-	}
-	return ReadMessage(conn)
-}
-
 // Receiver drains a sender's stream with configurable robustness knobs.
 // The zero value behaves exactly like the package-level Receive.
 type Receiver struct {
@@ -83,6 +60,9 @@ type Receiver struct {
 	// payload). Zero means wait forever. It takes effect only when the
 	// connection supports read deadlines (net.Conn does).
 	ReadTimeout time.Duration
+	// MaxPictureBytes caps the payload size the receiver will accept
+	// (default transport.DefaultMaxPictureBytes).
+	MaxPictureBytes int
 }
 
 // Receive drains a sender's stream until the end marker, recording
@@ -93,11 +73,13 @@ func (rc *Receiver) Receive(ctx context.Context, conn io.Reader) (*Report, error
 	start := time.Now()
 	report := &Report{}
 	currentRate := 0.0
+	fr := NewFrameReader(conn)
+	fr.MaxPayload = rc.MaxPictureBytes
 	for {
 		if err := ctx.Err(); err != nil {
 			return report, err
 		}
-		msg, err := ReadMessageTimeout(conn, rc.ReadTimeout)
+		msg, err := fr.ReadMessageTimeout(rc.ReadTimeout)
 		if err == ErrClosed {
 			report.Elapsed = time.Since(start)
 			return report, nil

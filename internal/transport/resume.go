@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/mpeg"
+)
+
+// Backoff parameterizes the jittered exponential reconnect delay: the
+// n-th consecutive failure waits Base·Factor^(n−1), capped at Max, then
+// pulled earlier by up to Jitter (a fraction of the delay) so a fleet
+// of disconnected senders does not reconnect in lockstep.
+type Backoff struct {
+	Base   time.Duration // default 50ms
+	Max    time.Duration // default 2s
+	Factor float64       // default 2
+	Jitter float64       // fraction of the delay randomized away, default 0.5
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// Delay returns the wait before reconnect attempt n (1-based).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 1; i < attempt && d < float64(b.Max); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && rng != nil {
+		d *= 1 - b.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// ResumeEvent reports one reconnect-loop transition to OnEvent hooks
+// (CLI logging, test assertions).
+type ResumeEvent struct {
+	// Attempt is the consecutive-failure count when the event fired.
+	Attempt int
+	// Class is the fault classification of Err.
+	Class FaultClass
+	// Err is the failure that triggered the reconnect (nil on Resumed).
+	Err error
+	// Resumed is set when a StreamResume handshake was accepted;
+	// NextIndex is then the server-chosen replay point.
+	Resumed   bool
+	NextIndex int
+}
+
+// StreamResult summarizes a resumable stream session.
+type StreamResult struct {
+	// Verdict is the admission answer to the initial hello.
+	Verdict Verdict
+	// Resumes counts accepted StreamResume handshakes.
+	Resumes int
+	// Faults counts classified failures the loop recovered from (or
+	// died on), by class.
+	Faults map[FaultClass]int
+}
+
+// ResumableSender is the sender-side reconnect loop: it dials, performs
+// the admission handshake, paces the stream, and — on a classified
+// transient fault — redials with jittered exponential backoff and
+// resumes from the server-chosen replay point, so a flaky link yields a
+// complete stream rather than a dead one.
+type ResumableSender struct {
+	// Sender paces the pictures; its WriteTimeout also bounds handshake
+	// writes.
+	Sender Sender
+	// Dial opens a connection to the server. Required.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Hello is the admission declaration for the initial handshake.
+	Hello StreamHello
+	// Backoff shapes the reconnect delays (zero value = defaults).
+	Backoff Backoff
+	// MaxAttempts bounds consecutive failed reconnect attempts before
+	// the stream is abandoned (default 8; successes reset the count).
+	MaxAttempts int
+	// HandshakeTimeout bounds the wait for each verdict (default 10s).
+	HandshakeTimeout time.Duration
+	// Seed fixes the jitter randomness for deterministic tests; 0 draws
+	// from the global source.
+	Seed int64
+	// OnEvent, when set, observes every fault and resume.
+	OnEvent func(ResumeEvent)
+}
+
+// StreamSchedule runs Stream over a schedule's stored decision arrays,
+// mirroring Sender.Send.
+func (rs *ResumableSender) StreamSchedule(ctx context.Context, sched *core.Schedule, payloads [][]byte) (StreamResult, error) {
+	decisions := make([]core.Decision, len(sched.Rates))
+	for i := range decisions {
+		decisions[i] = core.Decision{Picture: i, Rate: sched.Rates[i], Start: sched.Start[i]}
+	}
+	return rs.Stream(ctx, decisions, sched.Trace.TypeOf, payloads)
+}
+
+// Stream sends the full decision stream, reconnecting and resuming
+// through transient faults. It returns once the end marker is written
+// (success), the server rejects the stream, a fault is terminal, or
+// MaxAttempts consecutive reconnects fail.
+func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision, typeOf func(int) mpeg.PictureType, payloads [][]byte) (StreamResult, error) {
+	result := StreamResult{Faults: map[FaultClass]int{}}
+	if rs.Dial == nil {
+		return result, fmt.Errorf("transport: ResumableSender needs a Dial function")
+	}
+	if len(payloads) != len(decisions) {
+		return result, fmt.Errorf("transport: %d payloads for %d pictures", len(payloads), len(decisions))
+	}
+	maxAttempts := rs.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	hsTimeout := rs.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = 10 * time.Second
+	}
+	clock := rs.Sender.Clock
+	if clock == nil {
+		clock = RealClock{}
+	}
+	var rng *rand.Rand
+	if rs.Seed != 0 {
+		rng = rand.New(rand.NewSource(rs.Seed))
+	} else {
+		rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+
+	var (
+		token   uint64
+		next    int
+		attempt int // consecutive failures
+	)
+	fail := func(err error) (FaultClass, error) {
+		class := ClassifyFault(err)
+		result.Faults[class]++
+		attempt++
+		if rs.OnEvent != nil {
+			rs.OnEvent(ResumeEvent{Attempt: attempt, Class: class, Err: err})
+		}
+		if !class.Retryable() {
+			return class, fmt.Errorf("transport: terminal stream fault (%s): %w", class, err)
+		}
+		if attempt >= maxAttempts {
+			return class, fmt.Errorf("transport: stream abandoned after %d attempts (last %s): %w", attempt, class, err)
+		}
+		if serr := clock.Sleep(ctx, rs.Backoff.Delay(attempt, rng)); serr != nil {
+			return class, serr
+		}
+		return class, nil
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return result, err
+		}
+		conn, err := rs.Dial(ctx)
+		if err != nil {
+			if _, ferr := fail(err); ferr != nil {
+				return result, ferr
+			}
+			continue
+		}
+		w := NewFrameWriter(conn)
+		w.WriteTimeout = rs.Sender.WriteTimeout
+		r := NewFrameReader(conn)
+
+		var v Verdict
+		if token == 0 {
+			err = w.WriteHello(rs.Hello)
+		} else {
+			err = w.WriteResume(StreamResume{Token: token})
+		}
+		if err == nil {
+			v, err = r.ReadVerdictTimeout(hsTimeout)
+		}
+		if err != nil {
+			conn.Close()
+			if _, ferr := fail(err); ferr != nil {
+				return result, ferr
+			}
+			continue
+		}
+		if !v.IsAdmitted() {
+			conn.Close()
+			// A busy verdict on a resume means the server has not yet
+			// detected our old connection's death and parked the stream —
+			// the reconnect raced the fault. Back off and retry; the
+			// stream is still held for us.
+			if token != 0 && v.Code == RejectedBusy {
+				if _, ferr := fail(ErrResumeBusy); ferr != nil {
+					return result, ferr
+				}
+				continue
+			}
+			if token == 0 {
+				result.Verdict = v
+			}
+			return result, fmt.Errorf("transport: stream %s by server (%.0f bps available)", v.Code, v.Available)
+		}
+		if token == 0 {
+			result.Verdict = v
+			token = v.ResumeToken
+		} else {
+			next = v.NextIndex
+			result.Resumes++
+			if rs.OnEvent != nil {
+				rs.OnEvent(ResumeEvent{Attempt: attempt, Resumed: true, NextIndex: next})
+			}
+		}
+		attempt = 0
+
+		err = rs.Sender.sendFrom(ctx, w, decisions, typeOf, payloads, next)
+		if err == nil {
+			// Wait for the completion ack (the server's end marker echo):
+			// success means every picture was accepted, not merely that our
+			// last write landed in a socket buffer. A missing ack is an
+			// ordinary fault — the resume replays nothing and re-acks.
+			_, aerr := r.ReadMessageTimeout(hsTimeout)
+			if errors.Is(aerr, ErrClosed) {
+				conn.Close()
+				return result, nil
+			}
+			if aerr == nil {
+				aerr = fmt.Errorf("transport: unexpected frame instead of completion ack")
+			}
+			err = fmt.Errorf("transport: awaiting completion ack: %w", aerr)
+		}
+		conn.Close()
+		// Without a resume token the server cannot replay-deduplicate;
+		// reconnecting would double-deliver, so the fault is terminal.
+		if token == 0 {
+			class := ClassifyFault(err)
+			result.Faults[class]++
+			if rs.OnEvent != nil {
+				rs.OnEvent(ResumeEvent{Attempt: attempt + 1, Class: class, Err: err})
+			}
+			return result, fmt.Errorf("transport: stream fault (%s) with no resume token: %w", class, err)
+		}
+		if _, ferr := fail(err); ferr != nil {
+			return result, ferr
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i+1, nil); got != w {
+			t.Fatalf("attempt %d: delay %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		d := b.Delay(1, rng)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
+// TestResumableSenderSurvivesMidStreamReset: a toy server admits the
+// stream, abruptly resets the connection after a few pictures, then
+// accepts the resume handshake and the replayed remainder. The sender
+// must deliver every picture exactly once across the two connections.
+func TestResumableSenderSurvivesMidStreamReset(t *testing.T) {
+	sched, payloads := testSchedule(t, 18)
+	const token = 777
+	const killAfter = 5
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var (
+		mu       sync.Mutex
+		got      = map[int]uint64{} // index → payload hash
+		resumes  int
+		sessions int
+	)
+	ended := make(chan struct{}) // closed when the server reads the end marker
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fr := NewFrameReader(conn)
+			fw := NewFrameWriter(conn)
+			msg, err := fr.ReadMessage()
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			mu.Lock()
+			sessions++
+			next := len(got)
+			mu.Unlock()
+			switch m := msg.(type) {
+			case *StreamHello:
+				fw.WriteVerdict(Verdict{Code: Admitted, Available: 1e6, ResumeToken: token})
+			case *StreamResume:
+				if m.Token != token {
+					fw.WriteVerdict(Verdict{Code: RejectedMalformed, Available: 1e6})
+					conn.Close()
+					continue
+				}
+				mu.Lock()
+				resumes++
+				mu.Unlock()
+				fw.WriteVerdict(Verdict{Code: Admitted, Available: 1e6, ResumeToken: token, NextIndex: next})
+			}
+			func() {
+				defer conn.Close()
+				for {
+					msg, err := fr.ReadMessage()
+					if err == ErrClosed {
+						fw.WriteEnd() // completion ack
+						close(ended)
+						return
+					}
+					if err != nil {
+						return
+					}
+					if pf, ok := msg.(*PictureFrame); ok {
+						mu.Lock()
+						got[pf.Index] = PayloadSum64(pf.Payload)
+						n := len(got)
+						firstSession := sessions == 1
+						mu.Unlock()
+						if firstSession && n >= killAfter {
+							return // abrupt reset mid-stream
+						}
+					}
+				}
+			}()
+		}
+	}()
+
+	rs := &ResumableSender{
+		Sender: Sender{TimeScale: 200, Chunk: 512},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", ln.Addr().String())
+		},
+		Hello:       validHello(),
+		Backoff:     Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		MaxAttempts: 10,
+		Seed:        1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := rs.StreamSchedule(ctx, sched, payloads)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if res.Resumes < 1 {
+		t.Fatalf("expected at least one resume, got %d", res.Resumes)
+	}
+	if res.Verdict.ResumeToken != token {
+		t.Fatalf("verdict token %d", res.Verdict.ResumeToken)
+	}
+	// The sender returns when its last write lands in the socket buffer;
+	// wait for the server to actually drain through the end marker.
+	select {
+	case <-ended:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never saw the end marker")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if resumes < 1 {
+		t.Fatalf("server saw %d resumes", resumes)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("server received %d distinct pictures, want %d", len(got), len(payloads))
+	}
+	for i, p := range payloads {
+		if got[i] != PayloadSum64(p) {
+			t.Fatalf("picture %d corrupted or missing", i)
+		}
+	}
+}
+
+// TestResumableSenderGivesUpAfterMaxAttempts: with nothing listening,
+// the loop must stop at MaxAttempts, not spin forever.
+func TestResumableSenderGivesUpAfterMaxAttempts(t *testing.T) {
+	sched, payloads := testSchedule(t, 9)
+	attempts := 0
+	rs := &ResumableSender{
+		Sender: Sender{TimeScale: 1000},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			attempts++
+			return nil, &net.OpError{Op: "dial", Err: context.DeadlineExceeded}
+		},
+		Hello:       validHello(),
+		Backoff:     Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		MaxAttempts: 3,
+		Seed:        1,
+	}
+	_, err := rs.StreamSchedule(context.Background(), sched, payloads)
+	if err == nil {
+		t.Fatal("stream with no server should fail")
+	}
+	if attempts != 3 {
+		t.Fatalf("dialed %d times, want 3", attempts)
+	}
+}
+
+// TestResumableSenderTerminalOnRejection: an admission rejection is not
+// a fault — no retries, immediate error with the verdict preserved.
+func TestResumableSenderTerminalOnRejection(t *testing.T) {
+	sched, payloads := testSchedule(t, 9)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fr := NewFrameReader(conn)
+		fw := NewFrameWriter(conn)
+		if _, err := fr.ReadMessage(); err != nil {
+			return
+		}
+		fw.WriteVerdict(Verdict{Code: RejectedCapacity, Available: 12345})
+	}()
+	dials := 0
+	rs := &ResumableSender{
+		Sender: Sender{TimeScale: 1000},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			dials++
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", ln.Addr().String())
+		},
+		Hello: validHello(),
+		Seed:  1,
+	}
+	res, err := rs.StreamSchedule(context.Background(), sched, payloads)
+	if err == nil {
+		t.Fatal("rejected stream should error")
+	}
+	if dials != 1 {
+		t.Fatalf("rejection retried: %d dials", dials)
+	}
+	if res.Verdict.Code != RejectedCapacity || res.Verdict.Available != 12345 {
+		t.Fatalf("verdict not preserved: %+v", res.Verdict)
+	}
+}

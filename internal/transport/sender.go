@@ -50,6 +50,11 @@ type Sender struct {
 	// are schedule durations divided by TimeScale (default 1; tests use
 	// large factors to replay multi-second schedules in milliseconds).
 	TimeScale float64
+	// WriteTimeout arms a write deadline per message and payload chunk
+	// (the mirror of Receiver.ReadTimeout) so a dead or stalled receiver
+	// cannot wedge the sender goroutine. Zero means no deadline; it
+	// takes effect only when the connection supports write deadlines.
+	WriteTimeout time.Duration
 }
 
 // Send replays the schedule over w: for each picture it waits until the
@@ -60,7 +65,7 @@ type Sender struct {
 // Send is a wrapper over SendDecisions: the schedule's per-picture
 // arrays are the stored form of the Session decision stream the sender
 // actually consumes.
-func (s *Sender) Send(ctx context.Context, w interface{ Write([]byte) (int, error) }, sched *core.Schedule, payloads [][]byte) error {
+func (s *Sender) Send(ctx context.Context, w *FrameWriter, sched *core.Schedule, payloads [][]byte) error {
 	decisions := make([]core.Decision, len(sched.Rates))
 	for i := range decisions {
 		decisions[i] = core.Decision{Picture: i, Rate: sched.Rates[i], Start: sched.Start[i]}
@@ -75,11 +80,19 @@ func (s *Sender) Send(ctx context.Context, w interface{ Write([]byte) (int, erro
 // rate. typeOf supplies the picture type for wire headers (for a pure
 // GOP-pattern stream, gop.TypeOf); payloads[i] holds picture
 // decisions[i].Picture's data, ceil(S_i/8) bytes.
-func (s *Sender) SendDecisions(ctx context.Context, w interface{ Write([]byte) (int, error) }, decisions []core.Decision, typeOf func(int) mpeg.PictureType, payloads [][]byte) error {
-	n := len(decisions)
-	if len(payloads) != n {
-		return fmt.Errorf("transport: %d payloads for %d pictures", len(payloads), n)
+func (s *Sender) SendDecisions(ctx context.Context, w *FrameWriter, decisions []core.Decision, typeOf func(int) mpeg.PictureType, payloads [][]byte) error {
+	if len(payloads) != len(decisions) {
+		return fmt.Errorf("transport: %d payloads for %d pictures", len(payloads), len(decisions))
 	}
+	return s.sendFrom(ctx, w, decisions, typeOf, payloads, 0)
+}
+
+// sendFrom paces decisions[start:] over w. For start > 0 (a resumed
+// stream) the pacing origin is shifted so the replay point transmits
+// immediately; the remaining schedule then keeps its original
+// inter-picture spacing, which bounds the delay overshoot by the outage
+// duration.
+func (s *Sender) sendFrom(ctx context.Context, w *FrameWriter, decisions []core.Decision, typeOf func(int) mpeg.PictureType, payloads [][]byte, start int) error {
 	chunk := s.Chunk
 	if chunk <= 0 {
 		chunk = 1024
@@ -92,13 +105,20 @@ func (s *Sender) SendDecisions(ctx context.Context, w interface{ Write([]byte) (
 	if scale <= 0 {
 		scale = 1
 	}
+	if s.WriteTimeout > 0 && w.WriteTimeout == 0 {
+		w.WriteTimeout = s.WriteTimeout
+	}
 	origin := clock.Now()
+	if start > 0 && start < len(decisions) {
+		origin = origin.Add(-time.Duration(decisions[start].Start / scale * float64(time.Second)))
+	}
 	deadline := func(schedTime float64) time.Time {
 		return origin.Add(time.Duration(schedTime / scale * float64(time.Second)))
 	}
 
 	lastRate := 0.0
-	for i, d := range decisions {
+	for i := start; i < len(decisions); i++ {
+		d := decisions[i]
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -109,13 +129,13 @@ func (s *Sender) SendDecisions(ctx context.Context, w interface{ Write([]byte) (
 			return err
 		}
 		if d.Rate != lastRate {
-			if err := WriteRate(w, RateNotification{Index: d.Picture, Rate: d.Rate}); err != nil {
+			if err := w.WriteRate(RateNotification{Index: d.Picture, Rate: d.Rate}); err != nil {
 				return fmt.Errorf("transport: rate notification %d: %w", d.Picture, err)
 			}
 			lastRate = d.Rate
 		}
 		payload := payloads[i]
-		if err := WritePictureHeader(w, d.Picture, typeOf(d.Picture), len(payload)); err != nil {
+		if err := w.WritePictureHeader(d.Picture, typeOf(d.Picture), payload); err != nil {
 			return fmt.Errorf("transport: picture header %d: %w", d.Picture, err)
 		}
 		// Pace the payload: after sending b bytes, the elapsed schedule
@@ -126,7 +146,7 @@ func (s *Sender) SendDecisions(ctx context.Context, w interface{ Write([]byte) (
 			if end > len(payload) {
 				end = len(payload)
 			}
-			if _, err := w.Write(payload[sent:end]); err != nil {
+			if err := w.WriteChunk(payload[sent:end]); err != nil {
 				return fmt.Errorf("transport: picture %d payload: %w", d.Picture, err)
 			}
 			sent = end
@@ -135,7 +155,7 @@ func (s *Sender) SendDecisions(ctx context.Context, w interface{ Write([]byte) (
 			}
 		}
 	}
-	if err := WriteEnd(w); err != nil {
+	if err := w.WriteEnd(); err != nil {
 		return fmt.Errorf("transport: end marker: %w", err)
 	}
 	return nil

@@ -3,7 +3,9 @@ package transport
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"net"
@@ -17,19 +19,23 @@ import (
 
 func TestWireRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteRate(&buf, RateNotification{Index: 7, Rate: 1.5e6}); err != nil {
+	w := NewFrameWriter(&buf)
+	if err := w.WriteRate(RateNotification{Index: 7, Rate: 1.5e6}); err != nil {
 		t.Fatal(err)
 	}
 	payload := []byte{1, 2, 3, 4, 5}
-	if err := WritePictureHeader(&buf, 7, mpeg.TypeP, len(payload)); err != nil {
+	if err := w.WritePictureHeader(7, mpeg.TypeP, payload); err != nil {
 		t.Fatal(err)
 	}
-	buf.Write(payload)
-	if err := WriteEnd(&buf); err != nil {
+	if err := w.WriteChunk(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEnd(); err != nil {
 		t.Fatal(err)
 	}
 
-	msg, err := ReadMessage(&buf)
+	r := NewFrameReader(&buf)
+	msg, err := r.ReadMessage()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +43,7 @@ func TestWireRoundTrip(t *testing.T) {
 	if !ok || rn.Index != 7 || rn.Rate != 1.5e6 {
 		t.Fatalf("got %#v", msg)
 	}
-	msg, err = ReadMessage(&buf)
+	msg, err = r.ReadMessage()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,45 +51,95 @@ func TestWireRoundTrip(t *testing.T) {
 	if !ok || pf.Index != 7 || pf.Type != mpeg.TypeP || !bytes.Equal(pf.Payload, payload) {
 		t.Fatalf("got %#v", msg)
 	}
-	if _, err := ReadMessage(&buf); err != ErrClosed {
+	if _, err := r.ReadMessage(); err != ErrClosed {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
 }
 
+// rawFrame builds a CRC-valid frame by hand, for tests that need to put
+// field values on the wire the writer would refuse.
+func rawFrame(kind byte, seq uint32, body []byte) []byte {
+	buf := append([]byte{kind}, binary.BigEndian.AppendUint32(nil, seq)...)
+	buf = append(buf, body...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
 func TestWireValidation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteRate(&buf, RateNotification{Index: -1, Rate: 1}); err == nil {
+	w := NewFrameWriter(&buf)
+	if err := w.WriteRate(RateNotification{Index: -1, Rate: 1}); err == nil {
 		t.Error("negative index should fail")
 	}
-	if err := WriteRate(&buf, RateNotification{Index: 0, Rate: 0}); err == nil {
+	if err := w.WriteRate(RateNotification{Index: 0, Rate: 0}); err == nil {
 		t.Error("zero rate should fail")
 	}
-	if err := WritePictureHeader(&buf, 0, mpeg.TypeI, 0); err == nil {
+	if err := w.WritePictureHeader(0, mpeg.TypeI, nil); err == nil {
 		t.Error("zero size should fail")
 	}
-	if err := WritePictureHeader(&buf, 0, mpeg.TypeI, MaxPictureBytes+1); err == nil {
+	if err := w.WritePictureHeader(0, mpeg.TypeI, make([]byte, DefaultMaxPictureBytes+1)); err == nil {
 		t.Error("oversize picture should fail")
 	}
 	// Unknown kind byte.
-	if _, err := ReadMessage(bytes.NewReader([]byte{0xFF})); err == nil {
-		t.Error("unknown kind should fail")
+	if _, err := NewFrameReader(bytes.NewReader([]byte{0xFF})).ReadMessage(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown kind: want ErrCorrupt, got %v", err)
 	}
-	// Truncated payload.
+	// Truncated payload: header promises 100 bytes, only 3 arrive.
 	var b2 bytes.Buffer
-	if err := WritePictureHeader(&b2, 0, mpeg.TypeI, 100); err != nil {
+	w2 := NewFrameWriter(&b2)
+	if err := w2.WritePictureHeader(0, mpeg.TypeI, make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}
 	b2.Write([]byte{1, 2, 3})
-	if _, err := ReadMessage(&b2); err == nil {
+	if _, err := NewFrameReader(&b2).ReadMessage(); err == nil {
 		t.Error("truncated payload should fail")
 	}
-	// Peer announcing absurd size.
-	hdr := []byte{'P', 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
-	if _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
-		t.Error("oversized announcement should fail")
+	// Peer announcing an absurd payload size (a CRC-valid frame the
+	// writer itself would never emit) must be rejected before any
+	// allocation happens.
+	body := make([]byte, 13)
+	binary.BigEndian.PutUint32(body[5:9], 0xFFFFFFFF)
+	r := NewFrameReader(bytes.NewReader(rawFrame(kindPicture, 0, body)))
+	if _, err := r.ReadMessage(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized announcement: want ErrCorrupt, got %v", err)
 	}
-	if _, err := ReadMessage(bytes.NewReader(nil)); err != io.EOF {
+	if _, err := NewFrameReader(bytes.NewReader(nil)).ReadMessage(); err != io.EOF {
 		t.Error("empty stream should EOF")
+	}
+}
+
+// TestCorruptFrameDetected: a single flipped bit anywhere in a frame
+// fails the CRC.
+func TestCorruptFrameDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewFrameWriter(&buf).WriteRate(RateNotification{Index: 3, Rate: 2e6}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for i := range clean {
+		data := append([]byte(nil), clean...)
+		data[i] ^= 0x10
+		_, err := NewFrameReader(bytes.NewReader(data)).ReadMessage()
+		if err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+}
+
+// TestSequenceDiscontinuityDetected: dropping a frame breaks the seq
+// chain and is reported as ErrBadSeq, not silently decoded.
+func TestSequenceDiscontinuityDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFrameWriter(&buf)
+	if err := w.WriteRate(RateNotification{Index: 0, Rate: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEnd(); err != nil {
+		t.Fatal(err)
+	}
+	// Skip the first frame entirely: rate frame is 1+4+12+4 bytes.
+	data := buf.Bytes()[21:]
+	if _, err := NewFrameReader(bytes.NewReader(data)).ReadMessage(); !errors.Is(err, ErrBadSeq) {
+		t.Fatalf("want ErrBadSeq, got %v", err)
 	}
 }
 
@@ -123,7 +179,7 @@ func runSession(t *testing.T, sched *core.Schedule, payloads [][]byte, cw io.Wri
 	sendErr := make(chan error, 1)
 	go func() {
 		s := &Sender{TimeScale: 100, Chunk: 512}
-		err := s.Send(ctx, cw, sched, payloads)
+		err := s.Send(ctx, NewFrameWriter(cw), sched, payloads)
 		if closeW != nil {
 			closeW()
 		}
@@ -244,7 +300,7 @@ func TestSendDecisionsFromSession(t *testing.T) {
 	sendErr := make(chan error, 1)
 	go func() {
 		s := &Sender{TimeScale: 100, Chunk: 512}
-		sendErr <- s.SendDecisions(ctx, cw, decisions, tr.TypeOf, payloads)
+		sendErr <- s.SendDecisions(ctx, NewFrameWriter(cw), decisions, tr.TypeOf, payloads)
 	}()
 	report, err := Receive(ctx, cr)
 	if err != nil {
@@ -292,7 +348,7 @@ func TestArrivalTimesTrackSchedule(t *testing.T) {
 	defer cancel()
 	go func() {
 		s := &Sender{TimeScale: scale, Chunk: 512}
-		s.Send(ctx, cw, sched, payloads)
+		s.Send(ctx, NewFrameWriter(cw), sched, payloads)
 	}()
 	report, err := Receive(ctx, cr)
 	if err != nil {
@@ -318,7 +374,7 @@ func TestSenderRejectsMismatchedPayloads(t *testing.T) {
 	sched, payloads := testSchedule(t, 18)
 	var buf bytes.Buffer
 	s := &Sender{TimeScale: 1000}
-	if err := s.Send(context.Background(), &buf, sched, payloads[:3]); err == nil {
+	if err := s.Send(context.Background(), NewFrameWriter(&buf), sched, payloads[:3]); err == nil {
 		t.Fatal("payload count mismatch should fail")
 	}
 }
@@ -333,7 +389,7 @@ func TestSenderHonorsCancellation(t *testing.T) {
 	go io.Copy(io.Discard, cr)
 	s := &Sender{TimeScale: 1} // real time: would take ~1 s without cancel
 	start := time.Now()
-	err := s.Send(ctx, cw, sched, payloads)
+	err := s.Send(ctx, NewFrameWriter(cw), sched, payloads)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
@@ -345,8 +401,9 @@ func TestSenderHonorsCancellation(t *testing.T) {
 func TestReceiverSurvivesAbruptClose(t *testing.T) {
 	cw, cr := net.Pipe()
 	go func() {
-		WritePictureHeader(cw, 0, mpeg.TypeI, 100)
-		cw.Write(make([]byte, 10)) // partial payload
+		w := NewFrameWriter(cw)
+		w.WritePictureHeader(0, mpeg.TypeI, make([]byte, 100))
+		w.WriteChunk(make([]byte, 10)) // partial payload
 		cw.Close()
 	}()
 	_, err := Receive(context.Background(), cr)

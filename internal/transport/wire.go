@@ -9,14 +9,29 @@
 // net.Conn (the tests use both net.Pipe and TCP loopback), with explicit
 // rate-notification messages ahead of each rate change so a receiver (or
 // a network resource manager) can track the sender's declared rate.
+//
+// Wire format (v2, chaos-hardened): every message is a CRC-framed
+// record
+//
+//	kind (1) | seq (4) | body (fixed per kind) | crc32 (4)
+//
+// where crc32 is the IEEE checksum of kind|seq|body and seq is a
+// per-connection, per-direction counter starting at zero. A picture
+// frame's body additionally carries the CRC of its payload, which
+// streams (paced) after the frame record. Corruption, truncation, and
+// frame loss are therefore detected — never silently decoded — and
+// classified (see ClassifyFault) so senders can reconnect and resume
+// rather than abort.
 package transport
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"time"
 
 	"mpegsmooth/internal/mpeg"
 )
@@ -28,14 +43,50 @@ const (
 	kindEnd     byte = 'E'
 	kindHello   byte = 'H'
 	kindVerdict byte = 'V'
+	kindResume  byte = 'M'
 )
 
-// MaxPictureBytes bounds a picture payload; a peer announcing more is
-// malformed (the largest legal picture in this codec is far smaller).
+// bodyLen maps a message kind to its fixed body length (the picture
+// payload streams after the frame and is not part of the body).
+func bodyLen(kind byte) (int, bool) {
+	switch kind {
+	case kindHello:
+		return 34, true
+	case kindVerdict:
+		return 21, true
+	case kindRate:
+		return 12, true
+	case kindPicture:
+		return 13, true
+	case kindResume:
+		return 8, true
+	case kindEnd:
+		return 0, true
+	}
+	return 0, false
+}
+
+// MaxPictureBytes is the absolute wire-level bound on a picture payload;
+// no cap may exceed it, and a peer announcing more is malformed.
 const MaxPictureBytes = 16 << 20
+
+// DefaultMaxPictureBytes is the default payload-size sanity cap (the
+// largest legal picture in this codec is far smaller). A corrupted or
+// malicious header announcing more is rejected before any allocation.
+const DefaultMaxPictureBytes = 4 << 20
 
 // ErrClosed reports an orderly end-of-stream message.
 var ErrClosed = errors.New("transport: stream closed by sender")
+
+// ErrCorrupt tags frames that failed the CRC, declared nonsense field
+// values, or used an unknown kind: the bytes on the wire cannot be
+// trusted, so the connection must be abandoned (and, for a resumable
+// stream, re-established).
+var ErrCorrupt = errors.New("transport: corrupt frame")
+
+// ErrBadSeq tags a frame whose sequence number does not continue the
+// connection's counter: a frame was lost, duplicated, or replayed.
+var ErrBadSeq = errors.New("transport: sequence discontinuity")
 
 // RateNotification announces the transmission rate for a picture:
 // notify(i, rate) from the algorithm specification.
@@ -96,26 +147,13 @@ func (h StreamHello) Validate() error {
 	return nil
 }
 
-// WriteHello writes a stream-opening hello.
-func WriteHello(w io.Writer, h StreamHello) error {
-	if err := h.Validate(); err != nil {
-		return err
-	}
-	if h.GOP.N > math.MaxUint16 || h.GOP.M > math.MaxUint16 ||
-		h.K > math.MaxUint16 || h.Pictures > math.MaxUint32 {
-		return fmt.Errorf("transport: hello field out of wire range")
-	}
-	var buf [35]byte
-	buf[0] = kindHello
-	binary.BigEndian.PutUint64(buf[1:9], math.Float64bits(h.Tau))
-	binary.BigEndian.PutUint16(buf[9:11], uint16(h.GOP.N))
-	binary.BigEndian.PutUint16(buf[11:13], uint16(h.GOP.M))
-	binary.BigEndian.PutUint16(buf[13:15], uint16(h.K))
-	binary.BigEndian.PutUint64(buf[15:23], math.Float64bits(h.D))
-	binary.BigEndian.PutUint32(buf[23:27], uint32(h.Pictures))
-	binary.BigEndian.PutUint64(buf[27:35], math.Float64bits(h.PeakRate))
-	_, err := w.Write(buf[:])
-	return err
+// StreamResume reopens a disconnected stream session: the sender
+// presents the resume token the admission verdict issued, and the
+// server answers with another verdict whose NextIndex names the first
+// picture it has not yet received — the replay point that makes a flaky
+// link lossless.
+type StreamResume struct {
+	Token uint64
 }
 
 // VerdictCode classifies an admission decision.
@@ -129,7 +167,8 @@ const (
 	// RejectedCapacity: the declared peak exceeds the link capacity
 	// still available.
 	RejectedCapacity
-	// RejectedMalformed: the hello was missing or invalid.
+	// RejectedMalformed: the hello was missing, invalid, or named an
+	// unknown resume token.
 	RejectedMalformed
 	// RejectedBusy: the server is at its concurrent-stream limit or
 	// shutting down.
@@ -151,171 +190,363 @@ func (c VerdictCode) String() string {
 	return fmt.Sprintf("VerdictCode(%d)", byte(c))
 }
 
-// Verdict is the server's admission answer to a StreamHello.
+// Verdict is the server's admission answer to a StreamHello or a
+// StreamResume.
 type Verdict struct {
 	Code VerdictCode
 	// Available is the link capacity still unreserved (bits/second) at
 	// decision time — on rejection, what the sender would have to fit
 	// under to be admitted.
 	Available float64
+	// ResumeToken, when nonzero on an admitted verdict, lets the sender
+	// reopen this stream after a disconnect (see StreamResume). Zero
+	// means the server does not support resumption.
+	ResumeToken uint64
+	// NextIndex is the first picture index the server has not yet
+	// received — meaningful on the verdict answering a StreamResume,
+	// where it is the sender's replay point.
+	NextIndex int
 }
 
-// Admitted reports whether the stream may proceed.
+// IsAdmitted reports whether the stream may proceed.
 func (v Verdict) IsAdmitted() bool { return v.Code == Admitted }
 
+// deadlineWriter is the write-deadline surface of net.Conn.
+type deadlineWriter interface {
+	SetWriteDeadline(time.Time) error
+}
+
+// deadlineReader is the read-deadline surface of net.Conn (net.Pipe
+// supports it too); any other reader gets no deadline.
+type deadlineReader interface {
+	SetReadDeadline(time.Time) error
+}
+
+// FrameWriter frames outbound messages with a CRC32 checksum and a
+// per-connection sequence number. One FrameWriter must own a
+// connection's write side for the whole session — the handshake and the
+// stream share its counter.
+type FrameWriter struct {
+	w   io.Writer
+	d   deadlineWriter
+	seq uint32
+	// WriteTimeout, when nonzero and the underlying writer supports
+	// write deadlines, bounds every frame and payload-chunk write so a
+	// dead or stalled receiver cannot wedge the sender goroutine. It is
+	// re-armed per write, mirroring Receiver.ReadTimeout.
+	WriteTimeout time.Duration
+	// MaxPayload caps the picture payload size this writer will frame
+	// (default DefaultMaxPictureBytes, never above MaxPictureBytes).
+	MaxPayload int
+}
+
+// NewFrameWriter wraps a connection's write side. If w supports
+// SetWriteDeadline (net.Conn does), WriteTimeout can bound each write.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	fw := &FrameWriter{w: w}
+	if d, ok := w.(deadlineWriter); ok {
+		fw.d = d
+	}
+	return fw
+}
+
+func (fw *FrameWriter) maxPayload() int {
+	if fw.MaxPayload > 0 && fw.MaxPayload <= MaxPictureBytes {
+		return fw.MaxPayload
+	}
+	return DefaultMaxPictureBytes
+}
+
+// write arms the per-write deadline (when configured) and writes p.
+func (fw *FrameWriter) write(p []byte) error {
+	if fw.d != nil && fw.WriteTimeout > 0 {
+		if err := fw.d.SetWriteDeadline(time.Now().Add(fw.WriteTimeout)); err != nil {
+			return fmt.Errorf("transport: arming write deadline: %w", err)
+		}
+	}
+	_, err := fw.w.Write(p)
+	return err
+}
+
+// writeFrame emits kind|seq|body|crc and advances the sequence counter.
+func (fw *FrameWriter) writeFrame(kind byte, body []byte) error {
+	buf := make([]byte, 0, 9+len(body))
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint32(buf, fw.seq)
+	buf = append(buf, body...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if err := fw.write(buf); err != nil {
+		return err
+	}
+	fw.seq++
+	return nil
+}
+
+// WriteHello writes a stream-opening hello.
+func (fw *FrameWriter) WriteHello(h StreamHello) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	if h.GOP.N > math.MaxUint16 || h.GOP.M > math.MaxUint16 ||
+		h.K > math.MaxUint16 || h.Pictures > math.MaxUint32 {
+		return fmt.Errorf("transport: hello field out of wire range")
+	}
+	var body [34]byte
+	binary.BigEndian.PutUint64(body[0:8], math.Float64bits(h.Tau))
+	binary.BigEndian.PutUint16(body[8:10], uint16(h.GOP.N))
+	binary.BigEndian.PutUint16(body[10:12], uint16(h.GOP.M))
+	binary.BigEndian.PutUint16(body[12:14], uint16(h.K))
+	binary.BigEndian.PutUint64(body[14:22], math.Float64bits(h.D))
+	binary.BigEndian.PutUint32(body[22:26], uint32(h.Pictures))
+	binary.BigEndian.PutUint64(body[26:34], math.Float64bits(h.PeakRate))
+	return fw.writeFrame(kindHello, body[:])
+}
+
+// WriteResume writes a stream-reopening resume request.
+func (fw *FrameWriter) WriteResume(r StreamResume) error {
+	if r.Token == 0 {
+		return fmt.Errorf("transport: zero resume token")
+	}
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], r.Token)
+	return fw.writeFrame(kindResume, body[:])
+}
+
 // WriteVerdict writes an admission verdict.
-func WriteVerdict(w io.Writer, v Verdict) error {
+func (fw *FrameWriter) WriteVerdict(v Verdict) error {
 	if v.Code > RejectedBusy {
 		return fmt.Errorf("transport: invalid verdict code %d", v.Code)
 	}
 	if math.IsNaN(v.Available) || math.IsInf(v.Available, 0) || v.Available < 0 {
 		return fmt.Errorf("transport: invalid verdict capacity %v", v.Available)
 	}
-	var buf [10]byte
-	buf[0] = kindVerdict
-	buf[1] = byte(v.Code)
-	binary.BigEndian.PutUint64(buf[2:10], math.Float64bits(v.Available))
-	_, err := w.Write(buf[:])
-	return err
-}
-
-// ReadVerdict reads an admission verdict — the one message that flows
-// server→sender, immediately after the hello.
-func ReadVerdict(r io.Reader) (Verdict, error) {
-	msg, err := ReadMessage(r)
-	if err != nil {
-		return Verdict{}, err
+	if v.NextIndex < 0 || v.NextIndex > math.MaxUint32 {
+		return fmt.Errorf("transport: verdict next index %d out of range", v.NextIndex)
 	}
-	v, ok := msg.(*Verdict)
-	if !ok {
-		return Verdict{}, fmt.Errorf("transport: expected verdict, got %T", msg)
-	}
-	return *v, nil
+	var body [21]byte
+	body[0] = byte(v.Code)
+	binary.BigEndian.PutUint64(body[1:9], math.Float64bits(v.Available))
+	binary.BigEndian.PutUint64(body[9:17], v.ResumeToken)
+	binary.BigEndian.PutUint32(body[17:21], uint32(v.NextIndex))
+	return fw.writeFrame(kindVerdict, body[:])
 }
 
 // WriteRate writes a rate notification.
-func WriteRate(w io.Writer, n RateNotification) error {
+func (fw *FrameWriter) WriteRate(n RateNotification) error {
 	if n.Index < 0 || n.Index > math.MaxUint32 {
 		return fmt.Errorf("transport: picture index %d out of range", n.Index)
 	}
 	if n.Rate <= 0 || math.IsNaN(n.Rate) || math.IsInf(n.Rate, 0) {
 		return fmt.Errorf("transport: invalid rate %v", n.Rate)
 	}
-	var buf [13]byte
-	buf[0] = kindRate
-	binary.BigEndian.PutUint32(buf[1:5], uint32(n.Index))
-	binary.BigEndian.PutUint64(buf[5:13], math.Float64bits(n.Rate))
-	_, err := w.Write(buf[:])
-	return err
+	var body [12]byte
+	binary.BigEndian.PutUint32(body[0:4], uint32(n.Index))
+	binary.BigEndian.PutUint64(body[4:12], math.Float64bits(n.Rate))
+	return fw.writeFrame(kindRate, body[:])
 }
 
-// WritePictureHeader writes the header of a picture frame; the caller
-// streams the payload bytes (paced) immediately after.
-func WritePictureHeader(w io.Writer, index int, t mpeg.PictureType, size int) error {
+// WritePictureHeader writes the header frame of a picture, carrying the
+// payload's size and CRC32; the caller streams the payload bytes
+// (paced) immediately after via WriteChunk.
+func (fw *FrameWriter) WritePictureHeader(index int, t mpeg.PictureType, payload []byte) error {
 	if index < 0 || index > math.MaxUint32 {
 		return fmt.Errorf("transport: picture index %d out of range", index)
 	}
-	if size <= 0 || size > MaxPictureBytes {
-		return fmt.Errorf("transport: picture size %d out of range", size)
+	if len(payload) == 0 || len(payload) > fw.maxPayload() {
+		return fmt.Errorf("transport: picture size %d out of range (cap %d)", len(payload), fw.maxPayload())
 	}
-	var buf [10]byte
-	buf[0] = kindPicture
-	binary.BigEndian.PutUint32(buf[1:5], uint32(index))
-	buf[5] = byte(t)
-	binary.BigEndian.PutUint32(buf[6:10], uint32(size))
-	_, err := w.Write(buf[:])
-	return err
+	var body [13]byte
+	binary.BigEndian.PutUint32(body[0:4], uint32(index))
+	body[4] = byte(t)
+	binary.BigEndian.PutUint32(body[5:9], uint32(len(payload)))
+	binary.BigEndian.PutUint32(body[9:13], crc32.ChecksumIEEE(payload))
+	return fw.writeFrame(kindPicture, body[:])
+}
+
+// WriteChunk writes raw payload bytes under the configured write
+// deadline; the pacing loop calls it once per chunk.
+func (fw *FrameWriter) WriteChunk(p []byte) error {
+	return fw.write(p)
 }
 
 // WriteEnd writes the orderly end-of-stream marker.
-func WriteEnd(w io.Writer) error {
-	_, err := w.Write([]byte{kindEnd})
-	return err
+func (fw *FrameWriter) WriteEnd() error {
+	return fw.writeFrame(kindEnd, nil)
 }
 
-// ReadMessage reads the next message. It returns a *StreamHello, a
-// *Verdict, a *RateNotification, or a *PictureFrame (with the payload
-// fully read), or ErrClosed on the end marker.
-func ReadMessage(r io.Reader) (any, error) {
-	var kind [1]byte
-	if _, err := io.ReadFull(r, kind[:]); err != nil {
+// FrameReader unframes and verifies inbound messages: CRC, sequence
+// continuity, field sanity, and the payload-size cap. One FrameReader
+// must own a connection's read side for the whole session.
+type FrameReader struct {
+	r   io.Reader
+	d   deadlineReader
+	seq uint32
+	// MaxPayload caps the declared picture payload size this reader
+	// will allocate for (default DefaultMaxPictureBytes, never above
+	// MaxPictureBytes). A frame announcing more is corrupt.
+	MaxPayload int
+}
+
+// NewFrameReader wraps a connection's read side.
+func NewFrameReader(r io.Reader) *FrameReader {
+	fr := &FrameReader{r: r}
+	if d, ok := r.(deadlineReader); ok {
+		fr.d = d
+	}
+	return fr
+}
+
+func (fr *FrameReader) maxPayload() int {
+	if fr.MaxPayload > 0 && fr.MaxPayload <= MaxPictureBytes {
+		return fr.MaxPayload
+	}
+	return DefaultMaxPictureBytes
+}
+
+// ReadMessage reads and verifies the next message. It returns a
+// *StreamHello, a *StreamResume, a *Verdict, a *RateNotification, or a
+// *PictureFrame (with the payload fully read and CRC-checked), or
+// ErrClosed on the end marker. Frames that fail verification return
+// errors wrapping ErrCorrupt or ErrBadSeq.
+func (fr *FrameReader) ReadMessage() (any, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(fr.r, head[:1]); err != nil {
 		return nil, err
 	}
-	switch kind[0] {
+	n, known := bodyLen(head[0])
+	if !known {
+		return nil, fmt.Errorf("%w: unknown message kind %#02x", ErrCorrupt, head[0])
+	}
+	if _, err := io.ReadFull(fr.r, head[1:]); err != nil {
+		return nil, fmt.Errorf("transport: short frame header: %w", err)
+	}
+	rest := make([]byte, n+4)
+	if _, err := io.ReadFull(fr.r, rest); err != nil {
+		return nil, fmt.Errorf("transport: short frame body: %w", err)
+	}
+	body := rest[:n]
+	sum := crc32.ChecksumIEEE(head[:])
+	sum = crc32.Update(sum, crc32.IEEETable, body)
+	if got := binary.BigEndian.Uint32(rest[n:]); got != sum {
+		return nil, fmt.Errorf("%w: %c frame crc %08x, want %08x", ErrCorrupt, head[0], got, sum)
+	}
+	if seq := binary.BigEndian.Uint32(head[1:5]); seq != fr.seq {
+		return nil, fmt.Errorf("%w: frame seq %d, want %d", ErrBadSeq, seq, fr.seq)
+	}
+	fr.seq++
+	return fr.decode(head[0], body)
+}
+
+// decode interprets a CRC- and sequence-verified frame body.
+func (fr *FrameReader) decode(kind byte, body []byte) (any, error) {
+	switch kind {
 	case kindHello:
-		var buf [34]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("transport: short hello: %w", err)
-		}
 		h := StreamHello{
-			Tau: math.Float64frombits(binary.BigEndian.Uint64(buf[0:8])),
+			Tau: math.Float64frombits(binary.BigEndian.Uint64(body[0:8])),
 			GOP: mpeg.GOP{
-				N: int(binary.BigEndian.Uint16(buf[8:10])),
-				M: int(binary.BigEndian.Uint16(buf[10:12])),
+				N: int(binary.BigEndian.Uint16(body[8:10])),
+				M: int(binary.BigEndian.Uint16(body[10:12])),
 			},
-			K:        int(binary.BigEndian.Uint16(buf[12:14])),
-			D:        math.Float64frombits(binary.BigEndian.Uint64(buf[14:22])),
-			Pictures: int(binary.BigEndian.Uint32(buf[22:26])),
-			PeakRate: math.Float64frombits(binary.BigEndian.Uint64(buf[26:34])),
+			K:        int(binary.BigEndian.Uint16(body[12:14])),
+			D:        math.Float64frombits(binary.BigEndian.Uint64(body[14:22])),
+			Pictures: int(binary.BigEndian.Uint32(body[22:26])),
+			PeakRate: math.Float64frombits(binary.BigEndian.Uint64(body[26:34])),
 		}
 		if err := h.Validate(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		return &h, nil
-	case kindVerdict:
-		var buf [9]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("transport: short verdict: %w", err)
+	case kindResume:
+		token := binary.BigEndian.Uint64(body)
+		if token == 0 {
+			return nil, fmt.Errorf("%w: zero resume token", ErrCorrupt)
 		}
+		return &StreamResume{Token: token}, nil
+	case kindVerdict:
 		v := Verdict{
-			Code:      VerdictCode(buf[0]),
-			Available: math.Float64frombits(binary.BigEndian.Uint64(buf[1:9])),
+			Code:        VerdictCode(body[0]),
+			Available:   math.Float64frombits(binary.BigEndian.Uint64(body[1:9])),
+			ResumeToken: binary.BigEndian.Uint64(body[9:17]),
+			NextIndex:   int(binary.BigEndian.Uint32(body[17:21])),
 		}
 		if v.Code > RejectedBusy {
-			return nil, fmt.Errorf("transport: invalid verdict code %d", buf[0])
+			return nil, fmt.Errorf("%w: invalid verdict code %d", ErrCorrupt, body[0])
 		}
 		if math.IsNaN(v.Available) || math.IsInf(v.Available, 0) || v.Available < 0 {
-			return nil, fmt.Errorf("transport: invalid verdict capacity %v", v.Available)
+			return nil, fmt.Errorf("%w: invalid verdict capacity %v", ErrCorrupt, v.Available)
 		}
 		return &v, nil
 	case kindRate:
-		var buf [12]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("transport: short rate notification: %w", err)
-		}
-		rate := math.Float64frombits(binary.BigEndian.Uint64(buf[4:12]))
+		rate := math.Float64frombits(binary.BigEndian.Uint64(body[4:12]))
 		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
-			return nil, fmt.Errorf("transport: peer sent invalid rate %v", rate)
+			return nil, fmt.Errorf("%w: peer sent invalid rate %v", ErrCorrupt, rate)
 		}
 		return &RateNotification{
-			Index: int(binary.BigEndian.Uint32(buf[0:4])),
+			Index: int(binary.BigEndian.Uint32(body[0:4])),
 			Rate:  rate,
 		}, nil
 	case kindPicture:
-		var buf [9]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("transport: short picture header: %w", err)
+		size := binary.BigEndian.Uint32(body[5:9])
+		if size == 0 || int64(size) > int64(fr.maxPayload()) {
+			return nil, fmt.Errorf("%w: peer announced picture of %d bytes (cap %d)",
+				ErrCorrupt, size, fr.maxPayload())
 		}
-		size := binary.BigEndian.Uint32(buf[5:9])
-		if size == 0 || size > MaxPictureBytes {
-			return nil, fmt.Errorf("transport: peer announced picture of %d bytes", size)
-		}
-		ty := mpeg.PictureType(buf[4])
+		ty := mpeg.PictureType(body[4])
 		if ty > mpeg.TypeB {
-			return nil, fmt.Errorf("transport: invalid picture type %d", buf[4])
+			return nil, fmt.Errorf("%w: invalid picture type %d", ErrCorrupt, body[4])
 		}
 		payload := make([]byte, size)
-		if _, err := io.ReadFull(r, payload); err != nil {
+		if _, err := io.ReadFull(fr.r, payload); err != nil {
 			return nil, fmt.Errorf("transport: truncated picture payload: %w", err)
 		}
+		if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(body[9:13]); got != want {
+			return nil, fmt.Errorf("%w: payload crc %08x, want %08x", ErrCorrupt, got, want)
+		}
 		return &PictureFrame{
-			Index:   int(binary.BigEndian.Uint32(buf[0:4])),
+			Index:   int(binary.BigEndian.Uint32(body[0:4])),
 			Type:    ty,
 			Payload: payload,
 		}, nil
 	case kindEnd:
 		return nil, ErrClosed
-	default:
-		return nil, fmt.Errorf("transport: unknown message kind %#02x", kind[0])
 	}
+	return nil, fmt.Errorf("%w: unknown message kind %#02x", ErrCorrupt, kind)
+}
+
+// ReadMessageTimeout arms a read deadline covering the whole next
+// message — header and payload — before reading it, so a sender that
+// stalls mid-picture cannot wedge the reader forever. The deadline is
+// re-armed per call, never accumulated across a session. A zero
+// timeout, or a reader without SetReadDeadline, reads (and explicitly
+// clears any previous deadline) without one.
+func (fr *FrameReader) ReadMessageTimeout(timeout time.Duration) (any, error) {
+	if fr.d != nil {
+		if timeout > 0 {
+			if err := fr.d.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+				return nil, fmt.Errorf("transport: arming read deadline: %w", err)
+			}
+		} else if err := fr.d.SetReadDeadline(time.Time{}); err != nil {
+			return nil, fmt.Errorf("transport: clearing read deadline: %w", err)
+		}
+	}
+	return fr.ReadMessage()
+}
+
+// ReadVerdict reads an admission verdict — the one message that flows
+// server→sender, immediately after a hello or resume request.
+func (fr *FrameReader) ReadVerdict() (Verdict, error) {
+	return fr.ReadVerdictTimeout(0)
+}
+
+// ReadVerdictTimeout reads an admission verdict under a read deadline.
+func (fr *FrameReader) ReadVerdictTimeout(timeout time.Duration) (Verdict, error) {
+	msg, err := fr.ReadMessageTimeout(timeout)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v, ok := msg.(*Verdict)
+	if !ok {
+		return Verdict{}, fmt.Errorf("%w: expected verdict, got %T", ErrCorrupt, msg)
+	}
+	return *v, nil
 }

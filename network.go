@@ -32,13 +32,35 @@ type (
 	// Receiver is the configurable receive loop (read deadlines for
 	// stalled senders); the zero value matches Receive.
 	Receiver = transport.Receiver
+	// FrameWriter frames outbound messages with CRC32 checksums and
+	// per-connection sequence numbers; one per connection write side.
+	FrameWriter = transport.FrameWriter
+	// FrameReader unframes and verifies inbound messages; one per
+	// connection read side.
+	FrameReader = transport.FrameReader
 	// StreamHello opens a stream session with a smoothd server: the
 	// declared encoding parameters and peak smoothed rate.
 	StreamHello = transport.StreamHello
-	// Verdict is the server's admission answer to a StreamHello.
+	// StreamResume reopens a disconnected stream session by its token.
+	StreamResume = transport.StreamResume
+	// Verdict is the server's admission answer to a StreamHello or
+	// StreamResume.
 	Verdict = transport.Verdict
 	// VerdictCode classifies an admission decision.
 	VerdictCode = transport.VerdictCode
+
+	// ResumableSender is the reconnect-and-resume streaming loop: dial,
+	// handshake, pace, and on a transient fault redial with jittered
+	// exponential backoff and replay from the server's NextIndex.
+	ResumableSender = transport.ResumableSender
+	// Backoff shapes the reconnect delays.
+	Backoff = transport.Backoff
+	// ResumeEvent reports one reconnect-loop transition.
+	ResumeEvent = transport.ResumeEvent
+	// StreamResult summarizes a resumable stream session.
+	StreamResult = transport.StreamResult
+	// FaultClass buckets transport failures (corrupt, timeout, reset).
+	FaultClass = transport.FaultClass
 
 	// Policer is a token-bucket usage-parameter-control element that
 	// checks traffic against its declared rates.
@@ -83,6 +105,21 @@ const (
 	StreamRejectedBusy = transport.RejectedBusy
 )
 
+// Fault classes (see ClassifyFault).
+const (
+	// FaultNone: no fault (orderly close or nil error).
+	FaultNone = transport.FaultNone
+	// FaultCorrupt: CRC mismatch, sequence discontinuity, or nonsense
+	// field values — the wire cannot be trusted.
+	FaultCorrupt = transport.FaultCorrupt
+	// FaultTimeout: a read or write deadline expired.
+	FaultTimeout = transport.FaultTimeout
+	// FaultReset: the connection dropped or was truncated mid-message.
+	FaultReset = transport.FaultReset
+	// FaultOther: anything else; terminal, never retried.
+	FaultOther = transport.FaultOther
+)
+
 // RunMux simulates rate-scheduled sources through a shared finite-buffer
 // multiplexer and returns loss statistics.
 func RunMux(cfg MuxRunConfig) (MuxStats, error) { return netsim.Run(cfg) }
@@ -108,11 +145,17 @@ func NewAdmission(capacity float64) (*Admission, error) { return netsim.NewAdmis
 // drive it with Serve and stop it with Shutdown.
 func NewSmoothd(cfg SmoothdConfig) (*Smoothd, error) { return server.New(cfg) }
 
-// WriteHello declares a stream session to a smoothd server.
-func WriteHello(w io.Writer, h StreamHello) error { return transport.WriteHello(w, h) }
+// NewFrameWriter wraps a connection's write side in the CRC-framed wire
+// protocol; the same writer must carry the handshake and the stream.
+func NewFrameWriter(w io.Writer) *FrameWriter { return transport.NewFrameWriter(w) }
 
-// ReadVerdict reads the server's admission answer to a hello.
-func ReadVerdict(r io.Reader) (Verdict, error) { return transport.ReadVerdict(r) }
+// NewFrameReader wraps a connection's read side in the CRC-framed wire
+// protocol.
+func NewFrameReader(r io.Reader) *FrameReader { return transport.NewFrameReader(r) }
+
+// ClassifyFault buckets a transport error into a FaultClass for
+// accounting and retry policy.
+func ClassifyFault(err error) FaultClass { return transport.ClassifyFault(err) }
 
 // AnalyzeVBV computes the minimum decoder start-up delay and peak
 // decoder buffer occupancy implied by a schedule (the MPEG "model
