@@ -121,9 +121,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	drainErr := srv.Shutdown(drainCtx)
 	<-serveErr
 	snap := srv.Snapshot()
-	fmt.Fprintf(out, "smoothd: exit — %d admitted, %d rejected, %d completed, %d failed, %d resumed, %d bits egressed\n",
+	fmt.Fprintf(out, "smoothd: exit — %d admitted, %d rejected, %d completed, %d failed, %d resumed, %d hellos deduped, %d already-complete resumes, %d bits egressed\n",
 		snap.Streams.Admitted, snap.Streams.Rejected, snap.Streams.Completed,
-		snap.Streams.Failed, snap.Faults.Resumed, snap.EgressedBits)
+		snap.Streams.Failed, snap.Faults.Resumed, snap.Streams.HelloDeduped,
+		snap.Streams.AlreadyComplete, snap.EgressedBits)
 	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
 		return drainErr
 	}

@@ -116,9 +116,14 @@ func send(args []string) error {
 			},
 			MaxAttempts: *retries,
 			OnEvent: func(ev mpegsmooth.ResumeEvent) {
-				if ev.Resumed {
+				switch {
+				case ev.AlreadyComplete:
+					fmt.Fprintf(os.Stderr,
+						"warning: completion ack was lost; server confirmed all %d pictures already accepted\n",
+						ev.NextIndex)
+				case ev.Resumed:
 					fmt.Printf("resumed at picture %d\n", ev.NextIndex)
-				} else {
+				default:
 					fmt.Printf("stream fault (%s, attempt %d): %v\n", ev.Class, ev.Attempt, ev.Err)
 				}
 			},
@@ -131,6 +136,9 @@ func send(args []string) error {
 			sched.PeakRate(), res.Verdict.Available)
 		if res.Resumes > 0 {
 			fmt.Printf("survived %d disconnect(s)\n", res.Resumes)
+		}
+		if res.AlreadyComplete {
+			fmt.Println("delivery confirmed via already-complete verdict (lost-ack recovery)")
 		}
 	} else {
 		conn, err := net.Dial("tcp", *connect)

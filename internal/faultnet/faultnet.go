@@ -13,7 +13,7 @@
 package faultnet
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -29,8 +29,22 @@ import (
 // exactly like the real thing.
 var ErrInjectedReset = fmt.Errorf("faultnet: injected connection reset: %w", syscall.ECONNRESET)
 
-// ErrPartitioned is returned while the network is partitioned.
-var ErrPartitioned = errors.New("faultnet: network partitioned")
+// partitionError is the error type behind ErrPartitioned. It satisfies
+// net.Error with Timeout() == true because that is what a partition
+// looks like from an endpoint: packets vanish and deadlines expire —
+// nothing about the connection itself is broken. Classifiers that treat
+// timeouts as retryable (transport.ClassifyFault) therefore let parked
+// streams ride out a partition window instead of failing terminally.
+type partitionError struct{}
+
+func (partitionError) Error() string   { return "faultnet: network partitioned" }
+func (partitionError) Timeout() bool   { return true }
+func (partitionError) Temporary() bool { return true }
+
+// ErrPartitioned is returned while the network is partitioned. It is a
+// net.Error whose Timeout() reports true, so fault classifiers bucket a
+// partition with deadline expiries (retryable), not terminal faults.
+var ErrPartitioned net.Error = partitionError{}
 
 // Config sets the fault mix. Probabilities are per I/O operation
 // (per Read and per Write call), evaluated independently.
@@ -56,6 +70,37 @@ type Config struct {
 	// Chaos tests use it to protect the admission handshake so faults
 	// concentrate on the picture stream.
 	FaultFreeBytes int
+	// Ops pins deterministic faults to specific I/O calls of specific
+	// connections, on top of (and regardless of) the probabilistic mix
+	// and the FaultFreeBytes grace. Protocol tests use it to hit exactly
+	// one handshake message — "corrupt the first thing connection 2
+	// writes" — where probabilities cannot aim.
+	Ops []OpFault
+}
+
+// FaultAction is what an OpFault does to its targeted I/O call.
+type FaultAction int
+
+// Targeted fault actions.
+const (
+	// ActDrop swallows a write: the caller sees success, the peer sees
+	// nothing — a cleanly lost message. On the read path (where bytes
+	// cannot be unsent) it degrades to ActReset.
+	ActDrop FaultAction = iota + 1
+	// ActCorrupt flips one byte (the middle one) of the transfer.
+	ActCorrupt
+	// ActReset abruptly resets the connection at that call.
+	ActReset
+)
+
+// OpFault targets one I/O operation of one wrapped connection: the
+// Op-th Read or Write call (1-based, per direction) of the Conn-th
+// connection this Network wrapped (1-based, in Wrap/Accept/Dial order).
+type OpFault struct {
+	Conn   int
+	Op     int
+	Write  bool
+	Action FaultAction
 }
 
 // Counts reports the faults a Network has injected so far.
@@ -64,6 +109,8 @@ type Counts struct {
 	Resets     int64
 	Stalls     int64
 	Partitions int64
+	// Dropped counts writes swallowed by targeted ActDrop faults.
+	Dropped int64
 }
 
 // Network is a fault-injecting wrapper factory. The zero value with a
@@ -77,6 +124,7 @@ type Network struct {
 	resets    atomic.Int64
 	stalls    atomic.Int64
 	partials  atomic.Int64
+	dropped   atomic.Int64
 
 	mu          sync.Mutex
 	partitioned bool
@@ -98,6 +146,7 @@ func (n *Network) Counts() Counts {
 		Resets:     n.resets.Load(),
 		Stalls:     n.stalls.Load(),
 		Partitions: n.partials.Load(),
+		Dropped:    n.dropped.Load(),
 	}
 }
 
@@ -128,11 +177,13 @@ func (n *Network) isPartitioned() bool {
 // Wrap returns conn with this network's faults injected on both its
 // read and write paths.
 func (n *Network) Wrap(conn net.Conn) net.Conn {
-	seed := n.cfg.Seed + n.connIndex.Add(1)
+	index := n.connIndex.Add(1)
+	seed := n.cfg.Seed + index
 	return &faultConn{
-		Conn: conn,
-		net:  n,
-		read: dirState{rng: rand.New(rand.NewSource(seed))},
+		Conn:  conn,
+		net:   n,
+		index: int(index),
+		read:  dirState{rng: rand.New(rand.NewSource(seed))},
 		// Writes draw from an offset stream so the two directions fault
 		// independently but still deterministically.
 		write: dirState{rng: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))},
@@ -142,6 +193,23 @@ func (n *Network) Wrap(conn net.Conn) net.Conn {
 // Listener wraps l so every accepted connection is fault-injected.
 func (n *Network) Listener(l net.Listener) net.Listener {
 	return &faultListener{Listener: l, net: n}
+}
+
+// DialFunc matches the dial signature resumable senders use.
+type DialFunc func(context.Context) (net.Conn, error)
+
+// Dialer wraps dial so every connection it opens is fault-injected —
+// the client-side mirror of Listener, so a sender's own read and write
+// paths (and its corrupt-classified retry handling) are exercised
+// directly rather than only via the server's I/O.
+func (n *Network) Dialer(dial DialFunc) DialFunc {
+	return func(ctx context.Context) (net.Conn, error) {
+		conn, err := dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return n.Wrap(conn), nil
+	}
 }
 
 type faultListener struct {
@@ -162,42 +230,85 @@ func (fl *faultListener) Accept() (net.Conn, error) {
 type dirState struct {
 	rng   *rand.Rand
 	bytes int // transferred so far, for the FaultFreeBytes grace
+	ops   int // I/O calls so far, for targeted OpFaults
 }
 
 type faultConn struct {
 	net.Conn
 	net   *Network
+	index int // 1-based wrap order, for targeted OpFaults
 	mu    sync.Mutex
 	read  dirState
 	write dirState
 	reset bool
 }
 
+// targeted returns the action pinned to this direction's current op, if
+// any. Caller holds fc.mu and has already incremented dir.ops.
+func (fc *faultConn) targeted(dir *dirState, isWrite bool) FaultAction {
+	for _, f := range fc.net.cfg.Ops {
+		if f.Conn == fc.index && f.Write == isWrite && f.Op == dir.ops {
+			return f.Action
+		}
+	}
+	return 0
+}
+
 // decide rolls this operation's faults under the conn mutex so the RNG
 // stream is well-defined, returning the actions to take outside it.
-func (fc *faultConn) decide(dir *dirState, size int) (stall, reset bool, corruptAt int) {
+// Targeted OpFaults take precedence over the probabilistic mix and
+// ignore the FaultFreeBytes grace (they exist to hit the handshake).
+// The probabilistic rolls are made first either way — a targeted op
+// consumes exactly the draws any other op would — so configuring
+// OpFaults never shifts the seeded fault sequence of the surrounding
+// operations.
+func (fc *faultConn) decide(dir *dirState, size int, isWrite bool) (stall, reset, drop bool, corruptAt int) {
 	cfg := &fc.net.cfg
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	corruptAt = -1
 	if fc.reset {
-		return false, true, -1
+		return false, true, false, -1
 	}
+	dir.ops++
+	var pStall, pReset bool
+	pCorrupt := -1
 	if cfg.StallProb > 0 && dir.rng.Float64() < cfg.StallProb {
-		stall = true
+		pStall = true
 	}
-	inGrace := dir.bytes < cfg.FaultFreeBytes
-	if !inGrace {
+	if dir.bytes >= cfg.FaultFreeBytes {
 		if cfg.ResetProb > 0 && dir.rng.Float64() < cfg.ResetProb {
-			fc.reset = true
-			return stall, true, -1
+			pReset = true
+		} else if size > 0 && cfg.CorruptProb > 0 && dir.rng.Float64() < cfg.CorruptProb {
+			pCorrupt = dir.rng.Intn(size)
 		}
-		if size > 0 && cfg.CorruptProb > 0 && dir.rng.Float64() < cfg.CorruptProb {
-			corruptAt = dir.rng.Intn(size)
+	}
+	switch fc.targeted(dir, isWrite) {
+	case ActDrop:
+		if isWrite {
+			dir.bytes += size
+			return false, false, true, -1
 		}
+		// Bytes already sent to us cannot be unsent; fall through to a
+		// reset, the closest observable "the message never arrived".
+		fc.reset = true
+		return false, true, false, -1
+	case ActCorrupt:
+		dir.bytes += size
+		if size > 0 {
+			corruptAt = size / 2
+		}
+		return false, false, false, corruptAt
+	case ActReset:
+		fc.reset = true
+		return false, true, false, -1
+	}
+	if pReset {
+		fc.reset = true
+		return pStall, true, false, -1
 	}
 	dir.bytes += size
-	return stall, false, corruptAt
+	return pStall, false, false, pCorrupt
 }
 
 func (fc *faultConn) jitter(dir *dirState) time.Duration {
@@ -212,15 +323,15 @@ func (fc *faultConn) jitter(dir *dirState) time.Duration {
 }
 
 // pre applies the pre-operation faults (partition, latency, stall,
-// reset) shared by both directions.
-func (fc *faultConn) pre(dir *dirState, size int) (corruptAt int, err error) {
+// reset, drop) shared by both directions.
+func (fc *faultConn) pre(dir *dirState, size int, isWrite bool) (drop bool, corruptAt int, err error) {
 	if fc.net.isPartitioned() {
-		return -1, ErrPartitioned
+		return false, -1, ErrPartitioned
 	}
 	if d := fc.jitter(dir); d > 0 {
 		time.Sleep(d)
 	}
-	stall, reset, corruptAt := fc.decide(dir, size)
+	stall, reset, drop, corruptAt := fc.decide(dir, size, isWrite)
 	if stall {
 		fc.net.stalls.Add(1)
 		time.Sleep(fc.net.cfg.Stall)
@@ -228,15 +339,15 @@ func (fc *faultConn) pre(dir *dirState, size int) (corruptAt int, err error) {
 	if reset {
 		fc.net.resets.Add(1)
 		fc.Conn.Close()
-		return -1, ErrInjectedReset
+		return false, -1, ErrInjectedReset
 	}
-	return corruptAt, nil
+	return drop, corruptAt, nil
 }
 
 func (fc *faultConn) Read(p []byte) (int, error) {
 	// The fault decision must size-bound the corruption offset, but the
 	// eventual read may be shorter; re-check after the read.
-	corruptAt, err := fc.pre(&fc.read, len(p))
+	_, corruptAt, err := fc.pre(&fc.read, len(p), false)
 	if err != nil {
 		return 0, err
 	}
@@ -249,9 +360,14 @@ func (fc *faultConn) Read(p []byte) (int, error) {
 }
 
 func (fc *faultConn) Write(p []byte) (int, error) {
-	corruptAt, err := fc.pre(&fc.write, len(p))
+	drop, corruptAt, err := fc.pre(&fc.write, len(p), true)
 	if err != nil {
 		return 0, err
+	}
+	if drop {
+		// Swallowed whole: the caller believes the message went out.
+		fc.net.dropped.Add(1)
+		return len(p), nil
 	}
 	if corruptAt >= 0 && corruptAt < len(p) {
 		// Corrupt a copy: the caller's buffer is not ours to damage.

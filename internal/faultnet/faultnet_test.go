@@ -2,6 +2,7 @@ package faultnet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -132,6 +133,161 @@ func TestPartitionWindow(t *testing.T) {
 	}
 	if c := nw.Counts().Partitions; c != 1 {
 		t.Fatalf("counted %d partitions, want 1", c)
+	}
+}
+
+// TestPartitionErrorIsRetryableTimeout pins the satellite contract:
+// ErrPartitioned satisfies net.Error with Timeout() == true, so fault
+// classifiers bucket a partition with deadline expiries (retryable),
+// and errors.As finds it through wrapping.
+func TestPartitionErrorIsRetryableTimeout(t *testing.T) {
+	var nerr net.Error
+	if !errors.As(ErrPartitioned, &nerr) {
+		t.Fatal("ErrPartitioned is not a net.Error")
+	}
+	if !nerr.Timeout() {
+		t.Fatal("ErrPartitioned.Timeout() = false; partitions must look like timeouts")
+	}
+	wrapped := &net.OpError{Op: "write", Net: "tcp", Err: ErrPartitioned}
+	if !errors.As(error(wrapped), &nerr) || !nerr.Timeout() {
+		t.Fatal("wrapped ErrPartitioned lost its timeout classification")
+	}
+}
+
+// TestDialerWrapsDialedConns: the client-side mirror of Listener — every
+// connection the wrapped dial function opens is fault-injected.
+func TestDialerWrapsDialedConns(t *testing.T) {
+	nw := New(Config{Seed: 1, CorruptProb: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	msg := bytes.Repeat([]byte{0x55}, 64)
+	got := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		got <- buf
+	}()
+
+	dial := nw.Dialer(func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", ln.Addr().String())
+	})
+	conn, err := dial(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case received := <-got:
+		if bytes.Equal(received, msg) {
+			t.Fatal("dialed connection not fault-injected")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never received the write")
+	}
+	if nw.Counts().Corrupted == 0 {
+		t.Fatal("write-path corruption not counted")
+	}
+}
+
+// TestOpFaultTargetsExactOperation: a targeted OpFault hits precisely
+// the named write of the named connection — drop swallows it whole,
+// corrupt flips one byte of it — and leaves every other operation
+// untouched even with no probabilistic faults configured.
+func TestOpFaultTargetsExactOperation(t *testing.T) {
+	nw := New(Config{Seed: 1, Ops: []OpFault{
+		{Conn: 1, Op: 2, Write: true, Action: ActDrop},
+		{Conn: 1, Op: 3, Write: true, Action: ActCorrupt},
+	}})
+	chunks := [][]byte{
+		bytes.Repeat([]byte{1}, 8), // op 1: clean
+		bytes.Repeat([]byte{2}, 8), // op 2: dropped
+		bytes.Repeat([]byte{3}, 8), // op 3: one byte flipped
+		bytes.Repeat([]byte{4}, 8), // op 4: clean
+	}
+	got := collect(t, nw, chunks)
+	if len(got) != 24 {
+		t.Fatalf("received %d bytes, want 24 (op 2's 8 bytes dropped)", len(got))
+	}
+	if !bytes.Equal(got[:8], chunks[0]) || !bytes.Equal(got[16:], chunks[3]) {
+		t.Fatal("untargeted writes were altered")
+	}
+	diff := 0
+	for _, b := range got[8:16] {
+		if b != 3 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("targeted corrupt flipped %d bytes of op 3, want exactly 1", diff)
+	}
+	c := nw.Counts()
+	if c.Dropped != 1 || c.Corrupted != 1 || c.Resets != 0 {
+		t.Fatalf("counts %+v, want 1 drop, 1 corruption, 0 resets", c)
+	}
+}
+
+// TestOpFaultReset: a targeted reset kills the connection at exactly
+// that call, and a read-side drop (bytes cannot be unsent) degrades to
+// a reset.
+func TestOpFaultReset(t *testing.T) {
+	nw := New(Config{Seed: 1, Ops: []OpFault{{Conn: 1, Op: 2, Write: true, Action: ActReset}}})
+	client, server := net.Pipe()
+	defer server.Close()
+	go io.Copy(io.Discard, server)
+	wrapped := nw.Wrap(client)
+	if _, err := wrapped.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := wrapped.Write([]byte("two")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write 2: %v, want injected reset", err)
+	}
+
+	nw = New(Config{Seed: 1, Ops: []OpFault{{Conn: 1, Op: 1, Write: false, Action: ActDrop}}})
+	client2, server2 := net.Pipe()
+	defer server2.Close()
+	go server2.Write([]byte("payload"))
+	wrapped2 := nw.Wrap(client2)
+	buf := make([]byte, 16)
+	if _, err := wrapped2.Read(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read-side drop: %v, want degraded reset", err)
+	}
+}
+
+// TestOpFaultsDoNotShiftProbabilisticSequence: targeted faults never
+// consume from the RNG streams, so adding an OpFault to a seeded chaos
+// config leaves the probabilistic fault sequence byte-identical — the
+// determinism contract seed-replay tests depend on.
+func TestOpFaultsDoNotShiftProbabilisticSequence(t *testing.T) {
+	chunks := make([][]byte, 40)
+	for i := range chunks {
+		chunks[i] = bytes.Repeat([]byte{byte(i)}, 16)
+	}
+	base := Config{Seed: 9, CorruptProb: 0.3}
+	withOp := base
+	withOp.Ops = []OpFault{{Conn: 1, Op: 5, Write: true, Action: ActDrop}}
+
+	plain := collect(t, New(base), chunks)
+	targeted := collect(t, New(withOp), chunks)
+	// Remove op 5's bytes (dropped) from the plain run for comparison;
+	// ops are 1-based, chunk i is op i+1, so op 5 is chunks[4]:
+	// bytes [64, 80).
+	expected := append(append([]byte{}, plain[:64]...), plain[80:]...)
+	if !bytes.Equal(targeted, expected) {
+		t.Fatal("targeted drop shifted the probabilistic corruption sequence")
 	}
 }
 

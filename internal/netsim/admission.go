@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Admission is a peak-rate admission controller for a shared link: each
@@ -22,10 +23,24 @@ type Admission struct {
 	capacity float64
 	reserved float64
 
-	admitted int64
-	rejected int64
-	active   int64
-	parked   int64
+	admitted   int64
+	rejected   int64
+	duplicates int64
+	active     int64
+	parked     int64
+
+	// nonces maps a live hello nonce to its reservation, so a repeated
+	// hello (a sender whose admission verdict was lost in flight and who
+	// redialed) is recognized as the *same* stream and never reserves
+	// twice. Entries are released with the reservation and expire after
+	// their TTL as a leak backstop.
+	nonces map[uint64]nonceReservation
+}
+
+// nonceReservation is one nonce-identified reservation in the ledger.
+type nonceReservation struct {
+	peak    float64
+	expires time.Time
 }
 
 // NewAdmission creates a controller for a link of the given capacity in
@@ -34,7 +49,7 @@ func NewAdmission(capacity float64) (*Admission, error) {
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
 		return nil, fmt.Errorf("netsim: non-positive link capacity %v", capacity)
 	}
-	return &Admission{capacity: capacity}, nil
+	return &Admission{capacity: capacity, nonces: map[uint64]nonceReservation{}}, nil
 }
 
 // Admit decides on a stream declaring the given peak rate: it reserves
@@ -57,6 +72,53 @@ func (a *Admission) Admit(peak float64) bool {
 	a.active++
 	return true
 }
+
+// AdmitNonce is Admit for a hello carrying a client nonce. When the
+// nonce already holds a live reservation the call is a duplicate hello
+// — the client's copy of an earlier verdict was lost in flight — and
+// AdmitNonce reports (false, true) WITHOUT reserving again or counting
+// a rejection: the caller reattaches the sender to the existing stream
+// instead. A zero nonce disables dedup and behaves exactly like Admit.
+// Expired ledger entries are pruned lazily on each call.
+func (a *Admission) AdmitNonce(nonce uint64, peak float64, now time.Time, ttl time.Duration) (admitted, duplicate bool) {
+	a.pruneNonces(now)
+	if nonce != 0 {
+		if _, live := a.nonces[nonce]; live {
+			a.duplicates++
+			return false, true
+		}
+	}
+	if !a.Admit(peak) {
+		return false, false
+	}
+	if nonce != 0 {
+		a.nonces[nonce] = nonceReservation{peak: peak, expires: now.Add(ttl)}
+	}
+	return true, false
+}
+
+// ReleaseNonce is Release for a reservation taken through AdmitNonce;
+// it drops the nonce from the ledger along with the reservation. A zero
+// or unknown nonce releases the peak alone.
+func (a *Admission) ReleaseNonce(nonce uint64, peak float64) {
+	delete(a.nonces, nonce)
+	a.Release(peak)
+}
+
+// pruneNonces drops ledger entries past their TTL — a backstop against
+// leaks if a caller forgets ReleaseNonce; the reservation itself is
+// still the caller's to release.
+func (a *Admission) pruneNonces(now time.Time) {
+	for n, r := range a.nonces {
+		if now.After(r.expires) {
+			delete(a.nonces, n)
+		}
+	}
+}
+
+// Duplicates returns the count of hellos recognized as retransmissions
+// of a live nonce-identified reservation.
+func (a *Admission) Duplicates() int64 { return a.duplicates }
 
 // Release returns an admitted stream's reservation when it ends. The
 // peak must match what was admitted.

@@ -68,11 +68,14 @@ func resumableClient(kit *clientKit, addr string, seed int64) *transport.Resumab
 }
 
 // TestChaosSoakResumableStreams is the acceptance soak: 20 resumable
-// clients stream through a network that corrupts bytes, stalls reads,
-// and abruptly resets connections. Every stream must complete with a
-// byte-exact payload hash — a flaky link costs delay and reconnects,
-// never pictures — and the classified fault counters must show the
-// chaos actually happened.
+// clients stream through fault-injecting networks on BOTH sides — the
+// server's listener and each client's dialer — that corrupt bytes,
+// stall reads, and abruptly reset connections. Every stream must
+// complete with a byte-exact payload hash — a flaky link costs delay
+// and reconnects, never pictures — every client must hold exactly one
+// admission (the nonce ledger absorbing every lost or mangled
+// handshake), and the classified fault counters must show the chaos
+// actually happened.
 func TestChaosSoakResumableStreams(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak skipped in -short mode")
@@ -90,6 +93,18 @@ func TestChaosSoakResumableStreams(t *testing.T) {
 		// Keep the hello/resume/verdict/ack exchanges clean so faults
 		// concentrate on the picture stream rather than re-rolling
 		// admission.
+		FaultFreeBytes: 256,
+	})
+	// The client-side network exercises the senders' own read and write
+	// paths: verdicts and completion acks arrive corrupted, outbound
+	// handshakes die mid-flight. Milder mix than the server side so the
+	// compounded fault rate stays inside MaxAttempts.
+	clientNet := faultnet.New(faultnet.Config{
+		Seed:           4242,
+		CorruptProb:    0.01,
+		ResetProb:      0.005,
+		StallProb:      0.01,
+		Stall:          20 * time.Millisecond,
 		FaultFreeBytes: 256,
 	})
 	srv, addr := startChaosServer(t, Config{
@@ -111,6 +126,7 @@ func TestChaosSoakResumableStreams(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			rs := resumableClient(kit, addr, int64(i+1))
+			rs.Dial = clientNet.Dialer(rs.Dial)
 			res, err := rs.StreamSchedule(ctx, kit.sched, kit.payloads)
 			mu.Lock()
 			defer mu.Unlock()
@@ -154,11 +170,15 @@ func TestChaosSoakResumableStreams(t *testing.T) {
 				ss.ID, ss.PayloadFNV, wantFNV)
 		}
 	}
-	// The chaos was real: the harness injected faults, the server
-	// classified them, and streams came back.
+	// The chaos was real on both sides: each harness injected faults,
+	// the server classified them, and streams came back.
 	counts := nw.Counts()
 	if counts.Corrupted+counts.Resets+counts.Stalls == 0 {
-		t.Fatal("fault harness injected nothing; soak proved nothing")
+		t.Fatal("server-side fault harness injected nothing; soak proved nothing")
+	}
+	cc := clientNet.Counts()
+	if cc.Corrupted+cc.Resets+cc.Stalls == 0 {
+		t.Fatal("client-side fault harness injected nothing")
 	}
 	if got := snap.Faults.Corrupt + snap.Faults.Timeout + snap.Faults.Reset; got == 0 {
 		t.Fatalf("server classified no faults (harness injected %+v)", counts)
@@ -166,9 +186,95 @@ func TestChaosSoakResumableStreams(t *testing.T) {
 	if snap.Faults.Resumed < 1 || resumes < 1 {
 		t.Fatalf("no stream resumed (server %d, clients %d)", snap.Faults.Resumed, resumes)
 	}
-	// The reservation ledger survived the churn.
+	// Exactly-once admission under chaos: every retried or deduplicated
+	// handshake converged on one reservation per client, and the ledger
+	// survived the churn.
+	if snap.Streams.Admitted != clients {
+		t.Fatalf("admitted %d sessions for %d clients: handshake retries double-reserved",
+			snap.Streams.Admitted, clients)
+	}
 	if snap.ReservedPeak != 0 || snap.AvailablePeak != snap.CapacityBPS {
 		t.Fatalf("reservations leaked: %.0f reserved", snap.ReservedPeak)
+	}
+}
+
+// TestPartitionSpanningResume: a full network partition longer than the
+// server's read timeout but shorter than the resume window severs a
+// live stream on both sides at once. The partition classifies as a
+// timeout (retryable) for everyone — the server parks, the client backs
+// off through ErrPartitioned dial-less failures — and when the window
+// heals the stream resumes and completes byte-exact.
+func TestPartitionSpanningResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition soak skipped in -short mode")
+	}
+	kit := makeClient(t, testTrace(t, 72))
+	wantFNV := payloadFNV(kit.payloads)
+
+	nw := faultnet.New(faultnet.Config{Seed: 7})
+	srv, addr := startChaosServer(t, Config{
+		LinkRate:     2 * kit.hello.PeakRate,
+		ReadTimeout:  300 * time.Millisecond,
+		ResumeWindow: 10 * time.Second,
+	}, nw)
+
+	rs := resumableClient(kit, addr, 11)
+	// Both directions cross the same partitioned network.
+	rs.Dial = nw.Dialer(rs.Dial)
+	rs.HandshakeTimeout = 500 * time.Millisecond
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var (
+		res transport.StreamResult
+		err error
+	)
+	go func() {
+		defer close(done)
+		res, err = rs.StreamSchedule(ctx, kit.sched, kit.payloads)
+	}()
+
+	// Let the stream get going, then cut the world for longer than the
+	// read timeout (so both ends fault) but far less than the resume
+	// window (so the reservation survives).
+	waitFor(t, "stream underway", func() bool {
+		snap := srv.Snapshot()
+		return len(snap.PerStream) == 1 && snap.PerStream[0].Pictures > 3
+	})
+	nw.PartitionFor(900 * time.Millisecond)
+
+	<-done
+	if err != nil {
+		t.Fatalf("stream did not survive the partition: %v", err)
+	}
+	waitFor(t, "completion", func() bool { return srv.Snapshot().Streams.Completed == 1 })
+
+	snap := srv.Snapshot()
+	if snap.Streams.Failed != 0 {
+		t.Fatalf("stream failed: %+v", snap.Streams)
+	}
+	// The partition was classified as a retryable timeout somewhere —
+	// client or server side — never a terminal fault.
+	if res.Faults[transport.FaultOther] != 0 {
+		t.Fatalf("client classified a partition fault as terminal: %+v", res.Faults)
+	}
+	if int64(res.Faults[transport.FaultTimeout])+snap.Faults.Timeout < 1 {
+		t.Fatalf("nobody classified a timeout across the partition (client %+v, server %+v)",
+			res.Faults, snap.Faults)
+	}
+	if res.Resumes < 1 {
+		t.Fatalf("partition did not force a resume: %+v", res)
+	}
+	if nw.Counts().Partitions < 1 {
+		t.Fatal("no partition was injected")
+	}
+	fin := srv.FinishedStreams()
+	if len(fin) != 1 || fin[0].PayloadFNV != wantFNV || fin[0].Pictures != kit.tr.Len() {
+		t.Fatalf("stream not byte-exact after partition resume: %+v", fin)
+	}
+	if snap.ReservedPeak != 0 {
+		t.Fatalf("reservation leaked: %.0f", snap.ReservedPeak)
 	}
 }
 

@@ -23,6 +23,12 @@ type StreamCounts struct {
 	Parked    int64 `json:"parked"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// HelloDeduped counts hellos recognized by nonce as retransmissions
+	// and reattached to their existing stream instead of re-admitted;
+	// AlreadyComplete counts resumes answered from a completion
+	// tombstone after the sender's completion ack was lost.
+	HelloDeduped    int64 `json:"hello_deduped"`
+	AlreadyComplete int64 `json:"already_complete"`
 }
 
 // FaultCounts are the classified transport-fault counters (the keys
@@ -115,6 +121,8 @@ func (s *Server) Snapshot() Snapshot {
 			Parked:            s.admission.Parked(),
 			Completed:         s.completed,
 			Failed:            s.failed,
+			HelloDeduped:      s.helloDeduped,
+			AlreadyComplete:   s.alreadyComplete,
 		},
 		Faults:          s.faultTotals,
 		DelayViolations: s.delayViolations,

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mpegsmooth/internal/faultnet"
+)
+
+// protocolSeeds are the fixed seeds the exactly-once harness replays
+// each scenario under. The seed feeds the client's backoff jitter and
+// both fault networks, so every run is a distinct but reproducible
+// interleaving. The full suite runs all eight (CI's protocol job);
+// -short keeps the first two.
+func protocolSeeds(t *testing.T) []int64 {
+	t.Helper()
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		return seeds[:2]
+	}
+	return seeds
+}
+
+// protoScenario drops or corrupts exactly one handshake message class
+// via targeted OpFaults: client-side writes (hello, resume) through a
+// faultnet.Dialer, server-side writes (admission verdict, resume
+// verdict, completion ack) through a faultnet.Listener. Connection and
+// op indices are deterministic: one client dials sequentially, so
+// client conn 1 is the original connection and conn 2 its first redial;
+// server conn N is the N-th accept. Write op 1 of a client conn is its
+// hello or resume; write op 1 of a server conn is its verdict, and the
+// completion ack is write op 2 of the conn that streamed to the end.
+type protoScenario struct {
+	name      string
+	clientOps []faultnet.OpFault
+	serverOps []faultnet.OpFault
+	// minResumes is the least number of accepted token resumes the
+	// client must report.
+	minResumes int
+	// wantDeduped requires the server to have recognized a hello
+	// retransmission by nonce (lost-verdict recovery).
+	wantDeduped bool
+	// wantAlreadyComplete requires the lost-completion-ack path: the
+	// client's success confirmed by a tombstone verdict.
+	wantAlreadyComplete bool
+}
+
+// midStreamReset forces a resume by resetting the client's first
+// connection at its 6th write — safely past the hello (write op 1) and
+// well before an 18-picture stream ends.
+var midStreamReset = faultnet.OpFault{Conn: 1, Op: 6, Write: true, Action: faultnet.ActReset}
+
+var protoScenarios = []protoScenario{
+	// The client's hello vanishes or arrives corrupted: the retry must
+	// converge on exactly one admission.
+	{name: "drop-hello",
+		clientOps: []faultnet.OpFault{{Conn: 1, Op: 1, Write: true, Action: faultnet.ActDrop}}},
+	{name: "corrupt-hello",
+		clientOps: []faultnet.OpFault{{Conn: 1, Op: 1, Write: true, Action: faultnet.ActCorrupt}}},
+
+	// The admission verdict vanishes or arrives corrupted: the server
+	// has reserved, the client doesn't know. The redialed hello must be
+	// deduplicated by nonce onto the existing reservation.
+	{name: "drop-verdict", wantDeduped: true,
+		serverOps: []faultnet.OpFault{{Conn: 1, Op: 1, Write: true, Action: faultnet.ActDrop}}},
+	{name: "corrupt-verdict", wantDeduped: true,
+		serverOps: []faultnet.OpFault{{Conn: 1, Op: 1, Write: true, Action: faultnet.ActCorrupt}}},
+
+	// A mid-stream reset forces a resume, whose request or verdict is
+	// then lost or corrupted; the retry must reattach without replaying
+	// divergent bytes.
+	{name: "drop-resume", minResumes: 1,
+		clientOps: []faultnet.OpFault{midStreamReset, {Conn: 2, Op: 1, Write: true, Action: faultnet.ActDrop}}},
+	{name: "corrupt-resume", minResumes: 1,
+		clientOps: []faultnet.OpFault{midStreamReset, {Conn: 2, Op: 1, Write: true, Action: faultnet.ActCorrupt}}},
+	{name: "drop-resume-verdict", minResumes: 1,
+		clientOps: []faultnet.OpFault{midStreamReset},
+		serverOps: []faultnet.OpFault{{Conn: 2, Op: 1, Write: true, Action: faultnet.ActDrop}}},
+	{name: "corrupt-resume-verdict", minResumes: 1,
+		clientOps: []faultnet.OpFault{midStreamReset},
+		serverOps: []faultnet.OpFault{{Conn: 2, Op: 1, Write: true, Action: faultnet.ActCorrupt}}},
+
+	// The completion ack vanishes or arrives corrupted: the server
+	// finished and tombstoned the stream; the client's resume must get
+	// a verifiable AlreadyComplete verdict, not a rejection and not a
+	// second session.
+	{name: "drop-ack", wantAlreadyComplete: true,
+		serverOps: []faultnet.OpFault{{Conn: 1, Op: 2, Write: true, Action: faultnet.ActDrop}}},
+	{name: "corrupt-ack", wantAlreadyComplete: true,
+		serverOps: []faultnet.OpFault{{Conn: 1, Op: 2, Write: true, Action: faultnet.ActCorrupt}}},
+}
+
+// TestProtocolExactlyOnce is the deterministic protocol property
+// harness: for every handshake message class (hello, admission verdict,
+// resume request, resume verdict, completion ack) and both failure
+// modes (dropped, corrupted), across fixed seeds, the session protocol
+// must stay exactly-once — the stream completes, the server admits
+// exactly one session (no double reservation), the accepted bytes match
+// the sender's (no divergence), and the client never sees a terminal
+// rejection (no spurious failure).
+func TestProtocolExactlyOnce(t *testing.T) {
+	for _, sc := range protoScenarios {
+		for _, seed := range protocolSeeds(t) {
+			t.Run(fmt.Sprintf("%s/seed%d", sc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				runProtocolScenario(t, sc, seed)
+			})
+		}
+	}
+}
+
+func runProtocolScenario(t *testing.T, sc protoScenario, seed int64) {
+	kit := makeClient(t, testTrace(t, 18))
+	wantFNV := payloadFNV(kit.payloads)
+
+	serverNet := faultnet.New(faultnet.Config{Seed: seed, Ops: sc.serverOps})
+	clientNet := faultnet.New(faultnet.Config{Seed: seed + 1000, Ops: sc.clientOps})
+	srv, addr := startChaosServer(t, Config{
+		LinkRate:     2 * kit.hello.PeakRate,
+		ReadTimeout:  time.Second,
+		ResumeWindow: 10 * time.Second,
+	}, serverNet)
+
+	rs := resumableClient(kit, addr, seed)
+	rs.HandshakeTimeout = 400 * time.Millisecond
+	rs.Dial = clientNet.Dialer(rs.Dial)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := rs.StreamSchedule(ctx, kit.sched, kit.payloads)
+	if err != nil {
+		t.Fatalf("client failed (spurious rejection or unrecovered fault): %v", err)
+	}
+	waitFor(t, "stream drained", func() bool {
+		s := srv.Snapshot()
+		return s.Streams.Completed == 1 && s.Streams.Active == 0
+	})
+
+	snap := srv.Snapshot()
+	// Exactly one reservation ever, fully released.
+	if snap.Streams.Admitted != 1 {
+		t.Errorf("admitted %d sessions, want exactly 1 (double reservation)", snap.Streams.Admitted)
+	}
+	if snap.Streams.Failed != 0 {
+		t.Errorf("%d server-side stream failures", snap.Streams.Failed)
+	}
+	if snap.ReservedPeak != 0 {
+		t.Errorf("%.0f bps still reserved after completion", snap.ReservedPeak)
+	}
+	// No byte divergence: the one finished stream accepted every
+	// picture with the sender's exact bytes.
+	fin := srv.FinishedStreams()
+	if len(fin) != 1 {
+		t.Fatalf("%d finished streams, want 1", len(fin))
+	}
+	if fin[0].Pictures != kit.tr.Len() {
+		t.Errorf("server accepted %d pictures, want %d", fin[0].Pictures, kit.tr.Len())
+	}
+	if fin[0].PayloadFNV != wantFNV {
+		t.Errorf("server payload fnv %016x, want %016x — bytes diverged", fin[0].PayloadFNV, wantFNV)
+	}
+	// Scenario-specific recovery evidence.
+	if res.Resumes < sc.minResumes {
+		t.Errorf("client resumed %d times, want at least %d", res.Resumes, sc.minResumes)
+	}
+	if sc.wantDeduped && snap.Streams.HelloDeduped < 1 {
+		t.Errorf("lost verdict not recovered by nonce dedup: hello_deduped = %d", snap.Streams.HelloDeduped)
+	}
+	if sc.wantAlreadyComplete {
+		if !res.AlreadyComplete {
+			t.Errorf("client did not report already-complete recovery: %+v", res)
+		}
+		if snap.Streams.AlreadyComplete < 1 {
+			t.Errorf("server answered no resume from a tombstone: already_complete = %d", snap.Streams.AlreadyComplete)
+		}
+	}
+	// The targeted fault actually fired; otherwise the run proved
+	// nothing.
+	sf, cf := serverNet.Counts(), clientNet.Counts()
+	if sf.Dropped+sf.Corrupted+sf.Resets+cf.Dropped+cf.Corrupted+cf.Resets == 0 {
+		t.Error("no fault injected; scenario exercised nothing")
+	}
+}

@@ -147,14 +147,25 @@ type Server struct {
 	admission *netsim.Admission
 	streams   map[uint64]*stream
 	resumable map[uint64]*stream // resume token → parked-capable stream
+	nonces    map[uint64]*stream // live hello nonce → its stream
 	nextID    uint64
 	ln        net.Listener
 	closed    bool
+
+	// tombstones remembers recently completed streams by resume token so
+	// a sender whose completion ack was lost gets a precise
+	// AlreadyComplete verdict (with the final hash) instead of an
+	// unknown-token rejection. Constant TTL means tombQueue's insertion
+	// order is also expiry order.
+	tombstones map[uint64]tombstone
+	tombQueue  []uint64
 
 	completed         int64
 	failed            int64
 	rejectedMalformed int64
 	rejectedBusy      int64
+	helloDeduped      int64
+	alreadyComplete   int64
 
 	// faultTotals accumulates finished streams' fault counters; active
 	// streams' counters are added at snapshot time.
@@ -170,6 +181,18 @@ type Server struct {
 
 // finishedKeep bounds the retained per-stream history.
 const finishedKeep = 256
+
+// tombstoneKeep bounds the completion-tombstone ledger.
+const tombstoneKeep = 4096
+
+// tombstone records a completed stream's final state: enough to answer
+// a late resume (the sender's copy of the completion ack was lost) with
+// an AlreadyComplete verdict the sender can verify byte-exactly.
+type tombstone struct {
+	fnv      uint64 // final FNV-1a over every accepted payload, in order
+	pictures int    // total pictures accepted
+	expires  time.Time
+}
 
 // activeServer backs the process-wide "smoothd" expvar: the most
 // recently created server is the one a production process runs.
@@ -195,6 +218,8 @@ func New(cfg Config) (*Server, error) {
 		admission:     adm,
 		streams:       map[uint64]*stream{},
 		resumable:     map[uint64]*stream{},
+		nonces:        map[uint64]*stream{},
+		tombstones:    map[uint64]tombstone{},
 		worstHeadroom: math.Inf(1),
 	}
 	s.egress = newLink(s.cfg.Egress, s.cfg.WriteTimeout)
@@ -316,8 +341,30 @@ func (s *Server) rejectConn(conn net.Conn, fw *transport.FrameWriter, code trans
 	s.cfg.Logf("smoothd: %s %s: %v", conn.RemoteAddr(), code, cause)
 }
 
-// handleHello runs a new session from admission to completion.
+// handleHello runs a new session from admission to completion. A hello
+// whose nonce matches a live stream is a retransmission — the sender's
+// copy of our admission verdict was lost in flight and it redialed — so
+// instead of reserving a second session we reattach the connection to
+// the existing one, exactly as a resume would.
 func (s *Server) handleHello(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, hello *transport.StreamHello) {
+	if hello.Nonce != 0 {
+		s.mu.Lock()
+		prior := s.nonces[hello.Nonce]
+		s.mu.Unlock()
+		if prior != nil {
+			if prior.hello != *hello {
+				s.rejectConn(conn, fw, transport.RejectedMalformed,
+					fmt.Errorf("server: hello nonce %016x reused with different parameters", hello.Nonce))
+				return
+			}
+			s.mu.Lock()
+			s.helloDeduped++
+			s.mu.Unlock()
+			s.cfg.Logf("smoothd: stream %d hello deduplicated by nonce from %s", prior.id, conn.RemoteAddr())
+			s.reattach(conn, fr, fw, prior, prior.token)
+			return
+		}
+	}
 	st, verdict, err := s.admit(conn, fr, fw, hello)
 	if werr := fw.WriteVerdict(verdict); werr != nil && err == nil {
 		err = werr
@@ -333,20 +380,47 @@ func (s *Server) handleHello(conn net.Conn, fr *transport.FrameReader, fw *trans
 }
 
 // handleResume hands a reconnecting sender's connection to its parked
-// stream. The accepting flag (under the stream's lock) serializes
-// competing reconnect attempts; the verdict carrying the replay point is
-// written before the connection changes hands.
+// stream. An unknown token is checked against the completion tombstones
+// first: a sender that finished but lost the completion ack gets an
+// AlreadyComplete verdict carrying the final hash, not a rejection.
 func (s *Server) handleResume(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, m *transport.StreamResume) {
 	s.mu.Lock()
 	st := s.resumable[m.Token]
 	closed := s.closed
 	avail := s.admission.Available()
+	var tomb tombstone
+	entombed := false
+	if st == nil {
+		tomb, entombed = s.lookupTombstoneLocked(m.Token)
+	}
 	s.mu.Unlock()
+	if entombed {
+		fw.WriteVerdict(transport.Verdict{
+			Code: transport.AlreadyComplete, Available: avail,
+			ResumeToken: m.Token, NextIndex: tomb.pictures, PrefixFNV: tomb.fnv,
+		})
+		conn.Close()
+		s.cfg.Logf("smoothd: resume from %s answered already-complete (%d pictures, fnv %016x)",
+			conn.RemoteAddr(), tomb.pictures, tomb.fnv)
+		return
+	}
 	if st == nil || closed {
 		s.rejectConn(conn, fw, transport.RejectedMalformed,
 			fmt.Errorf("server: resume with unknown token"))
 		return
 	}
+	s.reattach(conn, fr, fw, st, m.Token)
+}
+
+// reattach hands a reconnecting sender's connection (resume by token or
+// hello retransmission matched by nonce) to its parked stream. The
+// accepting flag (under the stream's lock) serializes competing
+// reconnect attempts; the verdict carrying the replay point and the
+// accepted-prefix hash is written before the connection changes hands.
+func (s *Server) reattach(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, st *stream, token uint64) {
+	s.mu.Lock()
+	avail := s.admission.Available()
+	s.mu.Unlock()
 	st.mu.Lock()
 	if !st.accepting {
 		// The stream has not parked yet — most likely its ingest loop is
@@ -363,12 +437,14 @@ func (s *Server) handleResume(conn net.Conn, fr *transport.FrameReader, fw *tran
 		return
 	}
 	st.accepting = false // claim the resume slot
-	next := st.expected
 	st.mu.Unlock()
+	// The claim parks the watermark: ingest is blocked on resumeCh, so
+	// the resume point cannot move under us.
+	next, prefix := st.resumePoint()
 
 	if err := fw.WriteVerdict(transport.Verdict{
 		Code: transport.Admitted, Available: avail,
-		ResumeToken: m.Token, NextIndex: next,
+		ResumeToken: token, NextIndex: next, PrefixFNV: prefix,
 	}); err != nil {
 		// Could not deliver the replay point; reopen the slot for the
 		// sender's next attempt.
@@ -425,7 +501,17 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 		s.mu.Unlock()
 		return reject(transport.RejectedBusy, errors.New("server: at stream limit or shutting down"))
 	}
-	if !s.admission.Admit(hello.PeakRate) {
+	admitted, duplicate := s.admission.AdmitNonce(hello.Nonce, hello.PeakRate, time.Now(), s.nonceTTL())
+	if duplicate {
+		// Backstop for a duplicate hello that raced past handleHello's
+		// nonce-map check: never reserve twice. Busy sends the sender
+		// back around; its retry finds the registered nonce and
+		// reattaches.
+		s.mu.Unlock()
+		return reject(transport.RejectedBusy,
+			fmt.Errorf("server: hello nonce %016x already holds a reservation", hello.Nonce))
+	}
+	if !admitted {
 		avail := s.admission.Available()
 		s.mu.Unlock()
 		return nil, transport.Verdict{Code: transport.RejectedCapacity, Available: avail},
@@ -434,15 +520,67 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 	s.nextID++
 	st.id = s.nextID
 	s.streams[st.id] = st
+	if hello.Nonce != 0 {
+		s.nonces[hello.Nonce] = st
+	}
 	if s.cfg.ResumeWindow > 0 {
 		st.token = s.newTokenLocked()
 		s.resumable[st.token] = st
 	}
 	avail := s.admission.Available()
 	s.mu.Unlock()
+	_, prefix := st.resumePoint() // empty hash: nothing accepted yet
 	return st, transport.Verdict{
-		Code: transport.Admitted, Available: avail, ResumeToken: st.token,
+		Code: transport.Admitted, Available: avail, ResumeToken: st.token, PrefixFNV: prefix,
 	}, nil
+}
+
+// nonceTTL bounds a nonce's life in the admission ledger. finish always
+// releases, so the TTL is a leak backstop only — generous, so long
+// streams keep their duplicate-hello protection for their whole life.
+func (s *Server) nonceTTL() time.Duration {
+	if ttl := 4 * s.cfg.ResumeWindow; ttl > 10*time.Minute {
+		return ttl
+	}
+	return 10 * time.Minute
+}
+
+// tombstoneTTL bounds how long a completed stream answers late resumes
+// with AlreadyComplete. It must comfortably cover the sender's resume
+// window plus its backoff schedule.
+func (s *Server) tombstoneTTL() time.Duration {
+	if ttl := 2 * s.cfg.ResumeWindow; ttl > 30*time.Second {
+		return ttl
+	}
+	return 30 * time.Second
+}
+
+// entombLocked records a completed stream's final state under its
+// resume token, evicting expired entries (queue front, since the TTL is
+// constant) and enforcing the cap. Caller holds s.mu.
+func (s *Server) entombLocked(token uint64, finalFNV uint64, pictures int) {
+	now := time.Now()
+	for len(s.tombQueue) > 0 {
+		head := s.tombQueue[0]
+		if t := s.tombstones[head]; now.Before(t.expires) && len(s.tombQueue) < tombstoneKeep {
+			break
+		}
+		delete(s.tombstones, head)
+		s.tombQueue = s.tombQueue[1:]
+	}
+	s.tombstones[token] = tombstone{fnv: finalFNV, pictures: pictures, expires: now.Add(s.tombstoneTTL())}
+	s.tombQueue = append(s.tombQueue, token)
+}
+
+// lookupTombstoneLocked finds a live tombstone and counts the hit.
+// Caller holds s.mu.
+func (s *Server) lookupTombstoneLocked(token uint64) (tombstone, bool) {
+	t, ok := s.tombstones[token]
+	if !ok || time.Now().After(t.expires) {
+		return tombstone{}, false
+	}
+	s.alreadyComplete++
+	return t, true
 }
 
 // newTokenLocked draws an unguessable, unused, nonzero resume token.
@@ -490,10 +628,20 @@ func (s *Server) run(st *stream, admitErr error) error {
 func (s *Server) finish(st *stream, err error) {
 	ss := st.snapshot()
 	s.mu.Lock()
-	s.admission.Release(st.hello.PeakRate)
+	s.admission.ReleaseNonce(st.hello.Nonce, st.hello.PeakRate)
 	delete(s.streams, st.id)
+	if st.hello.Nonce != 0 {
+		delete(s.nonces, st.hello.Nonce)
+	}
 	if st.token != 0 {
 		delete(s.resumable, st.token)
+		if err == nil {
+			// Tombstone the completed stream in the same critical section
+			// that forgets its token: a resume after a lost completion
+			// ack always finds either the live stream or the tombstone,
+			// never a gap.
+			s.entombLocked(st.token, ss.PayloadFNV, ss.Pictures)
+		}
 	}
 	if err != nil {
 		s.failed++

@@ -96,6 +96,16 @@ func (st *stream) observe(o core.Observation) {
 	st.stats.Add(o.LowerSlack, o.UpperSlack, o.Depth, o.EstimatorError)
 }
 
+// resumePoint returns the stream's accept watermark and the running
+// FNV-1a over the accepted prefix — the (NextIndex, PrefixFNV) pair a
+// resume or reattach verdict carries so the sender can verify its own
+// bytes match ours before replaying.
+func (st *stream) resumePoint() (next int, prefix uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.expected, st.fnvSum.Sum64()
+}
+
 // closeConn closes whichever connection the stream currently owns.
 func (st *stream) closeConn() {
 	st.mu.Lock()

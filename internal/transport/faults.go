@@ -14,6 +14,13 @@ import (
 // so the error classifies as a retryable reset.
 var ErrResumeBusy = errors.New("transport: server not yet accepting resume")
 
+// ErrDiverged reports that the server's admitted-prefix hash does not
+// match the sender's own bytes for the same prefix: the two ends hold
+// different data for pictures both believe delivered. Replaying would
+// ship divergent bytes under a token that vouches for them, so the
+// fault is terminal — no reconnect can reconcile the histories.
+var ErrDiverged = errors.New("transport: stream prefix diverged from server state")
+
 // FaultClass buckets transport failures for accounting and recovery
 // policy: every class except FaultOther is a transient link fault a
 // resumable stream recovers from by reconnecting.
@@ -61,11 +68,17 @@ func (c FaultClass) Retryable() bool {
 
 // ClassifyFault buckets a transport error. ErrClosed (orderly end) and
 // nil map to FaultNone; context cancellation maps to FaultOther so
-// shutdown is never mistaken for a link fault.
+// shutdown is never mistaken for a link fault, and ErrDiverged maps to
+// FaultOther because no reconnect reconciles divergent stream
+// histories. Any error satisfying net.Error with Timeout() true — which
+// includes faultnet's injected partitions — classifies as a timeout, so
+// a parked stream rides out a partition window like any other stall.
 func ClassifyFault(err error) FaultClass {
 	switch {
 	case err == nil, errors.Is(err, ErrClosed):
 		return FaultNone
+	case errors.Is(err, ErrDiverged):
+		return FaultOther
 	case errors.Is(err, ErrCorrupt), errors.Is(err, ErrBadSeq):
 		return FaultCorrupt
 	}

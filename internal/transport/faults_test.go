@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+
+	"mpegsmooth/internal/faultnet"
+)
+
+// timeoutErr is a minimal net.Error with Timeout() true — what a
+// deadline expiry surfaces as from the net package.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "synthetic i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// TestClassifyFaultTable pins the fault taxonomy the whole recovery
+// policy hangs off: which errors are retryable link faults (and which
+// bucket), which are orderly endings, and which are terminal — through
+// arbitrary fmt.Errorf wrapping, since that is how they arrive.
+func TestClassifyFaultTable(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err)) }
+	cases := []struct {
+		name string
+		err  error
+		want FaultClass
+	}{
+		{"nil", nil, FaultNone},
+		{"orderly close", ErrClosed, FaultNone},
+		{"orderly close wrapped", wrap(ErrClosed), FaultNone},
+
+		{"crc mismatch", ErrCorrupt, FaultCorrupt},
+		{"crc mismatch wrapped", wrap(ErrCorrupt), FaultCorrupt},
+		{"sequence break", ErrBadSeq, FaultCorrupt},
+		{"sequence break wrapped", wrap(ErrBadSeq), FaultCorrupt},
+
+		{"deadline expiry", os.ErrDeadlineExceeded, FaultTimeout},
+		{"deadline expiry wrapped", wrap(os.ErrDeadlineExceeded), FaultTimeout},
+		{"net.Error timeout", timeoutErr{}, FaultTimeout},
+		{"net.Error timeout in OpError", &net.OpError{Op: "read", Err: timeoutErr{}}, FaultTimeout},
+		// The satellite contract: an injected partition is a net.Error
+		// timeout, so parked streams ride it out like any other stall.
+		{"faultnet partition", faultnet.ErrPartitioned, FaultTimeout},
+		{"faultnet partition wrapped", wrap(faultnet.ErrPartitioned), FaultTimeout},
+
+		{"econnreset", syscall.ECONNRESET, FaultReset},
+		{"econnreset wrapped", wrap(syscall.ECONNRESET), FaultReset},
+		{"econnreset in OpError", &net.OpError{Op: "write", Err: os.NewSyscallError("write", syscall.ECONNRESET)}, FaultReset},
+		{"injected reset", faultnet.ErrInjectedReset, FaultReset},
+		{"broken pipe", syscall.EPIPE, FaultReset},
+		{"eof", io.EOF, FaultReset},
+		{"unexpected eof", io.ErrUnexpectedEOF, FaultReset},
+		{"closed pipe", io.ErrClosedPipe, FaultReset},
+		{"net closed", net.ErrClosed, FaultReset},
+		{"resume busy", ErrResumeBusy, FaultReset},
+		{"resume busy wrapped", wrap(ErrResumeBusy), FaultReset},
+
+		{"context canceled", context.Canceled, FaultOther},
+		{"divergence", ErrDiverged, FaultOther},
+		{"divergence wrapped", wrap(ErrDiverged), FaultOther},
+		{"unknown", errors.New("something else"), FaultOther},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ClassifyFault(tc.err); got != tc.want {
+				t.Fatalf("ClassifyFault(%v) = %s, want %s", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultClassRetryable: exactly the three link-fault classes are
+// retryable; orderly endings and terminal faults are not.
+func TestFaultClassRetryable(t *testing.T) {
+	want := map[FaultClass]bool{
+		FaultNone:    false,
+		FaultCorrupt: true,
+		FaultTimeout: true,
+		FaultReset:   true,
+		FaultOther:   false,
+	}
+	for class, retryable := range want {
+		if class.Retryable() != retryable {
+			t.Errorf("%s.Retryable() = %v, want %v", class, class.Retryable(), retryable)
+		}
+	}
+}

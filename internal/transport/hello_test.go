@@ -16,21 +16,24 @@ func validHello() StreamHello {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	want := validHello()
-	if err := NewFrameWriter(&buf).WriteHello(want); err != nil {
-		t.Fatal(err)
-	}
-	msg, err := NewFrameReader(&buf).ReadMessage()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, ok := msg.(*StreamHello)
-	if !ok {
-		t.Fatalf("got %#v", msg)
-	}
-	if *got != want {
-		t.Fatalf("hello round trip: got %+v, want %+v", *got, want)
+	withNonce := validHello()
+	withNonce.Nonce = 0xFEEDFACE12345678
+	for _, want := range []StreamHello{validHello(), withNonce} {
+		var buf bytes.Buffer
+		if err := NewFrameWriter(&buf).WriteHello(want); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := NewFrameReader(&buf).ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := msg.(*StreamHello)
+		if !ok {
+			t.Fatalf("got %#v", msg)
+		}
+		if *got != want {
+			t.Fatalf("hello round trip: got %+v, want %+v", *got, want)
+		}
 	}
 }
 
@@ -78,9 +81,11 @@ func TestVerdictRoundTrip(t *testing.T) {
 	for _, want := range []Verdict{
 		{Code: Admitted, Available: 4.5e6},
 		{Code: Admitted, Available: 4.5e6, ResumeToken: 42, NextIndex: 17},
+		{Code: Admitted, Available: 4.5e6, ResumeToken: 42, NextIndex: 17, PrefixFNV: 0xCBF29CE484222325},
 		{Code: RejectedCapacity, Available: 0},
 		{Code: RejectedMalformed, Available: 1e7},
 		{Code: RejectedBusy, Available: 2e6},
+		{Code: AlreadyComplete, Available: 2e6, ResumeToken: 42, NextIndex: 270, PrefixFNV: 0x0123456789ABCDEF},
 	} {
 		var buf bytes.Buffer
 		if err := NewFrameWriter(&buf).WriteVerdict(want); err != nil {

@@ -2,8 +2,11 @@ package transport
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"time"
@@ -68,6 +71,11 @@ type ResumeEvent struct {
 	// NextIndex is then the server-chosen replay point.
 	Resumed   bool
 	NextIndex int
+	// AlreadyComplete is set when a resume was answered with an
+	// AlreadyComplete verdict: the server had accepted the whole stream
+	// and only the completion ack was lost. The stream is reported as a
+	// success, but callers may want to log the lost-ack recovery.
+	AlreadyComplete bool
 }
 
 // StreamResult summarizes a resumable stream session.
@@ -76,9 +84,44 @@ type StreamResult struct {
 	Verdict Verdict
 	// Resumes counts accepted StreamResume handshakes.
 	Resumes int
+	// AlreadyComplete reports that the stream's success was confirmed by
+	// an AlreadyComplete resume verdict rather than a completion ack:
+	// the server finished the stream, the final ack was lost, and the
+	// tombstone's hash verified byte-exact delivery.
+	AlreadyComplete bool
 	// Faults counts classified failures the loop recovered from (or
 	// died on), by class.
 	Faults map[FaultClass]int
+}
+
+// prefixFNV hashes payloads[:n] in order with FNV-1a — the sender-side
+// mirror of the server's running accepted-payload hash at watermark n.
+func prefixFNV(payloads [][]byte, n int) uint64 {
+	h := fnv.New64a()
+	for _, p := range payloads[:n] {
+		h.Write(p)
+	}
+	return h.Sum64()
+}
+
+// newNonce draws a crypto-random nonzero hello nonce, falling back to
+// the jitter RNG on a broken platform (dedup then only defends against
+// accident, not collision-hunting — acceptable for a liveness aid).
+func newNonce(rng *rand.Rand) uint64 {
+	var buf [8]byte
+	for i := 0; i < 4; i++ {
+		if _, err := cryptorand.Read(buf[:]); err != nil {
+			break
+		}
+		if n := binary.BigEndian.Uint64(buf[:]); n != 0 {
+			return n
+		}
+	}
+	for {
+		if n := rng.Uint64(); n != 0 {
+			return n
+		}
+	}
 }
 
 // ResumableSender is the sender-side reconnect loop: it dials, performs
@@ -148,6 +191,13 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 	} else {
 		rng = rand.New(rand.NewSource(rand.Int63()))
 	}
+	// One nonce for the stream's whole life: every hello retry repeats
+	// it, so a redial after a lost verdict reattaches to the existing
+	// reservation instead of double-reserving.
+	hello := rs.Hello
+	if hello.Nonce == 0 {
+		hello.Nonce = newNonce(rng)
+	}
 
 	var (
 		token   uint64
@@ -190,7 +240,7 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 
 		var v Verdict
 		if token == 0 {
-			err = w.WriteHello(rs.Hello)
+			err = w.WriteHello(hello)
 		} else {
 			err = w.WriteResume(StreamResume{Token: token})
 		}
@@ -204,14 +254,48 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 			}
 			continue
 		}
+		if v.Code == AlreadyComplete {
+			// The server finished this stream and tombstoned the token;
+			// only the completion ack was lost. Verify the tombstone's
+			// final hash against our own bytes before calling it success —
+			// a mismatch means both ends "completed" different streams.
+			conn.Close()
+			if want := prefixFNV(payloads, len(payloads)); v.PrefixFNV != want {
+				result.Faults[FaultOther]++
+				return result, fmt.Errorf("transport: already-complete verdict hash %016x, ours %016x: %w",
+					v.PrefixFNV, want, ErrDiverged)
+			}
+			result.AlreadyComplete = true
+			if rs.OnEvent != nil {
+				rs.OnEvent(ResumeEvent{Attempt: attempt, Resumed: true,
+					NextIndex: len(payloads), AlreadyComplete: true})
+			}
+			return result, nil
+		}
 		if !v.IsAdmitted() {
 			conn.Close()
-			// A busy verdict on a resume means the server has not yet
-			// detected our old connection's death and parked the stream —
-			// the reconnect raced the fault. Back off and retry; the
-			// stream is still held for us.
-			if token != 0 && v.Code == RejectedBusy {
+			// A busy verdict on a resume — or on a redialed hello whose
+			// nonce matched a live stream — means the server has not yet
+			// detected our old connection's death and parked the stream:
+			// the reconnect raced the fault. A busy fresh hello means the
+			// server is at its stream limit or draining. All are
+			// transient; back off and retry, bounded by MaxAttempts.
+			if v.Code == RejectedBusy {
+				if token == 0 {
+					result.Verdict = v
+				}
 				if _, ferr := fail(ErrResumeBusy); ferr != nil {
+					return result, ferr
+				}
+				continue
+			}
+			// A malformed rejection answers a message the server could not
+			// parse. We validated our hello before writing and our token is
+			// server-issued, so the likeliest cause is in-flight corruption
+			// of the request itself — retryable, bounded by MaxAttempts. (A
+			// genuinely unknown token exhausts the attempts and fails.)
+			if v.Code == RejectedMalformed {
+				if _, ferr := fail(fmt.Errorf("transport: server rejected handshake as malformed (likely corrupted in flight): %w", ErrCorrupt)); ferr != nil {
 					return result, ferr
 				}
 				continue
@@ -221,11 +305,30 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 			}
 			return result, fmt.Errorf("transport: stream %s by server (%.0f bps available)", v.Code, v.Available)
 		}
+		resumed := token != 0
 		if token == 0 {
 			result.Verdict = v
 			token = v.ResumeToken
-		} else {
-			next = v.NextIndex
+		}
+		// NextIndex is the server's accept watermark: zero on a fresh
+		// admission, the replay point on a resume, and possibly nonzero on
+		// a hello verdict too when the nonce reattached us to a session a
+		// lost verdict orphaned. Cross-check the server's prefix hash
+		// against our own bytes before (re)playing anything.
+		next = v.NextIndex
+		if next > len(payloads) {
+			conn.Close()
+			result.Faults[FaultOther]++
+			return result, fmt.Errorf("transport: server watermark %d beyond stream length %d: %w",
+				next, len(payloads), ErrDiverged)
+		}
+		if want := prefixFNV(payloads, next); v.PrefixFNV != want {
+			conn.Close()
+			result.Faults[FaultOther]++
+			return result, fmt.Errorf("transport: server prefix fnv %016x at picture %d, ours %016x: %w",
+				v.PrefixFNV, next, want, ErrDiverged)
+		}
+		if resumed {
 			result.Resumes++
 			if rs.OnEvent != nil {
 				rs.OnEvent(ResumeEvent{Attempt: attempt, Resumed: true, NextIndex: next})

@@ -50,10 +50,19 @@ func TestResumableSenderSurvivesMidStreamReset(t *testing.T) {
 
 	var (
 		mu       sync.Mutex
-		got      = map[int]uint64{} // index → payload hash
+		got      = map[int][]byte{} // index → payload
 		resumes  int
 		sessions int
 	)
+	// prefix mirrors the real server's running accepted-prefix FNV-1a;
+	// call under mu.
+	prefix := func(n int) uint64 {
+		ordered := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			ordered[i] = got[i]
+		}
+		return prefixFNV(ordered, n)
+	}
 	ended := make(chan struct{}) // closed when the server reads the end marker
 	go func() {
 		for {
@@ -71,10 +80,11 @@ func TestResumableSenderSurvivesMidStreamReset(t *testing.T) {
 			mu.Lock()
 			sessions++
 			next := len(got)
+			pfx := prefix(next)
 			mu.Unlock()
 			switch m := msg.(type) {
 			case *StreamHello:
-				fw.WriteVerdict(Verdict{Code: Admitted, Available: 1e6, ResumeToken: token})
+				fw.WriteVerdict(Verdict{Code: Admitted, Available: 1e6, ResumeToken: token, PrefixFNV: pfx})
 			case *StreamResume:
 				if m.Token != token {
 					fw.WriteVerdict(Verdict{Code: RejectedMalformed, Available: 1e6})
@@ -84,7 +94,7 @@ func TestResumableSenderSurvivesMidStreamReset(t *testing.T) {
 				mu.Lock()
 				resumes++
 				mu.Unlock()
-				fw.WriteVerdict(Verdict{Code: Admitted, Available: 1e6, ResumeToken: token, NextIndex: next})
+				fw.WriteVerdict(Verdict{Code: Admitted, Available: 1e6, ResumeToken: token, NextIndex: next, PrefixFNV: pfx})
 			}
 			func() {
 				defer conn.Close()
@@ -100,7 +110,7 @@ func TestResumableSenderSurvivesMidStreamReset(t *testing.T) {
 					}
 					if pf, ok := msg.(*PictureFrame); ok {
 						mu.Lock()
-						got[pf.Index] = PayloadSum64(pf.Payload)
+						got[pf.Index] = append([]byte(nil), pf.Payload...)
 						n := len(got)
 						firstSession := sessions == 1
 						mu.Unlock()
@@ -153,7 +163,7 @@ func TestResumableSenderSurvivesMidStreamReset(t *testing.T) {
 		t.Fatalf("server received %d distinct pictures, want %d", len(got), len(payloads))
 	}
 	for i, p := range payloads {
-		if got[i] != PayloadSum64(p) {
+		if PayloadSum64(got[i]) != PayloadSum64(p) {
 			t.Fatalf("picture %d corrupted or missing", i)
 		}
 	}

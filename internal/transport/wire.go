@@ -51,9 +51,9 @@ const (
 func bodyLen(kind byte) (int, bool) {
 	switch kind {
 	case kindHello:
-		return 34, true
+		return 42, true
 	case kindVerdict:
-		return 21, true
+		return 29, true
 	case kindRate:
 		return 12, true
 	case kindPicture:
@@ -122,6 +122,14 @@ type StreamHello struct {
 	// PeakRate is the declared maximum smoothed transmission rate in
 	// bits/second; admission reserves this much link capacity.
 	PeakRate float64
+	// Nonce is a crypto-random client-chosen session identifier. A
+	// sender that never received its admission verdict (lost or
+	// corrupted in flight) redials and repeats the hello with the same
+	// nonce; the server deduplicates by nonce and reattaches the sender
+	// to the existing reservation instead of double-reserving — hellos
+	// become idempotent the way resume tokens make pictures idempotent.
+	// Zero disables deduplication (the pre-nonce behaviour).
+	Nonce uint64
 }
 
 // Validate checks the hello's fields for wire-level sanity.
@@ -173,6 +181,11 @@ const (
 	// RejectedBusy: the server is at its concurrent-stream limit or
 	// shutting down.
 	RejectedBusy
+	// AlreadyComplete: the resume token names a stream the server has
+	// already accepted in full — the sender's completion ack was lost,
+	// not the stream. PrefixFNV carries the final payload hash so the
+	// sender can verify byte-exact delivery before reporting success.
+	AlreadyComplete
 )
 
 // String names the verdict code.
@@ -186,6 +199,8 @@ func (c VerdictCode) String() string {
 		return "rejected-malformed"
 	case RejectedBusy:
 		return "rejected-busy"
+	case AlreadyComplete:
+		return "already-complete"
 	}
 	return fmt.Sprintf("VerdictCode(%d)", byte(c))
 }
@@ -206,6 +221,14 @@ type Verdict struct {
 	// received — meaningful on the verdict answering a StreamResume,
 	// where it is the sender's replay point.
 	NextIndex int
+	// PrefixFNV is the server's running FNV-1a hash over every payload
+	// it has accepted so far, in index order — the hash of the stream
+	// prefix [0, NextIndex). On an admitted verdict the sender verifies
+	// its own prefix hash against it before (re)playing anything, so
+	// divergent state is detected up front (ErrDiverged) instead of
+	// shipped. On an AlreadyComplete verdict it is the finished stream's
+	// final hash.
+	PrefixFNV uint64
 }
 
 // IsAdmitted reports whether the stream may proceed.
@@ -291,7 +314,7 @@ func (fw *FrameWriter) WriteHello(h StreamHello) error {
 		h.K > math.MaxUint16 || h.Pictures > math.MaxUint32 {
 		return fmt.Errorf("transport: hello field out of wire range")
 	}
-	var body [34]byte
+	var body [42]byte
 	binary.BigEndian.PutUint64(body[0:8], math.Float64bits(h.Tau))
 	binary.BigEndian.PutUint16(body[8:10], uint16(h.GOP.N))
 	binary.BigEndian.PutUint16(body[10:12], uint16(h.GOP.M))
@@ -299,6 +322,7 @@ func (fw *FrameWriter) WriteHello(h StreamHello) error {
 	binary.BigEndian.PutUint64(body[14:22], math.Float64bits(h.D))
 	binary.BigEndian.PutUint32(body[22:26], uint32(h.Pictures))
 	binary.BigEndian.PutUint64(body[26:34], math.Float64bits(h.PeakRate))
+	binary.BigEndian.PutUint64(body[34:42], h.Nonce)
 	return fw.writeFrame(kindHello, body[:])
 }
 
@@ -314,7 +338,7 @@ func (fw *FrameWriter) WriteResume(r StreamResume) error {
 
 // WriteVerdict writes an admission verdict.
 func (fw *FrameWriter) WriteVerdict(v Verdict) error {
-	if v.Code > RejectedBusy {
+	if v.Code > AlreadyComplete {
 		return fmt.Errorf("transport: invalid verdict code %d", v.Code)
 	}
 	if math.IsNaN(v.Available) || math.IsInf(v.Available, 0) || v.Available < 0 {
@@ -323,11 +347,12 @@ func (fw *FrameWriter) WriteVerdict(v Verdict) error {
 	if v.NextIndex < 0 || v.NextIndex > math.MaxUint32 {
 		return fmt.Errorf("transport: verdict next index %d out of range", v.NextIndex)
 	}
-	var body [21]byte
+	var body [29]byte
 	body[0] = byte(v.Code)
 	binary.BigEndian.PutUint64(body[1:9], math.Float64bits(v.Available))
 	binary.BigEndian.PutUint64(body[9:17], v.ResumeToken)
 	binary.BigEndian.PutUint32(body[17:21], uint32(v.NextIndex))
+	binary.BigEndian.PutUint64(body[21:29], v.PrefixFNV)
 	return fw.writeFrame(kindVerdict, body[:])
 }
 
@@ -451,6 +476,7 @@ func (fr *FrameReader) decode(kind byte, body []byte) (any, error) {
 			D:        math.Float64frombits(binary.BigEndian.Uint64(body[14:22])),
 			Pictures: int(binary.BigEndian.Uint32(body[22:26])),
 			PeakRate: math.Float64frombits(binary.BigEndian.Uint64(body[26:34])),
+			Nonce:    binary.BigEndian.Uint64(body[34:42]),
 		}
 		if err := h.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -468,8 +494,9 @@ func (fr *FrameReader) decode(kind byte, body []byte) (any, error) {
 			Available:   math.Float64frombits(binary.BigEndian.Uint64(body[1:9])),
 			ResumeToken: binary.BigEndian.Uint64(body[9:17]),
 			NextIndex:   int(binary.BigEndian.Uint32(body[17:21])),
+			PrefixFNV:   binary.BigEndian.Uint64(body[21:29]),
 		}
-		if v.Code > RejectedBusy {
+		if v.Code > AlreadyComplete {
 			return nil, fmt.Errorf("%w: invalid verdict code %d", ErrCorrupt, body[0])
 		}
 		if math.IsNaN(v.Available) || math.IsInf(v.Available, 0) || v.Available < 0 {
