@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mpegsmooth"
+	"mpegsmooth/internal/journal"
 	"mpegsmooth/internal/server"
 )
 
@@ -57,6 +58,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxPicture   = fs.Int("max-picture-bytes", 0, "declared picture payload size cap (0 = default 4 MiB)")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful drain limit on shutdown")
 		timescale    = fs.Float64("timescale", 1, "egress pacing speed multiplier (1 = real time)")
+		journalDir   = fs.String("journal-dir", "", "session journal directory: admissions, watermarks, and completions survive a crash-restart (empty = no journal)")
+		integrity    = fs.String("integrity", "fnv", "prefix-integrity mode every hello must declare: fnv or hmac-sha256:<keyfile>")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,25 +69,48 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	mode, key, err := mpegsmooth.ParseIntegrity(*integrity)
+	if err != nil {
+		return err
+	}
 	logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
 	if *quiet {
 		logf = nil
 	}
+	var jrnl *journal.Journal
+	if *journalDir != "" {
+		jrnl, err = journal.Open(journal.Config{Dir: *journalDir, Logf: logf})
+		if err != nil {
+			return err
+		}
+	}
 	srv, err := server.New(server.Config{
-		LinkRate:    *capacity,
-		Policy:      policy,
-		H:           *hFlag,
-		QueueLen:    *queueLen,
+		LinkRate:        *capacity,
+		Policy:          policy,
+		H:               *hFlag,
+		QueueLen:        *queueLen,
 		MaxStreams:      *maxStreams,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
 		ResumeWindow:    *resumeWindow,
 		MaxPictureBytes: *maxPicture,
 		TimeScale:       *timescale,
+		Journal:         jrnl,
+		Integrity:       mode,
+		IntegrityKey:    key,
 		Logf:            logf,
 	})
 	if err != nil {
+		// The server never adopted the journal; release its lock here.
+		if jrnl != nil {
+			jrnl.Close()
+		}
 		return err
+	}
+	if jrnl != nil {
+		snap := srv.Snapshot()
+		fmt.Fprintf(out, "smoothd: journal %s: recovered %d parked stream(s), %d completion tombstone(s)\n",
+			*journalDir, snap.Streams.Recovered, snap.Streams.RecoveredTombstones)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -150,12 +152,122 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestRunJournalAndHMACFlags boots the daemon with -journal-dir and
+// -integrity hmac-sha256:<keyfile>, streams one keyed session through
+// it, restarts it on the same journal, and expects the second boot to
+// recover the completion tombstone and answer the old resume token
+// with AlreadyComplete — the full crash-safety story through the CLI
+// surface alone.
+func TestRunJournalAndHMACFlags(t *testing.T) {
+	dir := t.TempDir()
+	keyfile := filepath.Join(dir, "stream.key")
+	if err := os.WriteFile(keyfile, []byte("cli-shared-secret\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	journalDir := filepath.Join(dir, "journal")
+
+	boot := func(ctx context.Context) (*syncBuffer, chan error, string) {
+		out := &syncBuffer{}
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{
+				"-listen", "127.0.0.1:0",
+				"-ops", "",
+				"-capacity", "50e6",
+				"-timescale", "200",
+				"-journal-dir", journalDir,
+				"-integrity", "hmac-sha256:" + keyfile,
+			}, out)
+		}()
+		return out, done, waitAddr(t, out, streamAddrRe)
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("run did not exit after cancel")
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	out1, done1, addr := boot(ctx1)
+	if !strings.Contains(out1.String(), "recovered 0 parked stream(s), 0 completion tombstone(s)") {
+		t.Fatalf("first boot's journal line missing:\n%s", out1.String())
+	}
+
+	tr, err := mpegsmooth.Driving1(36, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mpegsmooth.Config{K: 1, H: tr.GOP.N, D: 0.2}
+	sched, err := mpegsmooth.Smooth(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, tr.Len())
+	for i, s := range tr.Sizes {
+		payloads[i] = make([]byte, int((s+7)/8))
+	}
+	rs := &mpegsmooth.ResumableSender{
+		Sender: mpegsmooth.Sender{TimeScale: 200},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+		Hello: mpegsmooth.StreamHello{
+			Tau: tr.Tau, GOP: tr.GOP, K: cfg.K, D: cfg.D,
+			Pictures: tr.Len(), PeakRate: sched.PeakRate(),
+		},
+		Integrity: mpegsmooth.IntegrityHMAC,
+		Key:       []byte("cli-shared-secret"),
+	}
+	res, err := rs.StreamSchedule(context.Background(), sched, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop(cancel1, done1)
+
+	// Second boot, same journal: the graceful first exit left no parked
+	// stream but the completion tombstone survives its TTL.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	out2, done2, addr2 := boot(ctx2)
+	if !strings.Contains(out2.String(), "recovered 0 parked stream(s), 1 completion tombstone(s)") {
+		t.Fatalf("restart did not recover the tombstone:\n%s", out2.String())
+	}
+	conn, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := mpegsmooth.NewFrameWriter(conn).WriteResume(mpegsmooth.StreamResume{Token: res.Verdict.ResumeToken}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := mpegsmooth.NewFrameReader(conn).ReadVerdict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Code != mpegsmooth.StreamAlreadyComplete || v.NextIndex != tr.Len() {
+		t.Fatalf("post-restart resume verdict %+v, want already-complete at %d", v, tr.Len())
+	}
+	stop(cancel2, done2)
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	out := &syncBuffer{}
 	cases := [][]string{
 		{"-capacity", "0"},
 		{"-policy", "no-such-policy"},
 		{"-listen", "256.0.0.1:bad"},
+		{"-integrity", "no-such-mode"},
+		{"-integrity", "hmac-sha256:"},
+		{"-integrity", "hmac-sha256:/no/such/keyfile"},
 	}
 	for _, args := range cases {
 		if err := run(context.Background(), args, out); err == nil {

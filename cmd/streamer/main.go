@@ -62,8 +62,13 @@ func send(args []string) error {
 		handshake = fs.Bool("handshake", false, "declare the stream to a smoothd server and await admission before sending")
 		retries   = fs.Int("retries", 8, "max consecutive reconnect attempts before abandoning the stream (handshake mode)")
 		writeTO   = fs.Duration("write-timeout", 30*time.Second, "per-message write deadline (0 = none)")
+		integrity = fs.String("integrity", "fnv", "prefix-integrity mode for the handshake: fnv or hmac-sha256:<keyfile> (must match the server's)")
 	)
 	fs.Parse(args)
+	mode, key, err := mpegsmooth.ParseIntegrity(*integrity)
+	if err != nil {
+		return err
+	}
 
 	gens := map[string]func(int, int64) (*mpegsmooth.Trace, error){
 		"driving1": mpegsmooth.Driving1,
@@ -115,6 +120,8 @@ func send(args []string) error {
 				Pictures: tr.Len(), PeakRate: sched.PeakRate(),
 			},
 			MaxAttempts: *retries,
+			Integrity:   mode,
+			Key:         key,
 			OnEvent: func(ev mpegsmooth.ResumeEvent) {
 				switch {
 				case ev.AlreadyComplete:

@@ -1,0 +1,859 @@
+// Package journal is smoothd's write-ahead log: an append-only,
+// CRC-framed, fsync-on-commit record of the exactly-once session facts
+// — stream admitted, watermark advanced, stream completed, state
+// expired — so the nonce ledger, admission reservations, parked-stream
+// table, and completion tombstones survive a server crash. PR 4 made
+// the session protocol exactly-once in memory; this package extends the
+// state machine across process death: a ResumableSender that redials
+// after a crash finds its stream parked at the journaled watermark (or
+// tombstoned with its final hash) instead of rejected as unknown.
+//
+// Layout: the journal directory holds numbered segments
+// (seg-00000001.wal …), each starting with a magic header and holding
+// framed records
+//
+//	kind (1) | bodyLen (4) | body | crc32 (4)
+//
+// where the CRC covers kind|len|body. Records that commit a fact a
+// peer may act on (admission, completion, expiry) are fsynced before
+// the corresponding verdict or ack leaves the server; watermark records
+// are coalesced per stream and flushed on a timer, so the per-picture
+// hot path never waits on a disk. Losing the last flush interval of
+// watermarks is safe: the sender replays from an older watermark and
+// the server re-accepts idempotently.
+//
+// Recovery replays segments in order, verifying every CRC. A torn tail
+// — a record cut short by the crash — is truncated deterministically:
+// the scan stops at the first record that fails length or CRC checks,
+// and the active segment is physically cut back to the last good
+// record. Replay is idempotent (admits never resurrect tombstoned
+// streams, watermarks only advance, completions overwrite), which makes
+// every crash window safe, including a crash during compaction that
+// leaves duplicate records in both an old segment and its snapshot.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mpegsmooth/internal/mpeg"
+	"mpegsmooth/internal/transport"
+)
+
+// Record kinds.
+const (
+	kindAdmit     byte = 'A'
+	kindWatermark byte = 'W'
+	kindComplete  byte = 'C'
+	kindExpire    byte = 'X'
+)
+
+// segMagic opens every segment file; a version bump invalidates old
+// journals loudly instead of misparsing them.
+var segMagic = []byte("MSJ1")
+
+// maxRecordBody bounds a record body during scanning, so a corrupt
+// length field reads as a torn record rather than a giant allocation.
+const maxRecordBody = 4096
+
+// maxHashState bounds the persisted prefix-hash state (SHA-256 chain =
+// 32 bytes; FNV = 8).
+const maxHashState = 64
+
+// DefaultSegmentBytes rotates (and compacts) the active segment once it
+// exceeds this size.
+const DefaultSegmentBytes = 1 << 20
+
+// DefaultFlushInterval batches watermark records.
+const DefaultFlushInterval = 25 * time.Millisecond
+
+// ExpireReason says why journaled state was dropped.
+type ExpireReason byte
+
+const (
+	// ExpireFailed: the stream failed terminally (its reservation was
+	// released).
+	ExpireFailed ExpireReason = iota
+	// ExpireResumeWindow: a parked stream's resume window lapsed with no
+	// reconnect.
+	ExpireResumeWindow
+	// ExpireTombstone: a completion tombstone aged out.
+	ExpireTombstone
+)
+
+// StreamRecord is the journaled state of one live (possibly parked)
+// stream: everything recovery needs to rebuild the session — the hello
+// (bit-exact, so nonce dedup still compares equal), the resume token,
+// the accept watermark, and the prefix hash state at that watermark.
+type StreamRecord struct {
+	Token     uint64
+	Hello     transport.StreamHello
+	Watermark int
+	HashState []byte
+}
+
+// TombstoneRecord is the journaled state of a completed stream: enough
+// to answer a late resume with a hash-verified AlreadyComplete verdict.
+type TombstoneRecord struct {
+	Token     uint64
+	Nonce     uint64
+	Pictures  int
+	HashState []byte
+	Expires   time.Time
+}
+
+// State is the replayed journal: live streams and completion tombstones
+// by resume token.
+type State struct {
+	Streams    map[uint64]*StreamRecord
+	Tombstones map[uint64]*TombstoneRecord
+}
+
+func newState() State {
+	return State{Streams: map[uint64]*StreamRecord{}, Tombstones: map[uint64]*TombstoneRecord{}}
+}
+
+// clone deep-copies the state so callers can mutate their view.
+func (s State) clone() State {
+	out := newState()
+	for k, v := range s.Streams {
+		cp := *v
+		cp.HashState = append([]byte(nil), v.HashState...)
+		out.Streams[k] = &cp
+	}
+	for k, v := range s.Tombstones {
+		cp := *v
+		cp.HashState = append([]byte(nil), v.HashState...)
+		out.Tombstones[k] = &cp
+	}
+	return out
+}
+
+// apply folds one record into the state. The rules make replay
+// idempotent under arbitrary duplication (the crash-during-compaction
+// shape): admits never overwrite or resurrect, watermarks only advance,
+// completions and expiries are absorbing.
+func (s *State) apply(r Record) {
+	switch r.Kind {
+	case kindAdmit:
+		if _, dead := s.Tombstones[r.Stream.Token]; dead {
+			return
+		}
+		if _, live := s.Streams[r.Stream.Token]; live {
+			return
+		}
+		cp := r.Stream
+		cp.HashState = append([]byte(nil), r.Stream.HashState...)
+		s.Streams[cp.Token] = &cp
+	case kindWatermark:
+		st, ok := s.Streams[r.Token]
+		if !ok || r.Watermark <= st.Watermark {
+			return
+		}
+		st.Watermark = r.Watermark
+		st.HashState = append([]byte(nil), r.HashState...)
+	case kindComplete:
+		delete(s.Streams, r.Tomb.Token)
+		cp := r.Tomb
+		cp.HashState = append([]byte(nil), r.Tomb.HashState...)
+		s.Tombstones[cp.Token] = &cp
+	case kindExpire:
+		if r.Reason == ExpireTombstone {
+			delete(s.Tombstones, r.Token)
+		} else {
+			delete(s.Streams, r.Token)
+		}
+	}
+}
+
+// Record is one decoded journal entry. Only the fields for its Kind are
+// meaningful.
+type Record struct {
+	Kind      byte
+	Stream    StreamRecord    // kindAdmit
+	Token     uint64          // kindWatermark, kindExpire
+	Watermark int             // kindWatermark
+	HashState []byte          // kindWatermark
+	Tomb      TombstoneRecord // kindComplete
+	Nonce     uint64          // kindExpire
+	Reason    ExpireReason    // kindExpire
+}
+
+// encode frames a record body: kind | len | body | crc.
+func encodeFrame(kind byte, body []byte) []byte {
+	buf := make([]byte, 0, 9+len(body))
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func encodeAdmit(rec StreamRecord) []byte {
+	h := rec.Hello
+	body := make([]byte, 0, 64+len(rec.HashState))
+	body = binary.BigEndian.AppendUint64(body, rec.Token)
+	body = binary.BigEndian.AppendUint64(body, h.Nonce)
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(h.Tau))
+	body = binary.BigEndian.AppendUint16(body, uint16(h.GOP.N))
+	body = binary.BigEndian.AppendUint16(body, uint16(h.GOP.M))
+	body = binary.BigEndian.AppendUint16(body, uint16(h.K))
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(h.D))
+	body = binary.BigEndian.AppendUint32(body, uint32(h.Pictures))
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(h.PeakRate))
+	body = append(body, byte(h.Integrity))
+	return encodeFrame(kindAdmit, body)
+}
+
+func encodeWatermark(token uint64, mark int, state []byte) []byte {
+	body := make([]byte, 0, 13+len(state))
+	body = binary.BigEndian.AppendUint64(body, token)
+	body = binary.BigEndian.AppendUint32(body, uint32(mark))
+	body = append(body, byte(len(state)))
+	body = append(body, state...)
+	return encodeFrame(kindWatermark, body)
+}
+
+func encodeComplete(rec TombstoneRecord) []byte {
+	body := make([]byte, 0, 29+len(rec.HashState))
+	body = binary.BigEndian.AppendUint64(body, rec.Token)
+	body = binary.BigEndian.AppendUint64(body, rec.Nonce)
+	body = binary.BigEndian.AppendUint32(body, uint32(rec.Pictures))
+	body = binary.BigEndian.AppendUint64(body, uint64(rec.Expires.UnixNano()))
+	body = append(body, byte(len(rec.HashState)))
+	body = append(body, rec.HashState...)
+	return encodeFrame(kindComplete, body)
+}
+
+func encodeExpire(token, nonce uint64, reason ExpireReason) []byte {
+	body := make([]byte, 0, 17)
+	body = binary.BigEndian.AppendUint64(body, token)
+	body = binary.BigEndian.AppendUint64(body, nonce)
+	body = append(body, byte(reason))
+	return encodeFrame(kindExpire, body)
+}
+
+// decodeBody interprets a CRC-verified record body.
+func decodeBody(kind byte, body []byte) (Record, error) {
+	bad := func(format string, a ...any) (Record, error) {
+		return Record{}, fmt.Errorf("journal: %c record "+format, append([]any{kind}, a...)...)
+	}
+	switch kind {
+	case kindAdmit:
+		if len(body) != 51 {
+			return bad("body %d bytes, want 51", len(body))
+		}
+		rec := StreamRecord{
+			Token: binary.BigEndian.Uint64(body[0:8]),
+			Hello: transport.StreamHello{
+				Nonce: binary.BigEndian.Uint64(body[8:16]),
+				Tau:   math.Float64frombits(binary.BigEndian.Uint64(body[16:24])),
+				GOP: mpeg.GOP{
+					N: int(binary.BigEndian.Uint16(body[24:26])),
+					M: int(binary.BigEndian.Uint16(body[26:28])),
+				},
+				K:         int(binary.BigEndian.Uint16(body[28:30])),
+				D:         math.Float64frombits(binary.BigEndian.Uint64(body[30:38])),
+				Pictures:  int(binary.BigEndian.Uint32(body[38:42])),
+				PeakRate:  math.Float64frombits(binary.BigEndian.Uint64(body[42:50])),
+				Integrity: transport.IntegrityMode(body[50]),
+			},
+		}
+		if rec.Token == 0 {
+			return bad("zero token")
+		}
+		if err := rec.Hello.Validate(); err != nil {
+			return bad("hello: %v", err)
+		}
+		return Record{Kind: kind, Stream: rec}, nil
+	case kindWatermark:
+		if len(body) < 13 {
+			return bad("body %d bytes, want >= 13", len(body))
+		}
+		n := int(body[12])
+		if n > maxHashState || len(body) != 13+n {
+			return bad("state length %d in %d-byte body", n, len(body))
+		}
+		return Record{
+			Kind:      kind,
+			Token:     binary.BigEndian.Uint64(body[0:8]),
+			Watermark: int(binary.BigEndian.Uint32(body[8:12])),
+			HashState: append([]byte(nil), body[13:13+n]...),
+		}, nil
+	case kindComplete:
+		if len(body) < 29 {
+			return bad("body %d bytes, want >= 29", len(body))
+		}
+		n := int(body[28])
+		if n > maxHashState || len(body) != 29+n {
+			return bad("state length %d in %d-byte body", n, len(body))
+		}
+		return Record{Kind: kind, Tomb: TombstoneRecord{
+			Token:     binary.BigEndian.Uint64(body[0:8]),
+			Nonce:     binary.BigEndian.Uint64(body[8:16]),
+			Pictures:  int(binary.BigEndian.Uint32(body[16:20])),
+			Expires:   time.Unix(0, int64(binary.BigEndian.Uint64(body[20:28]))),
+			HashState: append([]byte(nil), body[29:29+n]...),
+		}}, nil
+	case kindExpire:
+		if len(body) != 17 {
+			return bad("body %d bytes, want 17", len(body))
+		}
+		reason := ExpireReason(body[16])
+		if reason > ExpireTombstone {
+			return bad("unknown reason %d", body[16])
+		}
+		return Record{
+			Kind:   kind,
+			Token:  binary.BigEndian.Uint64(body[0:8]),
+			Nonce:  binary.BigEndian.Uint64(body[8:16]),
+			Reason: reason,
+		}, nil
+	}
+	return Record{}, fmt.Errorf("journal: unknown record kind %#02x", kind)
+}
+
+// ScanSegment parses one segment's bytes. It returns every record up to
+// the first damage, plus valid — the byte offset of the last good
+// record's end (the deterministic truncation point). err is non-nil
+// when damage was found; a fully clean segment returns valid ==
+// len(data) and a nil error. Scanning data[:valid] again yields the
+// identical records and no error: truncation is a fixed point.
+func ScanSegment(data []byte) (recs []Record, valid int, err error) {
+	if len(data) < len(segMagic) {
+		return nil, 0, errors.New("journal: segment shorter than its magic")
+	}
+	if string(data[:len(segMagic)]) != string(segMagic) {
+		return nil, 0, errors.New("journal: bad segment magic")
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 9 {
+			return recs, off, fmt.Errorf("journal: torn record header at %d", off)
+		}
+		kind := rest[0]
+		n := int(binary.BigEndian.Uint32(rest[1:5]))
+		if n > maxRecordBody {
+			return recs, off, fmt.Errorf("journal: record at %d declares %d-byte body", off, n)
+		}
+		if len(rest) < 9+n {
+			return recs, off, fmt.Errorf("journal: torn record body at %d", off)
+		}
+		sum := crc32.ChecksumIEEE(rest[:5+n])
+		if got := binary.BigEndian.Uint32(rest[5+n : 9+n]); got != sum {
+			return recs, off, fmt.Errorf("journal: record at %d crc %08x, want %08x", off, got, sum)
+		}
+		rec, derr := decodeBody(kind, rest[5:5+n])
+		if derr != nil {
+			return recs, off, fmt.Errorf("journal: record at %d: %w", off, derr)
+		}
+		recs = append(recs, rec)
+		off += 9 + n
+	}
+	return recs, off, nil
+}
+
+// Config parameterizes a Journal.
+type Config struct {
+	// Dir is the journal directory (used when FS is nil).
+	Dir string
+	// FS overrides the filesystem (tests: MemFS, FaultFS, CrashFS).
+	FS FS
+	// SegmentBytes triggers rotation + compaction past this active
+	// segment size (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// FlushInterval batches coalesced watermark records (default
+	// DefaultFlushInterval; < 0 disables the background flusher — tests
+	// then call Flush explicitly).
+	FlushInterval time.Duration
+	// Logf, when set, receives repair and replay notes.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts journal activity for the ops endpoint.
+type Stats struct {
+	Segments            int   `json:"segments"`
+	ActiveSegmentBytes  int64 `json:"active_segment_bytes"`
+	Appends             int64 `json:"appends"`
+	AppendedBytes       int64 `json:"appended_bytes"`
+	Fsyncs              int64 `json:"fsyncs"`
+	WatermarksCoalesced int64 `json:"watermarks_coalesced"`
+	WatermarkBatches    int64 `json:"watermark_batches"`
+	Rotations           int64 `json:"rotations"`
+	ReplayedRecords     int   `json:"replayed_records"`
+	ReplayedSegments    int   `json:"replayed_segments"`
+	TruncatedTailBytes  int64 `json:"truncated_tail_bytes"`
+	AppendErrors        int64 `json:"append_errors"`
+	LiveStreams         int   `json:"live_streams"`
+	LiveTombstones      int   `json:"live_tombstones"`
+}
+
+// wmEntry is one coalesced pending watermark.
+type wmEntry struct {
+	mark  int
+	state []byte
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	cfg Config
+	fs  FS
+
+	mu         sync.Mutex
+	active     File
+	activeName string
+	activeSize int64
+	seq        uint64
+	segments   []string
+	state      State
+	recovered  State
+	dirty      map[uint64]wmEntry
+	stats      Stats
+	broken     bool
+	closed     bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.FS == nil {
+		if cfg.Dir == "" {
+			return cfg, errors.New("journal: Config needs Dir or FS")
+		}
+		fs, err := DirFS(cfg.Dir)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.FS = fs
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg, nil
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.wal", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "seg-%08d.wal", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open replays the journal directory, truncates any torn tail in the
+// final segment, compacts the replayed state into a fresh snapshot
+// segment (bounding both recovery time and disk growth), and returns
+// the journal ready for appends. The replayed state is available via
+// State.
+func Open(cfg Config) (*Journal, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		cfg:   full,
+		fs:    full.FS,
+		state: newState(),
+		dirty: map[uint64]wmEntry{},
+	}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	j.recovered = j.state.clone()
+	// Startup compaction: everything live goes into one fresh segment,
+	// and the (possibly torn, possibly duplicated) history is deleted.
+	j.mu.Lock()
+	err = j.rotateLocked()
+	j.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if full.FlushInterval > 0 {
+		j.flushStop = make(chan struct{})
+		j.flushDone = make(chan struct{})
+		go j.flusher(full.FlushInterval, j.flushStop, j.flushDone)
+	}
+	return j, nil
+}
+
+// replay loads every segment in sequence order into j.state.
+func (j *Journal) replay() error {
+	names, err := j.fs.ReadDir()
+	if err != nil {
+		return fmt.Errorf("journal: listing segments: %w", err)
+	}
+	type seg struct {
+		name string
+		seq  uint64
+	}
+	var segs []seg
+	for _, n := range names {
+		if s, ok := parseSegName(n); ok {
+			segs = append(segs, seg{name: n, seq: s})
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].seq < segs[b].seq })
+	for i, sg := range segs {
+		data, err := j.fs.ReadFile(sg.name)
+		if err != nil {
+			return fmt.Errorf("journal: reading %s: %w", sg.name, err)
+		}
+		if len(data) == 0 {
+			// A crash between segment creation and the magic write leaves
+			// an empty file: nothing to replay.
+			j.cfg.Logf("journal: %s is empty (crash before header); skipping", sg.name)
+			continue
+		}
+		recs, valid, scanErr := ScanSegment(data)
+		if scanErr != nil {
+			// Damage. In the final segment this is the expected torn tail
+			// of a crash mid-append; anywhere else it still truncates the
+			// replay of that segment at the last good record — the
+			// idempotent records after it (in later segments or the
+			// snapshot) reconstruct what can be reconstructed.
+			torn := int64(len(data) - valid)
+			j.stats.TruncatedTailBytes += torn
+			j.cfg.Logf("journal: %s: %v; dropping %d-byte tail (%d records kept)",
+				sg.name, scanErr, torn, len(recs))
+			if i == len(segs)-1 && valid > 0 {
+				if terr := j.fs.Truncate(sg.name, int64(valid)); terr != nil {
+					return fmt.Errorf("journal: truncating torn tail of %s: %w", sg.name, terr)
+				}
+			}
+		}
+		for _, r := range recs {
+			j.state.apply(r)
+		}
+		j.stats.ReplayedRecords += len(recs)
+		j.stats.ReplayedSegments++
+		j.segments = append(j.segments, sg.name)
+		if sg.seq > j.seq {
+			j.seq = sg.seq
+		}
+	}
+	return nil
+}
+
+// State returns the state recovered at Open — what the server rebuilds
+// its ledgers from.
+func (j *Journal) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered.clone()
+}
+
+// Stats returns a snapshot of the journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stats
+	s.Segments = len(j.segments)
+	s.ActiveSegmentBytes = j.activeSize
+	s.LiveStreams = len(j.state.Streams)
+	s.LiveTombstones = len(j.state.Tombstones)
+	return s
+}
+
+// Admitted commits a stream admission: fsynced before the caller sends
+// its admission verdict, so a verdict the sender acts on is never
+// forgotten by a crash.
+func (j *Journal) Admitted(rec StreamRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLocked(encodeAdmit(rec), true); err != nil {
+		return err
+	}
+	j.state.apply(Record{Kind: kindAdmit, Stream: rec})
+	return nil
+}
+
+// Watermark coalesces a stream's accept watermark and prefix-hash state
+// for the next flush. It never blocks on the disk — the per-picture hot
+// path stays fast — so a crash may lose the last flush interval of
+// progress, which recovery absorbs by parking the stream at the older
+// watermark (the sender replays the difference, idempotently).
+func (j *Journal) Watermark(token uint64, mark int, state []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.broken {
+		return
+	}
+	j.dirty[token] = wmEntry{mark: mark, state: state}
+	j.stats.WatermarksCoalesced++
+}
+
+// Completed commits a stream completion: fsynced before the completion
+// ack is sent, so an acked stream is always answerable as
+// AlreadyComplete after a crash.
+func (j *Journal) Completed(rec TombstoneRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.dirty, rec.Token) // superseded
+	if err := j.appendLocked(encodeComplete(rec), true); err != nil {
+		return err
+	}
+	j.state.apply(Record{Kind: kindComplete, Tomb: rec})
+	return nil
+}
+
+// Expired commits the release of journaled state: a failed stream, a
+// lapsed resume window, or an aged-out tombstone.
+func (j *Journal) Expired(token, nonce uint64, reason ExpireReason) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if reason != ExpireTombstone {
+		delete(j.dirty, token)
+	}
+	if err := j.appendLocked(encodeExpire(token, nonce, reason), true); err != nil {
+		return err
+	}
+	j.state.apply(Record{Kind: kindExpire, Token: token, Nonce: nonce, Reason: reason})
+	return nil
+}
+
+// Flush appends and fsyncs all coalesced watermarks now.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
+	if len(j.dirty) == 0 {
+		return nil
+	}
+	wrote := false
+	for token, wm := range j.dirty {
+		if err := j.appendLocked(encodeWatermark(token, wm.mark, wm.state), false); err != nil {
+			return err
+		}
+		j.state.apply(Record{Kind: kindWatermark, Token: token, Watermark: wm.mark, HashState: wm.state})
+		wrote = true
+	}
+	j.dirty = map[uint64]wmEntry{}
+	if wrote {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+		j.stats.WatermarkBatches++
+	}
+	return nil
+}
+
+// Compact rewrites live state into a fresh snapshot segment and deletes
+// the old ones.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.flushLocked(); err != nil {
+		return err
+	}
+	return j.rotateLocked()
+}
+
+// Close flushes pending watermarks, syncs, and closes the journal.
+func (j *Journal) Close() error {
+	j.stopFlusher()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	err := j.flushLocked()
+	j.closed = true
+	if j.active != nil {
+		if cerr := j.active.Close(); err == nil {
+			err = cerr
+		}
+		j.active = nil
+	}
+	return err
+}
+
+// Abandon closes the journal crash-style: no flush, no sync — pending
+// watermarks are dropped exactly as a real crash would drop them. The
+// kill-and-restart harness uses it to make an in-process "SIGKILL"
+// honest.
+func (j *Journal) Abandon() {
+	j.stopFlusher()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.dirty = map[uint64]wmEntry{}
+	if j.active != nil {
+		j.active.Close()
+		j.active = nil
+	}
+}
+
+func (j *Journal) stopFlusher() {
+	j.mu.Lock()
+	stop, done := j.flushStop, j.flushDone
+	j.flushStop = nil
+	j.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+func (j *Journal) flusher(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := j.Flush(); err != nil {
+				j.cfg.Logf("journal: watermark flush: %v", err)
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// appendLocked writes one framed record to the active segment and, when
+// syncNow, fsyncs it. On failure the segment is repaired by truncating
+// back to the pre-append offset, so a torn in-flight record can never
+// be followed by live appends (which replay would then lose). Caller
+// holds j.mu.
+func (j *Journal) appendLocked(frame []byte, syncNow bool) error {
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if j.broken {
+		return errors.New("journal: broken (unrepairable append failure)")
+	}
+	if j.activeSize > j.cfg.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	off := j.activeSize
+	if _, err := j.active.Write(frame); err != nil {
+		j.stats.AppendErrors++
+		j.repairLocked(off)
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.activeSize += int64(len(frame))
+	j.stats.Appends++
+	j.stats.AppendedBytes += int64(len(frame))
+	if syncNow {
+		if err := j.syncLocked(); err != nil {
+			j.stats.AppendErrors++
+			j.repairLocked(off)
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.active.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.stats.Fsyncs++
+	return nil
+}
+
+// repairLocked truncates the active segment back to off after a failed
+// append, discarding whatever partial bytes landed. If even that fails,
+// the journal is broken: appends stop, but the on-disk prefix up to the
+// last successful commit stays fully replayable.
+func (j *Journal) repairLocked(off int64) {
+	if err := j.fs.Truncate(j.activeName, off); err != nil {
+		j.broken = true
+		j.cfg.Logf("journal: repair truncate of %s to %d failed (%v); journal is now read-only", j.activeName, off, err)
+		return
+	}
+	j.activeSize = off
+	j.cfg.Logf("journal: truncated %s back to %d after failed append", j.activeName, off)
+}
+
+// rotateLocked opens the next segment, snapshots live state into it,
+// syncs it, and deletes every older segment. Idempotent replay keeps
+// every crash window safe: before the sync, the new segment simply
+// loses the race and old segments still hold everything; after the
+// sync, duplicates between old and new segments fold to the same state;
+// a failed remove only leaves harmless duplicates behind. Caller holds
+// j.mu.
+func (j *Journal) rotateLocked() error {
+	j.seq++
+	name := segName(j.seq)
+	f, err := j.fs.Create(name)
+	if err != nil {
+		return fmt.Errorf("journal: creating segment %s: %w", name, err)
+	}
+	// Tombstones carry their own journaled expiry; compaction drops the
+	// dead ones instead of copying them forward, so completed-stream
+	// history cannot grow the snapshot without bound.
+	now := time.Now()
+	for tok, tb := range j.state.Tombstones {
+		if !tb.Expires.IsZero() && now.After(tb.Expires) {
+			delete(j.state.Tombstones, tok)
+		}
+	}
+	var buf []byte
+	buf = append(buf, segMagic...)
+	for _, st := range j.state.Streams {
+		buf = append(buf, encodeAdmit(*st)...)
+		if st.Watermark > 0 {
+			buf = append(buf, encodeWatermark(st.Token, st.Watermark, st.HashState)...)
+		}
+	}
+	for _, tb := range j.state.Tombstones {
+		buf = append(buf, encodeComplete(*tb)...)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		j.fs.Remove(name)
+		return fmt.Errorf("journal: writing snapshot %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.fs.Remove(name)
+		return fmt.Errorf("journal: syncing snapshot %s: %w", name, err)
+	}
+	j.stats.Fsyncs++
+	if j.active != nil {
+		j.active.Close()
+	}
+	for _, old := range j.segments {
+		if err := j.fs.Remove(old); err != nil {
+			// Harmless: replay is idempotent, so a lingering old segment
+			// only costs startup time. Keep it listed for the next try.
+			j.cfg.Logf("journal: could not remove %s: %v (will retry at next compaction)", old, err)
+		}
+	}
+	j.active = f
+	j.activeName = name
+	j.activeSize = int64(len(buf))
+	j.segments = []string{name}
+	j.stats.Rotations++
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package lru provides a last-touch LRU map for the server's
+// time-bounded ledgers (completion tombstones, hello-nonce
+// reservations), plus a Sizer that derives a principled capacity from
+// the observed event rate.
+//
+// The ledgers these maps back answer questions about the recent past —
+// "was this nonce already admitted?", "did this token's stream already
+// complete?" — so their natural size is rate × retention window: every
+// entry still inside its TTL should fit. A fixed cap with FIFO eviction
+// (the previous design) lets a sustained flood of short streams
+// race-evict an entry a legitimate late resume still needs; last-touch
+// eviction keeps recently-consulted entries alive, and the adaptive cap
+// grows with the flood so eviction only claims entries the TTL would
+// have expired anyway.
+package lru
+
+import "time"
+
+// entry is one node of the intrusive recency list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// Map is a last-touch LRU: Put and Get move the entry to the front, and
+// inserting past the cap evicts from the back — the entry untouched
+// longest. The zero value is not usable; call New. Map is not
+// goroutine-safe; callers hold their own lock (matching netsim's
+// plain-accumulator convention).
+type Map[K comparable, V any] struct {
+	cap        int
+	entries    map[K]*entry[K, V]
+	head, tail *entry[K, V] // head = most recently touched
+	evicted    int64
+}
+
+// New creates a map that holds at most cap entries (cap < 1 is treated
+// as 1).
+func New[K comparable, V any](cap int) *Map[K, V] {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Map[K, V]{cap: cap, entries: make(map[K]*entry[K, V])}
+}
+
+// Put inserts or updates a key and touches it, evicting the
+// least-recently-touched entries while the map exceeds its cap.
+func (m *Map[K, V]) Put(key K, val V) {
+	if e, ok := m.entries[key]; ok {
+		e.val = val
+		m.touch(e)
+		return
+	}
+	e := &entry[K, V]{key: key, val: val}
+	m.entries[key] = e
+	m.pushFront(e)
+	m.shrink()
+}
+
+// Get returns the value for key and touches the entry.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	if e, ok := m.entries[key]; ok {
+		m.touch(e)
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value for key without touching the entry.
+func (m *Map[K, V]) Peek(key K) (V, bool) {
+	if e, ok := m.entries[key]; ok {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes a key if present.
+func (m *Map[K, V]) Delete(key K) {
+	if e, ok := m.entries[key]; ok {
+		m.unlink(e)
+		delete(m.entries, key)
+	}
+}
+
+// Len returns the number of live entries.
+func (m *Map[K, V]) Len() int { return len(m.entries) }
+
+// Cap returns the current capacity.
+func (m *Map[K, V]) Cap() int { return m.cap }
+
+// SetCap adjusts the capacity, evicting immediately if it shrank.
+func (m *Map[K, V]) SetCap(cap int) {
+	if cap < 1 {
+		cap = 1
+	}
+	m.cap = cap
+	m.shrink()
+}
+
+// Evicted returns the count of entries evicted by capacity pressure
+// (Delete does not count).
+func (m *Map[K, V]) Evicted() int64 { return m.evicted }
+
+// Range visits entries from least to most recently touched, stopping
+// when f returns false. f must not mutate the map; collect keys and
+// Delete after.
+func (m *Map[K, V]) Range(f func(K, V) bool) {
+	for e := m.tail; e != nil; e = e.prev {
+		if !f(e.key, e.val) {
+			return
+		}
+	}
+}
+
+func (m *Map[K, V]) shrink() {
+	for len(m.entries) > m.cap && m.tail != nil {
+		victim := m.tail
+		m.unlink(victim)
+		delete(m.entries, victim.key)
+		m.evicted++
+	}
+}
+
+func (m *Map[K, V]) touch(e *entry[K, V]) {
+	if m.head == e {
+		return
+	}
+	m.unlink(e)
+	m.pushFront(e)
+}
+
+func (m *Map[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = m.head
+	if m.head != nil {
+		m.head.prev = e
+	}
+	m.head = e
+	if m.tail == nil {
+		m.tail = e
+	}
+}
+
+func (m *Map[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// sizerRing bounds the event-timestamp window a Sizer estimates from.
+const sizerRing = 256
+
+// Sizer derives a ledger capacity from the observed event rate: a
+// ledger whose entries stay relevant for `window` needs room for
+// rate × window of them (times a headroom factor for burstiness), so a
+// flood of events grows the cap instead of churning out entries that
+// are still inside their window.
+type Sizer struct {
+	// Min and Max clamp the derived capacity (defaults 1024 and 1<<20).
+	Min, Max int
+	// Headroom multiplies the rate × window estimate (default 2).
+	Headroom float64
+
+	times [sizerRing]time.Time
+	next  int
+	n     int
+}
+
+// Note records one event.
+func (s *Sizer) Note(now time.Time) {
+	s.times[s.next] = now
+	s.next = (s.next + 1) % sizerRing
+	if s.n < sizerRing {
+		s.n++
+	}
+}
+
+// Cap returns the capacity for a ledger retaining entries for window:
+// observed rate × window × Headroom, clamped to [Min, Max].
+func (s *Sizer) Cap(window time.Duration, now time.Time) int {
+	min, max, headroom := s.Min, s.Max, s.Headroom
+	if min <= 0 {
+		min = 1024
+	}
+	if max <= 0 {
+		max = 1 << 20
+	}
+	if headroom <= 0 {
+		headroom = 2
+	}
+	if s.n < 2 {
+		return min
+	}
+	oldest := s.times[(s.next-s.n+sizerRing)%sizerRing]
+	span := now.Sub(oldest)
+	if span < time.Millisecond {
+		span = time.Millisecond
+	}
+	rate := float64(s.n) / span.Seconds()
+	cap := int(rate * window.Seconds() * headroom)
+	if cap < min {
+		return min
+	}
+	if cap > max {
+		return max
+	}
+	return cap
+}

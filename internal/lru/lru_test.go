@@ -1,0 +1,134 @@
+package lru
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	m := New[int, string](4)
+	m.Put(1, "a")
+	m.Put(2, "b")
+	if got, ok := m.Get(1); !ok || got != "a" {
+		t.Fatalf("Get(1) = %q, %v", got, ok)
+	}
+	m.Put(1, "a2")
+	if got, _ := m.Get(1); got != "a2" {
+		t.Fatalf("update lost: %q", got)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Delete(1)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if m.Evicted() != 0 {
+		t.Fatalf("Delete counted as eviction: %d", m.Evicted())
+	}
+}
+
+// TestLastTouchEviction is the property the tombstone/nonce ledgers
+// need: a recently-consulted entry survives an insert flood; only the
+// longest-untouched entries are evicted.
+func TestLastTouchEviction(t *testing.T) {
+	m := New[int, int](3)
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Put(3, 3)
+	m.Get(1) // touch the oldest insert
+	m.Put(4, 4)
+	if _, ok := m.Peek(1); !ok {
+		t.Error("touched entry 1 was evicted (FIFO behaviour, not LRU)")
+	}
+	if _, ok := m.Peek(2); ok {
+		t.Error("least-recently-touched entry 2 survived past cap")
+	}
+	if m.Evicted() != 1 {
+		t.Errorf("Evicted = %d, want 1", m.Evicted())
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	m := New[int, int](2)
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Peek(1) // must NOT protect 1
+	m.Put(3, 3)
+	if _, ok := m.Peek(1); ok {
+		t.Error("Peek touched the entry")
+	}
+}
+
+func TestSetCapShrinksAndGrows(t *testing.T) {
+	m := New[int, int](8)
+	for i := 0; i < 8; i++ {
+		m.Put(i, i)
+	}
+	m.SetCap(3)
+	if m.Len() != 3 {
+		t.Fatalf("Len after shrink = %d, want 3", m.Len())
+	}
+	for i := 5; i < 8; i++ { // most recent three
+		if _, ok := m.Peek(i); !ok {
+			t.Errorf("recent entry %d evicted by shrink", i)
+		}
+	}
+	m.SetCap(10)
+	for i := 100; i < 107; i++ {
+		m.Put(i, i)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("Len after grow = %d, want 10", m.Len())
+	}
+}
+
+func TestRangeLRUFirst(t *testing.T) {
+	m := New[int, int](4)
+	for i := 1; i <= 3; i++ {
+		m.Put(i, i)
+	}
+	m.Get(1)
+	var order []int
+	m.Range(func(k, _ int) bool {
+		order = append(order, k)
+		return true
+	})
+	want := fmt.Sprint([]int{2, 3, 1})
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("Range order %v, want %v", got, want)
+	}
+}
+
+// TestSizerFloodGrowsCap pins the adaptive bound: a flood of events
+// within the retention window pushes the derived cap to cover them all,
+// so the LRU never evicts an entry that is still inside its TTL.
+func TestSizerFloodGrowsCap(t *testing.T) {
+	var s Sizer
+	base := time.Unix(1000, 0)
+	if got := s.Cap(time.Minute, base); got != 1024 {
+		t.Fatalf("empty sizer cap = %d, want Min 1024", got)
+	}
+	// 5000 events over one second: rate ≈ 256/span for the retained ring,
+	// far above 1000/s. With a 60s window the cap must cover the whole
+	// flood (rate × window ≫ 5000) without hitting Max.
+	for i := 0; i < 5000; i++ {
+		s.Note(base.Add(time.Duration(i) * time.Second / 5000))
+	}
+	cap := s.Cap(time.Minute, base.Add(time.Second))
+	if cap < 5000 {
+		t.Errorf("cap %d does not cover a 5000/s flood over a 60s window", cap)
+	}
+	if cap > 1<<20 {
+		t.Errorf("cap %d above Max", cap)
+	}
+	// A slow trickle keeps the cap at the floor.
+	var slow Sizer
+	for i := 0; i < 10; i++ {
+		slow.Note(base.Add(time.Duration(i) * time.Minute))
+	}
+	if got := slow.Cap(time.Minute, base.Add(10*time.Minute)); got != 1024 {
+		t.Errorf("trickle cap = %d, want Min 1024", got)
+	}
+}

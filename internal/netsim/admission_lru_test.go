@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNonceLedgerFloodBounded pins the adaptive nonce ledger: a
+// sustained flood of distinct admissions grows the cap toward
+// rate × TTL (so every in-window nonce still fits) while keeping the
+// ledger bounded, and a nonce that keeps getting consulted — the
+// last-touch property — survives a flood that would have race-evicted
+// it from the old fixed-cap FIFO.
+func TestNonceLedgerFloodBounded(t *testing.T) {
+	a, err := NewAdmission(1e15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	ttl := 10 * time.Second
+	const protected = uint64(0xD00D)
+	if admitted, dup := a.AdmitNonce(protected, 1, base, ttl); !admitted || dup {
+		t.Fatalf("protected admit: admitted=%v dup=%v", admitted, dup)
+	}
+	// Flood: 10k distinct nonces per second for 5 seconds — all inside
+	// the protected nonce's TTL — so the ledger should size itself
+	// toward 10k/s × 10s × headroom, far past its 1024 floor. The
+	// protected nonce is consulted periodically, keeping it warm.
+	const flood = 50_000
+	for i := 0; i < flood; i++ {
+		now := base.Add(time.Duration(i+1) * 100 * time.Microsecond)
+		if admitted, dup := a.AdmitNonce(uint64(0x10000+i), 1, now, ttl); !admitted || dup {
+			t.Fatalf("flood admit %d: admitted=%v dup=%v", i, admitted, dup)
+		}
+		if size, cap := a.NonceLedgerSize(), a.NonceLedgerCap(); size > cap {
+			t.Fatalf("after %d admits: ledger %d exceeds cap %d", i+1, size, cap)
+		}
+		if i%512 == 0 {
+			if _, dup := a.AdmitNonce(protected, 1, now, ttl); !dup {
+				t.Fatalf("protected nonce evicted after %d flood admits (ledger %d, cap %d)",
+					i+1, a.NonceLedgerSize(), a.NonceLedgerCap())
+			}
+		}
+	}
+	if cap := a.NonceLedgerCap(); cap <= 1024 {
+		t.Fatalf("cap did not adapt to the flood rate: %d", cap)
+	}
+	if _, dup := a.AdmitNonce(protected, 1, base.Add(flood*100*time.Microsecond), ttl); !dup {
+		t.Fatal("protected nonce lost by the end of the flood")
+	}
+}
+
+// TestRehydrate: journal-recovered reservations restore the peak and
+// the nonce dedup without counting a second admission — the invariant
+// the kill-and-restart chaos harness sums across server generations.
+func TestRehydrate(t *testing.T) {
+	a, err := NewAdmission(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	a.Rehydrate(0xBEEF, 4e6, now, time.Minute)
+	if got := a.Admitted(); got != 0 {
+		t.Fatalf("rehydration counted as admission: %d", got)
+	}
+	if got := a.Reserved(); got != 4e6 {
+		t.Fatalf("reserved %v, want 4e6", got)
+	}
+	if got := a.Active(); got != 1 {
+		t.Fatalf("active %v, want 1", got)
+	}
+	// The recovered nonce deduplicates a retransmitted hello exactly
+	// like one admitted in this generation.
+	if _, dup := a.AdmitNonce(0xBEEF, 4e6, now, time.Minute); !dup {
+		t.Fatal("rehydrated nonce did not deduplicate")
+	}
+	a.ReleaseNonce(0xBEEF, 4e6)
+	if got := a.Reserved(); got != 0 {
+		t.Fatalf("reserved %v after release, want 0", got)
+	}
+	if a.NonceLedgerSize() != 0 {
+		t.Fatal("nonce survived release")
+	}
+}

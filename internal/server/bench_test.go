@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"testing"
+
+	"mpegsmooth/internal/journal"
 )
 
 // BenchmarkServerIngest pushes 8 concurrent streams through the full
@@ -20,6 +22,50 @@ func BenchmarkServerIngest(b *testing.B) {
 	srv, addr := startServer(b, Config{
 		LinkRate:  float64(streams) * kit.hello.PeakRate,
 		TimeScale: 1e6,
+	})
+
+	b.SetBytes(streams * streamBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < streams; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := kit.stream(context.Background(), addr)
+				if err != nil {
+					b.Error(err)
+				} else if !v.IsAdmitted() {
+					b.Errorf("rejected: %+v", v)
+				}
+			}()
+		}
+		wg.Wait()
+		want := int64(i+1) * streams
+		waitForBench(b, srv, want)
+	}
+	b.StopTimer()
+}
+
+// BenchmarkServerIngestJournal is BenchmarkServerIngest with the crash
+// journal enabled — one fsync per admission and completion, coalesced
+// watermark batches in between. The delta against the journal-less
+// benchmark is the durability tax; the acceptance bar is 10%.
+func BenchmarkServerIngestJournal(b *testing.B) {
+	const streams = 8
+	kit := makeClient(b, testTrace(b, 54))
+	var streamBytes int64
+	for _, p := range kit.payloads {
+		streamBytes += int64(len(p))
+	}
+	j, err := journal.Open(journal.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, addr := startServer(b, Config{
+		LinkRate:  float64(streams) * kit.hello.PeakRate,
+		TimeScale: 1e6,
+		Journal:   j,
 	})
 
 	b.SetBytes(streams * streamBytes)

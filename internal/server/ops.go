@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 
+	"mpegsmooth/internal/journal"
 	"mpegsmooth/internal/transport"
 )
 
@@ -29,6 +30,11 @@ type StreamCounts struct {
 	// tombstone after the sender's completion ack was lost.
 	HelloDeduped    int64 `json:"hello_deduped"`
 	AlreadyComplete int64 `json:"already_complete"`
+	// Recovered counts streams rebuilt from the journal at startup and
+	// parked for their senders to redial; RecoveredTombstones the
+	// completion tombstones restored the same way.
+	Recovered           int64 `json:"recovered"`
+	RecoveredTombstones int64 `json:"recovered_tombstones"`
 }
 
 // FaultCounts are the classified transport-fault counters (the keys
@@ -97,6 +103,9 @@ type Snapshot struct {
 	DelayViolations     int64            `json:"delay_violations"`
 	WorstDelayHeadroomS float64          `json:"worst_delay_headroom_s"`
 	PerStream           []StreamSnapshot `json:"active_streams"`
+	// Journal reports the session journal's append/flush/compaction
+	// counters; nil when the server runs without one.
+	Journal *journal.Stats `json:"journal,omitempty"`
 }
 
 // Snapshot collects the live counters: admission state, aggregate
@@ -113,16 +122,18 @@ func (s *Server) Snapshot() Snapshot {
 		ReservedPeak:  s.admission.Reserved(),
 		AvailablePeak: s.admission.Available(),
 		Streams: StreamCounts{
-			Admitted:          s.admission.Admitted(),
-			RejectedCapacity:  s.admission.Rejected(),
-			RejectedMalformed: s.rejectedMalformed,
-			RejectedBusy:      s.rejectedBusy,
-			Active:            s.admission.Active(),
-			Parked:            s.admission.Parked(),
-			Completed:         s.completed,
-			Failed:            s.failed,
-			HelloDeduped:      s.helloDeduped,
-			AlreadyComplete:   s.alreadyComplete,
+			Admitted:            s.admission.Admitted(),
+			RejectedCapacity:    s.admission.Rejected(),
+			RejectedMalformed:   s.rejectedMalformed,
+			RejectedBusy:        s.rejectedBusy,
+			Active:              s.admission.Active(),
+			Parked:              s.admission.Parked(),
+			Completed:           s.completed,
+			Failed:              s.failed,
+			HelloDeduped:        s.helloDeduped,
+			AlreadyComplete:     s.alreadyComplete,
+			Recovered:           s.recoveredStreams,
+			RecoveredTombstones: s.recoveredTombstones,
 		},
 		Faults:          s.faultTotals,
 		DelayViolations: s.delayViolations,
@@ -144,6 +155,10 @@ func (s *Server) Snapshot() Snapshot {
 	sort.Slice(snap.PerStream, func(i, j int) bool { return snap.PerStream[i].ID < snap.PerStream[j].ID })
 	if snap.CapacityBPS > 0 {
 		snap.Utilization = snap.AggregateRate / snap.CapacityBPS
+	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		snap.Journal = &js
 	}
 	return snap
 }

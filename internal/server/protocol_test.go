@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -90,6 +91,35 @@ var protoScenarios = []protoScenario{
 		serverOps: []faultnet.OpFault{{Conn: 1, Op: 2, Write: true, Action: faultnet.ActDrop}}},
 	{name: "corrupt-ack", wantAlreadyComplete: true,
 		serverOps: []faultnet.OpFault{{Conn: 1, Op: 2, Write: true, Action: faultnet.ActCorrupt}}},
+
+	// Compound schedules: several faults land on ONE stream's lifetime,
+	// each hitting the recovery path opened by the previous fault. These
+	// are the interleavings single-fault scenarios can't reach.
+
+	// Reset mid-stream, drop the resume verdict the redial earns, then
+	// drop the completion ack of the connection that finally streams to
+	// the end — recovery of a recovery of a recovery, ending in a
+	// tombstone answer.
+	{name: "drop-resume-verdict-and-ack", minResumes: 1, wantAlreadyComplete: true,
+		clientOps: []faultnet.OpFault{midStreamReset},
+		serverOps: []faultnet.OpFault{
+			{Conn: 2, Op: 1, Write: true, Action: faultnet.ActDrop},
+			{Conn: 3, Op: 2, Write: true, Action: faultnet.ActDrop},
+		}},
+	// The hello is corrupted, and when the retried hello is admitted its
+	// verdict is dropped: the third dial's hello must dedup by nonce onto
+	// the reservation the client never heard about.
+	{name: "corrupt-hello-then-drop-verdict", wantDeduped: true,
+		clientOps: []faultnet.OpFault{{Conn: 1, Op: 1, Write: true, Action: faultnet.ActCorrupt}},
+		serverOps: []faultnet.OpFault{{Conn: 2, Op: 1, Write: true, Action: faultnet.ActDrop}}},
+	// Two mid-stream resets: the replay connection is itself reset, so
+	// the second resume must pick up from the watermark the first resume
+	// advanced to — watermarks only ever move forward.
+	{name: "double-mid-stream-reset", minResumes: 2,
+		clientOps: []faultnet.OpFault{
+			midStreamReset,
+			{Conn: 2, Op: 8, Write: true, Action: faultnet.ActReset},
+		}},
 }
 
 // TestProtocolExactlyOnce is the deterministic protocol property
@@ -108,6 +138,56 @@ func TestProtocolExactlyOnce(t *testing.T) {
 				runProtocolScenario(t, sc, seed)
 			})
 		}
+	}
+}
+
+// TestProtocolRandomizedCompound generates seeded random compound fault
+// schedules — 2–4 faults per run, spread across connections, ops, both
+// sides, and all three actions — and holds every run to the same
+// exactly-once bar as the hand-written scenarios. The generator is the
+// search the curated table can't do: it reaches fault interleavings
+// nobody thought to name, and a failing seed replays deterministically.
+//
+// One constraint keeps the runs inside the protocol's contract: whole
+// frames are only DROPPED at a connection's first write (hello or
+// resume, where loss models a lost datagram and the peer times out).
+// Dropping one frame mid-stream would desynchronize the picture framing
+// itself — a gap the protocol defines as a violation, not a fault.
+// Corruption and resets stay legal everywhere.
+func TestProtocolRandomizedCompound(t *testing.T) {
+	actions := []faultnet.FaultAction{faultnet.ActDrop, faultnet.ActCorrupt, faultnet.ActReset}
+	for _, seed := range protocolSeeds(t) {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed * 7919))
+			pick := func(op int) faultnet.FaultAction {
+				a := actions[rng.Intn(len(actions))]
+				if op > 1 && a == faultnet.ActDrop {
+					a = faultnet.ActCorrupt
+				}
+				return a
+			}
+			sc := protoScenario{name: fmt.Sprintf("random-seed%d", seed)}
+			// The first fault always lands on the original connection's
+			// early writes (hello is op 1; an 18-picture stream makes
+			// dozens more), so every run injects at least one fault.
+			op := 1 + rng.Intn(6)
+			sc.clientOps = append(sc.clientOps,
+				faultnet.OpFault{Conn: 1, Op: op, Write: true, Action: pick(op)})
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				if rng.Intn(2) == 0 {
+					op := 1 + rng.Intn(10)
+					sc.clientOps = append(sc.clientOps,
+						faultnet.OpFault{Conn: 1 + rng.Intn(3), Op: op, Write: true, Action: pick(op)})
+				} else {
+					// A server conn writes at most twice: verdict, then ack.
+					sc.serverOps = append(sc.serverOps,
+						faultnet.OpFault{Conn: 1 + rng.Intn(3), Op: 1 + rng.Intn(2), Write: true,
+							Action: actions[rng.Intn(len(actions))]})
+				}
+			}
+			runProtocolScenario(t, sc, seed)
+		})
 	}
 }
 

@@ -43,6 +43,8 @@ import (
 	"time"
 
 	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/journal"
+	"mpegsmooth/internal/lru"
 	"mpegsmooth/internal/netsim"
 	"mpegsmooth/internal/transport"
 )
@@ -98,6 +100,22 @@ type Config struct {
 	Egress io.Writer
 	// Clock abstracts time for tests; nil means the wall clock.
 	Clock transport.Clock
+	// Journal, when set, is the crash-safety write-ahead log: stream
+	// admissions, accept watermarks, completions, and expiries are
+	// recorded (fsynced before any verdict or ack a sender may act on),
+	// and New replays the journal's recovered state into the nonce
+	// ledger, admission reservations, parked-stream table, and
+	// tombstone map — so a sender redialing after a server crash gets a
+	// correct resume or AlreadyComplete verdict instead of a rejection.
+	// The server owns the journal from here: it is closed by Shutdown
+	// and abandoned by Kill.
+	Journal *journal.Journal
+	// Integrity is the prefix-hash mode this server requires in every
+	// hello (default IntegrityFNV). A hello declaring any other mode is
+	// rejected as malformed. IntegrityHMAC requires IntegrityKey.
+	Integrity transport.IntegrityMode
+	// IntegrityKey is the shared secret for IntegrityHMAC sessions.
+	IntegrityKey []byte
 	// Logf, when set, receives one line per session outcome.
 	Logf func(format string, args ...any)
 }
@@ -155,10 +173,18 @@ type Server struct {
 	// tombstones remembers recently completed streams by resume token so
 	// a sender whose completion ack was lost gets a precise
 	// AlreadyComplete verdict (with the final hash) instead of an
-	// unknown-token rejection. Constant TTL means tombQueue's insertion
-	// order is also expiry order.
-	tombstones map[uint64]tombstone
-	tombQueue  []uint64
+	// unknown-token rejection. The ledger is a last-touch LRU whose cap
+	// adapts to the observed completion rate × the tombstone TTL, so a
+	// flood of short streams cannot race-evict a tombstone a legitimate
+	// late resume still needs.
+	tombstones *lru.Map[uint64, tombstone]
+	tombSizer  lru.Sizer
+
+	// journal is cfg.Journal (nil disables durability); the recovered
+	// counters report what the journal replay rebuilt at startup.
+	journal             *journal.Journal
+	recoveredStreams    int64
+	recoveredTombstones int64
 
 	completed         int64
 	failed            int64
@@ -182,7 +208,8 @@ type Server struct {
 // finishedKeep bounds the retained per-stream history.
 const finishedKeep = 256
 
-// tombstoneKeep bounds the completion-tombstone ledger.
+// tombstoneKeep is the completion-tombstone ledger's capacity floor;
+// the adaptive sizer grows it with the observed completion rate.
 const tombstoneKeep = 4096
 
 // tombstone records a completed stream's final state: enough to answer
@@ -201,10 +228,20 @@ var (
 	expvarOnce   sync.Once
 )
 
-// New validates the configuration and prepares a server.
+// New validates the configuration and prepares a server. When a
+// journal is configured, its recovered state is replayed here: crashed
+// streams come back parked (reservation held, waiting out the resume
+// window for their sender to redial) and completion tombstones come
+// back answerable.
 func New(cfg Config) (*Server, error) {
 	if cfg.LinkRate <= 0 || math.IsNaN(cfg.LinkRate) || math.IsInf(cfg.LinkRate, 0) {
 		return nil, fmt.Errorf("server: non-positive link rate %v", cfg.LinkRate)
+	}
+	if !cfg.Integrity.Valid() {
+		return nil, fmt.Errorf("server: unknown integrity mode %d", cfg.Integrity)
+	}
+	if cfg.Integrity == transport.IntegrityHMAC && len(cfg.IntegrityKey) == 0 {
+		return nil, errors.New("server: integrity mode hmac-sha256 needs a key")
 	}
 	adm, err := netsim.NewAdmission(cfg.LinkRate)
 	if err != nil {
@@ -219,10 +256,15 @@ func New(cfg Config) (*Server, error) {
 		streams:       map[uint64]*stream{},
 		resumable:     map[uint64]*stream{},
 		nonces:        map[uint64]*stream{},
-		tombstones:    map[uint64]tombstone{},
+		tombstones:    lru.New[uint64, tombstone](tombstoneKeep),
+		tombSizer:     lru.Sizer{Min: tombstoneKeep},
 		worstHeadroom: math.Inf(1),
 	}
 	s.egress = newLink(s.cfg.Egress, s.cfg.WriteTimeout)
+	s.journal = s.cfg.Journal
+	if s.journal != nil {
+		s.recoverFromJournal()
+	}
 	activeServer.Store(s)
 	expvarOnce.Do(func() {
 		expvar.Publish("smoothd", expvar.Func(func() any {
@@ -284,6 +326,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.journal != nil {
+			return s.journal.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		s.cancel()
@@ -293,8 +338,156 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		if s.journal != nil {
+			// Cancelled streams were NOT journaled as expired: their
+			// sessions survive in the journal, so the next generation
+			// recovers them parked and their senders resume.
+			s.journal.Close()
+		}
 		return ctx.Err()
 	}
+}
+
+// Kill terminates the server the way a crash would: the journal is
+// abandoned (no flush, no graceful records), every stream's context is
+// cancelled and its connection dropped, and nothing is acked or
+// drained. The kill-and-restart chaos harness uses it as an in-process
+// SIGKILL; combined with a journal on a power-loss-modelling FS, what
+// the next generation recovers is exactly what was durable.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	streams := make([]*stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	if s.journal != nil {
+		s.journal.Abandon()
+	}
+	s.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, st := range streams {
+		st.closeConn()
+	}
+	s.wg.Wait()
+}
+
+// recoverFromJournal replays the journal's recovered state into the
+// server's ledgers: live streams come back parked (session rebuilt at
+// the journaled watermark, prefix hash restored, reservation
+// rehydrated) with a goroutine waiting out the resume window; unexpired
+// tombstones come back answerable. Records that no longer fit this
+// generation's configuration are expired in the journal rather than
+// resurrected wrong.
+func (s *Server) recoverFromJournal() {
+	state := s.journal.State()
+	now := time.Now()
+	expire := func(token, nonce uint64, reason journal.ExpireReason, why string) {
+		if err := s.journal.Expired(token, nonce, reason); err != nil {
+			s.cfg.Logf("smoothd: recovery: expiring %016x (%s): %v", token, why, err)
+		} else {
+			s.cfg.Logf("smoothd: recovery: dropped journaled %s for token %016x", why, token)
+		}
+	}
+	for token, rec := range state.Streams {
+		if s.cfg.ResumeWindow <= 0 {
+			expire(token, rec.Hello.Nonce, journal.ExpireResumeWindow, "stream (resumption disabled)")
+			continue
+		}
+		if rec.Hello.Integrity != s.cfg.Integrity {
+			expire(token, rec.Hello.Nonce, journal.ExpireFailed, "stream (integrity mode changed)")
+			continue
+		}
+		ph, err := transport.NewPrefixHash(rec.Hello.Integrity, s.cfg.IntegrityKey)
+		if err == nil && len(rec.HashState) > 0 {
+			err = ph.Restore(rec.HashState)
+		}
+		if err != nil {
+			expire(token, rec.Hello.Nonce, journal.ExpireFailed, "stream (prefix hash unrecoverable)")
+			continue
+		}
+		st := newParkedStream(rec.Hello, s.cfg.QueueLen, ph, rec.Watermark)
+		h := s.cfg.H
+		if h <= 0 {
+			h = rec.Hello.GOP.N
+		}
+		sess, err := core.NewSession(rec.Hello.Tau, rec.Hello.GOP, core.Config{
+			K: rec.Hello.K, D: rec.Hello.D, H: h, Policy: s.cfg.Policy,
+		}, core.WithObserver(st.observe))
+		if err != nil {
+			expire(token, rec.Hello.Nonce, journal.ExpireFailed, "stream (session rebuild failed)")
+			continue
+		}
+		st.sess = sess
+		st.token = token
+		s.mu.Lock()
+		s.nextID++
+		st.id = s.nextID
+		s.streams[st.id] = st
+		s.resumable[token] = st
+		if rec.Hello.Nonce != 0 {
+			s.nonces[rec.Hello.Nonce] = st
+		}
+		s.admission.Rehydrate(rec.Hello.Nonce, rec.Hello.PeakRate, now, s.nonceTTL())
+		s.recoveredStreams++
+		s.mu.Unlock()
+		s.cfg.Logf("smoothd: recovered stream %d (token %016x) parked at picture %d awaiting resume",
+			st.id, token, rec.Watermark)
+		s.wg.Add(1)
+		go func(st *stream) {
+			defer s.wg.Done()
+			err := s.run(st, nil)
+			s.finish(st, err)
+			st.closeConn()
+		}(st)
+	}
+	for token, tb := range state.Tombstones {
+		if now.After(tb.Expires) || len(tb.HashState) < 8 {
+			expire(token, tb.Nonce, journal.ExpireTombstone, "tombstone (expired)")
+			continue
+		}
+		s.mu.Lock()
+		s.tombstones.Put(token, tombstone{
+			fnv:      binary.BigEndian.Uint64(tb.HashState),
+			pictures: tb.Pictures,
+			expires:  tb.Expires,
+		})
+		s.recoveredTombstones++
+		s.mu.Unlock()
+	}
+}
+
+// journalWatermark coalesces the stream's accept watermark and prefix
+// hash state for the journal's next flush; it never blocks on the disk.
+func (s *Server) journalWatermark(st *stream) {
+	if s.journal == nil || st.token == 0 {
+		return
+	}
+	next, state := st.prefixState()
+	s.journal.Watermark(st.token, next, state)
+}
+
+// journalComplete makes a stream's completion durable — called before
+// the completion ack is written, so an acked stream is always
+// answerable as AlreadyComplete after a crash. A failure here degrades
+// durability, not correctness: the un-journaled completion recovers as
+// a fully-caught-up parked stream, and the sender's resume completes it
+// again idempotently.
+func (s *Server) journalComplete(st *stream) error {
+	if s.journal == nil || st.token == 0 {
+		return nil
+	}
+	next, sum := st.resumePoint()
+	var state [8]byte
+	binary.BigEndian.PutUint64(state[:], sum)
+	return s.journal.Completed(journal.TombstoneRecord{
+		Token: st.token, Nonce: st.hello.Nonce, Pictures: next,
+		HashState: state[:], Expires: time.Now().Add(s.tombstoneTTL()),
+	})
 }
 
 // handle runs one connection: the first message decides whether it is a
@@ -483,11 +676,21 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 		return nil, transport.Verdict{Code: code, Available: avail}, err
 	}
 
+	if hello.Integrity != s.cfg.Integrity {
+		return reject(transport.RejectedMalformed,
+			fmt.Errorf("server: hello integrity mode %s, this server requires %s",
+				hello.Integrity, s.cfg.Integrity))
+	}
+	ph, err := transport.NewPrefixHash(hello.Integrity, s.cfg.IntegrityKey)
+	if err != nil {
+		return reject(transport.RejectedMalformed, err)
+	}
+
 	h := s.cfg.H
 	if h <= 0 {
 		h = hello.GOP.N
 	}
-	st := newStream(conn, fr, fw, *hello, s.cfg.QueueLen)
+	st := newStream(conn, fr, fw, *hello, s.cfg.QueueLen, ph)
 	sess, err := core.NewSession(hello.Tau, hello.GOP, core.Config{
 		K: hello.K, D: hello.D, H: h, Policy: s.cfg.Policy,
 	}, core.WithObserver(st.observe))
@@ -529,6 +732,26 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 	}
 	avail := s.admission.Available()
 	s.mu.Unlock()
+	if s.journal != nil && st.token != 0 {
+		// The admission fact must be durable before the verdict leaves:
+		// a sender acting on an admission the journal forgot would be
+		// rejected as unknown after a crash. The fsync runs outside s.mu
+		// so concurrent admissions serialize only on the journal.
+		if jerr := s.journal.Admitted(journal.StreamRecord{Token: st.token, Hello: *hello}); jerr != nil {
+			s.mu.Lock()
+			s.admission.ReleaseNonce(hello.Nonce, hello.PeakRate)
+			delete(s.streams, st.id)
+			if hello.Nonce != 0 {
+				delete(s.nonces, hello.Nonce)
+			}
+			delete(s.resumable, st.token)
+			s.rejectedBusy++
+			avail = s.admission.Available()
+			s.mu.Unlock()
+			return nil, transport.Verdict{Code: transport.RejectedBusy, Available: avail},
+				fmt.Errorf("server: admission not journalable: %w", jerr)
+		}
+	}
 	_, prefix := st.resumePoint() // empty hash: nothing accepted yet
 	return st, transport.Verdict{
 		Code: transport.Admitted, Available: avail, ResumeToken: st.token, PrefixFNV: prefix,
@@ -556,27 +779,39 @@ func (s *Server) tombstoneTTL() time.Duration {
 }
 
 // entombLocked records a completed stream's final state under its
-// resume token, evicting expired entries (queue front, since the TTL is
-// constant) and enforcing the cap. Caller holds s.mu.
+// resume token. The ledger is a last-touch LRU: the adaptive cap tracks
+// completion rate × TTL, expired entries are swept from the cold end,
+// and a tombstone a late sender keeps probing stays warm — a completion
+// flood can only evict entries the TTL would have expired anyway.
+// Caller holds s.mu.
 func (s *Server) entombLocked(token uint64, finalFNV uint64, pictures int) {
 	now := time.Now()
-	for len(s.tombQueue) > 0 {
-		head := s.tombQueue[0]
-		if t := s.tombstones[head]; now.Before(t.expires) && len(s.tombQueue) < tombstoneKeep {
-			break
+	s.tombSizer.Note(now)
+	s.tombstones.SetCap(s.tombSizer.Cap(s.tombstoneTTL(), now))
+	var dead []uint64
+	s.tombstones.Range(func(tok uint64, t tombstone) bool {
+		if now.Before(t.expires) {
+			return false // touch recency ≈ expiry order; the rest are live
 		}
-		delete(s.tombstones, head)
-		s.tombQueue = s.tombQueue[1:]
+		dead = append(dead, tok)
+		return true
+	})
+	for _, tok := range dead {
+		s.tombstones.Delete(tok)
 	}
-	s.tombstones[token] = tombstone{fnv: finalFNV, pictures: pictures, expires: now.Add(s.tombstoneTTL())}
-	s.tombQueue = append(s.tombQueue, token)
+	s.tombstones.Put(token, tombstone{fnv: finalFNV, pictures: pictures, expires: now.Add(s.tombstoneTTL())})
 }
 
-// lookupTombstoneLocked finds a live tombstone and counts the hit.
+// lookupTombstoneLocked finds a live tombstone and counts the hit; the
+// lookup touches the entry, keeping probed tombstones ahead of eviction.
 // Caller holds s.mu.
 func (s *Server) lookupTombstoneLocked(token uint64) (tombstone, bool) {
-	t, ok := s.tombstones[token]
-	if !ok || time.Now().After(t.expires) {
+	t, ok := s.tombstones.Get(token)
+	if !ok {
+		return tombstone{}, false
+	}
+	if time.Now().After(t.expires) {
+		s.tombstones.Delete(token)
 		return tombstone{}, false
 	}
 	s.alreadyComplete++
@@ -660,6 +895,20 @@ func (s *Server) finish(st *stream, err error) {
 		s.delayViolations++
 	}
 	s.mu.Unlock()
+	if err != nil && s.journal != nil && st.token != 0 && s.ctx.Err() == nil {
+		// A terminal failure releases the reservation, so the journal
+		// must forget the stream too — otherwise the next generation
+		// would rehydrate a reservation nobody holds. Streams ended by
+		// shutdown cancellation are deliberately NOT expired: they stay
+		// journaled so the next generation recovers them parked.
+		reason := journal.ExpireFailed
+		if st.resumeWindowLapsed() {
+			reason = journal.ExpireResumeWindow
+		}
+		if jerr := s.journal.Expired(st.token, st.hello.Nonce, reason); jerr != nil {
+			s.cfg.Logf("smoothd: stream %d expiry journal write failed: %v", st.id, jerr)
+		}
+	}
 	if err != nil {
 		s.cfg.Logf("smoothd: stream %d from %s failed: %v", st.id, ss.Remote, err)
 	} else {

@@ -72,7 +72,8 @@ func (c *clientKit) stream(ctx context.Context, addr string) (transport.Verdict,
 	if err := fw.WriteHello(c.hello); err != nil {
 		return transport.Verdict{}, err
 	}
-	v, err := transport.NewFrameReader(conn).ReadVerdict()
+	fr := transport.NewFrameReader(conn)
+	v, err := fr.ReadVerdict()
 	if err != nil || !v.IsAdmitted() {
 		return v, err
 	}
@@ -80,6 +81,10 @@ func (c *clientKit) stream(ctx context.Context, addr string) (transport.Verdict,
 	if err := sender.Send(ctx, fw, c.sched, c.payloads); err != nil {
 		return v, err
 	}
+	// Wait for the completion ack so the server's final write never races
+	// our close — with a resume window configured, a reset ack write
+	// would otherwise park the finished stream for the whole window.
+	fr.ReadMessageTimeout(10 * time.Second)
 	return v, nil
 }
 
@@ -252,6 +257,46 @@ func TestMalformedFirstMessageIsRejected(t *testing.T) {
 	}
 	if got := srv.Snapshot().ReservedPeak; got != 0 {
 		t.Fatalf("malformed hellos reserved %.0f bps", got)
+	}
+}
+
+// TestIntegrityModeMismatchRejected: an HMAC server turns away a
+// default-FNV hello at admission — before reserving capacity — and a
+// plain-FNV server likewise refuses an HMAC hello, so a sender can
+// never stream under a prefix-hash regime the server won't verify.
+func TestIntegrityModeMismatchRejected(t *testing.T) {
+	kit := makeClient(t, testTrace(t, 27))
+	srv, addr := startServer(t, Config{
+		LinkRate:     1e7,
+		Integrity:    transport.IntegrityHMAC,
+		IntegrityKey: []byte("server-side-secret"),
+	})
+
+	// kit.hello is zero-valued Integrity == IntegrityFNV.
+	conn, _, v := kit.handshake(t, addr)
+	defer conn.Close()
+	if v.Code != transport.RejectedMalformed {
+		t.Fatalf("FNV hello against HMAC server: verdict %+v, want rejected-malformed", v)
+	}
+	if got := srv.Snapshot().ReservedPeak; got != 0 {
+		t.Fatalf("mismatched hello reserved %.0f bps", got)
+	}
+
+	// The right mode is admitted on the same server.
+	ok := *kit
+	ok.hello.Integrity = transport.IntegrityHMAC
+	conn2, _, v2 := ok.handshake(t, addr)
+	defer conn2.Close()
+	if !v2.IsAdmitted() {
+		t.Fatalf("HMAC hello against HMAC server: verdict %+v", v2)
+	}
+
+	// And the mirror image: an FNV server refuses an HMAC hello.
+	_, addrFNV := startServer(t, Config{LinkRate: 1e7})
+	conn3, _, v3 := ok.handshake(t, addrFNV)
+	defer conn3.Close()
+	if v3.Code != transport.RejectedMalformed {
+		t.Fatalf("HMAC hello against FNV server: verdict %+v, want rejected-malformed", v3)
 	}
 }
 

@@ -4,8 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash"
-	"hash/fnv"
 	"math"
 	"net"
 	"sync"
@@ -21,6 +19,10 @@ type item struct {
 	dec     core.Decision
 	payload []byte
 }
+
+// errRecoveredUnresumed fails a journal-recovered stream whose sender
+// never redialed within the resume window.
+var errRecoveredUnresumed = errors.New("server: recovered stream never resumed")
 
 // resumedConn is a reconnecting sender's connection, handed from the
 // accept handler to the parked stream's ingest loop.
@@ -49,17 +51,25 @@ type stream struct {
 	token    uint64
 	resumeCh chan resumedConn // cap 1; guarded by accepting/resumeGone
 
-	mu         sync.Mutex
-	conn       net.Conn
-	fr         *transport.FrameReader
-	fw         *transport.FrameWriter
-	accepting  bool // parked and willing to adopt a resumed connection
-	resumeGone bool // resume window expired; never deliver again
-	parked     bool
-	resumes    int
-	faults     FaultCounts
-	expected   int         // next picture index ingest will accept
-	fnvSum     hash.Hash64 // running FNV-1a over accepted payloads, in order
+	// base is the absolute index of the first picture this generation's
+	// Session will see: 0 for a freshly admitted stream, the recovered
+	// watermark for a journal-recovered one. The Session numbers its
+	// decisions from 0, so base bridges session-local picture numbers to
+	// absolute stream indices.
+	base int
+
+	mu           sync.Mutex
+	conn         net.Conn
+	fr           *transport.FrameReader
+	fw           *transport.FrameWriter
+	accepting    bool // parked and willing to adopt a resumed connection
+	resumeGone   bool // resume window expired; never deliver again
+	parked       bool
+	windowLapsed bool // the resume window ran out with no reconnect
+	resumes      int
+	faults       FaultCounts
+	expected     int                  // next (absolute) picture index ingest will accept
+	prefix       transport.PrefixHash // running hash over accepted payloads, in order
 
 	sess           *core.Session
 	stats          *metrics.DecisionStats
@@ -74,8 +84,9 @@ type stream struct {
 
 // newStream builds the stream skeleton; the caller creates the Session
 // with st.observe installed and assigns it to st.sess before the stream
-// is published.
-func newStream(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, hello transport.StreamHello, queueLen int) *stream {
+// is published. prefix is the negotiated integrity hash, fresh for a
+// new stream.
+func newStream(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, hello transport.StreamHello, queueLen int, prefix transport.PrefixHash) *stream {
 	return &stream{
 		remote:   conn.RemoteAddr().String(),
 		conn:     conn,
@@ -84,8 +95,28 @@ func newStream(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWrit
 		hello:    hello,
 		queue:    make(chan item, queueLen),
 		resumeCh: make(chan resumedConn, 1),
-		fnvSum:   fnv.New64a(),
+		prefix:   prefix,
 		stats:    metrics.NewDecisionStats(),
+	}
+}
+
+// newParkedStream builds a journal-recovered stream: no connection yet,
+// the accept watermark and prefix hash restored to their journaled
+// values. Its ingest loop starts by waiting out the resume window for
+// the sender to redial; pictures below base were accepted by the
+// previous server generation (their payloads are gone with it) and the
+// fresh Session smooths only the remainder.
+func newParkedStream(hello transport.StreamHello, queueLen int, prefix transport.PrefixHash, watermark int) *stream {
+	return &stream{
+		remote:   "(recovered)",
+		hello:    hello,
+		queue:    make(chan item, queueLen),
+		resumeCh: make(chan resumedConn, 1),
+		prefix:   prefix,
+		stats:    metrics.NewDecisionStats(),
+		base:     watermark,
+		expected: watermark,
+		parked:   true,
 	}
 }
 
@@ -103,7 +134,24 @@ func (st *stream) observe(o core.Observation) {
 func (st *stream) resumePoint() (next int, prefix uint64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.expected, st.fnvSum.Sum64()
+	return st.expected, st.prefix.Sum64()
+}
+
+// prefixState returns the accept watermark and the prefix hash's
+// resumable state — what the journal records so a restarted server can
+// continue the hash mid-stream.
+func (st *stream) prefixState() (next int, state []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.expected, st.prefix.State()
+}
+
+// resumeWindowLapsed reports whether the stream failed because its
+// resume window ran out — the journal's ExpireResumeWindow reason.
+func (st *stream) resumeWindowLapsed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.windowLapsed
 }
 
 // closeConn closes whichever connection the stream currently owns.
@@ -127,7 +175,7 @@ func (st *stream) push(payload []byte) ([]core.Decision, error) {
 		return nil, err
 	}
 	st.expected++
-	st.fnvSum.Write(payload)
+	st.prefix.Absorb(payload)
 	st.pictures++
 	st.note(decs)
 	return decs, nil
@@ -177,11 +225,13 @@ func (st *stream) runIngest(ctx context.Context, s *Server) error {
 	pending := make(map[int][]byte)
 	enqueue := func(decs []core.Decision) error {
 		for _, d := range decs {
-			payload, ok := pending[d.Picture]
+			// Decision picture numbers are session-local; st.base rebases
+			// them to absolute indices for journal-recovered streams.
+			payload, ok := pending[d.Picture+st.base]
 			if !ok {
-				return fmt.Errorf("server: decision for picture %d without payload", d.Picture)
+				return fmt.Errorf("server: decision for picture %d without payload", d.Picture+st.base)
 			}
-			delete(pending, d.Picture)
+			delete(pending, d.Picture+st.base)
 			select {
 			case st.queue <- item{dec: d, payload: payload}:
 			case <-ctx.Done():
@@ -197,8 +247,24 @@ func (st *stream) runIngest(ctx context.Context, s *Server) error {
 		st.mu.Lock()
 		fr, fw := st.fr, st.fw
 		st.mu.Unlock()
+		if fr == nil {
+			// Journal-recovered stream: no connection yet. Park first —
+			// the sender redials with its resume token, or the window
+			// lapses and the stream expires like any abandoned park.
+			if rerr := st.awaitResume(ctx, s, errRecoveredUnresumed); rerr != nil {
+				return rerr
+			}
+			continue
+		}
 		msg, err := fr.ReadMessageTimeout(s.cfg.ReadTimeout)
 		if errors.Is(err, transport.ErrClosed) {
+			// Make the completion durable before echoing the end marker as
+			// the completion ack: an acked stream must be answerable as
+			// AlreadyComplete even across a crash. (A journal failure here
+			// costs durability, not correctness — see journalComplete.)
+			if jerr := s.journalComplete(st); jerr != nil {
+				s.cfg.Logf("smoothd: stream %d completion journal write failed: %v", st.id, jerr)
+			}
 			// Echo the end marker as the completion ack: the sender only
 			// reports success once every picture was accepted here. If the
 			// ack cannot be delivered, park — the resume replays nothing
@@ -262,6 +328,7 @@ func (st *stream) runIngest(ctx context.Context, s *Server) error {
 			if err != nil {
 				return err
 			}
+			s.journalWatermark(st)
 			if err := enqueue(decs); err != nil {
 				return err
 			}
@@ -322,6 +389,7 @@ func (st *stream) awaitResume(ctx context.Context, s *Server, cause error) error
 	default:
 		st.resumeGone = true
 		st.parked = false
+		st.windowLapsed = true
 		st.faults.ResumeExpired++
 		st.mu.Unlock()
 	}
@@ -452,7 +520,7 @@ func (st *stream) snapshot() StreamSnapshot {
 		Resumes:        st.resumes,
 		Parked:         st.parked,
 		Faults:         st.faults,
-		PayloadFNV:     st.fnvSum.Sum64(),
+		PayloadFNV:     st.prefix.Sum64(),
 
 		OutOfBand:             st.stats.OutOfBand,
 		MeanDepth:             st.stats.MeanDepth(),

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTombstoneLedgerFloodBounded pins the completion-tombstone ledger:
+// a flood of completions grows the adaptive cap with the observed
+// completion rate while the ledger never exceeds it, and a tombstone a
+// late sender keeps probing — the last-touch property — survives the
+// entire flood instead of being race-evicted by strangers.
+func TestTombstoneLedgerFloodBounded(t *testing.T) {
+	srv, err := New(Config{LinkRate: 1e9, ResumeWindow: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const protected = uint64(0xFEEDFACE)
+	srv.mu.Lock()
+	srv.entombLocked(protected, 0xABC, 10)
+	srv.mu.Unlock()
+
+	const flood = 100_000
+	for i := 0; i < flood; i++ {
+		srv.mu.Lock()
+		srv.entombLocked(uint64(0x100000+i), uint64(i), i)
+		if size, cap := srv.tombstones.Len(), srv.tombstones.Cap(); size > cap {
+			srv.mu.Unlock()
+			t.Fatalf("after %d completions: ledger %d exceeds cap %d", i+1, size, cap)
+		}
+		if i%1024 == 0 {
+			if _, ok := srv.lookupTombstoneLocked(protected); !ok {
+				srv.mu.Unlock()
+				t.Fatalf("probed tombstone evicted after %d completions (ledger %d, cap %d)",
+					i+1, srv.tombstones.Len(), srv.tombstones.Cap())
+			}
+		}
+		srv.mu.Unlock()
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if cap := srv.tombstones.Cap(); cap <= tombstoneKeep {
+		t.Errorf("cap did not adapt above its %d floor under a completion flood: %d", tombstoneKeep, cap)
+	}
+	if tomb, ok := srv.lookupTombstoneLocked(protected); !ok || tomb.fnv != 0xABC || tomb.pictures != 10 {
+		t.Errorf("probed tombstone lost or mangled by the end of the flood: %+v ok=%v", tomb, ok)
+	}
+
+	// An expired tombstone is lazily dropped at lookup, not answered.
+	srv.tombstones.Put(0xDEAD, tombstone{fnv: 1, pictures: 1, expires: time.Now().Add(-time.Second)})
+	if _, ok := srv.lookupTombstoneLocked(0xDEAD); ok {
+		t.Error("expired tombstone answered a resume")
+	}
+	if _, ok := srv.tombstones.Get(0xDEAD); ok {
+		t.Error("expired tombstone not dropped on lookup")
+	}
+}

@@ -95,6 +95,12 @@ func ClassifyFault(err error) FaultClass {
 		errors.Is(err, net.ErrClosed),
 		errors.Is(err, syscall.ECONNRESET),
 		errors.Is(err, syscall.EPIPE),
+		// A refused or aborted dial is how a crashed-and-restarting
+		// server presents: nothing is listening for a moment. The
+		// journaled session survives the restart, so retrying the
+		// connection is exactly right.
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNABORTED),
 		errors.Is(err, ErrResumeBusy):
 		return FaultReset
 	}

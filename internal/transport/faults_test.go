@@ -59,6 +59,11 @@ func TestClassifyFaultTable(t *testing.T) {
 		{"unexpected eof", io.ErrUnexpectedEOF, FaultReset},
 		{"closed pipe", io.ErrClosedPipe, FaultReset},
 		{"net closed", net.ErrClosed, FaultReset},
+		// A crashed-and-restarting server refuses dials until it rebinds;
+		// the journaled session survives, so the dial must be retried.
+		{"econnrefused", syscall.ECONNREFUSED, FaultReset},
+		{"econnrefused in OpError", &net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}, FaultReset},
+		{"econnaborted", syscall.ECONNABORTED, FaultReset},
 		{"resume busy", ErrResumeBusy, FaultReset},
 		{"resume busy wrapped", wrap(ErrResumeBusy), FaultReset},
 

@@ -18,7 +18,9 @@ func validHello() StreamHello {
 func TestHelloRoundTrip(t *testing.T) {
 	withNonce := validHello()
 	withNonce.Nonce = 0xFEEDFACE12345678
-	for _, want := range []StreamHello{validHello(), withNonce} {
+	withHMAC := withNonce
+	withHMAC.Integrity = IntegrityHMAC
+	for _, want := range []StreamHello{validHello(), withNonce, withHMAC} {
 		var buf bytes.Buffer
 		if err := NewFrameWriter(&buf).WriteHello(want); err != nil {
 			t.Fatal(err)
@@ -48,6 +50,7 @@ func TestHelloValidation(t *testing.T) {
 		"negative len":  func(h *StreamHello) { h.Pictures = -1 },
 		"zero peak":     func(h *StreamHello) { h.PeakRate = 0 },
 		"infinite peak": func(h *StreamHello) { h.PeakRate = math.Inf(1) },
+		"bad integrity": func(h *StreamHello) { h.Integrity = IntegrityMode(7) },
 	}
 	for name, corrupt := range cases {
 		h := validHello()

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+func testPayloads(t *testing.T, n int) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, 16+rng.Intn(64))
+		rng.Read(out[i])
+	}
+	return out
+}
+
+// TestFNVPrefixMatchesStdlib pins the hand-rolled FNV-1a step against
+// hash/fnv: the resumable prefix hash must produce byte-identical sums
+// to the pre-negotiation code path (and to every existing tombstone).
+func TestFNVPrefixMatchesStdlib(t *testing.T) {
+	payloads := testPayloads(t, 8)
+	h, err := NewPrefixHash(IntegrityFNV, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := fnv.New64a()
+	if h.Sum64() != std.Sum64() {
+		t.Fatalf("empty prefix: %016x vs stdlib %016x", h.Sum64(), std.Sum64())
+	}
+	for i, p := range payloads {
+		h.Absorb(p)
+		std.Write(p)
+		if h.Sum64() != std.Sum64() {
+			t.Fatalf("after %d payloads: %016x vs stdlib %016x", i+1, h.Sum64(), std.Sum64())
+		}
+	}
+}
+
+// TestPrefixHashStateRoundTrip is the property the crash journal relies
+// on: State() captured at any watermark, Restored into a fresh hash,
+// continues to the identical final sum.
+func TestPrefixHashStateRoundTrip(t *testing.T) {
+	payloads := testPayloads(t, 10)
+	key := []byte("test-integrity-key")
+	for _, mode := range []IntegrityMode{IntegrityFNV, IntegrityHMAC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			full, err := NewPrefixHash(mode, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range payloads {
+				full.Absorb(p)
+			}
+			want := full.Sum64()
+
+			for cut := 0; cut <= len(payloads); cut++ {
+				first, _ := NewPrefixHash(mode, key)
+				for _, p := range payloads[:cut] {
+					first.Absorb(p)
+				}
+				state := first.State()
+				second, _ := NewPrefixHash(mode, key)
+				if err := second.Restore(state); err != nil {
+					t.Fatalf("cut %d: Restore: %v", cut, err)
+				}
+				for _, p := range payloads[cut:] {
+					second.Absorb(p)
+				}
+				if got := second.Sum64(); got != want {
+					t.Fatalf("cut %d: resumed sum %016x, want %016x", cut, got, want)
+				}
+				if sum, err := PrefixSum(mode, key, payloads, cut); err != nil || sum != first.Sum64() {
+					t.Fatalf("cut %d: PrefixSum = %016x, %v; want %016x", cut, sum, err, first.Sum64())
+				}
+			}
+		})
+	}
+}
+
+func TestHMACPrefixProperties(t *testing.T) {
+	payloads := testPayloads(t, 4)
+	sum := func(key string) uint64 {
+		s, err := PrefixSum(IntegrityHMAC, []byte(key), payloads, len(payloads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if sum("key-a") == sum("key-b") {
+		t.Error("different keys produced the same tag")
+	}
+	// Order sensitivity: swapping payloads changes the chain.
+	swapped := [][]byte{payloads[1], payloads[0], payloads[2], payloads[3]}
+	a, _ := PrefixSum(IntegrityHMAC, []byte("k"), payloads, 4)
+	b, _ := PrefixSum(IntegrityHMAC, []byte("k"), swapped, 4)
+	if a == b {
+		t.Error("payload order does not affect the chained tag")
+	}
+	if _, err := NewPrefixHash(IntegrityHMAC, nil); err == nil {
+		t.Error("keyless HMAC mode accepted")
+	}
+	if _, err := NewPrefixHash(IntegrityMode(9), nil); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	var h PrefixHash
+	h, _ = NewPrefixHash(IntegrityHMAC, []byte("k"))
+	if err := h.Restore([]byte{1, 2, 3}); err == nil {
+		t.Error("short HMAC state accepted")
+	}
+	h, _ = NewPrefixHash(IntegrityFNV, nil)
+	if err := h.Restore([]byte{1, 2, 3}); err == nil {
+		t.Error("short FNV state accepted")
+	}
+}

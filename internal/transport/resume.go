@@ -95,7 +95,8 @@ type StreamResult struct {
 }
 
 // prefixFNV hashes payloads[:n] in order with FNV-1a — the sender-side
-// mirror of the server's running accepted-payload hash at watermark n.
+// mirror of the server's running accepted-payload hash at watermark n
+// in the default integrity mode.
 func prefixFNV(payloads [][]byte, n int) uint64 {
 	h := fnv.New64a()
 	for _, p := range payloads[:n] {
@@ -147,6 +148,12 @@ type ResumableSender struct {
 	// Seed fixes the jitter randomness for deterministic tests; 0 draws
 	// from the global source.
 	Seed int64
+	// Integrity selects the prefix-verification hash the hello
+	// negotiates (default IntegrityFNV; overrides Hello.Integrity when
+	// set). IntegrityHMAC requires Key.
+	Integrity IntegrityMode
+	// Key is the shared secret for IntegrityHMAC.
+	Key []byte
 	// OnEvent, when set, observes every fault and resume.
 	OnEvent func(ResumeEvent)
 }
@@ -197,6 +204,18 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 	hello := rs.Hello
 	if hello.Nonce == 0 {
 		hello.Nonce = newNonce(rng)
+	}
+	if rs.Integrity != IntegrityFNV {
+		hello.Integrity = rs.Integrity
+	}
+	// Validate the negotiated mode/key pair once; prefix() below then
+	// cannot fail.
+	if _, err := NewPrefixHash(hello.Integrity, rs.Key); err != nil {
+		return result, err
+	}
+	prefix := func(n int) uint64 {
+		sum, _ := PrefixSum(hello.Integrity, rs.Key, payloads, n)
+		return sum
 	}
 
 	var (
@@ -260,7 +279,7 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 			// final hash against our own bytes before calling it success —
 			// a mismatch means both ends "completed" different streams.
 			conn.Close()
-			if want := prefixFNV(payloads, len(payloads)); v.PrefixFNV != want {
+			if want := prefix(len(payloads)); v.PrefixFNV != want {
 				result.Faults[FaultOther]++
 				return result, fmt.Errorf("transport: already-complete verdict hash %016x, ours %016x: %w",
 					v.PrefixFNV, want, ErrDiverged)
@@ -322,7 +341,7 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 			return result, fmt.Errorf("transport: server watermark %d beyond stream length %d: %w",
 				next, len(payloads), ErrDiverged)
 		}
-		if want := prefixFNV(payloads, next); v.PrefixFNV != want {
+		if want := prefix(next); v.PrefixFNV != want {
 			conn.Close()
 			result.Faults[FaultOther]++
 			return result, fmt.Errorf("transport: server prefix fnv %016x at picture %d, ours %016x: %w",

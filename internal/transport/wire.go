@@ -51,7 +51,7 @@ const (
 func bodyLen(kind byte) (int, bool) {
 	switch kind {
 	case kindHello:
-		return 42, true
+		return 43, true
 	case kindVerdict:
 		return 29, true
 	case kindRate:
@@ -130,6 +130,11 @@ type StreamHello struct {
 	// become idempotent the way resume tokens make pictures idempotent.
 	// Zero disables deduplication (the pre-nonce behaviour).
 	Nonce uint64
+	// Integrity names the prefix-verification hash for this session:
+	// IntegrityFNV (zero, the default) or IntegrityHMAC. The server must
+	// hold the matching key for IntegrityHMAC; a mode it cannot serve is
+	// rejected malformed.
+	Integrity IntegrityMode
 }
 
 // Validate checks the hello's fields for wire-level sanity.
@@ -151,6 +156,9 @@ func (h StreamHello) Validate() error {
 	}
 	if h.PeakRate <= 0 || math.IsNaN(h.PeakRate) || math.IsInf(h.PeakRate, 0) {
 		return fmt.Errorf("transport: hello peak rate %v", h.PeakRate)
+	}
+	if !h.Integrity.Valid() {
+		return fmt.Errorf("transport: hello integrity mode %d", h.Integrity)
 	}
 	return nil
 }
@@ -314,7 +322,7 @@ func (fw *FrameWriter) WriteHello(h StreamHello) error {
 		h.K > math.MaxUint16 || h.Pictures > math.MaxUint32 {
 		return fmt.Errorf("transport: hello field out of wire range")
 	}
-	var body [42]byte
+	var body [43]byte
 	binary.BigEndian.PutUint64(body[0:8], math.Float64bits(h.Tau))
 	binary.BigEndian.PutUint16(body[8:10], uint16(h.GOP.N))
 	binary.BigEndian.PutUint16(body[10:12], uint16(h.GOP.M))
@@ -323,6 +331,7 @@ func (fw *FrameWriter) WriteHello(h StreamHello) error {
 	binary.BigEndian.PutUint32(body[22:26], uint32(h.Pictures))
 	binary.BigEndian.PutUint64(body[26:34], math.Float64bits(h.PeakRate))
 	binary.BigEndian.PutUint64(body[34:42], h.Nonce)
+	body[42] = byte(h.Integrity)
 	return fw.writeFrame(kindHello, body[:])
 }
 
@@ -472,11 +481,12 @@ func (fr *FrameReader) decode(kind byte, body []byte) (any, error) {
 				N: int(binary.BigEndian.Uint16(body[8:10])),
 				M: int(binary.BigEndian.Uint16(body[10:12])),
 			},
-			K:        int(binary.BigEndian.Uint16(body[12:14])),
-			D:        math.Float64frombits(binary.BigEndian.Uint64(body[14:22])),
-			Pictures: int(binary.BigEndian.Uint32(body[22:26])),
-			PeakRate: math.Float64frombits(binary.BigEndian.Uint64(body[26:34])),
-			Nonce:    binary.BigEndian.Uint64(body[34:42]),
+			K:         int(binary.BigEndian.Uint16(body[12:14])),
+			D:         math.Float64frombits(binary.BigEndian.Uint64(body[14:22])),
+			Pictures:  int(binary.BigEndian.Uint32(body[22:26])),
+			PeakRate:  math.Float64frombits(binary.BigEndian.Uint64(body[26:34])),
+			Nonce:     binary.BigEndian.Uint64(body[34:42]),
+			Integrity: IntegrityMode(body[42]),
 		}
 		if err := h.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)

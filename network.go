@@ -1,8 +1,12 @@
 package mpegsmooth
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"io"
+	"os"
+	"strings"
 
 	"mpegsmooth/internal/core"
 	"mpegsmooth/internal/netsim"
@@ -61,6 +65,10 @@ type (
 	StreamResult = transport.StreamResult
 	// FaultClass buckets transport failures (corrupt, timeout, reset).
 	FaultClass = transport.FaultClass
+	// IntegrityMode selects the prefix-verification hash a stream
+	// session negotiates in its hello (FNV-1a by default, or keyed
+	// HMAC-SHA256 for senders that must not trust the path).
+	IntegrityMode = transport.IntegrityMode
 
 	// Policer is a token-bucket usage-parameter-control element that
 	// checks traffic against its declared rates.
@@ -103,6 +111,20 @@ const (
 	StreamRejectedMalformed = transport.RejectedMalformed
 	// StreamRejectedBusy: stream limit reached or server draining.
 	StreamRejectedBusy = transport.RejectedBusy
+	// StreamAlreadyComplete: the resumed stream had already been fully
+	// accepted; the verdict carries the final watermark and prefix hash
+	// so the sender can confirm byte-exact delivery despite a lost ack.
+	StreamAlreadyComplete = transport.AlreadyComplete
+)
+
+// Prefix-integrity modes (see IntegrityMode).
+const (
+	// IntegrityFNV: FNV-1a over the accepted prefix — fast corruption
+	// detection, the wire-format default.
+	IntegrityFNV = transport.IntegrityFNV
+	// IntegrityHMAC: chained HMAC-SHA256 under a shared key — prefix
+	// verification an on-path attacker cannot forge.
+	IntegrityHMAC = transport.IntegrityHMAC
 )
 
 // Fault classes (see ClassifyFault).
@@ -156,6 +178,32 @@ func NewFrameReader(r io.Reader) *FrameReader { return transport.NewFrameReader(
 // ClassifyFault buckets a transport error into a FaultClass for
 // accounting and retry policy.
 func ClassifyFault(err error) FaultClass { return transport.ClassifyFault(err) }
+
+// ParseIntegrity parses an -integrity flag value: "fnv" (the default,
+// no key) or "hmac-sha256:<keyfile>", reading the shared key from the
+// named file with surrounding whitespace trimmed.
+func ParseIntegrity(spec string) (IntegrityMode, []byte, error) {
+	switch {
+	case spec == "" || spec == "fnv":
+		return IntegrityFNV, nil, nil
+	case strings.HasPrefix(spec, "hmac-sha256:"):
+		path := strings.TrimPrefix(spec, "hmac-sha256:")
+		if path == "" {
+			return 0, nil, fmt.Errorf("mpegsmooth: integrity mode hmac-sha256 needs a keyfile: hmac-sha256:<keyfile>")
+		}
+		key, err := os.ReadFile(path)
+		if err != nil {
+			return 0, nil, fmt.Errorf("mpegsmooth: reading integrity key: %w", err)
+		}
+		key = bytes.TrimSpace(key)
+		if len(key) == 0 {
+			return 0, nil, fmt.Errorf("mpegsmooth: integrity keyfile %s is empty", path)
+		}
+		return IntegrityHMAC, key, nil
+	default:
+		return 0, nil, fmt.Errorf("mpegsmooth: unknown integrity mode %q (want fnv or hmac-sha256:<keyfile>)", spec)
+	}
+}
 
 // AnalyzeVBV computes the minimum decoder start-up delay and peak
 // decoder buffer occupancy implied by a schedule (the MPEG "model
