@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench chaos crash journal protocol results examples clean
+.PHONY: all build test test-race vet bench muxbench chaos crash journal protocol results examples clean
 
 all: build vet test test-race
 
@@ -58,6 +58,15 @@ results:
 # without re-running the unit tests.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# The event-engine scale benchmark: the seed heap scheduler vs the
+# timing-wheel engine (per-cell and fluid) on the 1000-source
+# multiplexing workload, recorded to BENCH_netsim.json. MUXBENCH_FLAGS
+# can pass -short for the CI-sized workload.
+muxbench:
+	$(GO) test $(MUXBENCH_FLAGS) -run TestMuxBenchArtifact -count=1 \
+		./internal/netsim/ -muxbench-out $(CURDIR)/BENCH_netsim.json
+	@cat BENCH_netsim.json
 
 examples:
 	$(GO) run ./examples/quickstart

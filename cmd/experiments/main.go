@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, extA, extB, extC, extD, extE, all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, extA..extJ, all")
 		out         = flag.String("out", "results", "output directory for CSV series")
 		pictures    = flag.Int("pictures", experiments.DefaultPictures, "trace length in pictures")
 		seed        = flag.Int64("seed", experiments.DefaultSeed, "trace generation seed")
@@ -52,7 +52,7 @@ func main() {
 	}
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"3", "4", "5", "6", "7", "8", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI"}
+		figs = []string{"3", "4", "5", "6", "7", "8", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI", "extJ"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), *out, *pictures, *seed, opts...); err != nil {
@@ -101,8 +101,33 @@ func runFigure(fig, out string, pictures int, seed int64, opts ...experiments.Sw
 		return extH(out, seed)
 	case "extI":
 		return extI(out, pictures, seed)
+	case "extJ":
+		return extJ(out, seed)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+func extJ(out string, seed int64) error {
+	rows, err := experiments.ExtJ(experiments.ExtJConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "extJ_scale.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteScaleCSV(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	fmt.Println("== Ext J: admissible load at scale (fluid engine, LRD background, loss target 1e-3) ==")
+	for _, r := range rows {
+		fmt.Printf("  n=%5d D=%.4f: raw load %.3f  smoothed load %.3f  gain %.2fx  (%d events/run)\n",
+			r.Streams, r.D, r.RawLoad, r.SmoothedLoad, r.Gain, r.Events)
+	}
+	fmt.Println("  -> extJ_scale.csv")
+	return nil
 }
 
 func extI(out string, pictures int, seed int64) error {

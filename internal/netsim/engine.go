@@ -1,0 +1,317 @@
+// Package netsim is a discrete-event simulator of finite-buffer FIFO
+// packet multiplexers fed by rate-scheduled video sources.
+//
+// The paper motivates lossless smoothing with the observation, due to
+// Reibman/Berger and Reininger et al., that "the statistical multiplexing
+// gain of finite-buffer packet switches can improve substantially by
+// reducing the variance of input traffic rates" for a specified bound on
+// loss probability. This package reproduces that motivating experiment at
+// two fidelities sharing one event engine:
+//
+//   - the cell layer (Mux, Source, Run) simulates every cell, exactly
+//     reproducing the behaviour of the original heap-of-closures
+//     simulator, and
+//   - the fluid layer (FluidMux, FluidSource, Shaper, RunFluid) steps one
+//     rate segment per event and accounts cells analytically between
+//     events, so event count scales with rate breakpoints rather than
+//     cells — the mode that runs thousands of multiplexed streams.
+//
+// Both layers run on Engine, an allocation-free hierarchical timing
+// wheel over integer tick time with deterministic same-tick FIFO
+// ordering.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Tick is integer simulation time. An Engine defines the tick length in
+// seconds; all event ordering happens in ticks, which kills the float
+// drift the old float-time heap accumulated in long runs.
+type Tick int64
+
+// Event is a scheduled simulation action. Simulation elements (sources,
+// multiplexers, shapers) implement Event themselves, so scheduling one
+// allocates nothing beyond the engine's pooled event records.
+type Event interface {
+	// Fire runs the event's action at tick now.
+	Fire(now Tick)
+}
+
+// EventFunc adapts a closure to the Event interface (tests and
+// small simulations; hot paths implement Event directly).
+type EventFunc func(now Tick)
+
+// Fire calls f.
+func (f EventFunc) Fire(now Tick) { f(now) }
+
+// The wheel: wheelLevels levels of wheelSlots slots each. Level k slots
+// span wheelSlots^k ticks, so the whole hierarchy covers
+// wheelSlots^wheelLevels ticks (2^48 ≈ 2.8e14) before the overflow list
+// is consulted.
+const (
+	wheelBits   = 12
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+)
+
+// record is a pooled scheduler entry: one scheduled Event with the
+// sequence number that breaks same-tick ties (FIFO by schedule order).
+type record struct {
+	tick Tick
+	seq  int64
+	ev   Event
+	next *record
+}
+
+// wheelLevel is one wheel: per-slot FIFO lists plus a two-level
+// occupancy bitmap (64 words of 64 slots, one summary word) so the next
+// occupied slot is found with a handful of word operations instead of a
+// linear scan over empty slots.
+type wheelLevel struct {
+	head    [wheelSlots]*record
+	tail    [wheelSlots]*record
+	words   [wheelSlots / 64]uint64
+	summary uint64
+}
+
+func (l *wheelLevel) push(idx int, r *record) {
+	r.next = nil
+	if l.tail[idx] == nil {
+		l.head[idx] = r
+	} else {
+		l.tail[idx].next = r
+	}
+	l.tail[idx] = r
+	l.words[idx>>6] |= 1 << uint(idx&63)
+	l.summary |= 1 << uint(idx>>6)
+}
+
+// take removes and returns a slot's whole list (in FIFO order).
+func (l *wheelLevel) take(idx int) *record {
+	r := l.head[idx]
+	if r == nil {
+		return nil
+	}
+	l.head[idx], l.tail[idx] = nil, nil
+	l.words[idx>>6] &^= 1 << uint(idx&63)
+	if l.words[idx>>6] == 0 {
+		l.summary &^= 1 << uint(idx>>6)
+	}
+	return r
+}
+
+// nextOccupied returns the smallest occupied slot index >= from, or -1.
+func (l *wheelLevel) nextOccupied(from int) int {
+	if from >= wheelSlots {
+		return -1
+	}
+	w := from >> 6
+	if word := l.words[w] &^ (1<<uint(from&63) - 1); word != 0 {
+		return w<<6 + bits.TrailingZeros64(word)
+	}
+	sum := l.summary &^ (1<<uint(w+1) - 1)
+	if sum == 0 {
+		return -1
+	}
+	w = bits.TrailingZeros64(sum)
+	return w<<6 + bits.TrailingZeros64(l.words[w])
+}
+
+// Engine drives a discrete-event simulation on a hierarchical timing
+// wheel. Events fire in nondecreasing tick order; events scheduled for
+// the same tick fire in the order they were scheduled, regardless of
+// which wheel level they transited. All event records are pooled: after
+// warm-up, scheduling allocates nothing.
+type Engine struct {
+	hz       float64 // ticks per second
+	now      Tick
+	seq      int64
+	lv       [wheelLevels]*wheelLevel
+	overflow []*record // events beyond the wheel span
+	free     *record   // record pool
+	scratch  []*record // reusable same-tick batch buffer
+}
+
+// NewEngine returns an empty engine at tick 0 whose tick length is
+// 1/ticksPerSecond seconds.
+func NewEngine(ticksPerSecond float64) *Engine {
+	if ticksPerSecond <= 0 || math.IsInf(ticksPerSecond, 0) || math.IsNaN(ticksPerSecond) {
+		panic(fmt.Sprintf("netsim: invalid tick rate %v", ticksPerSecond))
+	}
+	e := &Engine{hz: ticksPerSecond}
+	for k := range e.lv {
+		e.lv[k] = &wheelLevel{}
+	}
+	return e
+}
+
+// Now returns the current simulation tick.
+func (e *Engine) Now() Tick { return e.now }
+
+// NowSeconds returns the current simulation time in seconds.
+func (e *Engine) NowSeconds() float64 { return float64(e.now) / e.hz }
+
+// TickAt quantizes a time in seconds to the nearest tick.
+func (e *Engine) TickAt(seconds float64) Tick {
+	return Tick(math.Round(seconds * e.hz))
+}
+
+// SecondsOf converts a tick back to seconds.
+func (e *Engine) SecondsOf(t Tick) float64 { return float64(t) / e.hz }
+
+// Schedule queues ev to fire at tick t. Scheduling in the past panics —
+// that is always a simulation bug.
+func (e *Engine) Schedule(t Tick, ev Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("netsim: scheduling event in the past (%d < %d)", t, e.now))
+	}
+	r := e.free
+	if r == nil {
+		r = &record{}
+	} else {
+		e.free = r.next
+	}
+	e.seq++
+	r.tick, r.seq, r.ev = t, e.seq, ev
+	e.place(r)
+}
+
+// place files a record at the highest-resolution level whose current
+// rotation covers its tick: level k holds ticks sharing the engine's
+// current wheelSlots^(k+1) block.
+func (e *Engine) place(r *record) {
+	t := r.tick
+	for k := 0; k < wheelLevels; k++ {
+		shift := uint(wheelBits * (k + 1))
+		if t>>shift == e.now>>shift {
+			e.lv[k].push(int(t>>uint(wheelBits*k))&wheelMask, r)
+			return
+		}
+	}
+	e.overflow = append(e.overflow, r)
+}
+
+// Run executes events in tick order until the queue is empty or the
+// next event lies beyond the horizon. It returns the number of events
+// fired. When stopped by the horizon, Now() is the horizon; when the
+// queue drains, Now() stays at the last fired tick (matching the old
+// scheduler's semantics).
+func (e *Engine) Run(horizon Tick) int {
+	fired := 0
+	for e.advance(horizon) {
+		fired += e.fireCurrent()
+	}
+	return fired
+}
+
+// advance moves now to the tick of the next pending event, cascading
+// higher levels (and draining the overflow list) as it goes. It reports
+// whether an event at tick <= horizon is ready; when the next event is
+// beyond the horizon it sets now to the horizon and reports false.
+func (e *Engine) advance(horizon Tick) bool {
+	for {
+		// Level 0: one slot per tick within the current block.
+		if i := e.lv[0].nextOccupied(int(e.now) & wheelMask); i >= 0 {
+			t := (e.now &^ Tick(wheelMask)) + Tick(i)
+			if t > horizon {
+				e.now = horizon
+				return false
+			}
+			e.now = t
+			return true
+		}
+		// Higher levels: jump to the next occupied slot and cascade it
+		// down. Slots at or before the current position are empty by
+		// construction (they were cascaded when now entered them).
+		cascaded := false
+		for k := 1; k < wheelLevels; k++ {
+			shift := uint(wheelBits * k)
+			cur := int(e.now>>shift) & wheelMask
+			j := e.lv[k].nextOccupied(cur + 1)
+			if j < 0 {
+				continue
+			}
+			blockMask := Tick(1)<<(shift+wheelBits) - 1
+			t := e.now&^blockMask | Tick(j)<<shift
+			if t > horizon {
+				e.now = horizon
+				return false
+			}
+			e.now = t
+			for r := e.lv[k].take(j); r != nil; {
+				next := r.next
+				e.place(r)
+				r = next
+			}
+			cascaded = true
+			break
+		}
+		if cascaded {
+			continue
+		}
+		if len(e.overflow) > 0 {
+			min := e.overflow[0].tick
+			for _, r := range e.overflow[1:] {
+				if r.tick < min {
+					min = r.tick
+				}
+			}
+			if min > horizon {
+				e.now = horizon
+				return false
+			}
+			e.now = min
+			pending := e.overflow
+			e.overflow = nil // place may re-append out-of-span records
+			for _, r := range pending {
+				e.place(r)
+			}
+			continue
+		}
+		return false // queue empty; now stays at the last fired tick
+	}
+}
+
+// fireCurrent fires every event scheduled for the current tick,
+// including events scheduled for this same tick by the events
+// themselves, in seq (schedule) order.
+func (e *Engine) fireCurrent() int {
+	idx := int(e.now) & wheelMask
+	n := 0
+	for {
+		r := e.lv[0].take(idx)
+		if r == nil {
+			return n
+		}
+		batch := e.scratch[:0]
+		sorted := true
+		for ; r != nil; r = r.next {
+			if r.tick != e.now {
+				panic("netsim: wheel slot holds a foreign tick")
+			}
+			if len(batch) > 0 && batch[len(batch)-1].seq > r.seq {
+				sorted = false
+			}
+			batch = append(batch, r)
+		}
+		// Cascading preserves FIFO order by construction; the sort is a
+		// cheap belt-and-braces guarantee of deterministic ordering.
+		if !sorted {
+			sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+		}
+		for _, rec := range batch {
+			ev := rec.ev
+			rec.ev = nil
+			rec.next = e.free
+			e.free = rec
+			ev.Fire(e.now)
+			n++
+		}
+		e.scratch = batch[:0]
+	}
+}

@@ -1,0 +1,329 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"mpegsmooth/internal/metrics"
+)
+
+// The fluid layer trades cell granularity for scale: a source advances
+// one rate segment per event and the multiplexer accounts whole
+// intervals analytically (closed-form buffer drain and overflow between
+// events), so event count scales with rate breakpoints instead of
+// cells. A thousand smoothed streams cost thousands of events per
+// second of simulated time, not millions.
+
+// rateSink receives piecewise-constant rate updates from a stream's
+// upstream element (its source, or the shaper in front of the mux).
+type rateSink interface {
+	setRate(id int, t, rate float64)
+}
+
+// FluidSourceStats is one stream's fluid cell accounting.
+type FluidSourceStats struct {
+	// ArrivedCells and LostCells are fluid (fractional) cell counts at
+	// the multiplexer, after any shaping.
+	ArrivedCells float64
+	LostCells    float64
+	// MaxShapingDelay is the worst queueing delay the stream's shaper
+	// imposed (0 without a shaper): max backlog over sustained rate.
+	MaxShapingDelay float64
+}
+
+// FluidResult is the outcome of a fluid simulation.
+type FluidResult struct {
+	ArrivedCells  float64
+	ServedCells   float64
+	LostCells     float64
+	BufferedCells float64 // left in the buffer at the horizon
+	MaxQueueCells float64 // buffer high-water mark
+	Events        int     // events the engine fired
+	Sources       []FluidSourceStats
+}
+
+// LossProbability returns LostCells/ArrivedCells (0 when nothing
+// arrived).
+func (r *FluidResult) LossProbability() float64 {
+	if r.ArrivedCells <= 0 {
+		return 0
+	}
+	return r.LostCells / r.ArrivedCells
+}
+
+// FluidMux is the batched-analytic finite-buffer multiplexer. Between
+// rate-change events the aggregate inflow R is constant, so the buffer
+// trajectory is piecewise linear: it fills at R-C toward the buffer
+// bound, overflows at R-C once there, and drains at C-R toward empty —
+// all accounted in closed form, with no events of its own.
+//
+// Per-source loss attribution is O(1) per rate change: the mux keeps a
+// cumulative loss weight W(t) = ∫ overflow/R dt (loss per unit inflow
+// rate); a stream holding rate r over [t0,t1) lost exactly
+// r·(W(t1)-W(t0)) bits of it.
+type FluidMux struct {
+	capacity float64 // link rate, bits/s
+	bufBits  float64 // waiting-buffer bound, bits
+
+	level   float64 // buffer occupancy, bits
+	lastT   float64 // time of last integration, seconds
+	sumRate float64 // aggregate inflow, bits/s
+
+	arrived  float64 // bits
+	served   float64 // bits
+	lost     float64 // bits
+	lossW    float64 // cumulative loss weight, seconds
+	maxLevel float64
+
+	srcRate []float64
+	srcArr  []float64 // bits
+	srcLost []float64 // bits
+	srcT    []float64 // per-source last flush time
+	srcW    []float64 // per-source lossW snapshot at last flush
+}
+
+// NewFluidMux creates a fluid multiplexer for the given number of
+// attributed streams.
+func NewFluidMux(linkRate float64, bufferCells, sources int) (*FluidMux, error) {
+	if linkRate <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive link rate %v", linkRate)
+	}
+	if bufferCells < 0 {
+		return nil, fmt.Errorf("netsim: negative buffer %d", bufferCells)
+	}
+	return &FluidMux{
+		capacity: linkRate,
+		bufBits:  float64(bufferCells) * CellBits,
+		srcRate:  make([]float64, sources),
+		srcArr:   make([]float64, sources),
+		srcLost:  make([]float64, sources),
+		srcT:     make([]float64, sources),
+		srcW:     make([]float64, sources),
+	}, nil
+}
+
+// integrate advances the analytic buffer to time t at the current
+// aggregate inflow. Events fire in tick order, so float times from
+// distinct sources can disagree within one tick; negative advances are
+// clamped (the error is bounded by the tick length).
+func (m *FluidMux) integrate(t float64) {
+	dt := t - m.lastT
+	if dt <= 0 {
+		return
+	}
+	m.lastT = t
+	R := m.sumRate
+	if R < 0 {
+		R = 0 // float residue from accumulated rate updates
+	}
+	C := m.capacity
+	m.arrived += R * dt
+	if R > C {
+		m.served += C * dt
+		rise := R - C
+		if fill := (m.bufBits - m.level) / rise; fill >= dt {
+			m.level += rise * dt
+		} else {
+			m.level = m.bufBits
+			over := dt - fill
+			m.lost += rise * over
+			m.lossW += rise / R * over
+		}
+		if m.level > m.maxLevel {
+			m.maxLevel = m.level
+		}
+		return
+	}
+	if m.level > 0 && C > R {
+		if empty := m.level / (C - R); empty >= dt {
+			m.level -= (C - R) * dt
+			m.served += C * dt
+		} else {
+			m.served += C*empty + R*(dt-empty)
+			m.level = 0
+		}
+		return
+	}
+	// Buffer empty (or R == C with a steady buffer): output tracks input.
+	if m.level > 0 {
+		m.served += C * dt
+		return
+	}
+	m.served += R * dt
+}
+
+// setRate records stream id switching to inflow rate r at time t,
+// flushing the stream's arrival/loss attribution for the closed
+// interval since its previous change.
+func (m *FluidMux) setRate(id int, t, r float64) {
+	m.integrate(t)
+	t = m.lastT // clamped, consistent with the aggregate accounting
+	old := m.srcRate[id]
+	m.srcArr[id] += old * (t - m.srcT[id])
+	m.srcLost[id] += old * (m.lossW - m.srcW[id])
+	m.srcT[id], m.srcW[id] = t, m.lossW
+	m.srcRate[id] = r
+	m.sumRate += r - old
+}
+
+// finish integrates to the horizon and flushes every stream's pending
+// attribution.
+func (m *FluidMux) finish(t float64) {
+	m.integrate(t)
+	for id := range m.srcRate {
+		m.setRate(id, t, 0)
+	}
+}
+
+// FluidSource walks a StepFunc one segment per event, pushing each
+// rate change (including the terminal drop to zero) into its sink. The
+// segment cursor is inherently monotone — the batched layer's answer
+// to the cell layer's breakpoint rescans.
+type FluidSource struct {
+	eng    *Engine
+	sink   rateSink
+	id     int
+	times  []float64
+	values []float64
+	end    float64
+	offset float64
+	cur    int
+}
+
+// NewFluidSource creates a source over rate shifted right by offset and
+// schedules its first segment.
+func NewFluidSource(eng *Engine, sink rateSink, id int, rate *metrics.StepFunc, offset float64) *FluidSource {
+	s := &FluidSource{
+		eng:    eng,
+		sink:   sink,
+		id:     id,
+		times:  rate.Times,
+		values: rate.Values,
+		end:    rate.End,
+		offset: offset,
+		cur:    -1,
+	}
+	eng.Schedule(eng.TickAt(s.times[0]+offset), s)
+	return s
+}
+
+// Fire advances to the next segment boundary.
+func (s *FluidSource) Fire(Tick) {
+	s.cur++
+	if s.cur == len(s.times) {
+		s.sink.setRate(s.id, s.end+s.offset, 0)
+		return
+	}
+	s.sink.setRate(s.id, s.times[s.cur]+s.offset, s.values[s.cur])
+	next := s.end + s.offset
+	if s.cur+1 < len(s.times) {
+		next = s.times[s.cur+1] + s.offset
+	}
+	s.eng.Schedule(s.eng.TickAt(next), s)
+}
+
+// FluidStream describes one stream of a fluid simulation.
+type FluidStream struct {
+	// Rate is the stream's transmission rate function.
+	Rate *metrics.StepFunc
+	// Offset shifts the stream right in time (decorrelating phases).
+	Offset float64
+	// Shaper, when non-nil, interposes a limited-bandwidth connection
+	// (dual-rate token bucket with a delay queue) between the stream
+	// and the multiplexer.
+	Shaper *ShaperConfig
+}
+
+// FluidConfig describes one fluid multiplexing simulation.
+type FluidConfig struct {
+	Streams []FluidStream
+	// LinkRate is the shared output link capacity in bits/s.
+	LinkRate float64
+	// BufferCells is the multiplexer's waiting-buffer size in cells.
+	BufferCells int
+	// Horizon bounds simulated time in seconds (0 = one second past the
+	// last stream's end).
+	Horizon float64
+	// TickHz is the engine tick rate (0 = 1e9: nanosecond ticks).
+	TickHz float64
+}
+
+// defaultFluidTickHz is nanosecond ticks — fluid accounting is
+// closed-form between events, so the tick only orders breakpoints.
+const defaultFluidTickHz = 1e9
+
+// RunFluid simulates the configured streams through a shared
+// finite-buffer multiplexer in batched fluid mode and returns the
+// analytic statistics.
+func RunFluid(cfg FluidConfig) (*FluidResult, error) {
+	if len(cfg.Streams) == 0 {
+		return nil, fmt.Errorf("netsim: no streams")
+	}
+	hz := cfg.TickHz
+	if hz == 0 {
+		hz = defaultFluidTickHz
+	}
+	eng := NewEngine(hz)
+	mux, err := NewFluidMux(cfg.LinkRate, cfg.BufferCells, len(cfg.Streams))
+	if err != nil {
+		return nil, err
+	}
+	horizon := cfg.Horizon
+	shapers := make([]*Shaper, len(cfg.Streams))
+	for i, st := range cfg.Streams {
+		if st.Rate == nil {
+			return nil, fmt.Errorf("netsim: stream %d has no rate function", i)
+		}
+		if st.Offset < 0 {
+			return nil, fmt.Errorf("netsim: negative offset %v", st.Offset)
+		}
+		var sink rateSink = mux
+		if st.Shaper != nil {
+			sh, err := NewShaper(eng, mux, i, *st.Shaper)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: stream %d: %w", i, err)
+			}
+			shapers[i], sink = sh, sh
+		}
+		NewFluidSource(eng, sink, i, st.Rate, st.Offset)
+		if cfg.Horizon == 0 {
+			if end := st.Rate.End + st.Offset + 1; end > horizon {
+				horizon = end
+			}
+		}
+	}
+	events := eng.Run(eng.TickAt(horizon))
+	for _, sh := range shapers {
+		if sh != nil {
+			sh.flush(horizon)
+		}
+	}
+	mux.finish(horizon)
+
+	res := &FluidResult{
+		ArrivedCells:  mux.arrived / CellBits,
+		ServedCells:   mux.served / CellBits,
+		LostCells:     mux.lost / CellBits,
+		BufferedCells: mux.level / CellBits,
+		MaxQueueCells: mux.maxLevel / CellBits,
+		Events:        events,
+		Sources:       make([]FluidSourceStats, len(cfg.Streams)),
+	}
+	for i := range res.Sources {
+		res.Sources[i] = FluidSourceStats{
+			ArrivedCells: mux.srcArr[i] / CellBits,
+			LostCells:    mux.srcLost[i] / CellBits,
+		}
+		if shapers[i] != nil {
+			res.Sources[i].MaxShapingDelay = shapers[i].MaxDelay()
+		}
+	}
+	// Conservation, the same invariant the cell layer enforces, within
+	// float tolerance of the analytic accounting.
+	diff := math.Abs(mux.arrived - mux.served - mux.lost - mux.level)
+	if diff > 1e-6*math.Max(1, mux.arrived) {
+		return res, fmt.Errorf("netsim: fluid conservation violated: %g arrived, %g served, %g lost, %g buffered",
+			mux.arrived, mux.served, mux.lost, mux.level)
+	}
+	return res, nil
+}

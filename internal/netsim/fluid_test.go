@@ -1,0 +1,323 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"mpegsmooth/internal/metrics"
+	"mpegsmooth/internal/trace"
+)
+
+func fluidConst(t testing.TB, rate, duration float64) *metrics.StepFunc {
+	t.Helper()
+	f, err := metrics.NewStepFunc([]float64{0}, []float64{rate}, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFluidUnderloadLosesNothing(t *testing.T) {
+	res, err := RunFluid(FluidConfig{
+		Streams:  []FluidStream{{Rate: fluidConst(t, 1e6, 2)}},
+		LinkRate: 2e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostCells != 0 {
+		t.Fatalf("lost %v cells under load 0.5", res.LostCells)
+	}
+	want := 1e6 * 2 / CellBits
+	if math.Abs(res.ArrivedCells-want) > 1e-6*want {
+		t.Fatalf("arrived %v cells, want %v", res.ArrivedCells, want)
+	}
+}
+
+func TestFluidOverloadClosedForm(t *testing.T) {
+	// 4 Mbps into a 2 Mbps link with zero buffer for 2 s: exactly half
+	// the fluid is lost, in closed form.
+	res, err := RunFluid(FluidConfig{
+		Streams:  []FluidStream{{Rate: fluidConst(t, 4e6, 2)}},
+		LinkRate: 2e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.LossProbability(); math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("loss probability %v, want exactly 0.5", p)
+	}
+	if len(res.Sources) != 1 {
+		t.Fatalf("%d source stats", len(res.Sources))
+	}
+	if l := res.Sources[0].LostCells; math.Abs(l-res.LostCells) > 1e-9*res.LostCells {
+		t.Fatalf("attributed loss %v, aggregate %v", l, res.LostCells)
+	}
+}
+
+func TestFluidBufferAbsorbsBurst(t *testing.T) {
+	// 1 s at 4 Mbps then 1 s silent into a 2.5 Mbps link. The burst
+	// deposits (4-2.5)Mb = 1.5 Mb; a buffer larger than that loses
+	// nothing, a half-size buffer loses the rest.
+	mk := func() *metrics.StepFunc {
+		f, err := metrics.NewStepFunc([]float64{0, 1}, []float64{4e6, 0}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	bigCells := int(math.Ceil(1.6e6 / CellBits))
+	big, err := RunFluid(FluidConfig{
+		Streams:     []FluidStream{{Rate: mk()}},
+		LinkRate:    2.5e6,
+		BufferCells: bigCells,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.LostCells != 0 {
+		t.Fatalf("big buffer lost %v cells", big.LostCells)
+	}
+	// High-water mark: 1.5 Mb worth of cells.
+	if want := 1.5e6 / CellBits; math.Abs(big.MaxQueueCells-want) > 1e-6*want {
+		t.Fatalf("max queue %v cells, want %v", big.MaxQueueCells, want)
+	}
+	halfCells := int(math.Floor(0.75e6 / CellBits))
+	small, err := RunFluid(FluidConfig{
+		Streams:     []FluidStream{{Rate: mk()}},
+		LinkRate:    2.5e6,
+		BufferCells: halfCells,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lost fluid = 1.5 Mb deposited minus what the buffer held.
+	wantLost := (1.5e6 - float64(halfCells)*CellBits) / CellBits
+	if math.Abs(small.LostCells-wantLost) > 1e-6*wantLost {
+		t.Fatalf("small buffer lost %v cells, want %v", small.LostCells, wantLost)
+	}
+}
+
+func TestFluidMatchesCellLayer(t *testing.T) {
+	// On a real smoothed-video workload the fluid loss probability must
+	// track the cell-exact simulation closely (they model the same
+	// system; fluid ignores only cell-granularity).
+	const n = 6
+	var rates []*metrics.StepFunc
+	var mean float64
+	for i := 0; i < n; i++ {
+		tr, err := trace.Generate(trace.SynthConfig{
+			Name:  "fvc",
+			GOP:   mpegGOP(),
+			IBase: 200_000, PBase: 90_000, BBase: 30_000,
+			Scenes: []trace.ScenePhase{{Pictures: 99, Complexity: 1, Motion: 0.8}},
+			Seed:   int64(300 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += tr.MeanRate()
+		rates = append(rates, RawRateFunc(t, tr))
+	}
+	offsets := make([]float64, n)
+	for i := range offsets {
+		offsets[i] = float64(i) * 0.017
+	}
+	cell, err := Run(RunConfig{
+		Rates: rates, Offsets: offsets, LinkRate: mean * 1.05, BufferCells: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]FluidStream, n)
+	for i := range streams {
+		streams[i] = FluidStream{Rate: rates[i], Offset: offsets[i]}
+	}
+	fluid, err := RunFluid(FluidConfig{
+		Streams: streams, LinkRate: mean * 1.05, BufferCells: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, pf := cell.LossProbability(), fluid.LossProbability()
+	t.Logf("cell loss %.5f, fluid loss %.5f", pc, pf)
+	if pc == 0 {
+		t.Fatal("config not discriminating: cell layer lost nothing")
+	}
+	if math.Abs(pc-pf) > 0.25*pc {
+		t.Fatalf("fluid loss %.5f diverges from cell loss %.5f", pf, pc)
+	}
+	if fluid.Events >= int(cell.Arrived) {
+		t.Fatalf("fluid fired %d events for %d cells — no batching win", fluid.Events, cell.Arrived)
+	}
+}
+
+func TestFluidDeterminism(t *testing.T) {
+	mk := func() (*FluidResult, error) {
+		bg, err := trace.OnOffPareto(trace.OnOffParetoConfig{
+			PeakRate: 2e6, MeanOn: 0.2, MeanOff: 0.5, Duration: 5, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunFluid(FluidConfig{
+			Streams: []FluidStream{
+				{Rate: bg},
+				{Rate: fluidConst(t, 1e6, 5), Offset: 0.3,
+					Shaper: &ShaperConfig{Sustained: 8e5, Peak: 1.2e6, BurstBits: 1e5}},
+			},
+			LinkRate:    1.8e6,
+			BufferCells: 30,
+		})
+	}
+	a, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ArrivedCells != b.ArrivedCells || a.LostCells != b.LostCells ||
+		a.ServedCells != b.ServedCells || a.BufferedCells != b.BufferedCells ||
+		a.MaxQueueCells != b.MaxQueueCells || a.Events != b.Events {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Sources {
+		if a.Sources[i] != b.Sources[i] {
+			t.Fatalf("same seed, source %d differs: %+v vs %+v", i, a.Sources[i], b.Sources[i])
+		}
+	}
+}
+
+func TestShaperDelaysInsteadOfLosing(t *testing.T) {
+	// A 4 Mbps half-second burst through a 1 Mbps sustained shaper into
+	// an ample link: nothing is lost, but the shaper reports the queueing
+	// delay the bandwidth limit imposed.
+	burst, err := metrics.NewStepFunc([]float64{0, 0.5}, []float64{4e6, 0}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFluid(FluidConfig{
+		Streams: []FluidStream{{
+			Rate:   burst,
+			Shaper: &ShaperConfig{Sustained: 1e6},
+		}},
+		LinkRate:    10e6,
+		BufferCells: 0,
+		Horizon:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostCells != 0 {
+		t.Fatalf("shaped stream lost %v cells", res.LostCells)
+	}
+	// Burst deposits 2 Mb; drained at 1 Mbps the backlog peaks at
+	// (4-1) Mbps · 0.5 s = 1.5 Mb → 1.5 s max delay.
+	if d := res.Sources[0].MaxShapingDelay; math.Abs(d-1.5) > 0.01 {
+		t.Fatalf("max shaping delay %v s, want 1.5", d)
+	}
+	// All fluid eventually reaches the mux: arrivals equal the burst.
+	want := 2e6 / CellBits
+	if math.Abs(res.ArrivedCells-want) > 1e-3*want {
+		t.Fatalf("arrived %v cells, want %v", res.ArrivedCells, want)
+	}
+}
+
+func TestShaperPeakAndBurst(t *testing.T) {
+	// With a full bucket of 1 Mb and peak 3 Mbps over sustained 1 Mbps,
+	// a 3 Mbps input passes unshaped until the bucket drains
+	// (1 Mb / (3-1) Mbps = 0.5 s), then is throttled to 1 Mbps.
+	in, err := metrics.NewStepFunc([]float64{0}, []float64{3e6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-buffer mux at 1.5 Mbps: the unshaped phase overloads it, the
+	// throttled phase does not. Loss pins down the transition time.
+	res, err := RunFluid(FluidConfig{
+		Streams: []FluidStream{{
+			Rate:   in,
+			Shaper: &ShaperConfig{Sustained: 1e6, Peak: 3e6, BurstBits: 1e6},
+		}},
+		LinkRate:    1.5e6,
+		BufferCells: 0,
+		Horizon:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow only during the 0.5 s peak phase: (3-1.5) Mbps · 0.5 s.
+	wantLost := 1.5e6 * 0.5 / CellBits
+	if math.Abs(res.LostCells-wantLost) > 0.02*wantLost {
+		t.Fatalf("lost %v cells, want %v (peak phase mistimed)", res.LostCells, wantLost)
+	}
+}
+
+func TestShaperValidation(t *testing.T) {
+	eng := NewEngine(1e9)
+	mux, err := NewFluidMux(1e6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShaper(eng, mux, 0, ShaperConfig{Sustained: 0}); err == nil {
+		t.Error("zero sustained rate should fail")
+	}
+	if _, err := NewShaper(eng, mux, 0, ShaperConfig{Sustained: 2e6, Peak: 1e6}); err == nil {
+		t.Error("peak below sustained should fail")
+	}
+	if _, err := NewShaper(eng, mux, 0, ShaperConfig{Sustained: 1e6, BurstBits: -1}); err == nil {
+		t.Error("negative burst should fail")
+	}
+}
+
+func TestRunFluidValidation(t *testing.T) {
+	if _, err := RunFluid(FluidConfig{LinkRate: 1e6}); err == nil {
+		t.Error("no streams should fail")
+	}
+	if _, err := RunFluid(FluidConfig{
+		Streams:  []FluidStream{{Rate: fluidConst(t, 1e6, 1), Offset: -1}},
+		LinkRate: 1e6,
+	}); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := RunFluid(FluidConfig{
+		Streams:  []FluidStream{{Rate: fluidConst(t, 1e6, 1)}},
+		LinkRate: 0,
+	}); err == nil {
+		t.Error("zero link rate should fail")
+	}
+}
+
+func TestFluidManyStreamsScales(t *testing.T) {
+	// A thousand staggered on/off streams: the fluid layer must finish
+	// with event count proportional to breakpoints, and conservation must
+	// hold at scale.
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const n = 1000
+	streams := make([]FluidStream, n)
+	for i := 0; i < n; i++ {
+		bg, err := trace.OnOffPareto(trace.OnOffParetoConfig{
+			PeakRate: 3e5, MeanOn: 0.3, MeanOff: 0.7, Duration: 10, Seed: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = FluidStream{Rate: bg, Offset: float64(i%97) * 0.01}
+	}
+	res, err := RunFluid(FluidConfig{
+		Streams:     streams,
+		LinkRate:    float64(n) * 3e5 * 0.35, // ~1.15x the 0.3 duty-cycle mean
+		BufferCells: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d streams: %d events, %.0f cells arrived, loss %.4f",
+		n, res.Events, res.ArrivedCells, res.LossProbability())
+	if res.ArrivedCells <= 0 {
+		t.Fatal("nothing arrived")
+	}
+}

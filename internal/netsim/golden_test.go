@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"testing"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/metrics"
+	"mpegsmooth/internal/trace"
+)
+
+// goldenConfigs builds the extB/extD-style multiplexing workloads: a few
+// independent single-scene synthetic traces, raw and smoothed, staggered
+// across a shared link, swept over buffer sizes and link headroom.
+func goldenConfigs(t testing.TB) []RunConfig {
+	t.Helper()
+	const n = 6
+	var raws, smooths []*metrics.StepFunc
+	var aggregateMean float64
+	for i := 0; i < n; i++ {
+		tr, err := trace.Generate(trace.SynthConfig{
+			Name:  "golden",
+			GOP:   mpegGOP(),
+			IBase: 200_000, PBase: 90_000, BBase: 30_000,
+			Scenes: []trace.ScenePhase{{Pictures: 99, Complexity: 1, Motion: 0.8}},
+			Seed:   int64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggregateMean += tr.MeanRate()
+		raws = append(raws, RawRateFunc(t, tr))
+		sch, err := core.Smooth(tr, core.Config{K: 1, H: tr.GOP.N, D: 0.15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := sch.RateFunc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		smooths = append(smooths, sm)
+	}
+	offsets := make([]float64, n)
+	for i := range offsets {
+		offsets[i] = float64(i) * 0.013
+	}
+	var cfgs []RunConfig
+	for _, rates := range [][]*metrics.StepFunc{raws, smooths} {
+		for _, buf := range []int{0, 20, 200} {
+			for _, headroom := range []float64{1.1, 1.4} {
+				cfgs = append(cfgs, RunConfig{
+					Rates:       rates,
+					Offsets:     offsets,
+					LinkRate:    aggregateMean * headroom,
+					BufferCells: buf,
+				})
+			}
+		}
+	}
+	// An explicit-horizon config exercising the early-stop path.
+	cfgs = append(cfgs, RunConfig{
+		Rates:       raws,
+		Offsets:     offsets,
+		LinkRate:    aggregateMean,
+		BufferCells: 10,
+		Horizon:     1.7,
+	})
+	return cfgs
+}
+
+// TestGoldenEquivalence holds the new engine to the seed simulator:
+// on the extB/extD-style configurations the timing-wheel cell layer must
+// reproduce the old heap scheduler's MuxStats exactly — same arrivals,
+// same services, same losses, same queue high-water mark, and the same
+// per-source emission counts.
+func TestGoldenEquivalence(t *testing.T) {
+	for ci, cfg := range goldenConfigs(t) {
+		got, err := RunDetailed(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		want, err := legacyRun(cfg)
+		if err != nil {
+			t.Fatalf("config %d: legacy: %v", ci, err)
+		}
+		if got.MuxStats != want.MuxStats {
+			t.Errorf("config %d: stats diverge:\n new %+v\n old %+v", ci, got.MuxStats, want.MuxStats)
+		}
+		for i := range got.Sources {
+			if got.Sources[i].Emitted != want.Emitted[i] {
+				t.Errorf("config %d source %d: emitted %d, legacy %d",
+					ci, i, got.Sources[i].Emitted, want.Emitted[i])
+			}
+		}
+	}
+}
+
+// TestRunDetailedAttribution checks per-source accounting sums to the
+// aggregate counters.
+func TestRunDetailedAttribution(t *testing.T) {
+	cfgs := goldenConfigs(t)
+	res, err := RunDetailed(cfgs[0]) // raw traces, zero buffer: losses certain
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted, lost int64
+	for _, s := range res.Sources {
+		emitted += s.Emitted
+		lost += s.Lost
+	}
+	if emitted != res.Arrived {
+		t.Fatalf("per-source emitted %d != arrived %d", emitted, res.Arrived)
+	}
+	if lost != res.Lost {
+		t.Fatalf("per-source lost %d != lost %d", lost, res.Lost)
+	}
+	if res.Lost == 0 {
+		t.Fatal("config not discriminating: nothing lost")
+	}
+}

@@ -1,0 +1,201 @@
+package netsim
+
+// The seed simulator, verbatim: a float-time min-heap of closures with
+// per-cell Source.emit callbacks and the O(n²) nextBreak rescan. It is
+// kept test-only as (a) the reference the golden-equivalence test holds
+// the new engine to, and (b) the baseline BenchmarkMuxScale and the
+// BENCH_netsim.json artifact measure the rearchitecture against.
+
+import (
+	"container/heap"
+
+	"mpegsmooth/internal/metrics"
+)
+
+type legacyEvent struct {
+	Time float64
+	Seq  int64
+	Fire func()
+}
+
+type legacyEventQueue []*legacyEvent
+
+func (q legacyEventQueue) Len() int { return len(q) }
+func (q legacyEventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].Seq < q[j].Seq
+}
+func (q legacyEventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *legacyEventQueue) Push(x any)   { *q = append(*q, x.(*legacyEvent)) }
+func (q *legacyEventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type legacyScheduler struct {
+	queue legacyEventQueue
+	now   float64
+	seq   int64
+}
+
+func (s *legacyScheduler) Now() float64 { return s.now }
+
+func (s *legacyScheduler) At(t float64, fire func()) {
+	if t < s.now {
+		panic("netsim: scheduling event in the past")
+	}
+	s.seq++
+	heap.Push(&s.queue, &legacyEvent{Time: t, Seq: s.seq, Fire: fire})
+}
+
+func (s *legacyScheduler) Run(horizon float64) int {
+	fired := 0
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*legacyEvent)
+		if e.Time > horizon {
+			s.now = horizon
+			return fired
+		}
+		s.now = e.Time
+		e.Fire()
+		fired++
+	}
+	return fired
+}
+
+type legacyMux struct {
+	LinkRate    float64
+	BufferCells int
+
+	sched   *legacyScheduler
+	queue   int
+	serving bool
+	stats   MuxStats
+}
+
+func (m *legacyMux) Arrive() {
+	m.stats.Arrived++
+	if m.serving && m.queue >= m.BufferCells {
+		m.stats.Lost++
+		return
+	}
+	if !m.serving {
+		m.startService()
+		return
+	}
+	m.queue++
+	if m.queue > m.stats.MaxQueue {
+		m.stats.MaxQueue = m.queue
+	}
+}
+
+func (m *legacyMux) startService() {
+	m.serving = true
+	m.sched.At(m.sched.Now()+CellBits/m.LinkRate, m.finishService)
+}
+
+func (m *legacyMux) finishService() {
+	m.stats.Served++
+	if m.queue > 0 {
+		m.queue--
+		m.startService()
+		return
+	}
+	m.serving = false
+}
+
+type legacySource struct {
+	Rate    *metrics.StepFunc
+	mux     *legacyMux
+	sched   *legacyScheduler
+	emitted int64
+}
+
+func newLegacySource(sched *legacyScheduler, mux *legacyMux, rate *metrics.StepFunc, offset float64) *legacySource {
+	if offset != 0 {
+		rate = rate.Shift(offset)
+	}
+	s := &legacySource{Rate: rate, mux: mux, sched: sched}
+	s.scheduleNext(rate.Times[0])
+	return s
+}
+
+func (s *legacySource) scheduleNext(t float64) {
+	for {
+		if s.Rate.At(t) > 0 {
+			s.sched.At(t, s.emit)
+			return
+		}
+		next, ok := s.nextBreak(t)
+		if !ok {
+			return
+		}
+		t = next
+	}
+}
+
+func (s *legacySource) emit() {
+	now := s.sched.Now()
+	r := s.Rate.At(now)
+	if r <= 0 {
+		s.scheduleNext(now)
+		return
+	}
+	s.mux.Arrive()
+	s.emitted++
+	s.scheduleNext(now + CellBits/r)
+}
+
+func (s *legacySource) nextBreak(t float64) (float64, bool) {
+	for _, bt := range s.Rate.Times {
+		if bt > t {
+			return bt, true
+		}
+	}
+	return 0, false
+}
+
+// legacyRunResult mirrors RunResult for the reference runner.
+type legacyRunResult struct {
+	MuxStats
+	Emitted []int64
+	Events  int
+}
+
+// legacyRun is the seed netsim.Run, kept as the golden reference.
+func legacyRun(cfg RunConfig) (legacyRunResult, error) {
+	sched := &legacyScheduler{}
+	mux := &legacyMux{LinkRate: cfg.LinkRate, BufferCells: cfg.BufferCells, sched: sched}
+	sources := make([]*legacySource, len(cfg.Rates))
+	for i, r := range cfg.Rates {
+		off := 0.0
+		if cfg.Offsets != nil {
+			off = cfg.Offsets[i]
+		}
+		sources[i] = newLegacySource(sched, mux, r, off)
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		for i, r := range cfg.Rates {
+			off := 0.0
+			if cfg.Offsets != nil {
+				off = cfg.Offsets[i]
+			}
+			if end := r.End + off + 1; end > horizon {
+				horizon = end
+			}
+		}
+	}
+	events := sched.Run(horizon)
+	res := legacyRunResult{MuxStats: mux.stats, Events: events}
+	for _, s := range sources {
+		res.Emitted = append(res.Emitted, s.emitted)
+	}
+	return res, nil
+}

@@ -1,10 +1,6 @@
 package netsim
 
-import (
-	"fmt"
-
-	"mpegsmooth/internal/metrics"
-)
+import "fmt"
 
 // CellBits is the payload-bearing size of one fixed-length cell in bits
 // (ATM: 53 bytes on the wire).
@@ -27,42 +23,55 @@ func (s MuxStats) LossProbability() float64 {
 	return float64(s.Lost) / float64(s.Arrived)
 }
 
-// Mux is a finite-buffer FIFO cell multiplexer: cells from all sources
-// share one output link of LinkRate bits/s and a waiting buffer of
-// BufferCells cells (excluding the cell in service). A cell arriving to a
-// full buffer is lost — the loss the smoothing algorithm exists to
+// Mux is the cell-exact finite-buffer FIFO multiplexer: cells from all
+// sources share one output link of LinkRate bits/s and a waiting buffer
+// of BufferCells cells (excluding the cell in service). A cell arriving
+// to a full buffer is lost — the loss the smoothing algorithm exists to
 // minimize for a given multiplexing level.
+//
+// Service-completion times are tracked as exact float seconds (only
+// event ordering is quantized to engine ticks), so the cell dynamics
+// reproduce the original float-time simulator exactly.
 type Mux struct {
 	LinkRate    float64
 	BufferCells int
 
-	sched   *Scheduler
+	eng     *Engine
 	queue   int
 	serving bool
+	svcEnd  float64 // exact completion time of the cell in service
 	stats   MuxStats
+	lost    []int64 // per-source lost cells (nil: no attribution)
 }
 
-// NewMux attaches a multiplexer to a scheduler.
-func NewMux(sched *Scheduler, linkRate float64, bufferCells int) (*Mux, error) {
+// NewMux attaches a multiplexer to an engine.
+func NewMux(eng *Engine, linkRate float64, bufferCells int) (*Mux, error) {
 	if linkRate <= 0 {
 		return nil, fmt.Errorf("netsim: non-positive link rate %v", linkRate)
 	}
 	if bufferCells < 0 {
 		return nil, fmt.Errorf("netsim: negative buffer %d", bufferCells)
 	}
-	return &Mux{LinkRate: linkRate, BufferCells: bufferCells, sched: sched}, nil
+	return &Mux{LinkRate: linkRate, BufferCells: bufferCells, eng: eng}, nil
 }
 
-// Arrive delivers one cell to the multiplexer at the current simulation
-// time.
-func (m *Mux) Arrive() {
+// Attribute sizes the per-source loss counters; Arrive then records
+// which source each lost cell belonged to.
+func (m *Mux) Attribute(sources int) { m.lost = make([]int64, sources) }
+
+// Arrive delivers one cell from source src at exact time t seconds (the
+// emitting event's own time; the mux never re-derives it from ticks).
+func (m *Mux) Arrive(src int, t float64) {
 	m.stats.Arrived++
 	if m.serving && m.queue >= m.BufferCells {
 		m.stats.Lost++
+		if m.lost != nil {
+			m.lost[src]++
+		}
 		return
 	}
 	if !m.serving {
-		m.startService()
+		m.startService(t)
 		return
 	}
 	m.queue++
@@ -71,16 +80,20 @@ func (m *Mux) Arrive() {
 	}
 }
 
-func (m *Mux) startService() {
+func (m *Mux) startService(t float64) {
 	m.serving = true
-	m.sched.At(m.sched.Now()+CellBits/m.LinkRate, m.finishService)
+	m.svcEnd = t + CellBits/m.LinkRate
+	m.eng.Schedule(m.eng.TickAt(m.svcEnd), m)
 }
 
-func (m *Mux) finishService() {
+// Fire completes the cell in service (the Mux is its own
+// service-completion event; at most one is outstanding).
+func (m *Mux) Fire(Tick) {
+	end := m.svcEnd
 	m.stats.Served++
 	if m.queue > 0 {
 		m.queue--
-		m.startService()
+		m.startService(end)
 		return
 	}
 	m.serving = false
@@ -92,71 +105,16 @@ func (m *Mux) Stats() MuxStats { return m.stats }
 // QueueLen returns the number of cells waiting (excluding in service).
 func (m *Mux) QueueLen() int { return m.queue }
 
-// Source packetizes a fluid rate function into cells and injects them
-// into a multiplexer: while the rate function has value r > 0, cells are
-// emitted every CellBits/r seconds. The offset passed at construction
-// shifts the whole emission in time, decorrelating the phases of
-// otherwise identical sources.
-type Source struct {
-	// Rate is the (already offset-shifted) emission rate function.
-	Rate *metrics.StepFunc
-
-	mux     *Mux
-	sched   *Scheduler
-	emitted int64
-}
-
-// NewSource creates a source and schedules its first cell. The rate
-// function is shifted right by offset once at construction so that all
-// later time arithmetic happens in absolute simulation time (repeatedly
-// subtracting the offset would accumulate float error).
-func NewSource(sched *Scheduler, mux *Mux, rate *metrics.StepFunc, offset float64) *Source {
-	if offset != 0 {
-		rate = rate.Shift(offset)
+// InFlight returns the cells accepted but not yet served (waiting plus
+// in service) — the conservation remainder.
+func (m *Mux) InFlight() int64 {
+	n := int64(m.queue)
+	if m.serving {
+		n++
 	}
-	s := &Source{Rate: rate, mux: mux, sched: sched}
-	s.scheduleNext(rate.Times[0])
-	return s
+	return n
 }
 
-// Emitted returns the number of cells this source has injected.
-func (s *Source) Emitted() int64 { return s.emitted }
-
-// scheduleNext schedules the next cell at or after time t.
-func (s *Source) scheduleNext(t float64) {
-	// Find the next instant with positive rate at or after t.
-	for {
-		if s.Rate.At(t) > 0 {
-			s.sched.At(t, s.emit)
-			return
-		}
-		// Jump to the next breakpoint after t, if any.
-		next, ok := s.nextBreak(t)
-		if !ok {
-			return // rate function exhausted: source done
-		}
-		t = next
-	}
-}
-
-func (s *Source) emit() {
-	now := s.sched.Now()
-	r := s.Rate.At(now)
-	if r <= 0 {
-		s.scheduleNext(now)
-		return
-	}
-	s.mux.Arrive()
-	s.emitted++
-	s.scheduleNext(now + CellBits/r)
-}
-
-// nextBreak returns the first rate-function breakpoint strictly after t.
-func (s *Source) nextBreak(t float64) (float64, bool) {
-	for _, bt := range s.Rate.Times {
-		if bt > t {
-			return bt, true
-		}
-	}
-	return 0, false
-}
+// LostBySource returns the per-source loss counters (nil unless
+// Attribute was called).
+func (m *Mux) LostBySource() []int64 { return m.lost }

@@ -1,0 +1,223 @@
+package netsim
+
+// The before/after benchmark of the event-engine rearchitecture, and
+// the generator of the BENCH_netsim.json artifact (make muxbench). The
+// workload is the thousand-stream statistical-multiplexing experiment;
+// "before" is the seed heap-of-closures per-cell simulator kept in
+// legacy_test.go, "after" is the timing-wheel engine in per-cell mode
+// (same events, faster scheduler) and in fluid mode (the scale win:
+// one event per rate segment instead of per cell).
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"mpegsmooth/internal/metrics"
+	"mpegsmooth/internal/trace"
+)
+
+var muxbenchOut = flag.String("muxbench-out", "", "write the mux scale benchmark artifact (JSON) to this file")
+
+type scaleWorkload struct {
+	cfg      RunConfig
+	fluidCfg FluidConfig
+	streams  int
+	duration float64
+}
+
+// buildScaleWorkload assembles the 1000-source workload: a pool of
+// distinct synthetic traces replicated with deterministic offsets over
+// a shared link with 10% headroom. The same rate functions feed the
+// per-cell and the fluid runs.
+func buildScaleWorkload(tb testing.TB, pictures int) *scaleWorkload {
+	tb.Helper()
+	const nStreams = 1000
+	const pool = 8
+	var fns []*metrics.StepFunc
+	var meanSum float64
+	var duration float64
+	for i := 0; i < pool; i++ {
+		tr, err := trace.Generate(trace.SynthConfig{
+			Name:  fmt.Sprintf("bench-%d", i),
+			GOP:   mpegGOP(),
+			IBase: 210_000, PBase: 95_000, BBase: 32_000,
+			Scenes: []trace.ScenePhase{{Pictures: pictures, Complexity: 1, Motion: 0.9}},
+			Seed:   int64(1000 + i),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		meanSum += tr.MeanRate()
+		duration = tr.Duration()
+		fns = append(fns, RawRateFunc(tb, tr))
+	}
+	rates := make([]*metrics.StepFunc, nStreams)
+	offsets := make([]float64, nStreams)
+	fluidStreams := make([]FluidStream, nStreams)
+	for i := 0; i < nStreams; i++ {
+		rates[i] = fns[i%pool]
+		offsets[i] = float64(i%173) * 0.0217
+		fluidStreams[i] = FluidStream{Rate: rates[i], Offset: offsets[i]}
+	}
+	link := meanSum / pool * nStreams * 1.1
+	return &scaleWorkload{
+		cfg: RunConfig{
+			Rates: rates, Offsets: offsets, LinkRate: link, BufferCells: 2000,
+		},
+		fluidCfg: FluidConfig{
+			Streams: fluidStreams, LinkRate: link, BufferCells: 2000,
+		},
+		streams:  nStreams,
+		duration: duration,
+	}
+}
+
+type benchSection struct {
+	Events       int64   `json:"events"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func section(events int64, d time.Duration) benchSection {
+	return benchSection{
+		Events:       events,
+		Seconds:      d.Seconds(),
+		EventsPerSec: float64(events) / d.Seconds(),
+	}
+}
+
+// muxBenchArtifact is the BENCH_netsim.json schema.
+type muxBenchArtifact struct {
+	Workload struct {
+		Streams     int     `json:"streams"`
+		DurationSec float64 `json:"trace_duration_s"`
+		Cells       int64   `json:"cells"`
+	} `json:"workload"`
+	// SeedScheduler: the pre-rearchitecture float-time event heap
+	// running the per-cell workload.
+	SeedScheduler benchSection `json:"seed_scheduler"`
+	// EngineCell: the timing-wheel engine running the identical
+	// per-cell workload (same event count, exact same MuxStats).
+	EngineCell benchSection `json:"engine_cell"`
+	// EngineFluid: the timing-wheel engine running the same workload in
+	// batched fluid mode; EquivalentEventsPerSec is the seed per-cell
+	// event count divided by the fluid wall time — the throughput at
+	// which the rearchitecture disposes of the seed scheduler's work.
+	EngineFluid struct {
+		benchSection
+		EquivalentEventsPerSec float64 `json:"equivalent_events_per_sec"`
+	} `json:"engine_fluid"`
+	// Speedups over the seed scheduler on the same workload.
+	SpeedupCell  float64 `json:"speedup_cell"`
+	SpeedupFluid float64 `json:"speedup_fluid"`
+}
+
+// TestMuxBenchArtifact measures the seed scheduler against the new
+// engine on the 1000-source workload and (with -muxbench-out) writes
+// BENCH_netsim.json. In -short mode the traces are cut down so the run
+// fits CI; the stream count stays at 1000.
+func TestMuxBenchArtifact(t *testing.T) {
+	if *muxbenchOut == "" {
+		t.Skip("artifact generator; run via make muxbench (-muxbench-out)")
+	}
+	pictures := 135
+	if testing.Short() {
+		pictures = 36
+	}
+	w := buildScaleWorkload(t, pictures)
+
+	start := time.Now()
+	legacy, err := legacyRun(w.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyTime := time.Since(start)
+
+	start = time.Now()
+	cell, err := RunDetailed(w.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellTime := time.Since(start)
+	if cell.MuxStats != legacy.MuxStats {
+		t.Fatalf("engine does not reproduce seed stats:\n new %+v\n old %+v", cell.MuxStats, legacy.MuxStats)
+	}
+
+	start = time.Now()
+	fluid, err := RunFluid(w.fluidCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluidTime := time.Since(start)
+
+	var art muxBenchArtifact
+	art.Workload.Streams = w.streams
+	art.Workload.DurationSec = w.duration
+	art.Workload.Cells = legacy.Arrived
+	art.SeedScheduler = section(int64(legacy.Events), legacyTime)
+	art.EngineCell = section(int64(legacy.Events), cellTime)
+	art.EngineFluid.benchSection = section(int64(fluid.Events), fluidTime)
+	art.EngineFluid.EquivalentEventsPerSec = float64(legacy.Events) / fluidTime.Seconds()
+	art.SpeedupCell = legacyTime.Seconds() / cellTime.Seconds()
+	art.SpeedupFluid = legacyTime.Seconds() / fluidTime.Seconds()
+
+	t.Logf("seed scheduler: %d events in %v (%.2e ev/s)", legacy.Events, legacyTime, art.SeedScheduler.EventsPerSec)
+	t.Logf("engine (cell):  %d events in %v (%.2fx)", legacy.Events, cellTime, art.SpeedupCell)
+	t.Logf("engine (fluid): %d events in %v (%.2fx, %.2e equivalent ev/s)",
+		fluid.Events, fluidTime, art.SpeedupFluid, art.EngineFluid.EquivalentEventsPerSec)
+
+	if art.SpeedupFluid < 10 {
+		t.Errorf("fluid engine speedup %.1fx below the 10x floor", art.SpeedupFluid)
+	}
+
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*muxbenchOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkMuxScale times the fluid engine on the 1000-source workload
+// (the headline number: one iteration disposes of what the seed
+// scheduler handled as millions of per-cell events).
+func BenchmarkMuxScale(b *testing.B) {
+	w := buildScaleWorkload(b, 36)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFluid(w.fluidCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMuxScaleSeed is the before picture: the seed heap scheduler
+// on the same workload, per cell.
+func BenchmarkMuxScaleSeed(b *testing.B) {
+	w := buildScaleWorkload(b, 36)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := legacyRun(w.cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMuxScaleCell is the new engine on the same per-cell workload
+// — the scheduler swap alone, batching excluded.
+func BenchmarkMuxScaleCell(b *testing.B) {
+	w := buildScaleWorkload(b, 36)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(w.cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

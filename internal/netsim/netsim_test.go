@@ -23,13 +23,13 @@ func constRate(t testing.TB, rate, duration float64) *metrics.StepFunc {
 }
 
 func TestSchedulerOrdersEvents(t *testing.T) {
-	s := NewScheduler()
+	e := NewEngine(1)
 	var got []int
-	s.At(3, func() { got = append(got, 3) })
-	s.At(1, func() { got = append(got, 1) })
-	s.At(2, func() { got = append(got, 2) })
-	s.At(1, func() { got = append(got, 11) }) // same time: FIFO by seq
-	if n := s.Run(10); n != 4 {
+	e.Schedule(3, EventFunc(func(Tick) { got = append(got, 3) }))
+	e.Schedule(1, EventFunc(func(Tick) { got = append(got, 1) }))
+	e.Schedule(2, EventFunc(func(Tick) { got = append(got, 2) }))
+	e.Schedule(1, EventFunc(func(Tick) { got = append(got, 11) })) // same tick: FIFO by seq
+	if n := e.Run(10); n != 4 {
 		t.Fatalf("fired %d events", n)
 	}
 	want := []int{1, 11, 2, 3}
@@ -38,43 +38,47 @@ func TestSchedulerOrdersEvents(t *testing.T) {
 			t.Fatalf("order %v, want %v", got, want)
 		}
 	}
-	if s.Now() != 3 {
-		t.Fatalf("Now = %v", s.Now())
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
 	}
 }
 
 func TestSchedulerHorizon(t *testing.T) {
-	s := NewScheduler()
+	e := NewEngine(1)
 	fired := false
-	s.At(5, func() { fired = true })
-	s.Run(4)
+	e.Schedule(5, EventFunc(func(Tick) { fired = true }))
+	e.Run(4)
 	if fired {
 		t.Fatal("event beyond horizon fired")
 	}
-	if s.Now() != 4 {
-		t.Fatalf("Now = %v, want horizon", s.Now())
+	if e.Now() != 4 {
+		t.Fatalf("Now = %v, want horizon", e.Now())
+	}
+	// Resuming past the horizon fires the held-back event.
+	if n := e.Run(10); n != 1 || !fired {
+		t.Fatalf("resumed run fired %d events (fired=%v)", n, fired)
 	}
 }
 
 func TestSchedulerRejectsPast(t *testing.T) {
-	s := NewScheduler()
-	s.At(2, func() {
+	e := NewEngine(1)
+	e.Schedule(2, EventFunc(func(Tick) {
 		defer func() {
 			if recover() == nil {
 				t.Error("scheduling in the past should panic")
 			}
 		}()
-		s.At(1, func() {})
-	})
-	s.Run(10)
+		e.Schedule(1, EventFunc(func(Tick) {}))
+	}))
+	e.Run(10)
 }
 
 func TestNewMuxValidation(t *testing.T) {
-	s := NewScheduler()
-	if _, err := NewMux(s, 0, 10); err == nil {
+	e := NewEngine(1e12)
+	if _, err := NewMux(e, 0, 10); err == nil {
 		t.Error("zero link rate should fail")
 	}
-	if _, err := NewMux(s, 1e6, -1); err == nil {
+	if _, err := NewMux(e, 1e6, -1); err == nil {
 		t.Error("negative buffer should fail")
 	}
 }

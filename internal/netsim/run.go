@@ -6,7 +6,12 @@ import (
 	"mpegsmooth/internal/metrics"
 )
 
-// RunConfig describes one multiplexing simulation.
+// defaultCellTickHz is the tick rate of the cell-exact runner: 1 ps
+// ticks, fine enough that quantizing exact float event times to ticks
+// never reorders the cell dynamics on realistic configurations.
+const defaultCellTickHz = 1e12
+
+// RunConfig describes one cell-exact multiplexing simulation.
 type RunConfig struct {
 	// Rates holds one transmission rate function per source.
 	Rates []*metrics.StepFunc
@@ -19,56 +24,104 @@ type RunConfig struct {
 	BufferCells int
 	// Horizon bounds simulated time in seconds (0 = run to completion).
 	Horizon float64
+	// TickHz overrides the engine tick rate (0 = 1e12).
+	TickHz float64
+}
+
+// SourceStats counts one source's cells through the multiplexer.
+type SourceStats struct {
+	Emitted int64
+	Lost    int64
+}
+
+// RunResult is the outcome of a cell-exact simulation: the aggregate
+// multiplexer counters plus per-source emission/loss attribution.
+type RunResult struct {
+	MuxStats
+	// Sources holds one entry per RunConfig rate function, in order.
+	Sources []SourceStats
+}
+
+// resolveOffsets validates cfg.Offsets and expands the nil default into
+// explicit zeros, so every later consumer (source construction, horizon
+// computation) reads the same slice instead of re-deriving the default.
+func resolveOffsets(cfg RunConfig) ([]float64, error) {
+	if cfg.Offsets != nil && len(cfg.Offsets) != len(cfg.Rates) {
+		return nil, fmt.Errorf("netsim: %d offsets for %d sources", len(cfg.Offsets), len(cfg.Rates))
+	}
+	offs := cfg.Offsets
+	if offs == nil {
+		offs = make([]float64, len(cfg.Rates))
+	}
+	for _, off := range offs {
+		if off < 0 {
+			return nil, fmt.Errorf("netsim: negative offset %v", off)
+		}
+	}
+	return offs, nil
+}
+
+// runHorizon returns the configured horizon, defaulting to one second
+// past the last source's shifted end.
+func runHorizon(horizon float64, rates []*metrics.StepFunc, offs []float64) float64 {
+	if horizon != 0 {
+		return horizon
+	}
+	for i, r := range rates {
+		if end := r.End + offs[i] + 1; end > horizon {
+			horizon = end
+		}
+	}
+	return horizon
 }
 
 // Run simulates the configured sources through a shared multiplexer and
 // returns the aggregate statistics.
 func Run(cfg RunConfig) (MuxStats, error) {
+	res, err := RunDetailed(cfg)
+	return res.MuxStats, err
+}
+
+// RunDetailed simulates the configured sources through a shared
+// multiplexer and returns aggregate statistics plus per-source
+// emission and loss counts.
+func RunDetailed(cfg RunConfig) (RunResult, error) {
 	if len(cfg.Rates) == 0 {
-		return MuxStats{}, fmt.Errorf("netsim: no sources")
+		return RunResult{}, fmt.Errorf("netsim: no sources")
 	}
-	if cfg.Offsets != nil && len(cfg.Offsets) != len(cfg.Rates) {
-		return MuxStats{}, fmt.Errorf("netsim: %d offsets for %d sources", len(cfg.Offsets), len(cfg.Rates))
-	}
-	sched := NewScheduler()
-	mux, err := NewMux(sched, cfg.LinkRate, cfg.BufferCells)
+	offs, err := resolveOffsets(cfg)
 	if err != nil {
-		return MuxStats{}, err
+		return RunResult{}, err
 	}
+	hz := cfg.TickHz
+	if hz == 0 {
+		hz = defaultCellTickHz
+	}
+	eng := NewEngine(hz)
+	mux, err := NewMux(eng, cfg.LinkRate, cfg.BufferCells)
+	if err != nil {
+		return RunResult{}, err
+	}
+	mux.Attribute(len(cfg.Rates))
 	sources := make([]*Source, len(cfg.Rates))
 	for i, r := range cfg.Rates {
-		off := 0.0
-		if cfg.Offsets != nil {
-			off = cfg.Offsets[i]
-		}
-		if off < 0 {
-			return MuxStats{}, fmt.Errorf("netsim: negative offset %v", off)
-		}
-		sources[i] = NewSource(sched, mux, r, off)
+		sources[i] = NewSource(eng, mux, r, offs[i], i)
 	}
-	horizon := cfg.Horizon
-	if horizon == 0 {
-		for i, r := range cfg.Rates {
-			off := 0.0
-			if cfg.Offsets != nil {
-				off = cfg.Offsets[i]
-			}
-			if end := r.End + off + 1; end > horizon {
-				horizon = end
-			}
-		}
+	horizon := runHorizon(cfg.Horizon, cfg.Rates, offs)
+	eng.Run(eng.TickAt(horizon))
+	res := RunResult{
+		MuxStats: mux.Stats(),
+		Sources:  make([]SourceStats, len(sources)),
 	}
-	sched.Run(horizon)
-	st := mux.Stats()
+	for i, s := range sources {
+		res.Sources[i] = SourceStats{Emitted: s.Emitted(), Lost: mux.lost[i]}
+	}
 	// Conservation: everything that arrived was served, lost, is waiting,
 	// or is in service.
-	inFlight := int64(mux.QueueLen())
-	if mux.serving {
-		inFlight++
+	st := res.MuxStats
+	if st.Arrived != st.Served+st.Lost+mux.InFlight() {
+		return res, fmt.Errorf("netsim: conservation violated: %d arrived, %d served, %d lost, %d in flight",
+			st.Arrived, st.Served, st.Lost, mux.InFlight())
 	}
-	if st.Arrived != st.Served+st.Lost+inFlight {
-		return st, fmt.Errorf("netsim: conservation violated: %d arrived, %d served, %d lost, %d in flight",
-			st.Arrived, st.Served, st.Lost, inFlight)
-	}
-	return st, nil
+	return res, nil
 }

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShaperConfig parameterizes a limited-bandwidth connection in the
+// fluid pipeline: a dual-rate token-bucket shaper (the QoS-style
+// SCR/PCR/MBS contract of an access link). It generalizes the cell
+// policer in policer.go: where the Policer marks non-conforming traffic,
+// the Shaper delays it in an unbounded queue — trading the loss for
+// shaping delay, which is exactly the trade-off lossless smoothing
+// exists to avoid.
+type ShaperConfig struct {
+	// Sustained is the connection's sustained rate (token refill), bits/s.
+	Sustained float64
+	// Peak caps the instantaneous output rate, bits/s (0 = Sustained:
+	// a pure leaky bucket with no burst passthrough).
+	Peak float64
+	// BurstBits is the token-bucket depth in bits (0 = no burst
+	// tolerance). The bucket starts full.
+	BurstBits float64
+}
+
+// Shaper is the fluid dual-rate token bucket: output follows input up
+// to Peak while tokens last, falls back to Sustained when the bucket
+// empties, and queues the excess. It sits between a FluidSource and
+// the FluidMux, implementing rateSink upstream and feeding the mux
+// downstream; its only events are its own state transitions (token
+// depletion, queue drain), so it adds O(1) events per input breakpoint.
+type Shaper struct {
+	eng *Engine
+	mux *FluidMux
+	id  int
+
+	sustained float64
+	peak      float64
+	burst     float64
+
+	tokens     float64 // bits available for above-sustained bursts
+	backlog    float64 // queued bits awaiting tokens/bandwidth
+	inRate     float64
+	outRate    float64
+	lastT      float64
+	maxBacklog float64
+	scheduledT float64 // next transition already scheduled (+Inf: none)
+}
+
+// NewShaper creates a shaper feeding stream id of the mux.
+func NewShaper(eng *Engine, mux *FluidMux, id int, cfg ShaperConfig) (*Shaper, error) {
+	if cfg.Sustained <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive sustained rate %v", cfg.Sustained)
+	}
+	peak := cfg.Peak
+	if peak == 0 {
+		peak = cfg.Sustained
+	}
+	if peak < cfg.Sustained {
+		return nil, fmt.Errorf("netsim: peak %v below sustained %v", peak, cfg.Sustained)
+	}
+	if cfg.BurstBits < 0 {
+		return nil, fmt.Errorf("netsim: negative burst %v", cfg.BurstBits)
+	}
+	return &Shaper{
+		eng:        eng,
+		mux:        mux,
+		id:         id,
+		sustained:  cfg.Sustained,
+		peak:       peak,
+		burst:      cfg.BurstBits,
+		tokens:     cfg.BurstBits,
+		scheduledT: math.Inf(1),
+	}, nil
+}
+
+// MaxDelay returns the worst shaping delay imposed so far: the backlog
+// high-water mark divided by the sustained drain rate.
+func (s *Shaper) MaxDelay() float64 { return s.maxBacklog / s.sustained }
+
+// advanceTo integrates tokens and backlog to time t under the current
+// (constant) input and output rates. Both trajectories are linear and
+// their zero crossings are scheduled as transition events, so clamping
+// here only absorbs tick-rounding residue.
+func (s *Shaper) advanceTo(t float64) {
+	dt := t - s.lastT
+	if dt <= 0 {
+		return
+	}
+	s.lastT = t
+	s.tokens += (s.sustained - s.outRate) * dt
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	} else if s.tokens < 0 {
+		s.tokens = 0
+	}
+	s.backlog += (s.inRate - s.outRate) * dt
+	if s.backlog < 0 {
+		s.backlog = 0
+	}
+	if s.backlog > s.maxBacklog {
+		s.maxBacklog = s.backlog
+	}
+}
+
+// apply recomputes the output rate from the current state and, when the
+// state has a finite next transition (token depletion or queue drain),
+// schedules it.
+func (s *Shaper) apply(t float64) {
+	allowed := s.sustained
+	if s.tokens > 0 {
+		allowed = s.peak
+	}
+	out := allowed
+	if s.backlog <= 0 {
+		out = math.Min(s.inRate, allowed)
+	}
+	if out != s.outRate {
+		s.outRate = out
+		s.mux.setRate(s.id, t, out)
+	}
+	next := math.Inf(1)
+	if dTok := s.sustained - out; s.tokens > 0 && dTok < 0 {
+		next = t + s.tokens/(-dTok)
+	}
+	if dQ := s.inRate - out; s.backlog > 0 && dQ < 0 {
+		next = math.Min(next, t+s.backlog/(-dQ))
+	}
+	if next != s.scheduledT && !math.IsInf(next, 1) {
+		s.scheduledT = next
+		s.eng.Schedule(s.eng.TickAt(next), s)
+	}
+}
+
+// setRate receives the upstream (source) rate change. The id is the
+// stream's; the shaper already carries it.
+func (s *Shaper) setRate(_ int, t, rate float64) {
+	s.advanceTo(t)
+	s.inRate = rate
+	s.apply(s.lastT)
+}
+
+// Fire handles a scheduled state transition. Stale transitions (made
+// obsolete by a later input change) are harmless checkpoints: advancing
+// and reapplying the current state is idempotent.
+func (s *Shaper) Fire(now Tick) {
+	s.advanceTo(s.eng.SecondsOf(now))
+	s.apply(s.lastT)
+}
+
+// flush advances the shaper's own accounting (backlog high-water) to
+// the horizon; the mux's view needs no flush because the output rate
+// genuinely holds until the next un-fired transition.
+func (s *Shaper) flush(t float64) {
+	s.advanceTo(t)
+}

@@ -1,0 +1,112 @@
+package netsim
+
+import "mpegsmooth/internal/metrics"
+
+// Source packetizes a fluid rate function into cells and injects them
+// into a multiplexer: while the rate function has value r > 0, cells are
+// emitted every CellBits/r seconds. The offset passed at construction
+// shifts the whole emission in time, decorrelating the phases of
+// otherwise identical sources.
+//
+// Emission times are computed in exact float seconds (t + CellBits/r at
+// each step, identical arithmetic to the original simulator); the
+// engine's ticks only order the events. A monotone breakpoint cursor
+// replaces the old linear rescan of Rate.Times, so a run over a
+// function with B breakpoints does O(B) cursor work total instead of
+// O(B²) across idle-gap hops.
+type Source struct {
+	eng *Engine
+	mux *Mux
+	id  int
+
+	times  []float64 // breakpoint times, pre-shifted by the offset
+	values []float64
+	end    float64
+
+	cur     int     // last segment whose (shifted) start is <= probe time
+	pending float64 // exact emission time of the scheduled event
+	emitted int64
+}
+
+// NewSource creates a source and schedules its first cell. The id tags
+// the source's cells for per-source loss attribution at the mux. The
+// rate function's breakpoints are shifted right by offset once at
+// construction so that all later time arithmetic happens in absolute
+// simulation time (repeatedly subtracting the offset would accumulate
+// float error).
+func NewSource(eng *Engine, mux *Mux, rate *metrics.StepFunc, offset float64, id int) *Source {
+	s := &Source{
+		eng:    eng,
+		mux:    mux,
+		id:     id,
+		values: rate.Values,
+		end:    rate.End + offset,
+	}
+	if offset != 0 {
+		s.times = make([]float64, len(rate.Times))
+		for i, t := range rate.Times {
+			s.times[i] = t + offset
+		}
+	} else {
+		s.times = rate.Times
+	}
+	s.scheduleNext(s.times[0])
+	return s
+}
+
+// Emitted returns the number of cells this source has injected.
+func (s *Source) Emitted() int64 { return s.emitted }
+
+// rateAt evaluates the shifted rate function at t, advancing the
+// monotone cursor. Probe times are nondecreasing over a source's life,
+// so the cursor never rewinds. Semantics match metrics.StepFunc.At.
+func (s *Source) rateAt(t float64) float64 {
+	if t < s.times[0] || t >= s.end {
+		return 0
+	}
+	for s.cur+1 < len(s.times) && s.times[s.cur+1] <= t {
+		s.cur++
+	}
+	return s.values[s.cur]
+}
+
+// nextBreak returns the first breakpoint strictly after t, scanning
+// forward from the cursor (never from the start of the slice).
+func (s *Source) nextBreak(t float64) (float64, bool) {
+	for k := s.cur; k < len(s.times); k++ {
+		if s.times[k] > t {
+			return s.times[k], true
+		}
+	}
+	return 0, false
+}
+
+// scheduleNext schedules the next cell at or after time t.
+func (s *Source) scheduleNext(t float64) {
+	for {
+		if s.rateAt(t) > 0 {
+			s.pending = t
+			s.eng.Schedule(s.eng.TickAt(t), s)
+			return
+		}
+		next, ok := s.nextBreak(t)
+		if !ok {
+			return // rate function exhausted: source done
+		}
+		t = next
+	}
+}
+
+// Fire emits one cell (the Source is its own emission event; exactly
+// one is outstanding while the rate function has support left).
+func (s *Source) Fire(Tick) {
+	t := s.pending
+	r := s.rateAt(t)
+	if r <= 0 {
+		s.scheduleNext(t)
+		return
+	}
+	s.mux.Arrive(s.id, t)
+	s.emitted++
+	s.scheduleNext(t + CellBits/r)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpegsmooth/internal/metrics"
+)
+
+// OnOffParetoConfig parameterizes a seeded on/off background traffic
+// source with Pareto-distributed sojourn times. With shape 1 < α < 2
+// the on/off periods are heavy-tailed, and the superposition of many
+// such sources exhibits long-range dependence (the Taqqu/Willinger
+// construction) — the self-similar VBR background model of
+// Kalyanaraman et al. (cs/9809045) against which smoothed video must
+// share a finite-buffer link.
+type OnOffParetoConfig struct {
+	// PeakRate is the emission rate while ON, bits/s.
+	PeakRate float64
+	// MeanOn and MeanOff are the mean sojourn times in seconds.
+	MeanOn, MeanOff float64
+	// Alpha is the Pareto shape (default 1.5). Must be > 1 so the means
+	// exist; values toward 1 give heavier tails and stronger LRD.
+	Alpha float64
+	// Duration is the generated horizon in seconds.
+	Duration float64
+	// TruncateAt caps a single sojourn at this multiple of its mean
+	// (default 100) so one astronomically long period cannot consume
+	// the whole horizon.
+	TruncateAt float64
+	// Seed makes the source deterministic.
+	Seed int64
+}
+
+// OnOffPareto generates the rate function of one on/off-Pareto source:
+// alternating segments at PeakRate and zero whose durations are drawn
+// from truncated Pareto distributions with the configured means. The
+// same seed always yields the same function.
+func OnOffPareto(cfg OnOffParetoConfig) (*metrics.StepFunc, error) {
+	if cfg.PeakRate <= 0 {
+		return nil, fmt.Errorf("trace: non-positive peak rate %v", cfg.PeakRate)
+	}
+	if cfg.MeanOn <= 0 || cfg.MeanOff <= 0 {
+		return nil, fmt.Errorf("trace: non-positive mean sojourn (on %v, off %v)", cfg.MeanOn, cfg.MeanOff)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("trace: non-positive duration %v", cfg.Duration)
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 1.5
+	}
+	if alpha <= 1 {
+		return nil, fmt.Errorf("trace: Pareto shape %v must exceed 1 (finite mean)", alpha)
+	}
+	trunc := cfg.TruncateAt
+	if trunc == 0 {
+		trunc = 100
+	}
+	if trunc <= 1 {
+		return nil, fmt.Errorf("trace: truncation %v must exceed 1", trunc)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pareto := func(mean float64) float64 {
+		// Scale xm so the (untruncated) mean is the configured one:
+		// E[X] = xm·α/(α-1).
+		xm := mean * (alpha - 1) / alpha
+		d := xm * math.Pow(1-rng.Float64(), -1/alpha)
+		if bound := mean * trunc; d > bound {
+			d = bound
+		}
+		return d
+	}
+	var times, values []float64
+	appendSeg := func(t, v float64) {
+		if n := len(times); n > 0 && t <= times[n-1] {
+			values[n-1] = v // degenerate zero-length predecessor
+			return
+		}
+		times = append(times, t)
+		values = append(values, v)
+	}
+	// Random initial phase: start OFF for a uniform fraction of one
+	// mean off period, decorrelating same-parameter sources by seed.
+	appendSeg(0, 0)
+	t := rng.Float64() * cfg.MeanOff
+	on := true
+	for t < cfg.Duration {
+		if on {
+			appendSeg(t, cfg.PeakRate)
+			t += pareto(cfg.MeanOn)
+		} else {
+			appendSeg(t, 0)
+			t += pareto(cfg.MeanOff)
+		}
+		on = !on
+	}
+	return metrics.NewStepFunc(times, values, cfg.Duration)
+}

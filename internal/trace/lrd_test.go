@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnOffParetoDeterministic(t *testing.T) {
+	cfg := OnOffParetoConfig{PeakRate: 1e6, MeanOn: 0.4, MeanOff: 0.6, Duration: 20, Seed: 9}
+	a, err := OnOffPareto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OnOffPareto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Times) != len(b.Times) {
+		t.Fatalf("same seed, %d vs %d segments", len(a.Times), len(b.Times))
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] || a.Values[i] != b.Values[i] {
+			t.Fatalf("same seed diverges at segment %d", i)
+		}
+	}
+	c, err := OnOffPareto(OnOffParetoConfig{PeakRate: 1e6, MeanOn: 0.4, MeanOff: 0.6, Duration: 20, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Times) == len(c.Times)
+	if same {
+		for i := range a.Times {
+			if a.Times[i] != c.Times[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sources")
+	}
+}
+
+func TestOnOffParetoShape(t *testing.T) {
+	f, err := OnOffPareto(OnOffParetoConfig{PeakRate: 2e6, MeanOn: 0.3, MeanOff: 0.7, Duration: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well-formed step function: strictly increasing times, values only
+	// ever 0 or the peak.
+	for i := range f.Times {
+		if i > 0 && f.Times[i] <= f.Times[i-1] {
+			t.Fatalf("times not increasing at %d: %v then %v", i, f.Times[i-1], f.Times[i])
+		}
+		if v := f.Values[i]; v != 0 && v != 2e6 {
+			t.Fatalf("segment %d has value %v, want 0 or peak", i, v)
+		}
+	}
+	if f.End != 200 {
+		t.Fatalf("End = %v", f.End)
+	}
+	// Long-run mean rate ≈ peak · MeanOn/(MeanOn+MeanOff) = 0.3·peak.
+	var onTime float64
+	for i := range f.Times {
+		end := f.End
+		if i+1 < len(f.Times) {
+			end = f.Times[i+1]
+		}
+		if f.Values[i] > 0 {
+			onTime += end - f.Times[i]
+		}
+	}
+	duty := onTime / f.End
+	if math.Abs(duty-0.3) > 0.12 {
+		t.Fatalf("duty cycle %.3f, want about 0.3", duty)
+	}
+}
+
+func TestOnOffParetoValidation(t *testing.T) {
+	base := OnOffParetoConfig{PeakRate: 1e6, MeanOn: 0.3, MeanOff: 0.7, Duration: 10}
+	bad := []OnOffParetoConfig{
+		func() OnOffParetoConfig { c := base; c.PeakRate = 0; return c }(),
+		func() OnOffParetoConfig { c := base; c.MeanOn = 0; return c }(),
+		func() OnOffParetoConfig { c := base; c.MeanOff = -1; return c }(),
+		func() OnOffParetoConfig { c := base; c.Duration = 0; return c }(),
+		func() OnOffParetoConfig { c := base; c.Alpha = 1; return c }(),
+		func() OnOffParetoConfig { c := base; c.TruncateAt = 0.5; return c }(),
+	}
+	for i, c := range bad {
+		if _, err := OnOffPareto(c); err == nil {
+			t.Errorf("config %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestOnOffParetoHeavyTail(t *testing.T) {
+	// With α = 1.2 the sojourn distribution is heavier-tailed than with
+	// α = 1.9: the longest ON period over a long horizon should dominate.
+	longest := func(alpha float64) float64 {
+		f, err := OnOffPareto(OnOffParetoConfig{
+			PeakRate: 1e6, MeanOn: 0.3, MeanOff: 0.7, Alpha: alpha,
+			Duration: 500, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var max float64
+		for i := range f.Times {
+			end := f.End
+			if i+1 < len(f.Times) {
+				end = f.Times[i+1]
+			}
+			if f.Values[i] > 0 && end-f.Times[i] > max {
+				max = end - f.Times[i]
+			}
+		}
+		return max
+	}
+	heavy, light := longest(1.2), longest(1.9)
+	if heavy <= light {
+		t.Fatalf("heavier tail (α=1.2) longest burst %v not above α=1.9's %v", heavy, light)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mpegsmooth/internal/core"
 	"mpegsmooth/internal/netsim"
 	"mpegsmooth/internal/server"
+	"mpegsmooth/internal/trace"
 	"mpegsmooth/internal/transport"
 	"mpegsmooth/internal/vbv"
 )
@@ -23,6 +24,30 @@ type (
 	MuxRunConfig = netsim.RunConfig
 	// MuxStats counts cells through the multiplexer.
 	MuxStats = netsim.MuxStats
+	// MuxRunResult is MuxStats plus per-source emission/loss counts.
+	MuxRunResult = netsim.RunResult
+	// MuxSourceStats counts one source's cells through the multiplexer.
+	MuxSourceStats = netsim.SourceStats
+
+	// FluidConfig describes one batched fluid multiplexing simulation:
+	// the mode that scales to thousands of streams by accounting cells
+	// analytically between rate-change events.
+	FluidConfig = netsim.FluidConfig
+	// FluidStream is one stream of a fluid simulation (rate function,
+	// start offset, optional bandwidth-limiting shaper).
+	FluidStream = netsim.FluidStream
+	// FluidResult is the analytic outcome of a fluid simulation.
+	FluidResult = netsim.FluidResult
+	// FluidSourceStats is one stream's fluid cell accounting.
+	FluidSourceStats = netsim.FluidSourceStats
+	// ShaperConfig parameterizes a limited-bandwidth connection: a
+	// dual-rate token-bucket shaper that delays (rather than drops)
+	// traffic exceeding its sustained/peak contract.
+	ShaperConfig = netsim.ShaperConfig
+
+	// OnOffParetoConfig parameterizes a seeded long-range-dependent
+	// on/off background traffic source.
+	OnOffParetoConfig = trace.OnOffParetoConfig
 
 	// Sender paces a smoothed schedule over a connection.
 	Sender = transport.Sender
@@ -145,6 +170,19 @@ const (
 // RunMux simulates rate-scheduled sources through a shared finite-buffer
 // multiplexer and returns loss statistics.
 func RunMux(cfg MuxRunConfig) (MuxStats, error) { return netsim.Run(cfg) }
+
+// RunMuxDetailed is RunMux plus per-source emission and loss counts.
+func RunMuxDetailed(cfg MuxRunConfig) (MuxRunResult, error) { return netsim.RunDetailed(cfg) }
+
+// RunMuxFluid simulates streams through a shared finite-buffer
+// multiplexer in batched fluid mode: event count scales with rate
+// breakpoints rather than cells, so thousands of streams are practical.
+func RunMuxFluid(cfg FluidConfig) (*FluidResult, error) { return netsim.RunFluid(cfg) }
+
+// OnOffPareto generates the rate function of a seeded on/off background
+// source with truncated-Pareto sojourn times; superpositions of such
+// sources exhibit the long-range dependence of real network traffic.
+func OnOffPareto(cfg OnOffParetoConfig) (*StepFunc, error) { return trace.OnOffPareto(cfg) }
 
 // Receive drains a sender's stream until its end marker, recording
 // per-picture arrival times, integrity hashes, and rate notifications.
