@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench muxbench chaos crash journal protocol results examples clean
+.PHONY: all build test test-race vet bench muxbench chaos crash cluster journal protocol results examples clean
 
 all: build vet test test-race
 
@@ -32,6 +32,14 @@ chaos:
 # zero leaked reservations.
 crash:
 	$(GO) test -race -v -run 'TestCrash' -count=1 ./internal/server/
+
+# The multi-node failover harness: WAL replication to a warm-standby
+# follower, promotion after the primary process is killed AND its
+# journal dir deleted, sharded redirect placement — all race-mode —
+# plus the three-OS-process failover smoke driving the real binary.
+cluster:
+	$(GO) test -race -v -run 'TestFailover|TestFollower|TestSharded|TestRing' -count=1 ./internal/cluster/
+	$(GO) test -v -run 'TestClusterFailoverSmoke' -count=1 ./cmd/smoothd/
 
 # The journal's own suite: CRC-framed WAL round-trips, torn-write and
 # fsync-error fault injection, deterministic tail truncation, replay

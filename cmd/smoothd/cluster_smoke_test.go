@@ -1,0 +1,221 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mpegsmooth"
+)
+
+// reserveAddrs grabs n distinct loopback addresses by binding and
+// releasing them; the cluster processes re-bind them by name.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// clusterProc is one smoothd OS process under test.
+type clusterProc struct {
+	cmd *exec.Cmd
+	out *syncBuffer
+}
+
+func startClusterProc(t *testing.T, bin string, args ...string) *clusterProc {
+	t.Helper()
+	p := &clusterProc{cmd: exec.Command(bin, args...), out: &syncBuffer{}}
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+// stats fetches and decodes one node's /stats document.
+func stats(opsAddr string) (map[string]any, error) {
+	resp, err := http.Get("http://" + opsAddr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func clusterSection(opsAddr, key string) (any, error) {
+	doc, err := stats(opsAddr)
+	if err != nil {
+		return nil, err
+	}
+	cl, ok := doc["cluster"].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("no cluster section in %v", doc)
+	}
+	return cl[key], nil
+}
+
+func pollSmoke(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterFailoverSmoke is the three-process smoke `make cluster`
+// runs: a primary and a follower smoothd as real OS processes, a
+// resumable client streaming through the shard, then SIGKILL on the
+// primary plus deletion of its journal directory. The client must
+// finish through the follower, which must report itself promoted on
+// its ops endpoint.
+func TestClusterFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "smoothd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building smoothd: %v\n%s", err, out)
+	}
+
+	addrs := reserveAddrs(t, 2)
+	peerSpec := "alpha=" + addrs[0] + "/" + addrs[1]
+	primaryDir := t.TempDir()
+	common := []string{
+		"-shard", "alpha",
+		"-peers", peerSpec,
+		"-ops", "127.0.0.1:0",
+		"-capacity", "50e6",
+		"-timescale", "25",
+		"-resume-window", "30s",
+		"-failover-timeout", "500ms",
+	}
+	primary := startClusterProc(t, bin, append([]string{"-cluster", "primary", "-journal-dir", primaryDir}, common...)...)
+	primaryOps := waitAddr(t, primary.out, opsAddrRe)
+	follower := startClusterProc(t, bin, append([]string{"-cluster", "follower:1", "-journal-dir", t.TempDir()}, common...)...)
+	followerOps := waitAddr(t, follower.out, opsAddrRe)
+
+	pollSmoke(t, "follower attached to the primary", func() bool {
+		repl, err := clusterSection(followerOps, "replication")
+		if err != nil {
+			return false
+		}
+		m, ok := repl.(map[string]any)
+		return ok && m["connected"] == true
+	})
+
+	tr, err := mpegsmooth.Driving1(240, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := mpegsmooth.Smooth(tr, mpegsmooth.Config{K: 1, H: tr.GOP.N, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, tr.Len())
+	for i, bits := range tr.Sizes {
+		payloads[i] = make([]byte, (bits+7)/8)
+	}
+	rs := &mpegsmooth.ResumableSender{
+		Sender: mpegsmooth.Sender{TimeScale: 25, Chunk: 512, WriteTimeout: 5 * time.Second},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addrs[0])
+		},
+		Hello: mpegsmooth.StreamHello{
+			Tau: tr.Tau, GOP: tr.GOP, K: 1, D: 0.2,
+			Pictures: tr.Len(), PeakRate: sched.PeakRate(),
+		},
+		Backoff:     mpegsmooth.Backoff{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond},
+		MaxAttempts: 60,
+		Seed:        1,
+	}
+	type result struct {
+		res mpegsmooth.StreamResult
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		res, err := rs.StreamSchedule(context.Background(), sched, payloads)
+		done <- result{res, err}
+	}()
+
+	// Kill only after the client is admitted and streaming and the
+	// follower has replicated the admission.
+	pollSmoke(t, "client admitted on the primary", func() bool {
+		doc, err := stats(primaryOps)
+		if err != nil {
+			return false
+		}
+		srv, ok := doc["server"].(map[string]any)
+		if !ok {
+			return false
+		}
+		streams, ok := srv["streams"].(map[string]any)
+		return ok && streams["admitted"] == float64(1)
+	})
+	pollSmoke(t, "follower replicated the admission", func() bool {
+		repl, err := clusterSection(followerOps, "replication")
+		if err != nil {
+			return false
+		}
+		m, ok := repl.(map[string]any)
+		return ok && m["applied_admits"] == float64(1) && m["lag_records"] == float64(0)
+	})
+
+	if err := primary.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.cmd.Wait()
+	if err := os.RemoveAll(primaryDir); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("primary killed and its journal dir destroyed")
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("client did not survive the failover: %v\nfollower output:\n%s", r.err, follower.out.String())
+	}
+	if r.res.Resumes < 1 {
+		t.Errorf("client finished with no resume — the kill never landed mid-stream")
+	}
+
+	pollSmoke(t, "follower promoted", func() bool {
+		role, err := clusterSection(followerOps, "role")
+		return err == nil && role == "primary"
+	})
+	t.Logf("failover complete: %d resume(s)", r.res.Resumes)
+}

@@ -25,10 +25,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"mpegsmooth"
+	"mpegsmooth/internal/cluster"
 	"mpegsmooth/internal/journal"
 	"mpegsmooth/internal/server"
 )
@@ -61,6 +64,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		journalDir   = fs.String("journal-dir", "", "session journal directory: admissions, watermarks, and completions survive a crash-restart (empty = no journal)")
 		integrity    = fs.String("integrity", "fnv", "prefix-integrity mode every hello must declare: fnv or hmac-sha256:<keyfile>")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
+
+		clusterRole = fs.String("cluster", "", "cluster role: primary or follower:<rank> (empty = standalone)")
+		shard       = fs.String("shard", "", "this node's shard name (cluster mode)")
+		peersSpec   = fs.String("peers", "", "fleet peer list: name=streamAddr/replAddr,... (cluster mode)")
+		failoverTO  = fs.Duration("failover-timeout", 2*time.Second, "replication silence a follower tolerates before promoting (cluster mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,14 +85,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *quiet {
 		logf = nil
 	}
-	var jrnl *journal.Journal
-	if *journalDir != "" {
-		jrnl, err = journal.Open(journal.Config{Dir: *journalDir, Logf: logf})
-		if err != nil {
-			return err
-		}
-	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		LinkRate:        *capacity,
 		Policy:          policy,
 		H:               *hFlag,
@@ -95,11 +96,32 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ResumeWindow:    *resumeWindow,
 		MaxPictureBytes: *maxPicture,
 		TimeScale:       *timescale,
-		Journal:         jrnl,
 		Integrity:       mode,
 		IntegrityKey:    key,
 		Logf:            logf,
-	})
+	}
+	if *clusterRole != "" {
+		return runCluster(ctx, out, clusterOpts{
+			role:         *clusterRole,
+			shard:        *shard,
+			peersSpec:    *peersSpec,
+			journalDir:   *journalDir,
+			opsAddr:      *opsAddr,
+			failoverTO:   *failoverTO,
+			drainTimeout: *drainTimeout,
+			server:       scfg,
+			logf:         logf,
+		})
+	}
+	var jrnl *journal.Journal
+	if *journalDir != "" {
+		jrnl, err = journal.Open(journal.Config{Dir: *journalDir, Logf: logf})
+		if err != nil {
+			return err
+		}
+	}
+	scfg.Journal = jrnl
+	srv, err := server.New(scfg)
 	if err != nil {
 		// The server never adopted the journal; release its lock here.
 		if jrnl != nil {
@@ -158,4 +180,115 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "smoothd: drain timed out; %d stream(s) cancelled\n", snap.Streams.Active)
 	}
 	return nil
+}
+
+type clusterOpts struct {
+	role         string
+	shard        string
+	peersSpec    string
+	journalDir   string
+	opsAddr      string
+	failoverTO   time.Duration
+	drainTimeout time.Duration
+	server       server.Config
+	logf         func(format string, args ...any)
+}
+
+// runCluster runs the process as one cluster node — a shard primary or
+// a warm-standby follower — until the context is cancelled.
+func runCluster(ctx context.Context, out io.Writer, o clusterOpts) error {
+	rank, err := parseClusterRole(o.role)
+	if err != nil {
+		return err
+	}
+	if o.shard == "" {
+		return errors.New("cluster mode needs -shard")
+	}
+	if o.journalDir == "" {
+		return errors.New("cluster mode needs -journal-dir (the journal is what gets replicated)")
+	}
+	peers, err := parsePeers(o.peersSpec)
+	if err != nil {
+		return err
+	}
+	node, err := cluster.New(cluster.Config{
+		Shard:           o.shard,
+		Rank:            rank,
+		Peers:           peers,
+		Journal:         journal.Config{Dir: o.journalDir, Logf: o.logf},
+		Server:          o.server,
+		FailoverTimeout: o.failoverTO,
+		Logf:            o.logf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := node.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "smoothd: cluster node %s rank %d, role %s\n", o.shard, rank, node.Role())
+
+	if o.opsAddr != "" {
+		opsLn, err := net.Listen("tcp", o.opsAddr)
+		if err != nil {
+			node.Kill()
+			return err
+		}
+		opsSrv := &http.Server{Handler: node.OpsHandler()}
+		go opsSrv.Serve(opsLn)
+		defer opsSrv.Close()
+		fmt.Fprintf(out, "smoothd: ops on http://%s/stats\n", opsLn.Addr())
+	}
+
+	<-ctx.Done()
+	fmt.Fprintf(out, "smoothd: draining (up to %v)...\n", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	drainErr := node.Shutdown(drainCtx)
+	fmt.Fprintf(out, "smoothd: exit — role %s, %d promotion(s)\n", node.Role(), node.Status().Promotions)
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	return nil
+}
+
+// parseClusterRole maps "primary" to rank 0 and "follower:<n>" (n ≥ 1)
+// to rank n.
+func parseClusterRole(spec string) (int, error) {
+	if spec == "primary" {
+		return 0, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "follower:"); ok {
+		rank, err := strconv.Atoi(rest)
+		if err != nil || rank < 1 {
+			return 0, fmt.Errorf("follower rank must be a positive integer, got %q", rest)
+		}
+		return rank, nil
+	}
+	return 0, fmt.Errorf("-cluster must be primary or follower:<rank>, got %q", spec)
+}
+
+// parsePeers parses "name=streamAddr/replAddr,..." (slash-separated
+// because the addresses themselves contain colons).
+func parsePeers(spec string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, addrs, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want name=streamAddr/replAddr", item)
+		}
+		stream, repl, ok := strings.Cut(addrs, "/")
+		if !ok || stream == "" || repl == "" {
+			return nil, fmt.Errorf("peer %q: want name=streamAddr/replAddr", item)
+		}
+		peers = append(peers, cluster.Peer{Name: name, StreamAddr: stream, ReplAddr: repl})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("cluster mode needs -peers")
+	}
+	return peers, nil
 }

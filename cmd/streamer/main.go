@@ -115,6 +115,12 @@ func send(args []string) error {
 				var d net.Dialer
 				return d.DialContext(ctx, "tcp", *connect)
 			},
+			// A sharded fleet answers a misdirected handshake with a
+			// redirect verdict; follow it to the owning shard.
+			DialAddr: func(ctx context.Context, addr string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", addr)
+			},
 			Hello: mpegsmooth.StreamHello{
 				Tau: tr.Tau, GOP: tr.GOP, K: *k, D: *d,
 				Pictures: tr.Len(), PeakRate: sched.PeakRate(),

@@ -1,0 +1,103 @@
+// Package cluster turns smoothd into a small replicated fleet: a
+// primary streams its journal's record feed to warm-standby followers,
+// a follower promotes itself on primary death and serves resumes from
+// the replicated watermark, and a consistent-hash ring places streams
+// across shards so the whole fleet — not one process — holds the
+// session table.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the per-node virtual-node count: enough points that
+// three nodes split the key space within a ~1.3 max/min load ratio,
+// small enough that ring construction and lookup stay trivial.
+const DefaultVnodes = 64
+
+// splitmix64 is the finalizer that spreads both vnode point hashes and
+// lookup keys over the full 64-bit circle. Resume tokens and hello
+// nonces are crypto-random already, but the finalizer also protects the
+// ring against adversarial or structured keys (sequential fallback
+// tokens, low-entropy nonces).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int // index into names
+}
+
+// Ring is a consistent-hash ring over shard names. Construction is
+// deterministic: the same member set yields the same ring in every
+// process regardless of insertion order, so every node routes every key
+// identically without coordination.
+type Ring struct {
+	names  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring with vnodes virtual nodes per name (0 =
+// DefaultVnodes). Names are deduplicated and sorted, so member-set
+// equality implies ring equality.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty shard name")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	sort.Strings(uniq)
+	r := &Ring{names: uniq}
+	for i, name := range uniq {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", name, v)
+			r.points = append(r.points, ringPoint{hash: splitmix64(h.Sum64()), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full 64-bit collision between two vnode points is vanishingly
+		// unlikely; break it by name order so construction stays
+		// deterministic anyway.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Owner returns the shard that owns key: the first vnode point at or
+// after the key's position on the circle, wrapping at the top.
+func (r *Ring) Owner(key uint64) string {
+	h := splitmix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.names[r.points[i].node]
+}
+
+// Nodes returns the ring's member names, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.names...)
+}

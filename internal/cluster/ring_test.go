@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ringKeys draws the fixed key population the distribution and churn
+// tests share: seeded, so the bounds below are deterministic facts
+// about this ring construction, not flaky sampling.
+func ringKeys(n int) []uint64 {
+	rng := rand.New(rand.NewSource(41))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+// TestRingDistribution pins the load-balance bound: at 64 vnodes per
+// node, three shards split a large key population with a max/min load
+// ratio under 1.3.
+func TestRingDistribution(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma"}
+	ring, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(200_000)
+	for _, k := range keys {
+		counts[ring.Owner(k)]++
+	}
+	min, max := len(keys), 0
+	for _, name := range names {
+		c := counts[name]
+		if c == 0 {
+			t.Fatalf("shard %s owns no keys: %v", name, counts)
+		}
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	ratio := float64(max) / float64(min)
+	t.Logf("distribution over %d keys: %v (max/min %.3f)", len(keys), counts, ratio)
+	if ratio >= 1.3 {
+		t.Fatalf("max/min load ratio %.3f, want < 1.3 (counts %v)", ratio, counts)
+	}
+}
+
+// TestRingChurn pins the minimal-disruption property: adding a node
+// moves only the keys that node takes over (no key moves between
+// surviving nodes), and the moved fraction is near its fair share.
+// Removing the node restores the original assignment exactly.
+func TestRingChurn(t *testing.T) {
+	base := []string{"alpha", "beta", "gamma"}
+	before, err := NewRing(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(base, "delta"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(200_000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		if is != "delta" {
+			t.Fatalf("key %016x moved %s -> %s: churn between surviving nodes", k, was, is)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	t.Logf("added delta: %.1f%% of keys moved (fair share 25%%)", 100*frac)
+	if frac < 0.25/2 || frac > 0.25*2 {
+		t.Fatalf("add moved %.3f of keys, want near the 0.25 fair share", frac)
+	}
+	// Removal is the mirror image: rebuilding without delta must give
+	// back the original assignment for every key.
+	restored, err := NewRing([]string{"gamma", "beta", "alpha"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if before.Owner(k) != restored.Owner(k) {
+			t.Fatalf("key %016x: owner changed after remove (%s vs %s)",
+				k, before.Owner(k), restored.Owner(k))
+		}
+	}
+}
+
+// TestRingDeterminism pins cross-process agreement: the assignment is a
+// pure function of the member set — insertion order, duplicates, and
+// process identity must not matter — and a golden checksum catches any
+// accidental dependence on map iteration or addresses.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing([]string{"alpha", "beta", "gamma"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"gamma", "alpha", "beta", "alpha"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(50_000)
+	var sum uint64
+	for i, k := range keys {
+		oa, ob := a.Owner(k), b.Owner(k)
+		if oa != ob {
+			t.Fatalf("key %016x: owner %s vs %s across construction orders", k, oa, ob)
+		}
+		sum = sum*31 + splitmix64(k^uint64(len(oa))+uint64(i))
+	}
+	// Golden checksum of the full assignment, fixed at the ring's
+	// introduction: a change here is a routing flag-day for every
+	// deployed fleet and must be deliberate.
+	const golden = uint64(0xf84690e0f9d518e8)
+	if sum != golden {
+		t.Fatalf("assignment checksum %016x, want %016x: ring hashing changed, every deployed fleet would re-route", sum, golden)
+	}
+}

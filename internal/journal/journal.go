@@ -334,30 +334,42 @@ func ScanSegment(data []byte) (recs []Record, valid int, err error) {
 	}
 	off := len(segMagic)
 	for off < len(data) {
-		rest := data[off:]
-		if len(rest) < 9 {
-			return recs, off, fmt.Errorf("journal: torn record header at %d", off)
-		}
-		kind := rest[0]
-		n := int(binary.BigEndian.Uint32(rest[1:5]))
-		if n > maxRecordBody {
-			return recs, off, fmt.Errorf("journal: record at %d declares %d-byte body", off, n)
-		}
-		if len(rest) < 9+n {
-			return recs, off, fmt.Errorf("journal: torn record body at %d", off)
-		}
-		sum := crc32.ChecksumIEEE(rest[:5+n])
-		if got := binary.BigEndian.Uint32(rest[5+n : 9+n]); got != sum {
-			return recs, off, fmt.Errorf("journal: record at %d crc %08x, want %08x", off, got, sum)
-		}
-		rec, derr := decodeBody(kind, rest[5:5+n])
-		if derr != nil {
-			return recs, off, fmt.Errorf("journal: record at %d: %w", off, derr)
+		rec, n, perr := ParseFrame(data[off:])
+		if perr != nil {
+			return recs, off, fmt.Errorf("journal: record at %d: %w", off, perr)
 		}
 		recs = append(recs, rec)
-		off += 9 + n
+		off += n
 	}
 	return recs, off, nil
+}
+
+// ParseFrame decodes the single framed record at the front of b,
+// verifying its length bounds and CRC, and returns the record plus its
+// encoded size. It is the unit the segment scanner and the replication
+// feed share: a feed consumer parses each published frame with it and
+// must always consume the frame exactly.
+func ParseFrame(b []byte) (Record, int, error) {
+	if len(b) < 9 {
+		return Record{}, 0, errors.New("torn record header")
+	}
+	kind := b[0]
+	n := int(binary.BigEndian.Uint32(b[1:5]))
+	if n > maxRecordBody {
+		return Record{}, 0, fmt.Errorf("declares %d-byte body", n)
+	}
+	if len(b) < 9+n {
+		return Record{}, 0, errors.New("torn record body")
+	}
+	sum := crc32.ChecksumIEEE(b[:5+n])
+	if got := binary.BigEndian.Uint32(b[5+n : 9+n]); got != sum {
+		return Record{}, 0, fmt.Errorf("crc %08x, want %08x", got, sum)
+	}
+	rec, derr := decodeBody(kind, b[5:5+n])
+	if derr != nil {
+		return Record{}, 0, derr
+	}
+	return rec, 9 + n, nil
 }
 
 // Config parameterizes a Journal.
@@ -420,6 +432,13 @@ type Journal struct {
 	broken     bool
 	closed     bool
 
+	// The record feed (see tail.go): committed frames are published to
+	// subscribers under j.mu, and the cursor counts what was published.
+	subs     map[uint64]chan []byte
+	nextSub  uint64
+	pubRecs  uint64
+	pubBytes uint64
+
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
@@ -476,6 +495,7 @@ func Open(cfg Config) (*Journal, error) {
 		fs:    full.FS,
 		state: newState(),
 		dirty: map[uint64]wmEntry{},
+		subs:  map[uint64]chan []byte{},
 	}
 	if err := j.replay(); err != nil {
 		return nil, err
@@ -682,6 +702,7 @@ func (j *Journal) Close() error {
 	}
 	err := j.flushLocked()
 	j.closed = true
+	j.closeSubsLocked()
 	if j.active != nil {
 		if cerr := j.active.Close(); err == nil {
 			err = cerr
@@ -704,6 +725,7 @@ func (j *Journal) Abandon() {
 	}
 	j.closed = true
 	j.dirty = map[uint64]wmEntry{}
+	j.closeSubsLocked()
 	if j.active != nil {
 		j.active.Close()
 		j.active = nil
@@ -770,6 +792,7 @@ func (j *Journal) appendLocked(frame []byte, syncNow bool) error {
 			return err
 		}
 	}
+	j.publishLocked(frame)
 	return nil
 }
 
@@ -818,17 +841,7 @@ func (j *Journal) rotateLocked() error {
 			delete(j.state.Tombstones, tok)
 		}
 	}
-	var buf []byte
-	buf = append(buf, segMagic...)
-	for _, st := range j.state.Streams {
-		buf = append(buf, encodeAdmit(*st)...)
-		if st.Watermark > 0 {
-			buf = append(buf, encodeWatermark(st.Token, st.Watermark, st.HashState)...)
-		}
-	}
-	for _, tb := range j.state.Tombstones {
-		buf = append(buf, encodeComplete(*tb)...)
-	}
+	buf := j.snapshotLocked()
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		j.fs.Remove(name)
@@ -856,4 +869,27 @@ func (j *Journal) rotateLocked() error {
 	j.segments = []string{name}
 	j.stats.Rotations++
 	return nil
+}
+
+// snapshotLocked encodes the live state as one segment image: the same
+// bytes a rotation writes, and the base a Follow subscriber starts
+// from. Expired tombstones are skipped (not pruned — rotation owns the
+// pruning). Caller holds j.mu.
+func (j *Journal) snapshotLocked() []byte {
+	now := time.Now()
+	var buf []byte
+	buf = append(buf, segMagic...)
+	for _, st := range j.state.Streams {
+		buf = append(buf, encodeAdmit(*st)...)
+		if st.Watermark > 0 {
+			buf = append(buf, encodeWatermark(st.Token, st.Watermark, st.HashState)...)
+		}
+	}
+	for _, tb := range j.state.Tombstones {
+		if !tb.Expires.IsZero() && now.After(tb.Expires) {
+			continue
+		}
+		buf = append(buf, encodeComplete(*tb)...)
+	}
+	return buf
 }

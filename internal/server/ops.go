@@ -30,6 +30,9 @@ type StreamCounts struct {
 	// tombstone after the sender's completion ack was lost.
 	HelloDeduped    int64 `json:"hello_deduped"`
 	AlreadyComplete int64 `json:"already_complete"`
+	// Redirected counts handshakes answered with the owning shard's
+	// address because the session key hashed to another shard.
+	Redirected int64 `json:"redirected"`
 	// Recovered counts streams rebuilt from the journal at startup and
 	// parked for their senders to redial; RecoveredTombstones the
 	// completion tombstones restored the same way.
@@ -132,6 +135,7 @@ func (s *Server) Snapshot() Snapshot {
 			Failed:              s.failed,
 			HelloDeduped:        s.helloDeduped,
 			AlreadyComplete:     s.alreadyComplete,
+			Redirected:          s.redirected,
 			Recovered:           s.recoveredStreams,
 			RecoveredTombstones: s.recoveredTombstones,
 		},
@@ -163,16 +167,57 @@ func (s *Server) Snapshot() Snapshot {
 	return snap
 }
 
+// Health is the readiness report /healthz serves. Liveness and
+// readiness are different questions: a draining primary or a warm
+// standby follower is alive (/livez says ok) but must not receive new
+// hellos, so /healthz answers 503 with a JSON reason and load balancers
+// stop routing to it.
+type Health struct {
+	// Status is "ok" (ready for new sessions) or "not-ready".
+	Status string `json:"status"`
+	// Reason says why the node is not ready ("draining", "follower");
+	// empty when ready.
+	Reason string `json:"reason,omitempty"`
+	// Role is the node's cluster role when it runs in one ("primary",
+	// "follower"); empty for a standalone server.
+	Role string `json:"role,omitempty"`
+}
+
+// Ready reports whether the node should receive new sessions.
+func (h Health) Ready() bool { return h.Status == "ok" }
+
+// Health reports the server's own readiness: ok until Shutdown begins.
+func (s *Server) Health() Health {
+	if s.Draining() {
+		return Health{Status: "not-ready", Reason: "draining"}
+	}
+	return Health{Status: "ok"}
+}
+
+// WriteHealth serves a Health as the /healthz response: 200 when ready,
+// 503 when not, JSON body either way.
+func WriteHealth(w http.ResponseWriter, h Health) {
+	w.Header().Set("Content-Type", "application/json")
+	if !h.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
+}
+
 // OpsHandler serves the operations endpoint:
 //
-//	GET /healthz     liveness probe
+//	GET /livez       liveness probe (always ok while the process runs)
+//	GET /healthz     readiness probe: 503 not-ready while draining
 //	GET /stats       full JSON Snapshot
 //	GET /debug/vars  expvar (includes the "smoothd" snapshot)
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /livez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		WriteHealth(w, s.Health())
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

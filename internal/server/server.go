@@ -110,6 +110,17 @@ type Config struct {
 	// The server owns the journal from here: it is closed by Shutdown
 	// and abandoned by Kill.
 	Journal *journal.Journal
+	// Route, when set, maps a session key — a hello nonce or resume
+	// token — to the owning shard's stream address. A session this
+	// server does not own is answered with a transport.Redirect naming
+	// addr instead of a verdict, so in a sharded fleet every shard can
+	// be dialed and the hash ring decides placement. Nonce-less hellos
+	// (no dedup key) are always treated as local.
+	Route func(key uint64) (addr string, local bool)
+	// OwnsToken, when set, filters freshly issued resume tokens so they
+	// hash to this shard on the placement ring: resumes then route home
+	// by the same rule that routed the hello.
+	OwnsToken func(token uint64) bool
 	// Integrity is the prefix-hash mode this server requires in every
 	// hello (default IntegrityFNV). A hello declaring any other mode is
 	// rejected as malformed. IntegrityHMAC requires IntegrityKey.
@@ -192,6 +203,7 @@ type Server struct {
 	rejectedBusy      int64
 	helloDeduped      int64
 	alreadyComplete   int64
+	redirected        int64
 
 	// faultTotals accumulates finished streams' fault counters; active
 	// streams' counters are added at snapshot time.
@@ -517,6 +529,27 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// redirectIfRemote answers a handshake whose session key another shard
+// owns with that shard's address (best effort) and closes the
+// connection. It reports whether the connection was redirected.
+func (s *Server) redirectIfRemote(conn net.Conn, fw *transport.FrameWriter, key uint64) bool {
+	if s.cfg.Route == nil {
+		return false
+	}
+	addr, local := s.cfg.Route(key)
+	if local {
+		return false
+	}
+	s.mu.Lock()
+	s.redirected++
+	s.mu.Unlock()
+	fw.WriteRedirect(transport.Redirect{Addr: addr})
+	conn.Close()
+	s.cfg.Logf("smoothd: %s redirected to %s (key %016x not owned by this shard)",
+		conn.RemoteAddr(), addr, key)
+	return true
+}
+
 // rejectConn answers a doomed connection with a verdict (best effort)
 // and closes it.
 func (s *Server) rejectConn(conn net.Conn, fw *transport.FrameWriter, code transport.VerdictCode, cause error) {
@@ -540,6 +573,9 @@ func (s *Server) rejectConn(conn net.Conn, fw *transport.FrameWriter, code trans
 // instead of reserving a second session we reattach the connection to
 // the existing one, exactly as a resume would.
 func (s *Server) handleHello(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, hello *transport.StreamHello) {
+	if hello.Nonce != 0 && s.redirectIfRemote(conn, fw, hello.Nonce) {
+		return
+	}
 	if hello.Nonce != 0 {
 		s.mu.Lock()
 		prior := s.nonces[hello.Nonce]
@@ -577,6 +613,9 @@ func (s *Server) handleHello(conn net.Conn, fr *transport.FrameReader, fw *trans
 // first: a sender that finished but lost the completion ack gets an
 // AlreadyComplete verdict carrying the final hash, not a rejection.
 func (s *Server) handleResume(conn net.Conn, fr *transport.FrameReader, fw *transport.FrameWriter, m *transport.StreamResume) {
+	if s.redirectIfRemote(conn, fw, m.Token) {
+		return
+	}
 	s.mu.Lock()
 	st := s.resumable[m.Token]
 	closed := s.closed
@@ -836,6 +875,12 @@ func (s *Server) newTokenLocked() uint64 {
 		if _, taken := s.resumable[tok]; taken {
 			continue
 		}
+		// Rejection-sample until the token hashes to this shard on the
+		// placement ring, so a later resume routes straight home
+		// (expected draws = shard count).
+		if s.cfg.OwnsToken != nil && !s.cfg.OwnsToken(tok) {
+			continue
+		}
 		return tok
 	}
 }
@@ -927,6 +972,15 @@ func (s *Server) parkGauge(delta int) {
 		s.admission.Unpark()
 	}
 	s.mu.Unlock()
+}
+
+// Draining reports whether the server has stopped admitting new
+// sessions: Shutdown has begun (or the listener died). A draining
+// server is alive but not ready — /healthz distinguishes the two.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // FinishedStreams returns snapshots of the most recently finished

@@ -359,7 +359,10 @@ func TestOpsEndpoint(t *testing.T) {
 		return resp.StatusCode, sb.String()
 	}
 
-	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+	if code, body := get("/livez"); code != 200 || body != "ok\n" {
+		t.Fatalf("livez %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
 		t.Fatalf("healthz %d %q", code, body)
 	}
 	code, body := get("/stats")

@@ -76,6 +76,10 @@ type ResumeEvent struct {
 	// and only the completion ack was lost. The stream is reported as a
 	// success, but callers may want to log the lost-ack recovery.
 	AlreadyComplete bool
+	// Redirected is set when the handshake was answered with a shard
+	// redirect; RedirectAddr is the owning shard the loop dials next.
+	Redirected   bool
+	RedirectAddr string
 }
 
 // StreamResult summarizes a resumable stream session.
@@ -89,6 +93,9 @@ type StreamResult struct {
 	// the server finished the stream, the final ack was lost, and the
 	// tombstone's hash verified byte-exact delivery.
 	AlreadyComplete bool
+	// Redirects counts shard redirects the loop followed before landing
+	// on the owning server.
+	Redirects int
 	// Faults counts classified failures the loop recovered from (or
 	// died on), by class.
 	Faults map[FaultClass]int
@@ -136,6 +143,13 @@ type ResumableSender struct {
 	Sender Sender
 	// Dial opens a connection to the server. Required.
 	Dial func(ctx context.Context) (net.Conn, error)
+	// DialAddr, when set, opens a connection to a specific address — the
+	// redirect-follow path for a sharded fleet. A server that does not
+	// own this stream's session key answers the handshake with a
+	// Redirect naming the owning shard's address; the loop redials there
+	// (and keeps using that address for subsequent reconnects). Without
+	// DialAddr, a redirect is a terminal error.
+	DialAddr func(ctx context.Context, addr string) (net.Conn, error)
 	// Hello is the admission declaration for the initial handshake.
 	Hello StreamHello
 	// Backoff shapes the reconnect delays (zero value = defaults).
@@ -219,10 +233,16 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 	}
 
 	var (
-		token   uint64
-		next    int
-		attempt int // consecutive failures
+		token     uint64
+		next      int
+		attempt   int    // consecutive failures
+		addr      string // redirect target; empty = rs.Dial
+		redirects int    // consecutive redirects without a verdict
 	)
+	// maxRedirects bounds a redirect chain: a correctly configured fleet
+	// redirects at most once (every shard routes a key identically), so
+	// a longer chain means the fleet's rings disagree.
+	const maxRedirects = 8
 	fail := func(err error) (FaultClass, error) {
 		class := ClassifyFault(err)
 		result.Faults[class]++
@@ -246,7 +266,15 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 		if err := ctx.Err(); err != nil {
 			return result, err
 		}
-		conn, err := rs.Dial(ctx)
+		var (
+			conn net.Conn
+			err  error
+		)
+		if addr != "" {
+			conn, err = rs.DialAddr(ctx, addr)
+		} else {
+			conn, err = rs.Dial(ctx)
+		}
 		if err != nil {
 			if _, ferr := fail(err); ferr != nil {
 				return result, ferr
@@ -264,7 +292,35 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 			err = w.WriteResume(StreamResume{Token: token})
 		}
 		if err == nil {
-			v, err = r.ReadVerdictTimeout(hsTimeout)
+			var msg any
+			msg, err = r.ReadMessageTimeout(hsTimeout)
+			if err == nil {
+				switch m := msg.(type) {
+				case *Verdict:
+					v = *m
+				case *Redirect:
+					// Another shard owns this stream's key. Follow the
+					// redirect — outside the failure/backoff accounting,
+					// since the fleet is answering correctly — but bound the
+					// chain so disagreeing rings cannot bounce us forever.
+					conn.Close()
+					if rs.DialAddr == nil {
+						return result, fmt.Errorf("transport: server redirected stream to %s but no DialAddr is configured", m.Addr)
+					}
+					result.Redirects++
+					redirects++
+					if redirects > maxRedirects {
+						return result, fmt.Errorf("transport: redirect chain exceeded %d hops (last to %s)", maxRedirects, m.Addr)
+					}
+					addr = m.Addr
+					if rs.OnEvent != nil {
+						rs.OnEvent(ResumeEvent{Attempt: attempt, Redirected: true, RedirectAddr: m.Addr})
+					}
+					continue
+				default:
+					err = fmt.Errorf("%w: expected verdict, got %T", ErrCorrupt, msg)
+				}
+			}
 		}
 		if err != nil {
 			conn.Close()
@@ -273,6 +329,7 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 			}
 			continue
 		}
+		redirects = 0
 		if v.Code == AlreadyComplete {
 			// The server finished this stream and tombstoned the token;
 			// only the completion ack was lost. Verify the tombstone's

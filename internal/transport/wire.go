@@ -38,12 +38,13 @@ import (
 
 // Message kinds on the wire.
 const (
-	kindRate    byte = 'R'
-	kindPicture byte = 'P'
-	kindEnd     byte = 'E'
-	kindHello   byte = 'H'
-	kindVerdict byte = 'V'
-	kindResume  byte = 'M'
+	kindRate     byte = 'R'
+	kindPicture  byte = 'P'
+	kindEnd      byte = 'E'
+	kindHello    byte = 'H'
+	kindVerdict  byte = 'V'
+	kindResume   byte = 'M'
+	kindRedirect byte = 'D'
 )
 
 // bodyLen maps a message kind to its fixed body length (the picture
@@ -60,11 +61,18 @@ func bodyLen(kind byte) (int, bool) {
 		return 13, true
 	case kindResume:
 		return 8, true
+	case kindRedirect:
+		return 2 + maxRedirectAddr, true
 	case kindEnd:
 		return 0, true
 	}
 	return 0, false
 }
+
+// maxRedirectAddr bounds the advertised address in a redirect frame;
+// the body is fixed-size (length prefix plus zero-padded address) like
+// every other kind.
+const maxRedirectAddr = 128
 
 // MaxPictureBytes is the absolute wire-level bound on a picture payload;
 // no cap may exceed it, and a peer announcing more is malformed.
@@ -170,6 +178,17 @@ func (h StreamHello) Validate() error {
 // link lossless.
 type StreamResume struct {
 	Token uint64
+}
+
+// Redirect steers a misdirected hello or resume to the shard that owns
+// its session key: in a sharded fleet, stream placement follows a
+// consistent-hash ring over hello nonces and resume tokens, and a
+// server that does not own the key answers with the owner's stream
+// address instead of a verdict. The sender redials there and repeats
+// its handshake.
+type Redirect struct {
+	// Addr is the owning shard's stream listen address.
+	Addr string
 }
 
 // VerdictCode classifies an admission decision.
@@ -365,6 +384,18 @@ func (fw *FrameWriter) WriteVerdict(v Verdict) error {
 	return fw.writeFrame(kindVerdict, body[:])
 }
 
+// WriteRedirect writes a shard redirect: the answer to a hello or
+// resume whose session key another shard owns.
+func (fw *FrameWriter) WriteRedirect(rd Redirect) error {
+	if rd.Addr == "" || len(rd.Addr) > maxRedirectAddr {
+		return fmt.Errorf("transport: redirect address %q out of range", rd.Addr)
+	}
+	var body [2 + maxRedirectAddr]byte
+	binary.BigEndian.PutUint16(body[0:2], uint16(len(rd.Addr)))
+	copy(body[2:], rd.Addr)
+	return fw.writeFrame(kindRedirect, body[:])
+}
+
 // WriteRate writes a rate notification.
 func (fw *FrameWriter) WriteRate(n RateNotification) error {
 	if n.Index < 0 || n.Index > math.MaxUint32 {
@@ -438,9 +469,9 @@ func (fr *FrameReader) maxPayload() int {
 }
 
 // ReadMessage reads and verifies the next message. It returns a
-// *StreamHello, a *StreamResume, a *Verdict, a *RateNotification, or a
-// *PictureFrame (with the payload fully read and CRC-checked), or
-// ErrClosed on the end marker. Frames that fail verification return
+// *StreamHello, a *StreamResume, a *Verdict, a *Redirect, a
+// *RateNotification, or a *PictureFrame (with the payload fully read
+// and CRC-checked), or ErrClosed on the end marker. Frames that fail verification return
 // errors wrapping ErrCorrupt or ErrBadSeq.
 func (fr *FrameReader) ReadMessage() (any, error) {
 	var head [5]byte
@@ -513,6 +544,12 @@ func (fr *FrameReader) decode(kind byte, body []byte) (any, error) {
 			return nil, fmt.Errorf("%w: invalid verdict capacity %v", ErrCorrupt, v.Available)
 		}
 		return &v, nil
+	case kindRedirect:
+		n := int(binary.BigEndian.Uint16(body[0:2]))
+		if n == 0 || n > maxRedirectAddr {
+			return nil, fmt.Errorf("%w: redirect address length %d", ErrCorrupt, n)
+		}
+		return &Redirect{Addr: string(body[2 : 2+n])}, nil
 	case kindRate:
 		rate := math.Float64frombits(binary.BigEndian.Uint64(body[4:12]))
 		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
