@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench muxbench chaos crash cluster journal protocol results examples clean
+.PHONY: all build test test-race vet bench muxbench chaos crash cluster replfuzz journal protocol results examples clean
 
 all: build vet test test-race
 
@@ -35,11 +35,19 @@ crash:
 
 # The multi-node failover harness: WAL replication to a warm-standby
 # follower, promotion after the primary process is killed AND its
-# journal dir deleted, sharded redirect placement — all race-mode —
-# plus the three-OS-process failover smoke driving the real binary.
+# journal dir deleted, sharded redirect placement, and the quorum-2
+# chaos schedules (kill-primary with no catch-up gate, kill-follower,
+# partition-then-heal with epoch fencing) — all race-mode — plus the
+# OS-process failover and quorum smokes driving the real binary.
 cluster:
-	$(GO) test -race -v -run 'TestFailover|TestFollower|TestSharded|TestRing' -count=1 ./internal/cluster/
-	$(GO) test -v -run 'TestClusterFailoverSmoke' -count=1 ./cmd/smoothd/
+	$(GO) test -race -v -run 'TestFailover|TestFollower|TestSharded|TestRing|TestQuorum|TestTwoFollower' -count=1 ./internal/cluster/
+	$(GO) test -v -run 'TestClusterFailoverSmoke|TestClusterQuorumSmoke' -count=1 ./cmd/smoothd/
+
+# The replication-frame parser fuzzer: arbitrary bytes against the MSRP
+# framing (truncations, CRC flips, oversized payloads) must never
+# panic or over-read.
+replfuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReplFrame -fuzztime 10s ./internal/cluster/
 
 # The journal's own suite: CRC-framed WAL round-trips, torn-write and
 # fsync-error fault injection, deterministic tail truncation, replay

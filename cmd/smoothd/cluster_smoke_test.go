@@ -219,3 +219,148 @@ func TestClusterFailoverSmoke(t *testing.T) {
 	})
 	t.Logf("failover complete: %d resume(s)", r.res.Resumes)
 }
+
+// TestClusterQuorumSmoke is the quorum-replication variant: THREE
+// smoothd OS processes (a primary and two followers) running with
+// -replicas 2 -quorum 2, so every verdict is held for a follower ack.
+// The primary is killed (journal dir destroyed) with no catch-up gate
+// beyond the admission verdict itself — the quorum ack-hold is what
+// guarantees the promoted follower carries the session. The promoted
+// node must report a higher fencing epoch than the dead primary served
+// under.
+func TestClusterQuorumSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "smoothd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building smoothd: %v\n%s", err, out)
+	}
+
+	addrs := reserveAddrs(t, 2)
+	peerSpec := "alpha=" + addrs[0] + "/" + addrs[1]
+	primaryDir := t.TempDir()
+	common := []string{
+		"-shard", "alpha",
+		"-peers", peerSpec,
+		"-ops", "127.0.0.1:0",
+		"-capacity", "50e6",
+		"-timescale", "25",
+		"-resume-window", "30s",
+		"-failover-timeout", "500ms",
+		"-replicas", "2",
+		"-quorum", "2",
+		"-ack-timeout", "250ms",
+	}
+	primary := startClusterProc(t, bin, append([]string{"-cluster", "primary", "-journal-dir", primaryDir}, common...)...)
+	primaryOps := waitAddr(t, primary.out, opsAddrRe)
+	follower1 := startClusterProc(t, bin, append([]string{"-cluster", "follower:1", "-journal-dir", t.TempDir()}, common...)...)
+	follower1Ops := waitAddr(t, follower1.out, opsAddrRe)
+	startClusterProc(t, bin, append([]string{"-cluster", "follower:2", "-journal-dir", t.TempDir()}, common...)...)
+
+	replGauge := func(ops, key string) (float64, bool) {
+		repl, err := clusterSection(ops, "replication")
+		if err != nil {
+			return 0, false
+		}
+		m, ok := repl.(map[string]any)
+		if !ok {
+			return 0, false
+		}
+		v, ok := m[key].(float64)
+		return v, ok
+	}
+	pollSmoke(t, "quorum formed on the primary", func() bool {
+		repl, err := clusterSection(primaryOps, "replication")
+		if err != nil {
+			return false
+		}
+		m, ok := repl.(map[string]any)
+		return ok && m["replicas_connected"] == float64(2) && m["quorum_degraded"] == false
+	})
+	primaryEpoch, ok := replGauge(primaryOps, "epoch")
+	if !ok || primaryEpoch < 1 {
+		t.Fatalf("primary serving without a fencing epoch (got %v)", primaryEpoch)
+	}
+
+	// A longer trace than the failover smoke: the kill is gated only on
+	// the admission gauge, so the stream must outlast the poll that
+	// observes it.
+	tr, err := mpegsmooth.Driving1(1080, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := mpegsmooth.Smooth(tr, mpegsmooth.Config{K: 1, H: tr.GOP.N, D: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, tr.Len())
+	for i, bits := range tr.Sizes {
+		payloads[i] = make([]byte, (bits+7)/8)
+	}
+	rs := &mpegsmooth.ResumableSender{
+		Sender: mpegsmooth.Sender{TimeScale: 25, Chunk: 512, WriteTimeout: 5 * time.Second},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addrs[0])
+		},
+		Hello: mpegsmooth.StreamHello{
+			Tau: tr.Tau, GOP: tr.GOP, K: 1, D: 0.2,
+			Pictures: tr.Len(), PeakRate: sched.PeakRate(),
+		},
+		Backoff:     mpegsmooth.Backoff{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond},
+		MaxAttempts: 60,
+		Seed:        2,
+	}
+	type result struct {
+		res mpegsmooth.StreamResult
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		res, err := rs.StreamSchedule(context.Background(), sched, payloads)
+		done <- result{res, err}
+	}()
+
+	// Kill as soon as the client holds its (quorum-acked) admission
+	// verdict and is streaming — no replication catch-up gate: the
+	// ack-hold IS the guarantee under test.
+	pollSmoke(t, "client admitted on the primary", func() bool {
+		doc, err := stats(primaryOps)
+		if err != nil {
+			return false
+		}
+		srv, ok := doc["server"].(map[string]any)
+		if !ok {
+			return false
+		}
+		streams, ok := srv["streams"].(map[string]any)
+		return ok && streams["admitted"] == float64(1)
+	})
+	if err := primary.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.cmd.Wait()
+	if err := os.RemoveAll(primaryDir); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("primary killed and its journal dir destroyed")
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("client did not survive the quorum failover: %v\nfollower output:\n%s", r.err, follower1.out.String())
+	}
+	if r.res.Resumes < 1 {
+		t.Errorf("client finished with no resume — the kill never landed mid-stream")
+	}
+
+	pollSmoke(t, "rank 1 promoted under a higher epoch", func() bool {
+		role, err := clusterSection(follower1Ops, "role")
+		if err != nil || role != "primary" {
+			return false
+		}
+		epoch, ok := replGauge(follower1Ops, "epoch")
+		return ok && epoch > primaryEpoch
+	})
+	t.Logf("quorum failover complete: %d resume(s)", r.res.Resumes)
+}

@@ -69,6 +69,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		shard       = fs.String("shard", "", "this node's shard name (cluster mode)")
 		peersSpec   = fs.String("peers", "", "fleet peer list: name=streamAddr/replAddr,... (cluster mode)")
 		failoverTO  = fs.Duration("failover-timeout", 2*time.Second, "replication silence a follower tolerates before promoting (cluster mode)")
+		replicas    = fs.Int("replicas", 1, "followers configured per shard — the replication factor beyond the primary (cluster mode)")
+		quorum      = fs.Int("quorum", 0, "replicas (primary included) that must fsync a record before its verdict releases; 0 or 1 = primary-only durability (cluster mode)")
+		ackTimeout  = fs.Duration("ack-timeout", 0, "per-record follower-ack deadline before degrading to local-quorum commits (0 = failover-timeout/2, cluster mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +111,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			journalDir:   *journalDir,
 			opsAddr:      *opsAddr,
 			failoverTO:   *failoverTO,
+			replicas:     *replicas,
+			quorum:       *quorum,
+			ackTimeout:   *ackTimeout,
 			drainTimeout: *drainTimeout,
 			server:       scfg,
 			logf:         logf,
@@ -189,6 +195,9 @@ type clusterOpts struct {
 	journalDir   string
 	opsAddr      string
 	failoverTO   time.Duration
+	replicas     int
+	quorum       int
+	ackTimeout   time.Duration
 	drainTimeout time.Duration
 	server       server.Config
 	logf         func(format string, args ...any)
@@ -218,6 +227,9 @@ func runCluster(ctx context.Context, out io.Writer, o clusterOpts) error {
 		Journal:         journal.Config{Dir: o.journalDir, Logf: o.logf},
 		Server:          o.server,
 		FailoverTimeout: o.failoverTO,
+		Replicas:        o.replicas,
+		Quorum:          o.quorum,
+		AckTimeout:      o.ackTimeout,
 		Logf:            o.logf,
 	})
 	if err != nil {

@@ -228,7 +228,9 @@ func TestFollowerWarmStandby(t *testing.T) {
 	if err := json.Unmarshal(cl["replication"], &repl); err != nil {
 		t.Fatalf("follower /stats replication section: %v", err)
 	}
-	for _, key := range []string{"connected", "applied_records", "applied_admits", "lag_records", "lag_bytes", "lag_segments", "heartbeats", "resyncs"} {
+	for _, key := range []string{"connected", "applied_records", "applied_admits", "lag_records", "lag_bytes", "lag_segments", "heartbeats", "resyncs",
+		"epoch", "replicas_configured", "replicas_connected", "quorum_configured", "quorum_degraded",
+		"quorum_commits", "local_commits", "quorum_degraded_events", "ack_timeouts", "dial_retries", "demotions"} {
 		if _, ok := repl[key]; !ok {
 			t.Errorf("follower /stats replication section lacks %q", key)
 		}

@@ -3,8 +3,10 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -66,7 +68,27 @@ type Config struct {
 	// FollowBuffer is the per-follower journal feed buffer
 	// (journal.DefaultFollowBuffer when 0).
 	FollowBuffer int
-	Logf         func(format string, args ...any)
+	// Replicas is the number of followers this shard is configured with
+	// — the replication factor beyond the primary (default 1). It
+	// bounds Quorum and is reported in /stats.
+	Replicas int
+	// Quorum is how many replicas (primary included) must have fsynced
+	// a record before its admission or completion verdict is released:
+	// 2 means primary + 1 follower. 0 or 1 disables quorum gating —
+	// verdicts release on the primary's fsync alone, as before. Must
+	// not exceed Replicas+1.
+	Quorum int
+	// AckTimeout is the per-record deadline for gathering follower acks
+	// before the primary degrades to local-quorum commits (default
+	// FailoverTimeout/2). AckWindow bounds unacked in-flight records
+	// before the same degrade (default 1024).
+	AckTimeout time.Duration
+	AckWindow  int
+	// Seed fixes the node's randomness — promotion-stagger jitter and
+	// replication dial backoff — for deterministic tests; 0 draws from
+	// the global source.
+	Seed int64
+	Logf func(format string, args ...any)
 }
 
 // Node is one smoothd process in a cluster: a shard primary serving
@@ -87,6 +109,8 @@ type Node struct {
 	streamLn      net.Listener
 	replLn        net.Listener
 	replConn      net.Conn
+	quorum        *quorumTracker
+	followerConns map[net.Conn]struct{}
 	promotions    int64
 	lastPromotion time.Time
 	serveErr      error
@@ -94,12 +118,30 @@ type Node struct {
 
 	heard     atomic.Int64 // unix nanos of the last replication frame
 	connected atomic.Bool
+	// isolated simulates a network partition: while set, this node's
+	// injected listens and dials fail, so it can neither serve nor
+	// reach its peers — but the process stays alive, which is exactly
+	// the deposed-primary scenario epoch fencing exists for.
+	isolated atomic.Bool
+	// epoch is the fencing term this node last served as primary under
+	// (stamped into every replication cursor and server verdict).
+	epoch atomic.Uint64
 
 	followers     int64 // attached followers (primary)
 	followerDrops int64
+	dialRetries   int64 // failed replication dial attempts (follower)
+	demotions     int64
+
+	// rng drives promotion-stagger jitter and dial backoff. It is only
+	// touched from the node's single follower goroutine.
+	rng *rand.Rand
 
 	repl replState
 }
+
+// errIsolated is what the partition simulation injects for every
+// network operation of an isolated node.
+var errIsolated = errors.New("cluster: node is partitioned (simulated)")
 
 // replState tracks the follower's replication cursor against the
 // primary's.
@@ -145,6 +187,16 @@ func (r *replState) heartbeat(cursor journal.Offsets) {
 	r.heartbeats++
 }
 
+// cursorSeq is the cumulative primary publish sequence this follower
+// has durably applied — the value its replication acks carry. It is
+// exact, not approximate: the feed is in-order and gap-free (a dropped
+// subscriber resyncs from a snapshot, which resets the base).
+func (r *replState) cursorSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base + r.applied
+}
+
 // ReplStatus is the replication side of a node's Status: the primary
 // reports its publish cursor and attached followers, a follower reports
 // how far behind the primary's last-heard cursor it is.
@@ -161,6 +213,22 @@ type ReplStatus struct {
 	LagSegments      uint64 `json:"lag_segments"`
 	Heartbeats       int64  `json:"heartbeats"`
 	Resyncs          int64  `json:"resyncs"`
+	DialRetries      int64  `json:"dial_retries"`
+	// Quorum state (primary): configured/connected replicas, the
+	// per-follower acked-cursor lag against the publish cursor, and the
+	// degrade counters. ReplicasConfigured is reported even when quorum
+	// gating is off; the rest are meaningful with Quorum >= 2.
+	Epoch              uint64            `json:"epoch"`
+	ReplicasConfigured int               `json:"replicas_configured"`
+	ReplicasConnected  int               `json:"replicas_connected"`
+	QuorumConfigured   int               `json:"quorum_configured"`
+	QuorumDegraded     bool              `json:"quorum_degraded"`
+	QuorumCommits      int64             `json:"quorum_commits"`
+	LocalCommits       int64             `json:"local_commits"`
+	DegradedEvents     int64             `json:"quorum_degraded_events"`
+	AckTimeouts        int64             `json:"ack_timeouts"`
+	AckLagRecords      map[string]uint64 `json:"ack_lag_records,omitempty"`
+	Demotions          int64             `json:"demotions"`
 }
 
 // Status is the cluster-level ops view of one node.
@@ -230,20 +298,42 @@ func New(cfg Config) (*Node, error) {
 	if cfg.FollowBuffer <= 0 {
 		cfg.FollowBuffer = journal.DefaultFollowBuffer
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Quorum < 0 {
+		return nil, fmt.Errorf("cluster: negative quorum %d", cfg.Quorum)
+	}
+	if cfg.Quorum > cfg.Replicas+1 {
+		return nil, fmt.Errorf("cluster: quorum %d needs more than the %d configured replicas plus the primary",
+			cfg.Quorum, cfg.Replicas)
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = cfg.FailoverTimeout / 2
+	}
+	if cfg.AckWindow <= 0 {
+		cfg.AckWindow = 1024
+	}
 	// A primary that dies must leave its parked reservations resumable
 	// on the promoted follower; a zero resume window would expire them
 	// at recovery. Default it rather than fail silently.
 	if cfg.Server.ResumeWindow <= 0 {
 		cfg.Server.ResumeWindow = 10 * time.Second
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
-		cfg:    cfg,
-		ring:   ring,
-		self:   self,
-		ctx:    ctx,
-		cancel: cancel,
-		role:   RoleFollower,
+		cfg:           cfg,
+		ring:          ring,
+		self:          self,
+		ctx:           ctx,
+		cancel:        cancel,
+		role:          RoleFollower,
+		followerConns: map[net.Conn]struct{}{},
+		rng:           rand.New(rand.NewSource(seed)),
 	}
 	activeNode.Store(n)
 	nodeExpvarOnce.Do(func() {
@@ -282,37 +372,61 @@ func (n *Node) startPrimary() error {
 	if err != nil {
 		return fmt.Errorf("cluster: journal: %w", err)
 	}
-	srv, err := server.New(n.serverConfig(jrnl))
+	epoch, gate, err := n.beginEpoch(jrnl)
 	if err != nil {
 		jrnl.Close()
 		return err
 	}
-	ln, err := net.Listen("tcp", n.self.StreamAddr)
+	srv, err := server.New(n.serverConfig(jrnl, epoch, gate))
+	if err != nil {
+		jrnl.Close()
+		return err
+	}
+	ln, err := n.listenTCP(n.self.StreamAddr)
 	if err != nil {
 		srv.Kill()
 		return fmt.Errorf("cluster: stream listener: %w", err)
 	}
-	replLn, err := net.Listen("tcp", n.self.ReplAddr)
+	replLn, err := n.listenTCP(n.self.ReplAddr)
 	if err != nil {
 		srv.Kill()
 		ln.Close()
 		return fmt.Errorf("cluster: replication listener: %w", err)
 	}
-	n.adoptPrimary(srv, jrnl, ln, replLn)
-	n.logf("cluster: %s serving as primary on %s (replication on %s)",
-		n.id(), ln.Addr(), replLn.Addr())
+	n.adoptPrimary(srv, jrnl, ln, replLn, epoch, gate)
+	n.logf("cluster: %s serving as primary on %s (replication on %s, epoch %d)",
+		n.id(), ln.Addr(), replLn.Addr(), epoch)
 	return nil
+}
+
+// beginEpoch opens a new primary term: the successor epoch is fsynced
+// into the journal before anything is served under it, so this node can
+// never forget it was (or failed to stay) the term's primary. The
+// returned gate is the quorum tracker for the term, nil when quorum
+// gating is disabled.
+func (n *Node) beginEpoch(jrnl *journal.Journal) (uint64, *quorumTracker, error) {
+	epoch := jrnl.Epoch() + 1
+	if _, err := jrnl.AppendEpoch(epoch); err != nil {
+		return 0, nil, fmt.Errorf("cluster: fencing epoch %d not journalable: %w", epoch, err)
+	}
+	var gate *quorumTracker
+	if n.cfg.Quorum >= 2 {
+		gate = newQuorumTracker(n.cfg.Quorum-1, uint64(n.cfg.AckWindow), n.cfg.AckTimeout, n.cfg.Logf)
+	}
+	return epoch, gate, nil
 }
 
 // adoptPrimary installs the server and listeners and spawns the serve
 // and publish loops; it is the single transition into the primary role.
-func (n *Node) adoptPrimary(srv *server.Server, jrnl *journal.Journal, ln, replLn net.Listener) {
+func (n *Node) adoptPrimary(srv *server.Server, jrnl *journal.Journal, ln, replLn net.Listener, epoch uint64, gate *quorumTracker) {
+	n.epoch.Store(epoch)
 	n.mu.Lock()
 	n.role = RolePrimary
 	n.srv = srv
 	n.jrnl = jrnl
 	n.streamLn = ln
 	n.replLn = replLn
+	n.quorum = gate
 	n.mu.Unlock()
 	n.wg.Add(2)
 	go func() {
@@ -330,17 +444,23 @@ func (n *Node) adoptPrimary(srv *server.Server, jrnl *journal.Journal, ln, replL
 }
 
 // tryPromote runs the follower's election protocol once the primary has
-// been silent past FailoverTimeout. Ranks stagger their attempts; after
-// the stagger, a probe of the shard's replication address detects an
-// already-promoted peer. The real lock is the OS: whoever binds the
-// shard's stream address is the new primary. Returns true when this
-// node promoted.
+// been silent past FailoverTimeout. Ranks stagger their attempts — with
+// seeded jitter on top of the rank term, so two followers whose clocks
+// detected the silence in the same instant still cannot race the
+// port-bind election in lockstep; after the stagger, a probe of the
+// shard's replication address detects an already-promoted peer. The
+// real lock is the OS: whoever binds the shard's stream address is the
+// new primary. Returns true when this node promoted.
 func (n *Node) tryPromote() bool {
-	if stagger := time.Duration(n.cfg.Rank-1) * n.cfg.PromoteStagger; stagger > 0 {
+	stagger := time.Duration(n.cfg.Rank-1) * n.cfg.PromoteStagger
+	if jitter := n.cfg.PromoteStagger / 2; jitter > 0 {
+		stagger += time.Duration(n.rng.Int63n(int64(jitter)))
+	}
+	if stagger > 0 {
 		if !n.sleep(stagger) {
 			return false
 		}
-		if c, err := net.DialTimeout("tcp", n.self.ReplAddr, n.cfg.DialTimeout); err == nil {
+		if c, err := n.dialTCP(n.self.ReplAddr); err == nil {
 			// A lower rank already promoted; go back to following it.
 			c.Close()
 			n.noteHeard()
@@ -351,7 +471,7 @@ func (n *Node) tryPromote() bool {
 	var ln net.Listener
 	for {
 		var err error
-		ln, err = net.Listen("tcp", n.self.StreamAddr)
+		ln, err = n.listenTCP(n.self.StreamAddr)
 		if err == nil {
 			break
 		}
@@ -394,7 +514,12 @@ func (n *Node) promote(ln net.Listener) error {
 	if err != nil {
 		return fmt.Errorf("re-opening journal: %w", err)
 	}
-	srv, err := server.New(n.serverConfig(jrnl))
+	epoch, gate, err := n.beginEpoch(jrnl)
+	if err != nil {
+		jrnl.Close()
+		return err
+	}
+	srv, err := server.New(n.serverConfig(jrnl, epoch, gate))
 	if err != nil {
 		jrnl.Close()
 		return err
@@ -402,7 +527,7 @@ func (n *Node) promote(ln net.Listener) error {
 	var replLn net.Listener
 	deadline := time.Now().Add(n.cfg.FailoverTimeout)
 	for {
-		replLn, err = net.Listen("tcp", n.self.ReplAddr)
+		replLn, err = n.listenTCP(n.self.ReplAddr)
 		if err == nil {
 			break
 		}
@@ -416,18 +541,120 @@ func (n *Node) promote(ln net.Listener) error {
 	n.promotions++
 	n.lastPromotion = time.Now()
 	n.mu.Unlock()
-	n.adoptPrimary(srv, jrnl, ln, replLn)
+	n.adoptPrimary(srv, jrnl, ln, replLn, epoch, gate)
 	snap := srv.Snapshot()
-	n.logf("cluster: %s promoted to primary on %s (%d streams recovered, %d tombstones)",
-		n.id(), ln.Addr(), snap.Streams.Recovered, snap.Streams.RecoveredTombstones)
+	n.logf("cluster: %s promoted to primary on %s at epoch %d (%d streams recovered, %d tombstones)",
+		n.id(), ln.Addr(), epoch, snap.Streams.Recovered, snap.Streams.RecoveredTombstones)
 	return nil
 }
 
-// serverConfig injects the node's journal and, in a multi-shard fleet,
-// the placement hooks into the configured server template.
-func (n *Node) serverConfig(jrnl *journal.Journal) server.Config {
+// demote is the reverse transition: a primary that has learned it was
+// deposed — a follower or ack arrived carrying a higher epoch, or the
+// partition simulation isolated it — stands down instead of
+// split-braining. The serving state is torn down crash-style (the
+// journal keeps exactly what fsync guaranteed; active client streams
+// are severed and will resume against the rightful primary), the
+// journal reopens as a warm standby, and the node rejoins the shard as
+// a follower: the ordinary election machinery then decides whether it
+// re-attaches to the new primary or — if nobody actually promoted —
+// wins the next election itself.
+func (n *Node) demote(reason string) {
+	n.mu.Lock()
+	if n.role != RolePrimary || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleFollower
+	srv := n.srv
+	n.srv = nil
+	n.jrnl = nil
+	replLn := n.replLn
+	n.streamLn, n.replLn = nil, nil
+	gate := n.quorum
+	n.quorum = nil
+	conns := make([]net.Conn, 0, len(n.followerConns))
+	for c := range n.followerConns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	atomic.AddInt64(&n.demotions, 1)
+	n.logf("cluster: %s demoting: %s", n.id(), reason)
+	if gate != nil {
+		gate.close()
+	}
+	if replLn != nil {
+		replLn.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if srv != nil {
+		srv.Kill() // closes the stream listener and client conns, abandons the journal
+	}
+	for n.ctx.Err() == nil {
+		jrnl, err := journal.Open(n.cfg.Journal)
+		if err == nil {
+			n.mu.Lock()
+			n.jrnl = jrnl
+			n.mu.Unlock()
+			break
+		}
+		n.logf("cluster: %s: reopening journal as standby: %v", n.id(), err)
+		if !n.sleep(n.cfg.DialTimeout / 4) {
+			return
+		}
+	}
+	if n.ctx.Err() != nil {
+		return
+	}
+	n.noteHeard() // fresh silence clock: give the rightful primary a full window
+	n.wg.Add(1)
+	go n.followLoop()
+}
+
+// Partition simulates a network partition around this node: every
+// subsequent listen and dial fails, the replication listener and all
+// follower connections close, and client streams are severed — but the
+// process stays alive. An isolated primary demotes (it can no longer
+// prove its authority); on Heal it rejoins as a follower and either
+// re-attaches to whoever promoted meanwhile — learning the higher epoch
+// — or, if nobody did, wins the next election with a fresh epoch.
+func (n *Node) Partition() {
+	if n.isolated.Swap(true) {
+		return
+	}
+	n.logf("cluster: %s partitioned (simulated)", n.id())
+	n.mu.Lock()
+	role := n.role
+	replConn := n.replConn
+	n.mu.Unlock()
+	if role == RolePrimary {
+		n.demote("partitioned from the shard")
+		return
+	}
+	if replConn != nil {
+		replConn.Close()
+	}
+}
+
+// Heal ends a simulated partition: the node's network works again.
+func (n *Node) Heal() {
+	if !n.isolated.Swap(false) {
+		return
+	}
+	n.logf("cluster: %s partition healed", n.id())
+}
+
+// serverConfig injects the node's journal, fencing epoch, quorum gate
+// and, in a multi-shard fleet, the placement hooks into the configured
+// server template.
+func (n *Node) serverConfig(jrnl *journal.Journal, epoch uint64, gate *quorumTracker) server.Config {
 	cfg := n.cfg.Server
 	cfg.Journal = jrnl
+	cfg.Epoch = epoch
+	if gate != nil {
+		cfg.Quorum = gate
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = n.cfg.Logf
 	}
@@ -463,8 +690,11 @@ func (n *Node) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	n.stopped = true
-	srv, jrnl, replLn, replConn := n.srv, n.jrnl, n.replLn, n.replConn
+	srv, jrnl, replLn, replConn, gate := n.srv, n.jrnl, n.replLn, n.replConn, n.quorum
 	n.mu.Unlock()
+	if gate != nil {
+		gate.close()
+	}
 	if replLn != nil {
 		replLn.Close()
 	}
@@ -492,8 +722,11 @@ func (n *Node) Kill() {
 		return
 	}
 	n.stopped = true
-	srv, jrnl, streamLn, replLn, replConn := n.srv, n.jrnl, n.streamLn, n.replLn, n.replConn
+	srv, jrnl, streamLn, replLn, replConn, gate := n.srv, n.jrnl, n.streamLn, n.replLn, n.replConn, n.quorum
 	n.mu.Unlock()
+	if gate != nil {
+		gate.close()
+	}
 	if replLn != nil {
 		replLn.Close()
 	}
@@ -549,6 +782,7 @@ func (n *Node) Status() Status {
 	jrnl := n.jrnl
 	promotions := n.promotions
 	lastPromotion := n.lastPromotion
+	gate := n.quorum
 	n.mu.Unlock()
 	st := Status{
 		Shard:         n.cfg.Shard,
@@ -558,26 +792,53 @@ func (n *Node) Status() Status {
 		LastPromotion: lastPromotion,
 		Ring:          n.ring.Nodes(),
 	}
+	st.Replication.Epoch = n.epoch.Load()
+	st.Replication.ReplicasConfigured = n.cfg.Replicas
+	st.Replication.QuorumConfigured = n.cfg.Quorum
+	st.Replication.DialRetries = atomic.LoadInt64(&n.dialRetries)
+	st.Replication.Demotions = atomic.LoadInt64(&n.demotions)
 	if role == RolePrimary {
 		st.Replication.Followers = atomic.LoadInt64(&n.followers)
 		st.Replication.FollowerDrops = atomic.LoadInt64(&n.followerDrops)
+		var published uint64
 		if jrnl != nil {
 			at := jrnl.FollowOffsets()
 			st.Replication.PublishedRecords = at.Records
 			st.Replication.PublishedBytes = at.Bytes
+			published = at.Records
+		}
+		if gate != nil {
+			qs := gate.status()
+			st.Replication.ReplicasConnected = qs.Connected
+			st.Replication.QuorumDegraded = qs.Degraded
+			st.Replication.QuorumCommits = qs.QuorumCommits
+			st.Replication.LocalCommits = qs.LocalCommits
+			st.Replication.DegradedEvents = qs.DegradedEvents
+			st.Replication.AckTimeouts = qs.AckTimeouts
+			st.Replication.AckLagRecords = make(map[string]uint64, len(qs.AckedSeq))
+			for name, acked := range qs.AckedSeq {
+				var lag uint64
+				if published > acked {
+					lag = published - acked
+				}
+				st.Replication.AckLagRecords[name] = lag
+			}
 		}
 		return st
+	}
+	if jrnl != nil {
+		// A follower's epoch is whatever its standby journal has
+		// witnessed — the fencing floor it would promote with.
+		st.Replication.Epoch = jrnl.Epoch()
 	}
 	n.repl.mu.Lock()
 	applied := n.repl.base + n.repl.applied
 	appliedBytes := n.repl.baseBytes + n.repl.appliedBytes
-	st.Replication = ReplStatus{
-		Connected:      n.connected.Load(),
-		AppliedRecords: applied,
-		AppliedAdmits:  n.repl.admits,
-		Heartbeats:     n.repl.heartbeats,
-		Resyncs:        n.repl.resyncs,
-	}
+	st.Replication.Connected = n.connected.Load()
+	st.Replication.AppliedRecords = applied
+	st.Replication.AppliedAdmits = n.repl.admits
+	st.Replication.Heartbeats = n.repl.heartbeats
+	st.Replication.Resyncs = n.repl.resyncs
 	if p := n.repl.primary; p.Records > applied {
 		st.Replication.LagRecords = p.Records - applied
 	}
@@ -600,6 +861,12 @@ func (n *Node) Health() server.Health {
 	n.mu.Unlock()
 	if role != RolePrimary || srv == nil {
 		return server.Health{Status: "not-ready", Reason: "follower", Role: string(RoleFollower)}
+	}
+	if gate := n.quorumGate(); gate != nil && gate.isDegraded() {
+		// Loud readiness flip: the primary is still admitting (local
+		// durability), but the configured replication quorum is not
+		// holding its records.
+		return server.Health{Status: "not-ready", Reason: "quorum-degraded", Role: string(RolePrimary)}
 	}
 	h := srv.Health()
 	h.Role = string(RolePrimary)
@@ -655,6 +922,51 @@ func (n *Node) noteHeard()           { n.heard.Store(time.Now().UnixNano()) }
 func (n *Node) lastHeard() time.Time { return time.Unix(0, n.heard.Load()) }
 
 func (n *Node) setConnected(v bool) { n.connected.Store(v) }
+
+// listenTCP and dialTCP are the node's injected network operations: the
+// partition simulation fails them while the node is isolated, so an
+// isolated node can neither rebind its shard's addresses nor reach its
+// peers — the in-process equivalent of an unreachable host.
+func (n *Node) listenTCP(addr string) (net.Listener, error) {
+	if n.isolated.Load() {
+		return nil, errIsolated
+	}
+	return net.Listen("tcp", addr)
+}
+
+func (n *Node) dialTCP(addr string) (net.Conn, error) {
+	if n.isolated.Load() {
+		return nil, errIsolated
+	}
+	return net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+}
+
+// quorumGate returns the active quorum tracker, nil when gating is off
+// or the node is not primary.
+func (n *Node) quorumGate() *quorumTracker {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.quorum
+}
+
+// Epoch reports the fencing term this node last served as primary
+// under (zero before any primary term).
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// Demotions reports how many times this node stood down from primary.
+func (n *Node) Demotions() int64 { return atomic.LoadInt64(&n.demotions) }
+
+func (n *Node) trackFollowerConn(c net.Conn) {
+	n.mu.Lock()
+	n.followerConns[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Node) untrackFollowerConn(c net.Conn) {
+	n.mu.Lock()
+	delete(n.followerConns, c)
+	n.mu.Unlock()
+}
 
 func (n *Node) setReplConn(c net.Conn) {
 	n.mu.Lock()

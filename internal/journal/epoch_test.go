@@ -1,0 +1,74 @@
+package journal
+
+import "testing"
+
+// TestEpochPersists pins the fencing-epoch record: AppendEpoch is
+// monotone (stale terms are no-ops, not errors), the witnessed epoch
+// survives a reopen, and every snapshot leads with it so a follower
+// resyncing mid-term learns the term before any stream state.
+func TestEpochPersists(t *testing.T) {
+	mem := NewMemFS()
+	j := mustOpen(t, mem)
+
+	if e := j.Epoch(); e != 0 {
+		t.Fatalf("fresh journal epoch %d, want 0", e)
+	}
+	seq1, err := j.AppendEpoch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := j.Epoch(); e != 1 {
+		t.Fatalf("epoch %d after AppendEpoch(1)", e)
+	}
+	// Stale and duplicate terms are no-ops: the journal never regresses.
+	if seq, err := j.AppendEpoch(1); err != nil || seq != seq1 {
+		t.Fatalf("duplicate AppendEpoch(1) = (%d, %v), want (%d, nil)", seq, err, seq1)
+	}
+	if _, err := j.AppendEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	if e := j.Epoch(); e != 1 {
+		t.Fatalf("epoch regressed to %d", e)
+	}
+	if _, err := j.Admitted(testStream(1)); err != nil {
+		t.Fatal(err)
+	}
+	seq3, err := j.AppendEpoch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq3 <= seq1 {
+		t.Fatalf("epoch append seq %d did not advance past %d", seq3, seq1)
+	}
+
+	j, st := reopen(t, j, mem)
+	if st.Epoch != 3 || j.Epoch() != 3 {
+		t.Fatalf("epoch lost across reopen: state %d, journal %d", st.Epoch, j.Epoch())
+	}
+
+	// The follow snapshot leads with the epoch record, and replaying it
+	// into a fresh journal (a follower resync) carries the term over.
+	snap, _, _, cancel, err := j.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	recs, valid, err := ScanSegment(snap)
+	if err != nil || valid != len(snap) {
+		t.Fatalf("snapshot scan: %d of %d bytes valid: %v", valid, len(snap), err)
+	}
+	if len(recs) == 0 || recs[0].Kind != KindEpoch || recs[0].Epoch != 3 {
+		t.Fatalf("snapshot does not lead with the epoch record: %+v", recs)
+	}
+	standby := mustOpen(t, NewMemFS())
+	defer standby.Close()
+	if err := standby.ResetTo(recs); err != nil {
+		t.Fatal(err)
+	}
+	if e := standby.Epoch(); e != 3 {
+		t.Fatalf("resynced standby epoch %d, want 3", e)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,6 +53,7 @@ const (
 	kindWatermark byte = 'W'
 	kindComplete  byte = 'C'
 	kindExpire    byte = 'X'
+	kindEpoch     byte = 'E'
 )
 
 // segMagic opens every segment file; a version bump invalidates old
@@ -110,10 +111,15 @@ type TombstoneRecord struct {
 }
 
 // State is the replayed journal: live streams and completion tombstones
-// by resume token.
+// by resume token, plus the highest primary epoch the journal has
+// witnessed (see the epoch record kind).
 type State struct {
 	Streams    map[uint64]*StreamRecord
 	Tombstones map[uint64]*TombstoneRecord
+	// Epoch is the highest epoch record replayed: the fencing term of
+	// the last primary whose authority this journal acknowledged. Zero
+	// means the journal predates any promotion.
+	Epoch uint64
 }
 
 func newState() State {
@@ -123,6 +129,7 @@ func newState() State {
 // clone deep-copies the state so callers can mutate their view.
 func (s State) clone() State {
 	out := newState()
+	out.Epoch = s.Epoch
 	for k, v := range s.Streams {
 		cp := *v
 		cp.HashState = append([]byte(nil), v.HashState...)
@@ -170,6 +177,12 @@ func (s *State) apply(r Record) {
 		} else {
 			delete(s.Streams, r.Token)
 		}
+	case kindEpoch:
+		// Epochs are monotone: a duplicate or stale epoch record (replay,
+		// compaction overlap) never winds the term backwards.
+		if r.Epoch > s.Epoch {
+			s.Epoch = r.Epoch
+		}
 	}
 }
 
@@ -184,6 +197,7 @@ type Record struct {
 	Tomb      TombstoneRecord // kindComplete
 	Nonce     uint64          // kindExpire
 	Reason    ExpireReason    // kindExpire
+	Epoch     uint64          // kindEpoch
 }
 
 // encode frames a record body: kind | len | body | crc.
@@ -237,6 +251,12 @@ func encodeExpire(token, nonce uint64, reason ExpireReason) []byte {
 	body = binary.BigEndian.AppendUint64(body, nonce)
 	body = append(body, byte(reason))
 	return encodeFrame(kindExpire, body)
+}
+
+func encodeEpoch(epoch uint64) []byte {
+	body := make([]byte, 0, 8)
+	body = binary.BigEndian.AppendUint64(body, epoch)
+	return encodeFrame(kindEpoch, body)
 }
 
 // decodeBody interprets a CRC-verified record body.
@@ -315,6 +335,15 @@ func decodeBody(kind byte, body []byte) (Record, error) {
 			Nonce:  binary.BigEndian.Uint64(body[8:16]),
 			Reason: reason,
 		}, nil
+	case kindEpoch:
+		if len(body) != 8 {
+			return bad("body %d bytes, want 8", len(body))
+		}
+		epoch := binary.BigEndian.Uint64(body)
+		if epoch == 0 {
+			return bad("zero epoch")
+		}
+		return Record{Kind: kind, Epoch: epoch}, nil
 	}
 	return Record{}, fmt.Errorf("journal: unknown record kind %#02x", kind)
 }
@@ -597,15 +626,16 @@ func (j *Journal) Stats() Stats {
 
 // Admitted commits a stream admission: fsynced before the caller sends
 // its admission verdict, so a verdict the sender acts on is never
-// forgotten by a crash.
-func (j *Journal) Admitted(rec StreamRecord) error {
+// forgotten by a crash. The returned sequence is the record's position
+// on the publish feed — the value a replication quorum acknowledges.
+func (j *Journal) Admitted(rec StreamRecord) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.appendLocked(encodeAdmit(rec), true); err != nil {
-		return err
+		return 0, err
 	}
 	j.state.apply(Record{Kind: kindAdmit, Stream: rec})
-	return nil
+	return j.pubRecs, nil
 }
 
 // Watermark coalesces a stream's accept watermark and prefix-hash state
@@ -625,31 +655,58 @@ func (j *Journal) Watermark(token uint64, mark int, state []byte) {
 
 // Completed commits a stream completion: fsynced before the completion
 // ack is sent, so an acked stream is always answerable as
-// AlreadyComplete after a crash.
-func (j *Journal) Completed(rec TombstoneRecord) error {
+// AlreadyComplete after a crash. The returned sequence is the record's
+// position on the publish feed.
+func (j *Journal) Completed(rec TombstoneRecord) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	delete(j.dirty, rec.Token) // superseded
 	if err := j.appendLocked(encodeComplete(rec), true); err != nil {
-		return err
+		return 0, err
 	}
 	j.state.apply(Record{Kind: kindComplete, Tomb: rec})
-	return nil
+	return j.pubRecs, nil
 }
 
 // Expired commits the release of journaled state: a failed stream, a
-// lapsed resume window, or an aged-out tombstone.
-func (j *Journal) Expired(token, nonce uint64, reason ExpireReason) error {
+// lapsed resume window, or an aged-out tombstone. The returned sequence
+// is the record's position on the publish feed.
+func (j *Journal) Expired(token, nonce uint64, reason ExpireReason) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if reason != ExpireTombstone {
 		delete(j.dirty, token)
 	}
 	if err := j.appendLocked(encodeExpire(token, nonce, reason), true); err != nil {
-		return err
+		return 0, err
 	}
 	j.state.apply(Record{Kind: kindExpire, Token: token, Nonce: nonce, Reason: reason})
-	return nil
+	return j.pubRecs, nil
+}
+
+// Epoch reports the highest primary epoch the journal has witnessed —
+// the fencing term recovery and replication compare against.
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Epoch
+}
+
+// AppendEpoch commits a primary epoch: fsynced before the new primary
+// serves anything stamped with it, so a node that acknowledged a term
+// can never forget it and accept a lower one after a restart. Appending
+// an epoch at or below the current one is a no-op (epochs are monotone).
+func (j *Journal) AppendEpoch(epoch uint64) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if epoch <= j.state.Epoch {
+		return j.pubRecs, nil
+	}
+	if err := j.appendLocked(encodeEpoch(epoch), true); err != nil {
+		return 0, err
+	}
+	j.state.apply(Record{Kind: kindEpoch, Epoch: epoch})
+	return j.pubRecs, nil
 }
 
 // Flush appends and fsyncs all coalesced watermarks now.
@@ -879,6 +936,11 @@ func (j *Journal) snapshotLocked() []byte {
 	now := time.Now()
 	var buf []byte
 	buf = append(buf, segMagic...)
+	// The epoch leads the snapshot so a follower resyncing from it
+	// adopts the primary's term before any session fact.
+	if j.state.Epoch > 0 {
+		buf = append(buf, encodeEpoch(j.state.Epoch)...)
+	}
 	for _, st := range j.state.Streams {
 		buf = append(buf, encodeAdmit(*st)...)
 		if st.Watermark > 0 {

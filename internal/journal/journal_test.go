@@ -79,7 +79,7 @@ func TestEmptyJournalOpens(t *testing.T) {
 		t.Fatalf("fresh journal stats: %+v", s)
 	}
 	// And it is immediately usable.
-	if err := j.Admitted(testStream(1)); err != nil {
+	if _, err := j.Admitted(testStream(1)); err != nil {
 		t.Fatalf("append to fresh journal: %v", err)
 	}
 	j, st = reopen(t, j, mem)
@@ -99,7 +99,7 @@ func TestRoundTripAcrossReopen(t *testing.T) {
 	a, b, c := testStream(1), testStream(2), testStream(3)
 	b.Hello.Integrity = transport.IntegrityHMAC
 	for _, rec := range []StreamRecord{a, b, c} {
-		if err := j.Admitted(rec); err != nil {
+		if _, err := j.Admitted(rec); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -109,10 +109,10 @@ func TestRoundTripAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	tomb := testTomb(2, 60)
-	if err := j.Completed(tomb); err != nil {
+	if _, err := j.Completed(tomb); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Expired(3, 3, ExpireFailed); err != nil {
+	if _, err := j.Expired(3, 3, ExpireFailed); err != nil {
 		t.Fatal(err)
 	}
 
@@ -147,7 +147,7 @@ func TestReplayIdempotence(t *testing.T) {
 	mem := NewMemFS()
 	j := mustOpen(t, mem)
 	for tok := uint64(1); tok <= 4; tok++ {
-		if err := j.Admitted(testStream(tok)); err != nil {
+		if _, err := j.Admitted(testStream(tok)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -155,10 +155,10 @@ func TestReplayIdempotence(t *testing.T) {
 	if err := j.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Completed(testTomb(2, 60)); err != nil {
+	if _, err := j.Completed(testTomb(2, 60)); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Expired(4, 4, ExpireFailed); err != nil {
+	if _, err := j.Expired(4, 4, ExpireFailed); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -213,14 +213,14 @@ func TestCrashDuringCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(1)); err != nil {
+	if _, err := j.Admitted(testStream(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(2)); err != nil {
+	if _, err := j.Admitted(testStream(2)); err != nil {
 		t.Fatal(err)
 	}
 	j.Watermark(1, 5, []byte{5})
-	if err := j.Completed(testTomb(2, 60)); err != nil {
+	if _, err := j.Completed(testTomb(2, 60)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
@@ -428,13 +428,13 @@ func TestTornWriteRepair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(1)); err != nil {
+	if _, err := j.Admitted(testStream(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(2)); err == nil {
+	if _, err := j.Admitted(testStream(2)); err == nil {
 		t.Fatal("torn write did not surface an error")
 	}
-	if err := j.Admitted(testStream(3)); err != nil {
+	if _, err := j.Admitted(testStream(3)); err != nil {
 		t.Fatalf("append after repair: %v", err)
 	}
 	if w, _ := faulty.Injected(); w != 1 {
@@ -481,13 +481,13 @@ func TestFsyncFailureDropsRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(1)); err != nil {
+	if _, err := j.Admitted(testStream(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(2)); err == nil {
+	if _, err := j.Admitted(testStream(2)); err == nil {
 		t.Fatal("fsync failure did not surface an error")
 	}
-	if err := j.Admitted(testStream(3)); err != nil {
+	if _, err := j.Admitted(testStream(3)); err != nil {
 		t.Fatalf("append after fsync failure: %v", err)
 	}
 	if err := j.Close(); err != nil {
@@ -520,10 +520,10 @@ func TestUnrepairableAppendBreaksJournal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(1)); err == nil {
+	if _, err := j.Admitted(testStream(1)); err == nil {
 		t.Fatal("torn write did not surface an error")
 	}
-	if err := j.Admitted(testStream(2)); err == nil {
+	if _, err := j.Admitted(testStream(2)); err == nil {
 		t.Fatal("broken journal accepted an append")
 	}
 	j.Abandon()
@@ -541,7 +541,7 @@ func TestUnrepairableAppendBreaksJournal(t *testing.T) {
 func TestWatermarkCoalescing(t *testing.T) {
 	mem := NewMemFS()
 	j := mustOpen(t, mem)
-	if err := j.Admitted(testStream(1)); err != nil {
+	if _, err := j.Admitted(testStream(1)); err != nil {
 		t.Fatal(err)
 	}
 	before := j.Stats().Appends
@@ -578,7 +578,7 @@ func TestBackgroundFlusher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Admitted(testStream(1)); err != nil {
+	if _, err := j.Admitted(testStream(1)); err != nil {
 		t.Fatal(err)
 	}
 	j.Watermark(1, 42, []byte{42})
@@ -606,14 +606,14 @@ func TestRotationCompacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	for tok := uint64(1); tok <= 40; tok++ {
-		if err := j.Admitted(testStream(tok)); err != nil {
+		if _, err := j.Admitted(testStream(tok)); err != nil {
 			t.Fatal(err)
 		}
 		if tok%2 == 0 {
-			if err := j.Completed(testTomb(tok, 60)); err != nil {
+			if _, err := j.Completed(testTomb(tok, 60)); err != nil {
 				t.Fatal(err)
 			}
-			if err := j.Expired(tok, tok, ExpireTombstone); err != nil {
+			if _, err := j.Expired(tok, tok, ExpireTombstone); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -639,7 +639,7 @@ func TestRotationCompacts(t *testing.T) {
 func TestAbandonDropsPending(t *testing.T) {
 	mem := NewMemFS()
 	j := mustOpen(t, mem)
-	if err := j.Admitted(testStream(1)); err != nil {
+	if _, err := j.Admitted(testStream(1)); err != nil {
 		t.Fatal(err)
 	}
 	j.Watermark(1, 5, []byte{5})
@@ -725,7 +725,7 @@ func TestCrashRecoverySoak(t *testing.T) {
 					case len(candidates) == 0 || rng.Intn(4) == 0:
 						tok := next
 						next++
-						if err := j.Admitted(testStream(tok)); err != nil {
+						if _, err := j.Admitted(testStream(tok)); err != nil {
 							t.Fatalf("gen %d: admit %d: %v", gen, tok, err)
 						}
 						durable[tok] = &fact{}
@@ -748,13 +748,13 @@ func TestCrashRecoverySoak(t *testing.T) {
 							}
 						case 2:
 							tomb := testTomb(tok, f.latest)
-							if err := j.Completed(tomb); err != nil {
+							if _, err := j.Completed(tomb); err != nil {
 								t.Fatalf("gen %d: complete %d: %v", gen, tok, err)
 							}
 							f.completed, f.pictures = true, f.latest
 							delete(pending, tok)
 						case 3:
-							if err := j.Expired(tok, tok, ExpireFailed); err != nil {
+							if _, err := j.Expired(tok, tok, ExpireFailed); err != nil {
 								t.Fatalf("gen %d: expire %d: %v", gen, tok, err)
 							}
 							f.gone = true
@@ -781,7 +781,7 @@ func TestCloseIsIdempotent(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if err := j.Admitted(testStream(1)); err == nil {
+	if _, err := j.Admitted(testStream(1)); err == nil {
 		t.Fatal("append after Close accepted")
 	}
 	j.Watermark(1, 1, nil) // must not panic

@@ -22,6 +22,7 @@ const (
 	KindWatermark = kindWatermark
 	KindComplete  = kindComplete
 	KindExpire    = kindExpire
+	KindEpoch     = kindEpoch
 )
 
 // DefaultFollowBuffer is the per-subscriber frame buffer when Follow is
@@ -117,14 +118,20 @@ func (j *Journal) closeSubsLocked() {
 func (j *Journal) AppendRecord(r Record) error {
 	switch r.Kind {
 	case kindAdmit:
-		return j.Admitted(r.Stream)
+		_, err := j.Admitted(r.Stream)
+		return err
 	case kindWatermark:
 		j.Watermark(r.Token, r.Watermark, r.HashState)
 		return nil
 	case kindComplete:
-		return j.Completed(r.Tomb)
+		_, err := j.Completed(r.Tomb)
+		return err
 	case kindExpire:
-		return j.Expired(r.Token, r.Nonce, r.Reason)
+		_, err := j.Expired(r.Token, r.Nonce, r.Reason)
+		return err
+	case kindEpoch:
+		_, err := j.AppendEpoch(r.Epoch)
+		return err
 	}
 	return fmt.Errorf("journal: append of unknown record kind %#02x", r.Kind)
 }

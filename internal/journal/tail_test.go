@@ -63,7 +63,7 @@ func runFollowRace(t *testing.T, fs FS, seed int64, strict bool) {
 		switch k := rng.Intn(10); {
 		case k < 3:
 			next++
-			if err := j.Admitted(testStream(next)); err == nil {
+			if _, err := j.Admitted(testStream(next)); err == nil {
 				live = append(live, next)
 			}
 		case k < 6 && len(live) > 0:
@@ -74,12 +74,12 @@ func runFollowRace(t *testing.T, fs FS, seed int64, strict bool) {
 			}
 		case k < 8 && len(live) > 0:
 			idx := rng.Intn(len(live))
-			if err := j.Completed(testTomb(live[idx], 60)); err == nil {
+			if _, err := j.Completed(testTomb(live[idx], 60)); err == nil {
 				live = append(live[:idx], live[idx+1:]...)
 			}
 		case k < 9 && len(live) > 1:
 			idx := rng.Intn(len(live))
-			if err := j.Expired(live[idx], live[idx], ExpireFailed); err == nil {
+			if _, err := j.Expired(live[idx], live[idx], ExpireFailed); err == nil {
 				live = append(live[:idx], live[idx+1:]...)
 			}
 		default:

@@ -53,6 +53,15 @@ import (
 // the shared link at this grain.
 const egressChunk = 4096
 
+// CommitGate delays durable commits until a replication quorum holds
+// them. WaitCommitted blocks until journal publish sequence seq is
+// acknowledged by enough replicas or the gate degrades to local-only
+// durability (both nil); a non-nil error is terminal — the verdict must
+// not be released, and the caller rolls the commit back.
+type CommitGate interface {
+	WaitCommitted(ctx context.Context, seq uint64) error
+}
+
 // delayTolerance absorbs float rounding when a schedule's maximum
 // per-picture delay is compared against its bound D.
 const delayTolerance = 1e-9
@@ -110,6 +119,18 @@ type Config struct {
 	// The server owns the journal from here: it is closed by Shutdown
 	// and abandoned by Kill.
 	Journal *journal.Journal
+	// Quorum, when set, holds admission and completion verdicts after
+	// the local journal fsync until the record's publish sequence is
+	// acknowledged by a replication quorum (or the gate degrades to
+	// local-only durability). A terminal gate error rolls the admission
+	// back instead of acknowledging a commit replicas may never hold.
+	Quorum CommitGate
+	// Epoch is the primary fencing term stamped into every verdict and
+	// redirect this server writes. A cluster primary sets it from the
+	// journal's epoch record at promotion; a sender that has seen a
+	// higher epoch treats this server's verdicts as coming from a
+	// deposed primary. Zero means unclustered (no stamping semantics).
+	Epoch uint64
 	// Route, when set, maps a session key — a hello nonce or resume
 	// token — to the owning shard's stream address. A session this
 	// server does not own is answered with a transport.Redirect naming
@@ -388,6 +409,23 @@ func (s *Server) Kill() {
 	s.wg.Wait()
 }
 
+// SeverConns force-closes every live stream connection without
+// stopping the server: streams park (or fail, if resumption is off)
+// exactly as they would on a network fault. The cluster's partition
+// simulation uses it so an isolated primary loses its clients the way
+// a real partition would take them.
+func (s *Server) SeverConns() {
+	s.mu.Lock()
+	streams := make([]*stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.closeConn()
+	}
+}
+
 // recoverFromJournal replays the journal's recovered state into the
 // server's ledgers: live streams come back parked (session rebuilt at
 // the journaled watermark, prefix hash restored, reservation
@@ -399,7 +437,7 @@ func (s *Server) recoverFromJournal() {
 	state := s.journal.State()
 	now := time.Now()
 	expire := func(token, nonce uint64, reason journal.ExpireReason, why string) {
-		if err := s.journal.Expired(token, nonce, reason); err != nil {
+		if _, err := s.journal.Expired(token, nonce, reason); err != nil {
 			s.cfg.Logf("smoothd: recovery: expiring %016x (%s): %v", token, why, err)
 		} else {
 			s.cfg.Logf("smoothd: recovery: dropped journaled %s for token %016x", why, token)
@@ -489,9 +527,9 @@ func (s *Server) journalWatermark(st *stream) {
 // durability, not correctness: the un-journaled completion recovers as
 // a fully-caught-up parked stream, and the sender's resume completes it
 // again idempotently.
-func (s *Server) journalComplete(st *stream) error {
+func (s *Server) journalComplete(st *stream) (uint64, error) {
 	if s.journal == nil || st.token == 0 {
-		return nil
+		return 0, nil
 	}
 	next, sum := st.resumePoint()
 	var state [8]byte
@@ -543,7 +581,7 @@ func (s *Server) redirectIfRemote(conn net.Conn, fw *transport.FrameWriter, key 
 	s.mu.Lock()
 	s.redirected++
 	s.mu.Unlock()
-	fw.WriteRedirect(transport.Redirect{Addr: addr})
+	fw.WriteRedirect(transport.Redirect{Addr: addr, Epoch: s.cfg.Epoch})
 	conn.Close()
 	s.cfg.Logf("smoothd: %s redirected to %s (key %016x not owned by this shard)",
 		conn.RemoteAddr(), addr, key)
@@ -562,7 +600,7 @@ func (s *Server) rejectConn(conn net.Conn, fw *transport.FrameWriter, code trans
 	}
 	avail := s.admission.Available()
 	s.mu.Unlock()
-	fw.WriteVerdict(transport.Verdict{Code: code, Available: avail})
+	fw.WriteVerdict(transport.Verdict{Code: code, Available: avail, Epoch: s.cfg.Epoch})
 	conn.Close()
 	s.cfg.Logf("smoothd: %s %s: %v", conn.RemoteAddr(), code, cause)
 }
@@ -630,6 +668,7 @@ func (s *Server) handleResume(conn net.Conn, fr *transport.FrameReader, fw *tran
 		fw.WriteVerdict(transport.Verdict{
 			Code: transport.AlreadyComplete, Available: avail,
 			ResumeToken: m.Token, NextIndex: tomb.pictures, PrefixFNV: tomb.fnv,
+			Epoch: s.cfg.Epoch,
 		})
 		conn.Close()
 		s.cfg.Logf("smoothd: resume from %s answered already-complete (%d pictures, fnv %016x)",
@@ -677,6 +716,7 @@ func (s *Server) reattach(conn net.Conn, fr *transport.FrameReader, fw *transpor
 	if err := fw.WriteVerdict(transport.Verdict{
 		Code: transport.Admitted, Available: avail,
 		ResumeToken: token, NextIndex: next, PrefixFNV: prefix,
+		Epoch: s.cfg.Epoch,
 	}); err != nil {
 		// Could not deliver the replay point; reopen the slot for the
 		// sender's next attempt.
@@ -712,7 +752,7 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 		}
 		avail := s.admission.Available()
 		s.mu.Unlock()
-		return nil, transport.Verdict{Code: code, Available: avail}, err
+		return nil, transport.Verdict{Code: code, Available: avail, Epoch: s.cfg.Epoch}, err
 	}
 
 	if hello.Integrity != s.cfg.Integrity {
@@ -756,7 +796,7 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 	if !admitted {
 		avail := s.admission.Available()
 		s.mu.Unlock()
-		return nil, transport.Verdict{Code: transport.RejectedCapacity, Available: avail},
+		return nil, transport.Verdict{Code: transport.RejectedCapacity, Available: avail, Epoch: s.cfg.Epoch},
 			fmt.Errorf("server: peak %.0f bps exceeds available %.0f bps", hello.PeakRate, avail)
 	}
 	s.nextID++
@@ -776,7 +816,7 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 		// a sender acting on an admission the journal forgot would be
 		// rejected as unknown after a crash. The fsync runs outside s.mu
 		// so concurrent admissions serialize only on the journal.
-		if jerr := s.journal.Admitted(journal.StreamRecord{Token: st.token, Hello: *hello}); jerr != nil {
+		rollback := func(cause error) (*stream, transport.Verdict, error) {
 			s.mu.Lock()
 			s.admission.ReleaseNonce(hello.Nonce, hello.PeakRate)
 			delete(s.streams, st.id)
@@ -787,13 +827,32 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 			s.rejectedBusy++
 			avail = s.admission.Available()
 			s.mu.Unlock()
-			return nil, transport.Verdict{Code: transport.RejectedBusy, Available: avail},
-				fmt.Errorf("server: admission not journalable: %w", jerr)
+			return nil, transport.Verdict{Code: transport.RejectedBusy, Available: avail, Epoch: s.cfg.Epoch}, cause
+		}
+		seq, jerr := s.journal.Admitted(journal.StreamRecord{Token: st.token, Hello: *hello})
+		if jerr != nil {
+			return rollback(fmt.Errorf("server: admission not journalable: %w", jerr))
+		}
+		if s.cfg.Quorum != nil {
+			// Hold the verdict until a replication quorum holds the
+			// admission record (or the gate degrades to local-only
+			// durability). A terminal gate error means the record's
+			// replication fate is unknown and the server is dying: undo
+			// the admission — including its journal record, best effort —
+			// and send the sender back around rather than acknowledge a
+			// commit a promoted follower may have never seen.
+			if qerr := s.cfg.Quorum.WaitCommitted(s.ctx, seq); qerr != nil {
+				if _, xerr := s.journal.Expired(st.token, hello.Nonce, journal.ExpireFailed); xerr != nil {
+					s.cfg.Logf("smoothd: quorum rollback expiry for token %016x failed: %v", st.token, xerr)
+				}
+				return rollback(fmt.Errorf("server: admission quorum not reached: %w", qerr))
+			}
 		}
 	}
 	_, prefix := st.resumePoint() // empty hash: nothing accepted yet
 	return st, transport.Verdict{
 		Code: transport.Admitted, Available: avail, ResumeToken: st.token, PrefixFNV: prefix,
+		Epoch: s.cfg.Epoch,
 	}, nil
 }
 
@@ -950,7 +1009,7 @@ func (s *Server) finish(st *stream, err error) {
 		if st.resumeWindowLapsed() {
 			reason = journal.ExpireResumeWindow
 		}
-		if jerr := s.journal.Expired(st.token, st.hello.Nonce, reason); jerr != nil {
+		if _, jerr := s.journal.Expired(st.token, st.hello.Nonce, reason); jerr != nil {
 			s.cfg.Logf("smoothd: stream %d expiry journal write failed: %v", st.id, jerr)
 		}
 	}

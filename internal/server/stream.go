@@ -262,8 +262,18 @@ func (st *stream) runIngest(ctx context.Context, s *Server) error {
 			// the completion ack: an acked stream must be answerable as
 			// AlreadyComplete even across a crash. (A journal failure here
 			// costs durability, not correctness — see journalComplete.)
-			if jerr := s.journalComplete(st); jerr != nil {
+			seq, jerr := s.journalComplete(st)
+			if jerr != nil {
 				s.cfg.Logf("smoothd: stream %d completion journal write failed: %v", st.id, jerr)
+			} else if seq != 0 && s.cfg.Quorum != nil {
+				// Hold the completion ack until a quorum holds the
+				// tombstone. Unlike admission there is nothing to roll
+				// back — every picture was accepted — so a terminal gate
+				// error only costs ack durability: log and ack anyway
+				// (the sender's resume would complete idempotently).
+				if qerr := s.cfg.Quorum.WaitCommitted(ctx, seq); qerr != nil {
+					s.cfg.Logf("smoothd: stream %d completion quorum not reached: %v", st.id, qerr)
+				}
 			}
 			// Echo the end marker as the completion ack: the sender only
 			// reports success once every picture was accepted here. If the

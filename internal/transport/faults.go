@@ -14,6 +14,14 @@ import (
 // so the error classifies as a retryable reset.
 var ErrResumeBusy = errors.New("transport: server not yet accepting resume")
 
+// ErrStaleEpoch reports a verdict or redirect stamped with a lower
+// fencing epoch than one the sender has already seen: the answering
+// server is a deposed primary that has not yet noticed its demotion.
+// Acting on its authority could split the stream's history, but the
+// condition is transient — the deposed node demotes on its next
+// replication exchange — so the error classifies as a retryable reset.
+var ErrStaleEpoch = errors.New("transport: verdict from deposed primary (stale epoch)")
+
 // ErrDiverged reports that the server's admitted-prefix hash does not
 // match the sender's own bytes for the same prefix: the two ends hold
 // different data for pictures both believe delivered. Replaying would
@@ -101,7 +109,8 @@ func ClassifyFault(err error) FaultClass {
 		// connection is exactly right.
 		errors.Is(err, syscall.ECONNREFUSED),
 		errors.Is(err, syscall.ECONNABORTED),
-		errors.Is(err, ErrResumeBusy):
+		errors.Is(err, ErrResumeBusy),
+		errors.Is(err, ErrStaleEpoch):
 		return FaultReset
 	}
 	return FaultOther

@@ -89,6 +89,8 @@ func TestVerdictRoundTrip(t *testing.T) {
 		{Code: RejectedMalformed, Available: 1e7},
 		{Code: RejectedBusy, Available: 2e6},
 		{Code: AlreadyComplete, Available: 2e6, ResumeToken: 42, NextIndex: 270, PrefixFNV: 0x0123456789ABCDEF},
+		{Code: Admitted, Available: 4.5e6, ResumeToken: 42, Epoch: 1},
+		{Code: RejectedBusy, Available: 2e6, Epoch: 1<<63 - 1},
 	} {
 		var buf bytes.Buffer
 		if err := NewFrameWriter(&buf).WriteVerdict(want); err != nil {
@@ -104,6 +106,32 @@ func TestVerdictRoundTrip(t *testing.T) {
 		if got.IsAdmitted() != (want.Code == Admitted) {
 			t.Fatalf("IsAdmitted wrong for %v", want.Code)
 		}
+	}
+}
+
+func TestRedirectRoundTrip(t *testing.T) {
+	for _, want := range []Redirect{
+		{Addr: "10.0.0.7:4815"},
+		{Addr: "beta.internal:4815", Epoch: 3},
+	} {
+		var buf bytes.Buffer
+		if err := NewFrameWriter(&buf).WriteRedirect(want); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := NewFrameReader(&buf).ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := msg.(*Redirect)
+		if !ok {
+			t.Fatalf("got %#v", msg)
+		}
+		if *got != want {
+			t.Fatalf("redirect round trip: got %+v, want %+v", *got, want)
+		}
+	}
+	if err := NewFrameWriter(&bytes.Buffer{}).WriteRedirect(Redirect{}); err == nil {
+		t.Error("empty redirect address accepted")
 	}
 }
 

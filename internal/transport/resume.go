@@ -238,6 +238,7 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 		attempt   int    // consecutive failures
 		addr      string // redirect target; empty = rs.Dial
 		redirects int    // consecutive redirects without a verdict
+		epochSeen uint64 // highest fencing epoch any verdict/redirect carried
 	)
 	// maxRedirects bounds a redirect chain: a correctly configured fleet
 	// redirects at most once (every shard routes a key identically), so
@@ -304,6 +305,17 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 					// since the fleet is answering correctly — but bound the
 					// chain so disagreeing rings cannot bounce us forever.
 					conn.Close()
+					if m.Epoch > 0 && m.Epoch < epochSeen {
+						// A deposed primary's routing opinion is as stale as
+						// its verdicts: ignore it and retry.
+						if _, ferr := fail(fmt.Errorf("%w: redirect epoch %d below %d", ErrStaleEpoch, m.Epoch, epochSeen)); ferr != nil {
+							return result, ferr
+						}
+						continue
+					}
+					if m.Epoch > epochSeen {
+						epochSeen = m.Epoch
+					}
 					if rs.DialAddr == nil {
 						return result, fmt.Errorf("transport: server redirected stream to %s but no DialAddr is configured", m.Addr)
 					}
@@ -328,6 +340,22 @@ func (rs *ResumableSender) Stream(ctx context.Context, decisions []core.Decision
 				return result, ferr
 			}
 			continue
+		}
+		// Epoch fencing: a verdict stamped below the highest epoch we have
+		// seen comes from a deposed primary that does not yet know it was
+		// replaced. Acting on it — replaying pictures, accepting a
+		// rejection — would trust authority the cluster already revoked,
+		// so treat it as a transient fault and retry toward the new
+		// primary instead.
+		if v.Epoch > 0 && v.Epoch < epochSeen {
+			conn.Close()
+			if _, ferr := fail(fmt.Errorf("%w: verdict epoch %d below %d", ErrStaleEpoch, v.Epoch, epochSeen)); ferr != nil {
+				return result, ferr
+			}
+			continue
+		}
+		if v.Epoch > epochSeen {
+			epochSeen = v.Epoch
 		}
 		redirects = 0
 		if v.Code == AlreadyComplete {

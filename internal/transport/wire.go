@@ -54,7 +54,7 @@ func bodyLen(kind byte) (int, bool) {
 	case kindHello:
 		return 43, true
 	case kindVerdict:
-		return 29, true
+		return 37, true
 	case kindRate:
 		return 12, true
 	case kindPicture:
@@ -62,7 +62,7 @@ func bodyLen(kind byte) (int, bool) {
 	case kindResume:
 		return 8, true
 	case kindRedirect:
-		return 2 + maxRedirectAddr, true
+		return 10 + maxRedirectAddr, true
 	case kindEnd:
 		return 0, true
 	}
@@ -189,6 +189,8 @@ type StreamResume struct {
 type Redirect struct {
 	// Addr is the owning shard's stream listen address.
 	Addr string
+	// Epoch is the issuing primary's fencing term (see Verdict.Epoch).
+	Epoch uint64
 }
 
 // VerdictCode classifies an admission decision.
@@ -256,6 +258,13 @@ type Verdict struct {
 	// shipped. On an AlreadyComplete verdict it is the finished stream's
 	// final hash.
 	PrefixFNV uint64
+	// Epoch is the issuing primary's fencing term. A clustered server
+	// stamps every verdict with the epoch it promoted at; a sender that
+	// has already seen a higher epoch treats this verdict as coming
+	// from a deposed primary and retries elsewhere rather than act on
+	// stale authority. Zero means the server is unclustered (or
+	// predates fencing) and the field carries no meaning.
+	Epoch uint64
 }
 
 // IsAdmitted reports whether the stream may proceed.
@@ -375,12 +384,13 @@ func (fw *FrameWriter) WriteVerdict(v Verdict) error {
 	if v.NextIndex < 0 || v.NextIndex > math.MaxUint32 {
 		return fmt.Errorf("transport: verdict next index %d out of range", v.NextIndex)
 	}
-	var body [29]byte
+	var body [37]byte
 	body[0] = byte(v.Code)
 	binary.BigEndian.PutUint64(body[1:9], math.Float64bits(v.Available))
 	binary.BigEndian.PutUint64(body[9:17], v.ResumeToken)
 	binary.BigEndian.PutUint32(body[17:21], uint32(v.NextIndex))
 	binary.BigEndian.PutUint64(body[21:29], v.PrefixFNV)
+	binary.BigEndian.PutUint64(body[29:37], v.Epoch)
 	return fw.writeFrame(kindVerdict, body[:])
 }
 
@@ -390,9 +400,10 @@ func (fw *FrameWriter) WriteRedirect(rd Redirect) error {
 	if rd.Addr == "" || len(rd.Addr) > maxRedirectAddr {
 		return fmt.Errorf("transport: redirect address %q out of range", rd.Addr)
 	}
-	var body [2 + maxRedirectAddr]byte
-	binary.BigEndian.PutUint16(body[0:2], uint16(len(rd.Addr)))
-	copy(body[2:], rd.Addr)
+	var body [10 + maxRedirectAddr]byte
+	binary.BigEndian.PutUint64(body[0:8], rd.Epoch)
+	binary.BigEndian.PutUint16(body[8:10], uint16(len(rd.Addr)))
+	copy(body[10:], rd.Addr)
 	return fw.writeFrame(kindRedirect, body[:])
 }
 
@@ -536,6 +547,7 @@ func (fr *FrameReader) decode(kind byte, body []byte) (any, error) {
 			ResumeToken: binary.BigEndian.Uint64(body[9:17]),
 			NextIndex:   int(binary.BigEndian.Uint32(body[17:21])),
 			PrefixFNV:   binary.BigEndian.Uint64(body[21:29]),
+			Epoch:       binary.BigEndian.Uint64(body[29:37]),
 		}
 		if v.Code > AlreadyComplete {
 			return nil, fmt.Errorf("%w: invalid verdict code %d", ErrCorrupt, body[0])
@@ -545,11 +557,12 @@ func (fr *FrameReader) decode(kind byte, body []byte) (any, error) {
 		}
 		return &v, nil
 	case kindRedirect:
-		n := int(binary.BigEndian.Uint16(body[0:2]))
+		epoch := binary.BigEndian.Uint64(body[0:8])
+		n := int(binary.BigEndian.Uint16(body[8:10]))
 		if n == 0 || n > maxRedirectAddr {
 			return nil, fmt.Errorf("%w: redirect address length %d", ErrCorrupt, n)
 		}
-		return &Redirect{Addr: string(body[2 : 2+n])}, nil
+		return &Redirect{Addr: string(body[10 : 10+n]), Epoch: epoch}, nil
 	case kindRate:
 		rate := math.Float64frombits(binary.BigEndian.Uint64(body[4:12]))
 		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
