@@ -283,10 +283,10 @@ func TestClusterQuorumSmoke(t *testing.T) {
 		t.Fatalf("primary serving without a fencing epoch (got %v)", primaryEpoch)
 	}
 
-	// A longer trace than the failover smoke: the kill is gated only on
-	// the admission gauge, so the stream must outlast the poll that
-	// observes it.
-	tr, err := mpegsmooth.Driving1(1080, 1)
+	// A longer trace than the failover smoke: the mid-stream gate below
+	// needs a wide window of in-flight pictures to observe, even on a
+	// loaded machine where stats round-trips are slow.
+	tr, err := mpegsmooth.Driving1(2400, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,10 +322,19 @@ func TestClusterQuorumSmoke(t *testing.T) {
 		done <- result{res, err}
 	}()
 
-	// Kill as soon as the client holds its (quorum-acked) admission
-	// verdict and is streaming — no replication catch-up gate: the
-	// ack-hold IS the guarantee under test.
-	pollSmoke(t, "client admitted on the primary", func() bool {
+	// Kill only while the client is demonstrably mid-stream — no
+	// replication catch-up gate: the quorum ack-hold IS the guarantee
+	// under test. Gating on the admission gauge alone raced both ways:
+	// the gauge flips before the quorum hold releases the verdict, so
+	// under disk pressure the kill could land before the client even
+	// held a resume token (it re-helloes fresh on the promoted follower
+	// and finishes with zero resumes), and a late-observed gauge could
+	// push the kill past the end of the stream. Pictures arriving proves
+	// the verdict reached the client (the sender starts only after it),
+	// and the upper bound keeps at least a second of stream ahead of the
+	// kill at this timescale.
+	midStreamMax := float64(tr.Len() - 600)
+	pollSmoke(t, "client mid-stream on the primary", func() bool {
 		doc, err := stats(primaryOps)
 		if err != nil {
 			return false
@@ -335,7 +344,19 @@ func TestClusterQuorumSmoke(t *testing.T) {
 			return false
 		}
 		streams, ok := srv["streams"].(map[string]any)
-		return ok && streams["admitted"] == float64(1)
+		if !ok || streams["admitted"] != float64(1) || streams["active"] != float64(1) {
+			return false
+		}
+		actives, ok := srv["active_streams"].([]any)
+		if !ok || len(actives) != 1 {
+			return false
+		}
+		st, ok := actives[0].(map[string]any)
+		if !ok {
+			return false
+		}
+		pics, ok := st["pictures"].(float64)
+		return ok && pics >= 1 && pics <= midStreamMax
 	})
 	if err := primary.cmd.Process.Kill(); err != nil {
 		t.Fatal(err)

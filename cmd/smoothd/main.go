@@ -62,6 +62,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful drain limit on shutdown")
 		timescale    = fs.Float64("timescale", 1, "egress pacing speed multiplier (1 = real time)")
 		journalDir   = fs.String("journal-dir", "", "session journal directory: admissions, watermarks, and completions survive a crash-restart (empty = no journal)")
+		commitWindow = fs.Duration("commit-window", 0, "journal group-commit window: how long a batch leader waits for more records before the shared fsync (0 = opportunistic batching only)")
+		commitBytes  = fs.Int("commit-bytes", 0, "journal group-commit byte threshold that closes an open commit window early (0 = default 64 KiB)")
 		integrity    = fs.String("integrity", "fnv", "prefix-integrity mode every hello must declare: fnv or hmac-sha256:<keyfile>")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
 
@@ -103,12 +105,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		IntegrityKey:    key,
 		Logf:            logf,
 	}
+	jcfg := journal.Config{
+		Dir:          *journalDir,
+		CommitWindow: *commitWindow,
+		CommitBytes:  *commitBytes,
+		Logf:         logf,
+	}
 	if *clusterRole != "" {
 		return runCluster(ctx, out, clusterOpts{
 			role:         *clusterRole,
 			shard:        *shard,
 			peersSpec:    *peersSpec,
-			journalDir:   *journalDir,
+			journal:      jcfg,
 			opsAddr:      *opsAddr,
 			failoverTO:   *failoverTO,
 			replicas:     *replicas,
@@ -121,7 +129,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	var jrnl *journal.Journal
 	if *journalDir != "" {
-		jrnl, err = journal.Open(journal.Config{Dir: *journalDir, Logf: logf})
+		jrnl, err = journal.Open(jcfg)
 		if err != nil {
 			return err
 		}
@@ -192,7 +200,7 @@ type clusterOpts struct {
 	role         string
 	shard        string
 	peersSpec    string
-	journalDir   string
+	journal      journal.Config
 	opsAddr      string
 	failoverTO   time.Duration
 	replicas     int
@@ -213,7 +221,7 @@ func runCluster(ctx context.Context, out io.Writer, o clusterOpts) error {
 	if o.shard == "" {
 		return errors.New("cluster mode needs -shard")
 	}
-	if o.journalDir == "" {
+	if o.journal.Dir == "" {
 		return errors.New("cluster mode needs -journal-dir (the journal is what gets replicated)")
 	}
 	peers, err := parsePeers(o.peersSpec)
@@ -224,7 +232,7 @@ func runCluster(ctx context.Context, out io.Writer, o clusterOpts) error {
 		Shard:           o.shard,
 		Rank:            rank,
 		Peers:           peers,
-		Journal:         journal.Config{Dir: o.journalDir, Logf: o.logf},
+		Journal:         o.journal,
 		Server:          o.server,
 		FailoverTimeout: o.failoverTO,
 		Replicas:        o.replicas,

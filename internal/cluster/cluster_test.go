@@ -279,6 +279,21 @@ func TestShardedRedirect(t *testing.T) {
 		nodes[i] = startNode(t, cfg)
 	}
 
+	// Crypto-random hello nonces made placement probabilistic: about one
+	// run in 256 dealt all eight nonces to alpha, no redirect ever
+	// happened, and the assertions below flaked. Deal the nonces
+	// ourselves — half provably owned by each shard — so placement
+	// always engages.
+	ring := nodes[0].ring
+	nonces := make([]uint64, 0, clients)
+	owned := map[string]int{}
+	for key := uint64(1); len(nonces) < clients; key++ {
+		if owner := ring.Owner(key); owned[owner] < clients/2 {
+			owned[owner]++
+			nonces = append(nonces, key)
+		}
+	}
+
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
@@ -290,6 +305,7 @@ func TestShardedRedirect(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			rs := resumableClient(kit, nodes[0].StreamAddr(), int64(i)+1)
+			rs.Hello.Nonce = nonces[i]
 			res, err := rs.StreamSchedule(context.Background(), kit.sched, kit.payloads)
 			mu.Lock()
 			defer mu.Unlock()
@@ -310,7 +326,6 @@ func TestShardedRedirect(t *testing.T) {
 		t.Error("no client was redirected — sharded placement never engaged")
 	}
 	var admitted, redirected int64
-	ring := nodes[0].ring
 	for i, n := range nodes {
 		snap := n.Server().Snapshot()
 		admitted += snap.Streams.Admitted

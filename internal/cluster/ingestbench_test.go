@@ -1,0 +1,229 @@
+package cluster
+
+// The ingest hot-path benchmark artifact (make ingestbench): the
+// journal-backed server ingest workload and the cluster local/quorum-2
+// variants, measured against the committed pre-group-commit baseline
+// in BENCH_ingest.baseline.json and written to BENCH_ingest.json.
+//
+// The server workload here reproduces the server package's
+// BenchmarkServerIngestJournal exactly (same trace, same 8-way client
+// burst, same drain barrier) so its numbers are comparable with the
+// baseline recorded by that benchmark before the group-commit work.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mpegsmooth/internal/journal"
+	"mpegsmooth/internal/server"
+	"mpegsmooth/internal/transport"
+)
+
+var ingestbenchOut = flag.String("ingestbench-out", "", "write the ingest benchmark artifact (JSON) to this file")
+
+// ingestSection is one benchmark's numbers, in the artifact and in the
+// committed baseline.
+type ingestSection struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations,omitempty"`
+}
+
+func toIngestSection(r testing.BenchmarkResult) ingestSection {
+	mbs := 0.0
+	if secs := r.T.Seconds(); secs > 0 {
+		mbs = float64(r.Bytes) * float64(r.N) / secs / 1e6
+	}
+	return ingestSection{
+		NsPerOp:     r.NsPerOp(),
+		MBPerSec:    mbs,
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// ingestBaseline is the BENCH_ingest.baseline.json schema.
+type ingestBaseline struct {
+	Note                string        `json:"note"`
+	ServerIngestJournal ingestSection `json:"server_ingest_journal"`
+	ClusterLocal        ingestSection `json:"cluster_local"`
+	ClusterQuorum2      ingestSection `json:"cluster_quorum2"`
+}
+
+// ingestArtifact is the BENCH_ingest.json schema: the committed
+// baseline (before) alongside the current tree (after).
+type ingestArtifact struct {
+	Baseline            ingestBaseline `json:"baseline"`
+	ServerIngestJournal ingestSection  `json:"server_ingest_journal"`
+	ClusterLocal        ingestSection  `json:"cluster_local"`
+	ClusterQuorum2      ingestSection  `json:"cluster_quorum2"`
+	// SpeedupServerIngest is baseline ns/op over measured ns/op for the
+	// journal-backed server ingest workload — the group-commit win.
+	SpeedupServerIngest float64 `json:"speedup_server_ingest"`
+}
+
+// benchServerIngestJournal is the server package's
+// BenchmarkServerIngestJournal workload, reproduced here so one
+// artifact can hold it next to the cluster variants: 8 concurrent
+// streams per iteration through admission + smoothing + shared egress,
+// resume tokens on so every admission and completion is journaled,
+// client pacing collapsed, iteration barrier on full drain.
+func benchServerIngestJournal(b *testing.B) {
+	const streams = 8
+	kit := makeClient(b, testTrace(b, 54))
+	var streamBytes int64
+	for _, p := range kit.payloads {
+		streamBytes += int64(len(p))
+	}
+	j, err := journal.Open(journal.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		LinkRate:     float64(streams) * kit.hello.PeakRate,
+		TimeScale:    1e6,
+		Journal:      j,
+		ResumeWindow: 10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			b.Errorf("Serve: %v", err)
+		}
+	})
+	addr := ln.Addr().String()
+
+	// One client pass: dial, hello, stream the paced schedule, wait for
+	// the completion ack (same shape as the server tests' kit.stream).
+	streamOnce := func() error {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		fw := transport.NewFrameWriter(conn)
+		if err := fw.WriteHello(kit.hello); err != nil {
+			return err
+		}
+		fr := transport.NewFrameReader(conn)
+		v, err := fr.ReadVerdict()
+		if err != nil {
+			return err
+		}
+		if !v.IsAdmitted() {
+			b.Errorf("rejected: %+v", v)
+			return nil
+		}
+		sender := &transport.Sender{TimeScale: 1e6, Chunk: 64 << 10}
+		if err := sender.Send(context.Background(), fw, kit.sched, kit.payloads); err != nil {
+			return err
+		}
+		fr.ReadMessageTimeout(10 * time.Second)
+		return nil
+	}
+
+	b.SetBytes(streams * streamBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < streams; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := streamOnce(); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		want := int64(i+1) * streams
+		waitFor(b, "iteration drain", func() bool {
+			s := srv.Snapshot()
+			return s.Streams.Completed == want && s.Streams.Active == 0
+		})
+	}
+	b.StopTimer()
+}
+
+// TestIngestBenchArtifact measures the ingest hot path (server-journal,
+// cluster-local, cluster-quorum2), writes BENCH_ingest.json next to the
+// committed baseline's numbers, and guards against regression: slower
+// than the pre-group-commit baseline is a failure; missing the 2x
+// speedup mark is a loud warning (machines differ; the committed
+// baseline was recorded on one specific box).
+func TestIngestBenchArtifact(t *testing.T) {
+	if *ingestbenchOut == "" {
+		t.Skip("artifact generator; run via make ingestbench (-ingestbench-out)")
+	}
+	raw, err := os.ReadFile("../../BENCH_ingest.baseline.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var art ingestArtifact
+	if err := json.Unmarshal(raw, &art.Baseline); err != nil {
+		t.Fatalf("parsing committed baseline: %v", err)
+	}
+
+	art.ServerIngestJournal = toIngestSection(testing.Benchmark(benchServerIngestJournal))
+	art.ClusterLocal = toIngestSection(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		benchClusterIngest(b, 0)
+	}))
+	art.ClusterQuorum2 = toIngestSection(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		benchClusterIngest(b, 2)
+	}))
+	art.SpeedupServerIngest = float64(art.Baseline.ServerIngestJournal.NsPerOp) /
+		float64(art.ServerIngestJournal.NsPerOp)
+
+	t.Logf("server ingest+journal: %d ns/op, %.2f MB/s, %d allocs/op (baseline %d ns/op, %.2fx)",
+		art.ServerIngestJournal.NsPerOp, art.ServerIngestJournal.MBPerSec,
+		art.ServerIngestJournal.AllocsPerOp,
+		art.Baseline.ServerIngestJournal.NsPerOp, art.SpeedupServerIngest)
+	t.Logf("cluster local:   %d ns/op, %.2f MB/s, %d allocs/op (baseline %d ns/op)",
+		art.ClusterLocal.NsPerOp, art.ClusterLocal.MBPerSec,
+		art.ClusterLocal.AllocsPerOp, art.Baseline.ClusterLocal.NsPerOp)
+	t.Logf("cluster quorum2: %d ns/op, %.2f MB/s, %d allocs/op (baseline %d ns/op)",
+		art.ClusterQuorum2.NsPerOp, art.ClusterQuorum2.MBPerSec,
+		art.ClusterQuorum2.AllocsPerOp, art.Baseline.ClusterQuorum2.NsPerOp)
+
+	// Hard floor: the group-commit tree must never be slower than the
+	// one-fsync-per-record tree it replaced.
+	if art.ServerIngestJournal.NsPerOp > art.Baseline.ServerIngestJournal.NsPerOp {
+		t.Errorf("server ingest regressed past the pre-group-commit baseline: %d ns/op > %d ns/op",
+			art.ServerIngestJournal.NsPerOp, art.Baseline.ServerIngestJournal.NsPerOp)
+	}
+	// Soft guard: the PR's acceptance mark. Warn rather than fail — the
+	// baseline is machine-specific and CI boxes vary.
+	if art.SpeedupServerIngest < 2.0 {
+		t.Logf("WARNING: server ingest speedup %.2fx below the 2x mark recorded at baseline time",
+			art.SpeedupServerIngest)
+	}
+
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*ingestbenchOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

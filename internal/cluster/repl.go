@@ -365,6 +365,34 @@ func (n *Node) streamFromPrimary(conn net.Conn) error {
 		return writeReplFrame(conn, replAck, ack)
 	}
 	br := bufio.NewReaderSize(conn, 64<<10)
+	// Records drain into a batch: when the primary has several frames in
+	// flight (its own group commit released a burst, or this follower
+	// briefly fell behind), every record already buffered locally joins
+	// one journal.AppendRecords call — one standby fsync — acknowledged
+	// with a single cumulative ack instead of an ack per record.
+	type appliedRec struct {
+		cursor journal.Offsets
+		kind   byte
+		size   int
+	}
+	var batch []journal.Record
+	var applied []appliedRec
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := jrnl.AppendRecords(batch); err != nil {
+			return fmt.Errorf("cluster: applying %d replicated records: %w", len(batch), err)
+		}
+		for _, a := range applied {
+			n.repl.recordApplied(a.cursor, a.kind, a.size)
+		}
+		batch, applied = batch[:0], applied[:0]
+		if err := sendAck(); err != nil {
+			return fmt.Errorf("cluster: acking records: %w", err)
+		}
+		return nil
+	}
 	for {
 		conn.SetReadDeadline(time.Now().Add(n.cfg.FailoverTimeout))
 		typ, payload, err := readReplFrame(br)
@@ -382,6 +410,9 @@ func (n *Node) streamFromPrimary(conn net.Conn) error {
 		}
 		switch typ {
 		case replSnapshot:
+			if err := flush(); err != nil {
+				return err
+			}
 			recs, valid, scanErr := journal.ScanSegment(rest)
 			if scanErr != nil || valid != len(rest) {
 				return fmt.Errorf("cluster: torn replication snapshot (%d of %d bytes valid): %v",
@@ -402,14 +433,20 @@ func (n *Node) streamFromPrimary(conn net.Conn) error {
 				return fmt.Errorf("cluster: torn replicated record (%d of %d bytes): %v",
 					size, len(rest), perr)
 			}
-			if err := jrnl.AppendRecord(rec); err != nil {
-				return fmt.Errorf("cluster: applying replicated record: %w", err)
-			}
-			n.repl.recordApplied(cursor, rec.Kind, size)
-			if err := sendAck(); err != nil {
-				return fmt.Errorf("cluster: acking record: %w", err)
+			batch = append(batch, rec)
+			applied = append(applied, appliedRec{cursor: cursor, kind: rec.Kind, size: size})
+			if br.Buffered() == 0 {
+				// Nothing else already delivered: commit what we have. With
+				// frames still buffered, keep draining — they ride this
+				// batch's fsync.
+				if err := flush(); err != nil {
+					return err
+				}
 			}
 		case replHeartbeat:
+			if err := flush(); err != nil {
+				return err
+			}
 			n.repl.heartbeat(cursor)
 		default:
 			return fmt.Errorf("cluster: unknown replication frame type %#02x", typ)

@@ -22,6 +22,15 @@
 // watermarks is safe: the sender replays from an older watermark and
 // the server re-accepts idempotently.
 //
+// Durable appends go through a group commit (see DESIGN.md §14):
+// concurrent committers enqueue their pre-encoded frames on a commit
+// queue and the caller at the front becomes the batch leader, writing
+// every queued frame with one write and one fsync while the lock is
+// released — so more committers keep joining the next batch during the
+// disk wait. Each caller still blocks until *its* record is durable,
+// which preserves the ordering invariant byte-for-byte: a verdict or
+// ack never leaves the server before its record has been fsynced.
+//
 // Recovery replays segments in order, verifying every CRC. A torn tail
 // — a record cut short by the crash — is truncated deterministically:
 // the scan stops at the first record that fails length or CRC checks,
@@ -74,6 +83,15 @@ const DefaultSegmentBytes = 1 << 20
 
 // DefaultFlushInterval batches watermark records.
 const DefaultFlushInterval = 25 * time.Millisecond
+
+// DefaultCommitBytes closes an open commit window early once this many
+// encoded record bytes are queued.
+const DefaultCommitBytes = 64 << 10
+
+var (
+	errClosed = errors.New("journal: closed")
+	errBroken = errors.New("journal: broken (unrepairable append failure)")
+)
 
 // ExpireReason says why journaled state was dropped.
 type ExpireReason byte
@@ -165,7 +183,7 @@ func (s *State) apply(r Record) {
 			return
 		}
 		st.Watermark = r.Watermark
-		st.HashState = append([]byte(nil), r.HashState...)
+		st.HashState = append(st.HashState[:0], r.HashState...)
 	case kindComplete:
 		delete(s.Streams, r.Tomb.Token)
 		cp := r.Tomb
@@ -200,63 +218,88 @@ type Record struct {
 	Epoch     uint64          // kindEpoch
 }
 
-// encode frames a record body: kind | len | body | crc.
-func encodeFrame(kind byte, body []byte) []byte {
-	buf := make([]byte, 0, 9+len(body))
-	buf = append(buf, kind)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
-	buf = append(buf, body...)
-	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+// Frame encoders append a complete framed record — kind | len | body |
+// crc — to dst and return the extended slice. They are append-style so
+// the group-commit path can encode straight into a reused batch buffer
+// with no per-record allocation.
+
+// beginFrame reserves the kind and length header; finishFrame patches
+// the length and appends the CRC once the body is in place.
+func beginFrame(dst []byte, kind byte) []byte {
+	return append(dst, kind, 0, 0, 0, 0)
 }
 
-func encodeAdmit(rec StreamRecord) []byte {
-	h := rec.Hello
-	body := make([]byte, 0, 64+len(rec.HashState))
-	body = binary.BigEndian.AppendUint64(body, rec.Token)
-	body = binary.BigEndian.AppendUint64(body, h.Nonce)
-	body = binary.BigEndian.AppendUint64(body, math.Float64bits(h.Tau))
-	body = binary.BigEndian.AppendUint16(body, uint16(h.GOP.N))
-	body = binary.BigEndian.AppendUint16(body, uint16(h.GOP.M))
-	body = binary.BigEndian.AppendUint16(body, uint16(h.K))
-	body = binary.BigEndian.AppendUint64(body, math.Float64bits(h.D))
-	body = binary.BigEndian.AppendUint32(body, uint32(h.Pictures))
-	body = binary.BigEndian.AppendUint64(body, math.Float64bits(h.PeakRate))
-	body = append(body, byte(h.Integrity))
-	return encodeFrame(kindAdmit, body)
+func finishFrame(dst []byte, start int) []byte {
+	binary.BigEndian.PutUint32(dst[start+1:start+5], uint32(len(dst)-start-5))
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
 }
+
+func appendAdmitFrame(dst []byte, rec StreamRecord) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, kindAdmit)
+	h := rec.Hello
+	dst = binary.BigEndian.AppendUint64(dst, rec.Token)
+	dst = binary.BigEndian.AppendUint64(dst, h.Nonce)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(h.Tau))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(h.GOP.N))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(h.GOP.M))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(h.K))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(h.D))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(h.Pictures))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(h.PeakRate))
+	dst = append(dst, byte(h.Integrity))
+	return finishFrame(dst, start)
+}
+
+func appendWatermarkFrame(dst []byte, token uint64, mark int, state []byte) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, kindWatermark)
+	dst = binary.BigEndian.AppendUint64(dst, token)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(mark))
+	dst = append(dst, byte(len(state)))
+	dst = append(dst, state...)
+	return finishFrame(dst, start)
+}
+
+func appendCompleteFrame(dst []byte, rec TombstoneRecord) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, kindComplete)
+	dst = binary.BigEndian.AppendUint64(dst, rec.Token)
+	dst = binary.BigEndian.AppendUint64(dst, rec.Nonce)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(rec.Pictures))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(rec.Expires.UnixNano()))
+	dst = append(dst, byte(len(rec.HashState)))
+	dst = append(dst, rec.HashState...)
+	return finishFrame(dst, start)
+}
+
+func appendExpireFrame(dst []byte, token, nonce uint64, reason ExpireReason) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, kindExpire)
+	dst = binary.BigEndian.AppendUint64(dst, token)
+	dst = binary.BigEndian.AppendUint64(dst, nonce)
+	dst = append(dst, byte(reason))
+	return finishFrame(dst, start)
+}
+
+func appendEpochFrame(dst []byte, epoch uint64) []byte {
+	start := len(dst)
+	dst = beginFrame(dst, kindEpoch)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
+	return finishFrame(dst, start)
+}
+
+// Single-frame wrappers, used by the segment fuzzers and tests.
+func encodeAdmit(rec StreamRecord) []byte { return appendAdmitFrame(nil, rec) }
 
 func encodeWatermark(token uint64, mark int, state []byte) []byte {
-	body := make([]byte, 0, 13+len(state))
-	body = binary.BigEndian.AppendUint64(body, token)
-	body = binary.BigEndian.AppendUint32(body, uint32(mark))
-	body = append(body, byte(len(state)))
-	body = append(body, state...)
-	return encodeFrame(kindWatermark, body)
+	return appendWatermarkFrame(nil, token, mark, state)
 }
 
-func encodeComplete(rec TombstoneRecord) []byte {
-	body := make([]byte, 0, 29+len(rec.HashState))
-	body = binary.BigEndian.AppendUint64(body, rec.Token)
-	body = binary.BigEndian.AppendUint64(body, rec.Nonce)
-	body = binary.BigEndian.AppendUint32(body, uint32(rec.Pictures))
-	body = binary.BigEndian.AppendUint64(body, uint64(rec.Expires.UnixNano()))
-	body = append(body, byte(len(rec.HashState)))
-	body = append(body, rec.HashState...)
-	return encodeFrame(kindComplete, body)
-}
+func encodeComplete(rec TombstoneRecord) []byte { return appendCompleteFrame(nil, rec) }
 
 func encodeExpire(token, nonce uint64, reason ExpireReason) []byte {
-	body := make([]byte, 0, 17)
-	body = binary.BigEndian.AppendUint64(body, token)
-	body = binary.BigEndian.AppendUint64(body, nonce)
-	body = append(body, byte(reason))
-	return encodeFrame(kindExpire, body)
-}
-
-func encodeEpoch(epoch uint64) []byte {
-	body := make([]byte, 0, 8)
-	body = binary.BigEndian.AppendUint64(body, epoch)
-	return encodeFrame(kindEpoch, body)
+	return appendExpireFrame(nil, token, nonce, reason)
 }
 
 // decodeBody interprets a CRC-verified record body.
@@ -414,6 +457,16 @@ type Config struct {
 	// DefaultFlushInterval; < 0 disables the background flusher — tests
 	// then call Flush explicitly).
 	FlushInterval time.Duration
+	// CommitWindow, when positive, keeps each commit batch open that
+	// long before the leader writes and fsyncs it, trading commit
+	// latency for bigger batches. Zero (the default) relies on natural
+	// batching alone: whatever queued behind the in-flight fsync forms
+	// the next batch.
+	CommitWindow time.Duration
+	// CommitBytes closes an open commit window early once this many
+	// encoded record bytes are queued (default DefaultCommitBytes).
+	// Only meaningful when CommitWindow > 0.
+	CommitBytes int
 	// Logf, when set, receives repair and replay notes.
 	Logf func(format string, args ...any)
 }
@@ -434,12 +487,79 @@ type Stats struct {
 	AppendErrors        int64 `json:"append_errors"`
 	LiveStreams         int   `json:"live_streams"`
 	LiveTombstones      int   `json:"live_tombstones"`
+
+	// Group-commit batching: how many leader-led batches committed, the
+	// records they carried (avg batch size = records/batches), the
+	// largest single batch, total leader time spent in write+fsync
+	// (avg commit latency = nanos/batches), and how many committers are
+	// parked on the queue right now.
+	CommitBatches      int64 `json:"commit_batches"`
+	CommitBatchRecords int64 `json:"commit_batch_records"`
+	CommitMaxBatch     int64 `json:"commit_max_batch"`
+	CommitNanos        int64 `json:"commit_nanos"`
+	CommitPending      int   `json:"commit_pending"`
 }
 
-// wmEntry is one coalesced pending watermark.
+// wmEntry is one coalesced pending watermark. Its state buffer is owned
+// by the journal (copied from the caller's scratch) and recycled through
+// wmFree at flush time, so the per-picture path settles at zero
+// allocations.
 type wmEntry struct {
 	mark  int
 	state []byte
+}
+
+// commitWaiter is one committer's stake in a group-commit batch: its
+// pre-encoded frames (buf, with per-frame end offsets in ends), the
+// decoded records to fold into the state after the fsync lands, and the
+// promise fields the batch leader resolves. Waiters are recycled
+// through a freelist so steady-state commits allocate nothing.
+type commitWaiter struct {
+	buf  []byte
+	ends []int
+	recs []Record
+
+	seq  uint64
+	err  error
+	done bool
+}
+
+func (w *commitWaiter) addAdmit(rec StreamRecord) {
+	w.buf = appendAdmitFrame(w.buf, rec)
+	w.ends = append(w.ends, len(w.buf))
+	w.recs = append(w.recs, Record{Kind: kindAdmit, Stream: rec})
+}
+
+// addWatermark points the record's HashState into the frame bytes just
+// encoded (body layout: token 8 | mark 4 | len 1 | state), so the
+// caller's state buffer can be recycled the moment this returns.
+func (w *commitWaiter) addWatermark(token uint64, mark int, state []byte) {
+	start := len(w.buf)
+	w.buf = appendWatermarkFrame(w.buf, token, mark, state)
+	var hs []byte
+	if len(state) > 0 {
+		hs = w.buf[start+18 : start+18+len(state)]
+	}
+	w.ends = append(w.ends, len(w.buf))
+	w.recs = append(w.recs, Record{Kind: kindWatermark, Token: token, Watermark: mark, HashState: hs})
+}
+
+func (w *commitWaiter) addComplete(rec TombstoneRecord) {
+	w.buf = appendCompleteFrame(w.buf, rec)
+	w.ends = append(w.ends, len(w.buf))
+	w.recs = append(w.recs, Record{Kind: kindComplete, Tomb: rec})
+}
+
+func (w *commitWaiter) addExpire(token, nonce uint64, reason ExpireReason) {
+	w.buf = appendExpireFrame(w.buf, token, nonce, reason)
+	w.ends = append(w.ends, len(w.buf))
+	w.recs = append(w.recs, Record{Kind: kindExpire, Token: token, Nonce: nonce, Reason: reason})
+}
+
+func (w *commitWaiter) addEpoch(epoch uint64) {
+	w.buf = appendEpochFrame(w.buf, epoch)
+	w.ends = append(w.ends, len(w.buf))
+	w.recs = append(w.recs, Record{Kind: kindEpoch, Epoch: epoch})
 }
 
 // Journal is an open write-ahead log. All methods are safe for
@@ -457,9 +577,26 @@ type Journal struct {
 	state      State
 	recovered  State
 	dirty      map[uint64]wmEntry
+	wmFree     [][]byte
 	stats      Stats
 	broken     bool
+	closing    bool
 	closed     bool
+
+	// Group commit. commitQ holds enqueued waiters in arrival order;
+	// the waiter at the front leads the batch. committing is true while
+	// a leader owns the active file (possibly with mu released for the
+	// write+fsync); commitCond is broadcast whenever a batch resolves.
+	// commitWake cuts an open commit window short (CommitBytes reached,
+	// or Abandon). commitSpare/batchBuf/waiterFree are reuse pools.
+	commitCond   sync.Cond
+	commitQ      []*commitWaiter
+	commitSpare  []*commitWaiter
+	commitQBytes int
+	committing   bool
+	commitWake   chan struct{}
+	batchBuf     []byte
+	waiterFree   []*commitWaiter
 
 	// The record feed (see tail.go): committed frames are published to
 	// subscribers under j.mu, and the cursor counts what was published.
@@ -489,6 +626,12 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.FlushInterval == 0 {
 		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.CommitWindow < 0 {
+		cfg.CommitWindow = 0
+	}
+	if cfg.CommitBytes <= 0 {
+		cfg.CommitBytes = DefaultCommitBytes
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -520,12 +663,14 @@ func Open(cfg Config) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{
-		cfg:   full,
-		fs:    full.FS,
-		state: newState(),
-		dirty: map[uint64]wmEntry{},
-		subs:  map[uint64]chan []byte{},
+		cfg:        full,
+		fs:         full.FS,
+		state:      newState(),
+		dirty:      map[uint64]wmEntry{},
+		subs:       map[uint64]chan []byte{},
+		commitWake: make(chan struct{}, 1),
 	}
+	j.commitCond.L = &j.mu
 	if err := j.replay(); err != nil {
 		return nil, err
 	}
@@ -621,7 +766,200 @@ func (j *Journal) Stats() Stats {
 	s.ActiveSegmentBytes = j.activeSize
 	s.LiveStreams = len(j.state.Streams)
 	s.LiveTombstones = len(j.state.Tombstones)
+	s.CommitPending = len(j.commitQ)
 	return s
+}
+
+// appendableLocked gates new commits. Caller holds j.mu.
+func (j *Journal) appendableLocked() error {
+	if j.closing || j.closed {
+		return errClosed
+	}
+	if j.broken {
+		return errBroken
+	}
+	return nil
+}
+
+// getWaiterLocked / putWaiterLocked recycle commitWaiters (and their
+// encode buffers) so steady-state durable appends allocate nothing.
+// Caller holds j.mu.
+func (j *Journal) getWaiterLocked() *commitWaiter {
+	if n := len(j.waiterFree); n > 0 {
+		w := j.waiterFree[n-1]
+		j.waiterFree = j.waiterFree[:n-1]
+		return w
+	}
+	return &commitWaiter{}
+}
+
+func (j *Journal) putWaiterLocked(w *commitWaiter) {
+	if len(j.waiterFree) >= 64 {
+		return
+	}
+	w.buf = w.buf[:0]
+	w.ends = w.ends[:0]
+	w.recs = w.recs[:0]
+	w.seq, w.err, w.done = 0, nil, false
+	j.waiterFree = append(j.waiterFree, w)
+}
+
+// commitLocked enqueues w and blocks until a batch leader has made it
+// durable (or failed it). The committer at the front of the queue
+// becomes the leader for everything queued at that moment; everyone
+// else parks on commitCond. Because the leader performs its write+fsync
+// with j.mu released, new committers keep enqueuing *during* the disk
+// wait and form the next batch — the natural coalescing that makes
+// group commit pay even with CommitWindow zero. Caller holds j.mu and
+// still holds it on return; the caller reads w.seq/w.err and recycles w.
+func (j *Journal) commitLocked(w *commitWaiter) (uint64, error) {
+	j.commitQ = append(j.commitQ, w)
+	j.commitQBytes += len(w.buf)
+	if j.committing && j.commitQBytes >= j.cfg.CommitBytes {
+		// Enough queued: if the leader is holding a commit window open,
+		// cut it short.
+		select {
+		case j.commitWake <- struct{}{}:
+		default:
+		}
+	}
+	for {
+		if w.done {
+			return w.seq, w.err
+		}
+		if !j.committing && j.commitQ[0] == w {
+			break
+		}
+		j.commitCond.Wait()
+	}
+	j.leadBatchLocked()
+	return w.seq, w.err
+}
+
+// leadBatchLocked runs one group-commit batch with the calling waiter
+// at the front of the queue. Caller holds j.mu; the lock is released
+// for the window wait and the disk IO and reacquired before return.
+func (j *Journal) leadBatchLocked() {
+	j.committing = true
+	if d := j.cfg.CommitWindow; d > 0 && !j.closing && j.commitQBytes < j.cfg.CommitBytes {
+		// Hold the batch open so concurrent committers can join. Drain a
+		// stale wake token first; CommitBytes pressure or Abandon ends
+		// the window early. (Committers that queued before we took
+		// leadership count toward the threshold too — hence the check
+		// above, not just the wake signal.)
+		select {
+		case <-j.commitWake:
+		default:
+		}
+		j.mu.Unlock()
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-j.commitWake:
+			t.Stop()
+		}
+		j.mu.Lock()
+	}
+
+	batch := j.commitQ
+	j.commitQ = j.commitSpare[:0]
+	j.commitSpare = batch
+	j.commitQBytes = 0
+	if len(batch) == 0 {
+		// Abandoned while the window was open: Abandon already failed
+		// and cleared the queue.
+		j.finishBatchLocked()
+		return
+	}
+
+	nrecs := 0
+	buf := j.batchBuf[:0]
+	for _, bw := range batch {
+		buf = append(buf, bw.buf...)
+		nrecs += len(bw.recs)
+	}
+	j.batchBuf = buf
+
+	fail := func(err error) {
+		j.stats.AppendErrors += int64(nrecs)
+		for _, bw := range batch {
+			bw.err = err
+			bw.done = true
+		}
+		j.finishBatchLocked()
+	}
+
+	if j.closed {
+		fail(errClosed)
+		return
+	}
+	if j.broken {
+		fail(errBroken)
+		return
+	}
+	if j.activeSize > j.cfg.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			fail(err)
+			return
+		}
+	}
+
+	off := j.activeSize
+	f := j.active
+	start := time.Now()
+	j.mu.Unlock()
+	_, err := f.Write(buf)
+	if err != nil {
+		err = fmt.Errorf("journal: append: %w", err)
+	} else if serr := f.Sync(); serr != nil {
+		err = fmt.Errorf("journal: fsync: %w", serr)
+	}
+	j.mu.Lock()
+	j.stats.CommitNanos += time.Since(start).Nanoseconds()
+
+	if err != nil {
+		// One failed batch fsync fails every committer in it: the
+		// segment is truncated back to the pre-batch offset, so no
+		// prefix of the batch can survive a replay while its caller was
+		// told the append failed. A batch never splits.
+		j.repairLocked(off)
+		fail(err)
+		return
+	}
+
+	j.activeSize = off + int64(len(buf))
+	j.stats.Fsyncs++
+	j.stats.Appends += int64(nrecs)
+	j.stats.AppendedBytes += int64(len(buf))
+	j.stats.CommitBatches++
+	j.stats.CommitBatchRecords += int64(nrecs)
+	if int64(nrecs) > j.stats.CommitMaxBatch {
+		j.stats.CommitMaxBatch = int64(nrecs)
+	}
+	for _, bw := range batch {
+		prev := 0
+		for i, end := range bw.ends {
+			j.publishLocked(bw.buf[prev:end])
+			j.state.apply(bw.recs[i])
+			prev = end
+		}
+		bw.seq = j.pubRecs
+		bw.done = true
+	}
+	j.finishBatchLocked()
+}
+
+// finishBatchLocked releases batch leadership and wakes every parked
+// committer (resolved waiters return; the new queue front leads the
+// next batch). If the journal was abandoned while the leader owned the
+// file handle, the close was deferred to here. Caller holds j.mu.
+func (j *Journal) finishBatchLocked() {
+	j.committing = false
+	if j.closed && j.active != nil {
+		j.active.Close()
+		j.active = nil
+	}
+	j.commitCond.Broadcast()
 }
 
 // Admitted commits a stream admission: fsynced before the caller sends
@@ -631,25 +969,39 @@ func (j *Journal) Stats() Stats {
 func (j *Journal) Admitted(rec StreamRecord) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.appendLocked(encodeAdmit(rec), true); err != nil {
+	if err := j.appendableLocked(); err != nil {
 		return 0, err
 	}
-	j.state.apply(Record{Kind: kindAdmit, Stream: rec})
-	return j.pubRecs, nil
+	w := j.getWaiterLocked()
+	w.addAdmit(rec)
+	seq, err := j.commitLocked(w)
+	j.putWaiterLocked(w)
+	return seq, err
 }
 
 // Watermark coalesces a stream's accept watermark and prefix-hash state
 // for the next flush. It never blocks on the disk — the per-picture hot
 // path stays fast — so a crash may lose the last flush interval of
 // progress, which recovery absorbs by parking the stream at the older
-// watermark (the sender replays the difference, idempotently).
+// watermark (the sender replays the difference, idempotently). The
+// journal copies state into a recycled buffer, so callers may pass a
+// reused scratch slice.
 func (j *Journal) Watermark(token uint64, mark int, state []byte) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.closed || j.broken {
+	if j.closing || j.closed || j.broken {
 		return
 	}
-	j.dirty[token] = wmEntry{mark: mark, state: state}
+	e, ok := j.dirty[token]
+	if !ok {
+		if n := len(j.wmFree); n > 0 {
+			e.state = j.wmFree[n-1][:0]
+			j.wmFree = j.wmFree[:n-1]
+		}
+	}
+	e.mark = mark
+	e.state = append(e.state[:0], state...)
+	j.dirty[token] = e
 	j.stats.WatermarksCoalesced++
 }
 
@@ -660,12 +1012,15 @@ func (j *Journal) Watermark(token uint64, mark int, state []byte) {
 func (j *Journal) Completed(rec TombstoneRecord) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	delete(j.dirty, rec.Token) // superseded
-	if err := j.appendLocked(encodeComplete(rec), true); err != nil {
+	if err := j.appendableLocked(); err != nil {
 		return 0, err
 	}
-	j.state.apply(Record{Kind: kindComplete, Tomb: rec})
-	return j.pubRecs, nil
+	j.dropDirtyLocked(rec.Token) // superseded
+	w := j.getWaiterLocked()
+	w.addComplete(rec)
+	seq, err := j.commitLocked(w)
+	j.putWaiterLocked(w)
+	return seq, err
 }
 
 // Expired commits the release of journaled state: a failed stream, a
@@ -674,14 +1029,28 @@ func (j *Journal) Completed(rec TombstoneRecord) (uint64, error) {
 func (j *Journal) Expired(token, nonce uint64, reason ExpireReason) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if reason != ExpireTombstone {
-		delete(j.dirty, token)
-	}
-	if err := j.appendLocked(encodeExpire(token, nonce, reason), true); err != nil {
+	if err := j.appendableLocked(); err != nil {
 		return 0, err
 	}
-	j.state.apply(Record{Kind: kindExpire, Token: token, Nonce: nonce, Reason: reason})
-	return j.pubRecs, nil
+	if reason != ExpireTombstone {
+		j.dropDirtyLocked(token)
+	}
+	w := j.getWaiterLocked()
+	w.addExpire(token, nonce, reason)
+	seq, err := j.commitLocked(w)
+	j.putWaiterLocked(w)
+	return seq, err
+}
+
+// dropDirtyLocked discards a pending coalesced watermark and recycles
+// its state buffer. Caller holds j.mu.
+func (j *Journal) dropDirtyLocked(token uint64) {
+	if e, ok := j.dirty[token]; ok {
+		if len(j.wmFree) < 256 {
+			j.wmFree = append(j.wmFree, e.state)
+		}
+		delete(j.dirty, token)
+	}
 }
 
 // Epoch reports the highest primary epoch the journal has witnessed —
@@ -702,40 +1071,56 @@ func (j *Journal) AppendEpoch(epoch uint64) (uint64, error) {
 	if epoch <= j.state.Epoch {
 		return j.pubRecs, nil
 	}
-	if err := j.appendLocked(encodeEpoch(epoch), true); err != nil {
+	if err := j.appendableLocked(); err != nil {
 		return 0, err
 	}
-	j.state.apply(Record{Kind: kindEpoch, Epoch: epoch})
-	return j.pubRecs, nil
+	w := j.getWaiterLocked()
+	w.addEpoch(epoch)
+	seq, err := j.commitLocked(w)
+	j.putWaiterLocked(w)
+	return seq, err
 }
 
 // Flush appends and fsyncs all coalesced watermarks now.
 func (j *Journal) Flush() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.flushLocked()
+	return j.flushDirtyLocked()
 }
 
-func (j *Journal) flushLocked() error {
+// flushDirtyLocked drains the coalesced watermarks into one commit
+// waiter and rides the group-commit path: the whole flush is one frame
+// run inside one batch fsync. On failure the watermarks are re-merged
+// into the dirty set (unless a newer mark superseded them) so the next
+// flush retries — exactly the keep-dirty-on-error behavior replay
+// idempotence expects. Caller holds j.mu.
+func (j *Journal) flushDirtyLocked() error {
 	if len(j.dirty) == 0 {
 		return nil
 	}
-	wrote := false
-	for token, wm := range j.dirty {
-		if err := j.appendLocked(encodeWatermark(token, wm.mark, wm.state), false); err != nil {
-			return err
-		}
-		j.state.apply(Record{Kind: kindWatermark, Token: token, Watermark: wm.mark, HashState: wm.state})
-		wrote = true
+	if err := j.appendableLocked(); err != nil {
+		return err
 	}
-	j.dirty = map[uint64]wmEntry{}
-	if wrote {
-		if err := j.syncLocked(); err != nil {
-			return err
+	w := j.getWaiterLocked()
+	for token, e := range j.dirty {
+		w.addWatermark(token, e.mark, e.state)
+		if len(j.wmFree) < 256 {
+			j.wmFree = append(j.wmFree, e.state)
 		}
+		delete(j.dirty, token)
+	}
+	_, err := j.commitLocked(w)
+	if err != nil {
+		for _, r := range w.recs {
+			if e, ok := j.dirty[r.Token]; !ok || e.mark < r.Watermark {
+				j.dirty[r.Token] = wmEntry{mark: r.Watermark, state: append(e.state[:0], r.HashState...)}
+			}
+		}
+	} else {
 		j.stats.WatermarkBatches++
 	}
-	return nil
+	j.putWaiterLocked(w)
+	return err
 }
 
 // Compact rewrites live state into a fresh snapshot segment and deletes
@@ -743,13 +1128,24 @@ func (j *Journal) flushLocked() error {
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.flushLocked(); err != nil {
+	if err := j.flushDirtyLocked(); err != nil {
+		return err
+	}
+	// Rotation swaps the active file; wait out any in-flight batch
+	// leader that owns the current handle.
+	for j.committing {
+		j.commitCond.Wait()
+	}
+	if err := j.appendableLocked(); err != nil {
 		return err
 	}
 	return j.rotateLocked()
 }
 
-// Close flushes pending watermarks, syncs, and closes the journal.
+// Close drains the commit queue, writes the remaining coalesced
+// watermarks exactly once, syncs, and closes the journal. New commits
+// are rejected the moment Close begins, so the final watermark drain
+// is the journal's last write.
 func (j *Journal) Close() error {
 	j.stopFlusher()
 	j.mu.Lock()
@@ -757,7 +1153,15 @@ func (j *Journal) Close() error {
 	if j.closed {
 		return nil
 	}
-	err := j.flushLocked()
+	j.closing = true
+	for j.committing || len(j.commitQ) > 0 {
+		j.commitCond.Wait()
+	}
+	if j.closed {
+		// Abandon raced in while we drained.
+		return nil
+	}
+	err := j.closeFlushLocked()
 	j.closed = true
 	j.closeSubsLocked()
 	if j.active != nil {
@@ -769,10 +1173,55 @@ func (j *Journal) Close() error {
 	return err
 }
 
+// closeFlushLocked writes the final coalesced watermarks straight to
+// the active segment. Close has already stopped the flusher, drained
+// the commit queue, and begun rejecting new commits, so this is the
+// journal's sole remaining writer: the drain happens exactly once.
+// Caller holds j.mu.
+func (j *Journal) closeFlushLocked() error {
+	if len(j.dirty) == 0 {
+		return nil
+	}
+	if j.broken {
+		return errBroken
+	}
+	w := j.getWaiterLocked()
+	defer j.putWaiterLocked(w)
+	for token, e := range j.dirty {
+		w.addWatermark(token, e.mark, e.state)
+		delete(j.dirty, token)
+	}
+	off := j.activeSize
+	if _, err := j.active.Write(w.buf); err != nil {
+		j.stats.AppendErrors += int64(len(w.recs))
+		j.repairLocked(off)
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.active.Sync(); err != nil {
+		j.stats.AppendErrors += int64(len(w.recs))
+		j.repairLocked(off)
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.activeSize = off + int64(len(w.buf))
+	j.stats.Fsyncs++
+	j.stats.Appends += int64(len(w.recs))
+	j.stats.AppendedBytes += int64(len(w.buf))
+	j.stats.WatermarkBatches++
+	prev := 0
+	for i, end := range w.ends {
+		j.publishLocked(w.buf[prev:end])
+		j.state.apply(w.recs[i])
+		prev = end
+	}
+	return nil
+}
+
 // Abandon closes the journal crash-style: no flush, no sync — pending
-// watermarks are dropped exactly as a real crash would drop them. The
+// watermarks are dropped exactly as a real crash would drop them, and
+// committers parked on the commit queue fail immediately. The
 // kill-and-restart harness uses it to make an in-process "SIGKILL"
-// honest.
+// honest. Abandon never waits for an in-flight batch leader: if one
+// owns the file handle, the handle close is deferred to it.
 func (j *Journal) Abandon() {
 	j.stopFlusher()
 	j.mu.Lock()
@@ -780,13 +1229,25 @@ func (j *Journal) Abandon() {
 	if j.closed {
 		return
 	}
-	j.closed = true
+	j.closing, j.closed = true, true
 	j.dirty = map[uint64]wmEntry{}
+	for _, w := range j.commitQ {
+		w.err = errClosed
+		w.done = true
+	}
+	j.commitQ = j.commitQ[:0]
+	j.commitQBytes = 0
+	// Cut short a leader sleeping in its commit window.
+	select {
+	case j.commitWake <- struct{}{}:
+	default:
+	}
 	j.closeSubsLocked()
-	if j.active != nil {
+	if !j.committing && j.active != nil {
 		j.active.Close()
 		j.active = nil
 	}
+	j.commitCond.Broadcast()
 }
 
 func (j *Journal) stopFlusher() {
@@ -816,51 +1277,6 @@ func (j *Journal) flusher(interval time.Duration, stop, done chan struct{}) {
 	}
 }
 
-// appendLocked writes one framed record to the active segment and, when
-// syncNow, fsyncs it. On failure the segment is repaired by truncating
-// back to the pre-append offset, so a torn in-flight record can never
-// be followed by live appends (which replay would then lose). Caller
-// holds j.mu.
-func (j *Journal) appendLocked(frame []byte, syncNow bool) error {
-	if j.closed {
-		return errors.New("journal: closed")
-	}
-	if j.broken {
-		return errors.New("journal: broken (unrepairable append failure)")
-	}
-	if j.activeSize > j.cfg.SegmentBytes {
-		if err := j.rotateLocked(); err != nil {
-			return err
-		}
-	}
-	off := j.activeSize
-	if _, err := j.active.Write(frame); err != nil {
-		j.stats.AppendErrors++
-		j.repairLocked(off)
-		return fmt.Errorf("journal: append: %w", err)
-	}
-	j.activeSize += int64(len(frame))
-	j.stats.Appends++
-	j.stats.AppendedBytes += int64(len(frame))
-	if syncNow {
-		if err := j.syncLocked(); err != nil {
-			j.stats.AppendErrors++
-			j.repairLocked(off)
-			return err
-		}
-	}
-	j.publishLocked(frame)
-	return nil
-}
-
-func (j *Journal) syncLocked() error {
-	if err := j.active.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
-	}
-	j.stats.Fsyncs++
-	return nil
-}
-
 // repairLocked truncates the active segment back to off after a failed
 // append, discarding whatever partial bytes landed. If even that fails,
 // the journal is broken: appends stop, but the on-disk prefix up to the
@@ -881,7 +1297,8 @@ func (j *Journal) repairLocked(off int64) {
 // loses the race and old segments still hold everything; after the
 // sync, duplicates between old and new segments fold to the same state;
 // a failed remove only leaves harmless duplicates behind. Caller holds
-// j.mu.
+// j.mu, and no batch leader may be in flight (rotation swaps the file
+// handle the leader writes to).
 func (j *Journal) rotateLocked() error {
 	j.seq++
 	name := segName(j.seq)
@@ -939,19 +1356,19 @@ func (j *Journal) snapshotLocked() []byte {
 	// The epoch leads the snapshot so a follower resyncing from it
 	// adopts the primary's term before any session fact.
 	if j.state.Epoch > 0 {
-		buf = append(buf, encodeEpoch(j.state.Epoch)...)
+		buf = appendEpochFrame(buf, j.state.Epoch)
 	}
 	for _, st := range j.state.Streams {
-		buf = append(buf, encodeAdmit(*st)...)
+		buf = appendAdmitFrame(buf, *st)
 		if st.Watermark > 0 {
-			buf = append(buf, encodeWatermark(st.Token, st.Watermark, st.HashState)...)
+			buf = appendWatermarkFrame(buf, st.Token, st.Watermark, st.HashState)
 		}
 	}
 	for _, tb := range j.state.Tombstones {
 		if !tb.Expires.IsZero() && now.After(tb.Expires) {
 			continue
 		}
-		buf = append(buf, encodeComplete(*tb)...)
+		buf = appendCompleteFrame(buf, *tb)
 	}
 	return buf
 }

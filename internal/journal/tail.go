@@ -136,6 +136,74 @@ func (j *Journal) AppendRecord(r Record) error {
 	return fmt.Errorf("journal: append of unknown record kind %#02x", r.Kind)
 }
 
+// AppendRecords commits a run of decoded records as one group-commit
+// batch: watermarks coalesce for the flusher exactly as in AppendRecord,
+// and every durable kind (admit, complete, expire, epoch) rides a
+// single batch fsync. A follower that drained several replication
+// frames off its socket applies them all for the price of one sync —
+// its cumulative ack then acknowledges the whole run. An error fails
+// the entire durable run (the batch never splits).
+func (j *Journal) AppendRecords(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var w *commitWaiter
+	for _, r := range recs {
+		switch r.Kind {
+		case kindWatermark:
+			if j.closing || j.closed || j.broken {
+				continue
+			}
+			e, ok := j.dirty[r.Token]
+			if !ok {
+				if n := len(j.wmFree); n > 0 {
+					e.state = j.wmFree[n-1][:0]
+					j.wmFree = j.wmFree[:n-1]
+				}
+			}
+			e.mark = r.Watermark
+			e.state = append(e.state[:0], r.HashState...)
+			j.dirty[r.Token] = e
+			j.stats.WatermarksCoalesced++
+			continue
+		case kindEpoch:
+			if r.Epoch <= j.state.Epoch {
+				continue
+			}
+		case kindComplete:
+			j.dropDirtyLocked(r.Tomb.Token)
+		case kindExpire:
+			if r.Reason != ExpireTombstone {
+				j.dropDirtyLocked(r.Token)
+			}
+		case kindAdmit:
+		default:
+			return fmt.Errorf("journal: append of unknown record kind %#02x", r.Kind)
+		}
+		if err := j.appendableLocked(); err != nil {
+			return err
+		}
+		if w == nil {
+			w = j.getWaiterLocked()
+		}
+		switch r.Kind {
+		case kindAdmit:
+			w.addAdmit(r.Stream)
+		case kindComplete:
+			w.addComplete(r.Tomb)
+		case kindExpire:
+			w.addExpire(r.Token, r.Nonce, r.Reason)
+		case kindEpoch:
+			w.addEpoch(r.Epoch)
+		}
+	}
+	if w == nil {
+		return nil
+	}
+	_, err := j.commitLocked(w)
+	j.putWaiterLocked(w)
+	return err
+}
+
 // ResetTo replaces the journal's live state wholesale with the state
 // the given records fold to — a Follow snapshot the follower just
 // scanned — and compacts it into a fresh segment. This is the resync
@@ -145,11 +213,14 @@ func (j *Journal) AppendRecord(r Record) error {
 func (j *Journal) ResetTo(recs []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.closed {
-		return errors.New("journal: closed")
+	// Rotation swaps the active file and the reset replaces the state a
+	// batch leader would fold its records into; wait out any in-flight
+	// batch first.
+	for j.committing {
+		j.commitCond.Wait()
 	}
-	if j.broken {
-		return errors.New("journal: broken (unrepairable append failure)")
+	if err := j.appendableLocked(); err != nil {
+		return err
 	}
 	j.dirty = map[uint64]wmEntry{}
 	j.state = newState()

@@ -28,7 +28,15 @@ type generation struct {
 // previous one made durable; the caller ends it with kill or shutdown.
 func startGeneration(t testing.TB, cfg Config, dir, addr string) (*generation, string) {
 	t.Helper()
-	j, err := journal.Open(journal.Config{Dir: dir, FlushInterval: 5 * time.Millisecond})
+	return startGenerationJournal(t, cfg, journal.Config{Dir: dir, FlushInterval: 5 * time.Millisecond}, addr)
+}
+
+// startGenerationJournal is startGeneration with the journal config
+// under test control — the commit-window crash tests shape batching
+// with it.
+func startGenerationJournal(t testing.TB, cfg Config, jcfg journal.Config, addr string) (*generation, string) {
+	t.Helper()
+	j, err := journal.Open(jcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,6 +340,139 @@ func TestCrashRecoveryAlreadyComplete(t *testing.T) {
 	}
 	if g2.ReservedPeak != 0 {
 		t.Errorf("tombstone recovery reserved capacity: %.0f bps", g2.ReservedPeak)
+	}
+}
+
+// TestCrashKillInsideCommitWindow: the server is killed while a
+// group-commit window is still open with every client's admission
+// record queued and unfsynced. The durability ordering demands that no
+// admission verdict escaped (release happens only after the batch
+// fsync), so the kill must leave zero acknowledged-then-forgotten
+// clients: the next generation recovers nothing, every sender retries
+// its identical hello, and each completes with exactly one admission in
+// the new generation — byte-exact.
+func TestCrashKillInsideCommitWindow(t *testing.T) {
+	for _, seed := range crashSoakSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runKillInsideCommitWindow(t, seed)
+		})
+	}
+}
+
+func runKillInsideCommitWindow(t *testing.T, seed int64) {
+	const clients = 4
+	kit := makeClient(t, testTrace(t, 27))
+	wantFNV := payloadFNV(kit.payloads)
+	dir := t.TempDir()
+	cfg := Config{
+		LinkRate:     float64(clients+1) * kit.hello.PeakRate,
+		ReadTimeout:  5 * time.Second,
+		ResumeWindow: 20 * time.Second,
+	}
+	// A window long enough that the kill always lands inside it, and a
+	// byte threshold no admission burst can reach: only the window timer
+	// (or the kill) ends the batch.
+	gen1, addr := startGenerationJournal(t, cfg, journal.Config{
+		Dir:           dir,
+		FlushInterval: 5 * time.Millisecond,
+		CommitWindow:  30 * time.Second,
+		CommitBytes:   1 << 30,
+	}, "")
+
+	nonce := func(i int) uint64 { return uint64(seed)<<32 | uint64(0xAD0+i) }
+	type outcome struct {
+		v   transport.Verdict
+		err error
+	}
+	outcomes := make([]outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		hello := kit.hello
+		hello.Nonce = nonce(i)
+		if err := transport.NewFrameWriter(conn).WriteHello(hello); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			v, err := transport.NewFrameReader(conn).ReadVerdictTimeout(15 * time.Second)
+			outcomes[i] = outcome{v: v, err: err}
+		}(i, conn)
+	}
+
+	// Every admission is now parked on the open batch, its fsync pending.
+	waitFor(t, "admissions queued in the open commit window", func() bool {
+		return gen1.jrnl.Stats().CommitPending >= clients
+	})
+	gen1.kill(t)
+	wg.Wait()
+
+	// The fsync never happened, so no verdict may have been released: an
+	// Admitted verdict here is an acknowledged admission the journal
+	// forgot — exactly the ordering bug this test pins.
+	for i, o := range outcomes {
+		if o.err == nil && o.v.IsAdmitted() {
+			t.Fatalf("client %d holds an admission verdict whose record was never fsynced (verdict %+v)", i, o.v)
+		}
+	}
+
+	gen2, _ := startGeneration(t, cfg, dir, addr)
+	defer gen2.shutdown(t)
+	snap := gen2.srv.Snapshot()
+	if snap.Streams.Recovered != 0 || snap.Streams.RecoveredTombstones != 0 {
+		t.Fatalf("replay after kill-in-window recovered %d streams, %d tombstones; want a clean slate",
+			snap.Streams.Recovered, snap.Streams.RecoveredTombstones)
+	}
+
+	// Unacknowledged senders retry the identical hello and complete.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	errs := make([]error, clients)
+	var cwg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			ck := *kit
+			ck.hello.Nonce = nonce(i)
+			v, err := ck.stream(ctx, addr)
+			if err == nil && !v.IsAdmitted() {
+				err = fmt.Errorf("retried hello got verdict %+v", v)
+			}
+			errs[i] = err
+		}(i)
+	}
+	cwg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d retry: %v", i, err)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	waitFor(t, "all retried clients complete", func() bool {
+		s := gen2.srv.Snapshot()
+		return s.Streams.Completed == clients && s.Streams.Active == 0
+	})
+
+	g2 := gen2.srv.Snapshot()
+	if g2.Streams.Admitted != clients {
+		t.Errorf("gen2 admitted %d sessions for %d clients, want exactly one each",
+			g2.Streams.Admitted, clients)
+	}
+	if g2.ReservedPeak != 0 {
+		t.Errorf("reservation leaked: %.0f bps", g2.ReservedPeak)
+	}
+	for _, fin := range gen2.srv.FinishedStreams() {
+		if fin.PayloadFNV != wantFNV {
+			t.Errorf("stream %d payload hash %016x, want %016x", fin.ID, fin.PayloadFNV, wantFNV)
+		}
 	}
 }
 

@@ -1,0 +1,166 @@
+// Lock-sharded session ledgers. The nonce table (live hello nonce →
+// stream) and the completion-tombstone LRU used to live under the
+// server mutex, so every duplicate-hello probe and late-resume lookup
+// in a saturated soak serialized on the same lock that guards
+// admission. Both ledgers are keyed by values that are uniform by
+// construction (crypto-random nonces and resume tokens), so a
+// fixed-width shard array with per-shard mutexes spreads that traffic
+// ~evenly with no resizing or rebalancing.
+//
+// The sharding changes locking, not semantics. The admission
+// controller's AdmitNonce — still under s.mu — remains the
+// authoritative double-reserve guard: a racy miss in the nonce ledger
+// only costs a sender one RejectedBusy round trip. And gap-freedom for
+// late resumes holds because finish entombs a completed stream before
+// s.mu is released: any resume that finds the token gone from
+// s.resumable serialized after that critical section and therefore
+// finds the tombstone.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"mpegsmooth/internal/lru"
+)
+
+// ledgerShards is the shard count for both ledgers; a power of two so
+// the fibonacci hash reduces to a shift.
+const ledgerShards = 32
+
+// ledgerShard maps a uniform 64-bit key to a shard index by fibonacci
+// hashing: multiply by 2⁶⁴/φ and keep the top bits. Even adversarially
+// clustered keys spread, and for the crypto-random keys these ledgers
+// hold it is effectively a free permutation.
+func ledgerShard(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> (64 - 5))
+}
+
+// nonceShard is one stripe of the nonce ledger, padded out so adjacent
+// shards' mutexes do not share a cache line under contention.
+type nonceShard struct {
+	mu sync.Mutex
+	m  map[uint64]*stream
+	_  [40]byte
+}
+
+// nonceLedger routes duplicate hellos (a sender redialing because our
+// admission verdict was lost) back to their live stream.
+type nonceLedger struct {
+	shards [ledgerShards]nonceShard
+}
+
+func newNonceLedger() *nonceLedger {
+	l := &nonceLedger{}
+	for i := range l.shards {
+		l.shards[i].m = map[uint64]*stream{}
+	}
+	return l
+}
+
+func (l *nonceLedger) get(nonce uint64) *stream {
+	sh := &l.shards[ledgerShard(nonce)]
+	sh.mu.Lock()
+	st := sh.m[nonce]
+	sh.mu.Unlock()
+	return st
+}
+
+func (l *nonceLedger) put(nonce uint64, st *stream) {
+	sh := &l.shards[ledgerShard(nonce)]
+	sh.mu.Lock()
+	sh.m[nonce] = st
+	sh.mu.Unlock()
+}
+
+func (l *nonceLedger) del(nonce uint64) {
+	sh := &l.shards[ledgerShard(nonce)]
+	sh.mu.Lock()
+	delete(sh.m, nonce)
+	sh.mu.Unlock()
+}
+
+// tombShard is one stripe of the tombstone ledger: a last-touch LRU
+// with its own adaptive sizer, exactly the pre-sharding design at 1/32
+// scale. Uniform tokens land ~uniformly, so per-shard rate × TTL is the
+// global rate × TTL divided by the shard count and the aggregate cap
+// tracks the same completion flood the single ledger did.
+type tombShard struct {
+	mu    sync.Mutex
+	m     *lru.Map[uint64, tombstone]
+	sizer lru.Sizer
+}
+
+// tombLedger remembers recently completed streams by resume token so a
+// sender whose completion ack was lost gets a precise AlreadyComplete
+// verdict (with the final hash) instead of an unknown-token rejection.
+type tombLedger struct {
+	shards [ledgerShards]tombShard
+}
+
+// tombShardKeep is each shard's capacity floor — the global
+// tombstoneKeep split across shards.
+const tombShardKeep = tombstoneKeep / ledgerShards
+
+func newTombLedger() *tombLedger {
+	l := &tombLedger{}
+	for i := range l.shards {
+		l.shards[i].m = lru.New[uint64, tombstone](tombShardKeep)
+		l.shards[i].sizer = lru.Sizer{Min: tombShardKeep}
+	}
+	return l
+}
+
+// put entombs one completed stream. The shard's adaptive cap tracks its
+// completion rate × ttl, expired entries are swept from the cold end,
+// and a tombstone a late sender keeps probing stays warm — a completion
+// flood can only evict entries the TTL would have expired anyway.
+func (l *tombLedger) put(token uint64, t tombstone, ttl time.Duration) {
+	now := time.Now()
+	sh := &l.shards[ledgerShard(token)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sizer.Note(now)
+	sh.m.SetCap(sh.sizer.Cap(ttl, now))
+	var dead []uint64
+	sh.m.Range(func(tok uint64, old tombstone) bool {
+		if now.Before(old.expires) {
+			return false // touch recency ≈ expiry order; the rest are live
+		}
+		dead = append(dead, tok)
+		return true
+	})
+	for _, tok := range dead {
+		sh.m.Delete(tok)
+	}
+	sh.m.Put(token, t)
+}
+
+// lookup finds a live tombstone; the lookup touches the entry, keeping
+// probed tombstones ahead of eviction.
+func (l *tombLedger) lookup(token uint64) (tombstone, bool) {
+	sh := &l.shards[ledgerShard(token)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.m.Get(token)
+	if !ok {
+		return tombstone{}, false
+	}
+	if time.Now().After(t.expires) {
+		sh.m.Delete(token)
+		return tombstone{}, false
+	}
+	return t, true
+}
+
+// len sums live entries across shards (ops snapshot).
+func (l *tombLedger) len() int {
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += sh.m.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -44,7 +44,6 @@ import (
 
 	"mpegsmooth/internal/core"
 	"mpegsmooth/internal/journal"
-	"mpegsmooth/internal/lru"
 	"mpegsmooth/internal/netsim"
 	"mpegsmooth/internal/transport"
 )
@@ -197,20 +196,18 @@ type Server struct {
 	admission *netsim.Admission
 	streams   map[uint64]*stream
 	resumable map[uint64]*stream // resume token → parked-capable stream
-	nonces    map[uint64]*stream // live hello nonce → its stream
 	nextID    uint64
 	ln        net.Listener
 	closed    bool
 
-	// tombstones remembers recently completed streams by resume token so
-	// a sender whose completion ack was lost gets a precise
-	// AlreadyComplete verdict (with the final hash) instead of an
-	// unknown-token rejection. The ledger is a last-touch LRU whose cap
-	// adapts to the observed completion rate × the tombstone TTL, so a
-	// flood of short streams cannot race-evict a tombstone a legitimate
-	// late resume still needs.
-	tombstones *lru.Map[uint64, tombstone]
-	tombSizer  lru.Sizer
+	// nonces and tombstones are lock-sharded (see ledger.go) so
+	// duplicate-hello probes and late-resume lookups in a saturated soak
+	// do not serialize on the admission mutex. The nonce ledger routes a
+	// redialing sender to its live stream; the tombstone ledger answers
+	// a resume after a lost completion ack with a precise
+	// AlreadyComplete verdict instead of an unknown-token rejection.
+	nonces     *nonceLedger
+	tombstones *tombLedger
 
 	// journal is cfg.Journal (nil disables durability); the recovered
 	// counters report what the journal replay rebuilt at startup.
@@ -288,9 +285,8 @@ func New(cfg Config) (*Server, error) {
 		admission:     adm,
 		streams:       map[uint64]*stream{},
 		resumable:     map[uint64]*stream{},
-		nonces:        map[uint64]*stream{},
-		tombstones:    lru.New[uint64, tombstone](tombstoneKeep),
-		tombSizer:     lru.Sizer{Min: tombstoneKeep},
+		nonces:        newNonceLedger(),
+		tombstones:    newTombLedger(),
 		worstHeadroom: math.Inf(1),
 	}
 	s.egress = newLink(s.cfg.Egress, s.cfg.WriteTimeout)
@@ -480,7 +476,7 @@ func (s *Server) recoverFromJournal() {
 		s.streams[st.id] = st
 		s.resumable[token] = st
 		if rec.Hello.Nonce != 0 {
-			s.nonces[rec.Hello.Nonce] = st
+			s.nonces.put(rec.Hello.Nonce, st)
 		}
 		s.admission.Rehydrate(rec.Hello.Nonce, rec.Hello.PeakRate, now, s.nonceTTL())
 		s.recoveredStreams++
@@ -500,12 +496,12 @@ func (s *Server) recoverFromJournal() {
 			expire(token, tb.Nonce, journal.ExpireTombstone, "tombstone (expired)")
 			continue
 		}
-		s.mu.Lock()
-		s.tombstones.Put(token, tombstone{
+		s.tombstones.put(token, tombstone{
 			fnv:      binary.BigEndian.Uint64(tb.HashState),
 			pictures: tb.Pictures,
 			expires:  tb.Expires,
-		})
+		}, s.tombstoneTTL())
+		s.mu.Lock()
 		s.recoveredTombstones++
 		s.mu.Unlock()
 	}
@@ -519,6 +515,8 @@ func (s *Server) journalWatermark(st *stream) {
 	}
 	next, state := st.prefixState()
 	s.journal.Watermark(st.token, next, state)
+	// state is the stream's scratch buffer; Watermark copied it into the
+	// journal's own coalescing entry, so it is free for the next picture.
 }
 
 // journalComplete makes a stream's completion durable — called before
@@ -545,7 +543,7 @@ func (s *Server) journalComplete(st *stream) (uint64, error) {
 // FrameReader/FrameWriter pair owns each direction for the connection's
 // whole life — the frame sequence counters span handshake and stream.
 func (s *Server) handle(conn net.Conn) {
-	fr := transport.NewFrameReader(conn)
+	fr := transport.NewFrameReaderBuffered(conn)
 	fr.MaxPayload = s.cfg.MaxPictureBytes
 	fw := transport.NewFrameWriter(conn)
 	fw.WriteTimeout = s.cfg.WriteTimeout
@@ -615,9 +613,7 @@ func (s *Server) handleHello(conn net.Conn, fr *transport.FrameReader, fw *trans
 		return
 	}
 	if hello.Nonce != 0 {
-		s.mu.Lock()
-		prior := s.nonces[hello.Nonce]
-		s.mu.Unlock()
+		prior := s.nonces.get(hello.Nonce)
 		if prior != nil {
 			if prior.hello != *hello {
 				s.rejectConn(conn, fw, transport.RejectedMalformed,
@@ -658,13 +654,16 @@ func (s *Server) handleResume(conn net.Conn, fr *transport.FrameReader, fw *tran
 	st := s.resumable[m.Token]
 	closed := s.closed
 	avail := s.admission.Available()
+	s.mu.Unlock()
 	var tomb tombstone
 	entombed := false
 	if st == nil {
-		tomb, entombed = s.lookupTombstoneLocked(m.Token)
+		tomb, entombed = s.tombstones.lookup(m.Token)
 	}
-	s.mu.Unlock()
 	if entombed {
+		s.mu.Lock()
+		s.alreadyComplete++
+		s.mu.Unlock()
 		fw.WriteVerdict(transport.Verdict{
 			Code: transport.AlreadyComplete, Available: avail,
 			ResumeToken: m.Token, NextIndex: tomb.pictures, PrefixFNV: tomb.fnv,
@@ -770,6 +769,10 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 		h = hello.GOP.N
 	}
 	st := newStream(conn, fr, fw, *hello, s.cfg.QueueLen, ph)
+	// Hand the reader the stream's payload pool: ingest reads each
+	// picture into a recycled buffer, and egress (or the duplicate-drop
+	// path) returns it once the bytes are finished with.
+	fr.Pool = &st.pool
 	sess, err := core.NewSession(hello.Tau, hello.GOP, core.Config{
 		K: hello.K, D: hello.D, H: h, Policy: s.cfg.Policy,
 	}, core.WithObserver(st.observe))
@@ -803,7 +806,7 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 	st.id = s.nextID
 	s.streams[st.id] = st
 	if hello.Nonce != 0 {
-		s.nonces[hello.Nonce] = st
+		s.nonces.put(hello.Nonce, st)
 	}
 	if s.cfg.ResumeWindow > 0 {
 		st.token = s.newTokenLocked()
@@ -821,7 +824,7 @@ func (s *Server) admit(conn net.Conn, fr *transport.FrameReader, fw *transport.F
 			s.admission.ReleaseNonce(hello.Nonce, hello.PeakRate)
 			delete(s.streams, st.id)
 			if hello.Nonce != 0 {
-				delete(s.nonces, hello.Nonce)
+				s.nonces.del(hello.Nonce)
 			}
 			delete(s.resumable, st.token)
 			s.rejectedBusy++
@@ -874,46 +877,6 @@ func (s *Server) tombstoneTTL() time.Duration {
 		return ttl
 	}
 	return 30 * time.Second
-}
-
-// entombLocked records a completed stream's final state under its
-// resume token. The ledger is a last-touch LRU: the adaptive cap tracks
-// completion rate × TTL, expired entries are swept from the cold end,
-// and a tombstone a late sender keeps probing stays warm — a completion
-// flood can only evict entries the TTL would have expired anyway.
-// Caller holds s.mu.
-func (s *Server) entombLocked(token uint64, finalFNV uint64, pictures int) {
-	now := time.Now()
-	s.tombSizer.Note(now)
-	s.tombstones.SetCap(s.tombSizer.Cap(s.tombstoneTTL(), now))
-	var dead []uint64
-	s.tombstones.Range(func(tok uint64, t tombstone) bool {
-		if now.Before(t.expires) {
-			return false // touch recency ≈ expiry order; the rest are live
-		}
-		dead = append(dead, tok)
-		return true
-	})
-	for _, tok := range dead {
-		s.tombstones.Delete(tok)
-	}
-	s.tombstones.Put(token, tombstone{fnv: finalFNV, pictures: pictures, expires: now.Add(s.tombstoneTTL())})
-}
-
-// lookupTombstoneLocked finds a live tombstone and counts the hit; the
-// lookup touches the entry, keeping probed tombstones ahead of eviction.
-// Caller holds s.mu.
-func (s *Server) lookupTombstoneLocked(token uint64) (tombstone, bool) {
-	t, ok := s.tombstones.Get(token)
-	if !ok {
-		return tombstone{}, false
-	}
-	if time.Now().After(t.expires) {
-		s.tombstones.Delete(token)
-		return tombstone{}, false
-	}
-	s.alreadyComplete++
-	return t, true
 }
 
 // newTokenLocked draws an unguessable, unused, nonzero resume token.
@@ -970,16 +933,20 @@ func (s *Server) finish(st *stream, err error) {
 	s.admission.ReleaseNonce(st.hello.Nonce, st.hello.PeakRate)
 	delete(s.streams, st.id)
 	if st.hello.Nonce != 0 {
-		delete(s.nonces, st.hello.Nonce)
+		s.nonces.del(st.hello.Nonce)
 	}
 	if st.token != 0 {
 		delete(s.resumable, st.token)
 		if err == nil {
-			// Tombstone the completed stream in the same critical section
-			// that forgets its token: a resume after a lost completion
-			// ack always finds either the live stream or the tombstone,
-			// never a gap.
-			s.entombLocked(st.token, ss.PayloadFNV, ss.Pictures)
+			// Tombstone the completed stream before s.mu is released: a
+			// resume that finds the token gone from s.resumable
+			// serialized after this critical section, so it always finds
+			// either the live stream or the tombstone, never a gap.
+			ttl := s.tombstoneTTL()
+			s.tombstones.put(st.token, tombstone{
+				fnv: ss.PayloadFNV, pictures: ss.Pictures,
+				expires: time.Now().Add(ttl),
+			}, ttl)
 		}
 	}
 	if err != nil {

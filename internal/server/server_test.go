@@ -63,6 +63,14 @@ func makeClient(t testing.TB, tr *trace.Trace) *clientKit {
 
 // stream dials, declares, and — when admitted — paces the whole trace.
 func (c *clientKit) stream(ctx context.Context, addr string) (transport.Verdict, error) {
+	return c.streamWith(ctx, addr, transport.Sender{TimeScale: soakTimeScale})
+}
+
+// streamWith is stream with an explicit sender configuration; the
+// benchmarks collapse client-side pacing entirely (TimeScale 1e6,
+// picture-sized chunks) so they time the server machinery, not the
+// schedule clock or the load generator's syscall count.
+func (c *clientKit) streamWith(ctx context.Context, addr string, sender transport.Sender) (transport.Verdict, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return transport.Verdict{}, err
@@ -77,7 +85,6 @@ func (c *clientKit) stream(ctx context.Context, addr string) (transport.Verdict,
 	if err != nil || !v.IsAdmitted() {
 		return v, err
 	}
-	sender := &transport.Sender{TimeScale: soakTimeScale}
 	if err := sender.Send(ctx, fw, c.sched, c.payloads); err != nil {
 		return v, err
 	}

@@ -58,6 +58,15 @@ type stream struct {
 	// absolute stream indices.
 	base int
 
+	// pool recycles picture payload buffers across this stream's frames:
+	// the FrameReader (fr.Pool) draws each payload from it, and the
+	// buffer goes back once its bytes are finished with — after egress
+	// paces the picture onto the link, or immediately when a replayed
+	// duplicate is dropped. Per-stream (not global) so buffer sizes
+	// settle to the stream's own picture distribution and a resumed
+	// connection inherits warm buffers via adopt.
+	pool transport.BufferPool
+
 	mu           sync.Mutex
 	conn         net.Conn
 	fr           *transport.FrameReader
@@ -70,6 +79,7 @@ type stream struct {
 	faults       FaultCounts
 	expected     int                  // next (absolute) picture index ingest will accept
 	prefix       transport.PrefixHash // running hash over accepted payloads, in order
+	wmState      []byte               // scratch for prefixState (reused per picture)
 
 	sess           *core.Session
 	stats          *metrics.DecisionStats
@@ -139,11 +149,14 @@ func (st *stream) resumePoint() (next int, prefix uint64) {
 
 // prefixState returns the accept watermark and the prefix hash's
 // resumable state — what the journal records so a restarted server can
-// continue the hash mid-stream.
+// continue the hash mid-stream. The state is written into a per-stream
+// scratch buffer, valid until the next prefixState call: this runs once
+// per accepted picture, and the journal copies it synchronously.
 func (st *stream) prefixState() (next int, state []byte) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.expected, st.prefix.State()
+	st.wmState = st.prefix.AppendState(st.wmState[:0])
+	return st.expected, st.wmState
 }
 
 // resumeWindowLapsed reports whether the stream failed because its
@@ -328,6 +341,7 @@ func (st *stream) runIngest(ctx context.Context, s *Server) error {
 				st.mu.Lock()
 				st.faults.DuplicatesDropped++
 				st.mu.Unlock()
+				st.pool.Put(m.Payload)
 				continue
 			}
 			if m.Index > exp {
@@ -406,9 +420,12 @@ func (st *stream) awaitResume(ctx context.Context, s *Server, cause error) error
 	return fmt.Errorf("server: no resume within %v: %w", s.cfg.ResumeWindow, cause)
 }
 
-// adopt installs a resumed connection as the stream's current one.
+// adopt installs a resumed connection as the stream's current one. The
+// fresh connection's reader joins the stream's payload pool, so a
+// resume inherits the warm buffers its predecessor filled.
 func (st *stream) adopt(rc resumedConn) {
 	st.mu.Lock()
+	rc.fr.Pool = &st.pool
 	st.conn = rc.conn
 	st.fr = rc.fr
 	st.fw = rc.fw
@@ -460,6 +477,9 @@ func (st *stream) runEgress(ctx context.Context, lk *link, clock transport.Clock
 		st.mu.Lock()
 		st.egressedBits += int64(len(it.payload)) * 8
 		st.mu.Unlock()
+		// The picture has fully crossed the link; recycle its buffer for
+		// the reader's next frame.
+		st.pool.Put(it.payload)
 	}
 	return nil
 }

@@ -6,52 +6,66 @@ import (
 )
 
 // TestTombstoneLedgerFloodBounded pins the completion-tombstone ledger:
-// a flood of completions grows the adaptive cap with the observed
-// completion rate while the ledger never exceeds it, and a tombstone a
-// late sender keeps probing — the last-touch property — survives the
-// entire flood instead of being race-evicted by strangers.
+// a flood of completions grows each shard's adaptive cap with the
+// observed completion rate while no shard ever exceeds its cap, and a
+// tombstone a late sender keeps probing — the last-touch property —
+// survives the entire flood instead of being race-evicted by strangers.
 func TestTombstoneLedgerFloodBounded(t *testing.T) {
 	srv, err := New(Config{LinkRate: 1e9, ResumeWindow: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
+	ttl := srv.tombstoneTTL()
+	entomb := func(token, fnv uint64, pictures int) {
+		srv.tombstones.put(token, tombstone{
+			fnv: fnv, pictures: pictures, expires: time.Now().Add(ttl),
+		}, ttl)
+	}
+	shardsBounded := func() (int, int, bool) {
+		for i := range srv.tombstones.shards {
+			sh := &srv.tombstones.shards[i]
+			if size, cap := sh.m.Len(), sh.m.Cap(); size > cap {
+				return size, cap, false
+			}
+		}
+		return 0, 0, true
+	}
+
 	const protected = uint64(0xFEEDFACE)
-	srv.mu.Lock()
-	srv.entombLocked(protected, 0xABC, 10)
-	srv.mu.Unlock()
+	entomb(protected, 0xABC, 10)
 
 	const flood = 100_000
 	for i := 0; i < flood; i++ {
-		srv.mu.Lock()
-		srv.entombLocked(uint64(0x100000+i), uint64(i), i)
-		if size, cap := srv.tombstones.Len(), srv.tombstones.Cap(); size > cap {
-			srv.mu.Unlock()
-			t.Fatalf("after %d completions: ledger %d exceeds cap %d", i+1, size, cap)
+		entomb(uint64(0x100000+i), uint64(i), i)
+		if size, cap, ok := shardsBounded(); !ok {
+			t.Fatalf("after %d completions: a shard's %d entries exceed its cap %d", i+1, size, cap)
 		}
 		if i%1024 == 0 {
-			if _, ok := srv.lookupTombstoneLocked(protected); !ok {
-				srv.mu.Unlock()
-				t.Fatalf("probed tombstone evicted after %d completions (ledger %d, cap %d)",
-					i+1, srv.tombstones.Len(), srv.tombstones.Cap())
+			if _, ok := srv.tombstones.lookup(protected); !ok {
+				t.Fatalf("probed tombstone evicted after %d completions (ledger %d)",
+					i+1, srv.tombstones.len())
 			}
 		}
-		srv.mu.Unlock()
 	}
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	if cap := srv.tombstones.Cap(); cap <= tombstoneKeep {
-		t.Errorf("cap did not adapt above its %d floor under a completion flood: %d", tombstoneKeep, cap)
+	aggregateCap := 0
+	for i := range srv.tombstones.shards {
+		aggregateCap += srv.tombstones.shards[i].m.Cap()
 	}
-	if tomb, ok := srv.lookupTombstoneLocked(protected); !ok || tomb.fnv != 0xABC || tomb.pictures != 10 {
+	if aggregateCap <= tombstoneKeep {
+		t.Errorf("aggregate cap did not adapt above its %d floor under a completion flood: %d",
+			tombstoneKeep, aggregateCap)
+	}
+	if tomb, ok := srv.tombstones.lookup(protected); !ok || tomb.fnv != 0xABC || tomb.pictures != 10 {
 		t.Errorf("probed tombstone lost or mangled by the end of the flood: %+v ok=%v", tomb, ok)
 	}
 
 	// An expired tombstone is lazily dropped at lookup, not answered.
-	srv.tombstones.Put(0xDEAD, tombstone{fnv: 1, pictures: 1, expires: time.Now().Add(-time.Second)})
-	if _, ok := srv.lookupTombstoneLocked(0xDEAD); ok {
+	srv.tombstones.put(0xDEAD, tombstone{fnv: 1, pictures: 1, expires: time.Now().Add(-time.Second)}, ttl)
+	if _, ok := srv.tombstones.lookup(0xDEAD); ok {
 		t.Error("expired tombstone answered a resume")
 	}
-	if _, ok := srv.tombstones.Get(0xDEAD); ok {
+	sh := &srv.tombstones.shards[ledgerShard(0xDEAD)]
+	if _, ok := sh.m.Peek(0xDEAD); ok {
 		t.Error("expired tombstone not dropped on lookup")
 	}
 }

@@ -57,6 +57,10 @@ type PrefixHash interface {
 	// State returns the full internal state (8 bytes for FNV, 32 for the
 	// HMAC chain).
 	State() []byte
+	// AppendState appends the internal state to dst and returns the
+	// extended slice — State without the allocation, for per-picture
+	// callers that reuse a scratch buffer.
+	AppendState(dst []byte) []byte
 	// Restore replaces the internal state with one State produced.
 	Restore(state []byte) error
 	// Mode identifies the negotiated algorithm.
@@ -127,6 +131,10 @@ func (f *fnvPrefix) State() []byte {
 	return buf[:]
 }
 
+func (f *fnvPrefix) AppendState(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, f.state)
+}
+
 func (f *fnvPrefix) Restore(state []byte) error {
 	if len(state) != 8 {
 		return fmt.Errorf("transport: fnv prefix state is %d bytes, want 8", len(state))
@@ -155,6 +163,8 @@ func (h *hmacPrefix) Absorb(payload []byte) {
 func (h *hmacPrefix) Sum64() uint64 { return binary.BigEndian.Uint64(h.chain[:8]) }
 
 func (h *hmacPrefix) State() []byte { return append([]byte(nil), h.chain...) }
+
+func (h *hmacPrefix) AppendState(dst []byte) []byte { return append(dst, h.chain...) }
 
 func (h *hmacPrefix) Restore(state []byte) error {
 	if len(state) != sha256.Size {

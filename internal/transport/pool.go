@@ -1,0 +1,58 @@
+// Payload buffer pooling for the frame hot path. A saturated smoothd
+// ingests tens of thousands of pictures per second; allocating a fresh
+// payload buffer per frame makes the garbage collector a rate policer
+// of its own. BufferPool recycles payload buffers across frames: the
+// reader takes one sized to the announced picture, the server returns
+// it after the decision step (egress sent, or duplicate dropped).
+package transport
+
+import "sync"
+
+// maxPooledBuffers bounds how many idle buffers a pool retains; beyond
+// this, Put drops the buffer for the collector. The bound keeps a burst
+// of large pictures from pinning memory forever.
+const maxPooledBuffers = 64
+
+// BufferPool recycles picture payload buffers. It is a concrete
+// mutex-guarded LIFO rather than a sync.Pool: payload lifetimes span
+// goroutines (reader → decision → egress), which defeats sync.Pool's
+// per-P caching, and a typed [][]byte freelist avoids boxing the slice
+// header on every Put. The zero value is ready to use.
+type BufferPool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+// Get returns a buffer with len == size. It prefers the most recently
+// returned buffer whose capacity fits (top-down scan, swap-remove), so
+// a steady stream of similar-sized pictures settles into a handful of
+// buffers.
+func (p *BufferPool) Get(size int) []byte {
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= size {
+			b := p.free[i]
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			return b[:size]
+		}
+	}
+	p.mu.Unlock()
+	return make([]byte, size)
+}
+
+// Put returns a buffer to the pool. Nil and zero-capacity buffers are
+// ignored, as is everything past the retention bound.
+func (p *BufferPool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < maxPooledBuffers {
+		p.free = append(p.free, b[:0])
+	}
+	p.mu.Unlock()
+}

@@ -73,7 +73,7 @@ func (rc *Receiver) Receive(ctx context.Context, conn io.Reader) (*Report, error
 	start := time.Now()
 	report := &Report{}
 	currentRate := 0.0
-	fr := NewFrameReader(conn)
+	fr := NewFrameReaderBuffered(conn)
 	fr.MaxPayload = rc.MaxPictureBytes
 	for {
 		if err := ctx.Err(); err != nil {
