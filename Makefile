@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench muxbench ingestbench chaos crash cluster replfuzz journal protocol results examples clean
+.PHONY: all build test test-race vet bench muxbench ingestbench chaos datagram dgfuzz fadingsweep crash cluster replfuzz journal protocol results examples clean
 
 all: build vet test test-race
 
@@ -24,6 +24,26 @@ test-race:
 # under the race detector — resumable streams must complete byte-exact.
 chaos:
 	$(GO) test -race -v -run 'Chaos|Resum|Stall|Fault|Malformed|Partition' ./internal/server/ ./internal/transport/ ./internal/faultnet/
+
+# The datagram acceptance soak: resumable streams over the selective-
+# repeat ARQ transport, with packet drops, Gilbert–Elliott burst
+# outages, duplication, and reordering injected in BOTH directions
+# across fixed seeds — byte-exact completion, exactly-once admission,
+# zero leaked reservations, race-mode.
+datagram:
+	$(GO) test -race -v -run 'TestDatagramChaosSoak' -count=1 ./internal/server/
+
+# The datagram frame fuzzer: arbitrary bytes against the packet codec
+# (decode must never panic, accepted packets re-encode byte-identically)
+# and as hostile delivery scripts against a receiving ARQ flow (the
+# stream layer must only ever see an in-order prefix).
+dgfuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDatagramFrame -fuzztime 10s ./internal/transport/
+
+# Regenerate the fading-channel sweep: admissible load for raw vs
+# smoothed schedules under block fading with deadline-bound ARQ.
+fadingsweep:
+	$(GO) run ./cmd/experiments -fig fading -out results
 
 # The kill-and-restart chaos harness: the server is killed mid-stream
 # (journal abandoned, connections dropped) and restarted from the

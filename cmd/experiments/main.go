@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, extA..extJ, all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, extA..extJ, fading, all")
 		out         = flag.String("out", "results", "output directory for CSV series")
 		pictures    = flag.Int("pictures", experiments.DefaultPictures, "trace length in pictures")
 		seed        = flag.Int64("seed", experiments.DefaultSeed, "trace generation seed")
@@ -52,7 +52,7 @@ func main() {
 	}
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"3", "4", "5", "6", "7", "8", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI", "extJ"}
+		figs = []string{"3", "4", "5", "6", "7", "8", "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI", "extJ", "fading"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), *out, *pictures, *seed, opts...); err != nil {
@@ -103,8 +103,33 @@ func runFigure(fig, out string, pictures int, seed int64, opts ...experiments.Sw
 		return extI(out, pictures, seed)
 	case "extJ":
 		return extJ(out, seed)
+	case "fading":
+		return fading(out, pictures, seed)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+func fading(out string, pictures int, seed int64) error {
+	rows, err := experiments.FadingSweep(pictures, seed)
+	if err != nil {
+		return err
+	}
+	f, err := create(out, "fading_sweep.csv")
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteFadingCSV(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	fmt.Println("== Fading sweep: admissible load under block fading with deadline-bound ARQ ==")
+	for _, r := range rows {
+		fmt.Printf("  coherence %.3fs outage %.2f: raw load %.3f  smoothed load %.3f  gain %.2fx\n",
+			r.Coherence, r.OutageProb, r.RawLoad, r.SmoothedLoad, r.Gain)
+	}
+	fmt.Println("  -> fading_sweep.csv")
+	return nil
 }
 
 func extJ(out string, seed int64) error {

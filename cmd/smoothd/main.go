@@ -65,6 +65,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		commitWindow = fs.Duration("commit-window", 0, "journal group-commit window: how long a batch leader waits for more records before the shared fsync (0 = opportunistic batching only)")
 		commitBytes  = fs.Int("commit-bytes", 0, "journal group-commit byte threshold that closes an open commit window early (0 = default 64 KiB)")
 		integrity    = fs.String("integrity", "fnv", "prefix-integrity mode every hello must declare: fnv or hmac-sha256:<keyfile>")
+		datagram     = fs.Bool("datagram", false, "listen on UDP and run the stream protocol over the selective-repeat ARQ datagram transport (standalone mode only)")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
 
 		clusterRole = fs.String("cluster", "", "cluster role: primary or follower:<rank> (empty = standalone)")
@@ -112,6 +113,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Logf:         logf,
 	}
 	if *clusterRole != "" {
+		if *datagram {
+			return errors.New("-datagram is standalone-only: cluster replication stays on TCP")
+		}
 		return runCluster(ctx, out, clusterOpts{
 			role:         *clusterRole,
 			shard:        *shard,
@@ -149,13 +153,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			*journalDir, snap.Streams.Recovered, snap.Streams.RecoveredTombstones)
 	}
 
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return err
+	var ln net.Listener
+	if *datagram {
+		// UDP socket + ARQ demultiplexer: every accepted "connection"
+		// is a selective-repeat flow, and the stream protocol above it
+		// is unchanged.
+		pc, err := net.ListenPacket("udp", *listen)
+		if err != nil {
+			return err
+		}
+		ln = mpegsmooth.ListenDatagram(pc, mpegsmooth.DatagramConfig{})
+	} else {
+		ln, err = net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
 	}
 	defer ln.Close()
-	fmt.Fprintf(out, "smoothd: streams on %s, capacity %.0f bps, policy %s\n",
-		ln.Addr(), *capacity, policy.Name())
+	transportName := "tcp"
+	if *datagram {
+		transportName = "udp/arq"
+	}
+	fmt.Fprintf(out, "smoothd: streams on %s, transport %s, capacity %.0f bps, policy %s\n",
+		ln.Addr(), transportName, *capacity, policy.Name())
 
 	var opsSrv *http.Server
 	if *opsAddr != "" {

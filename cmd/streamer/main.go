@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mpegsmooth"
+	"mpegsmooth/internal/faultnet"
 )
 
 func main() {
@@ -63,8 +64,35 @@ func send(args []string) error {
 		retries   = fs.Int("retries", 8, "max consecutive reconnect attempts before abandoning the stream (handshake mode)")
 		writeTO   = fs.Duration("write-timeout", 30*time.Second, "per-message write deadline (0 = none)")
 		integrity = fs.String("integrity", "fnv", "prefix-integrity mode for the handshake: fnv or hmac-sha256:<keyfile> (must match the server's)")
+		datagram  = fs.Bool("datagram", false, "dial UDP and run the stream over the selective-repeat ARQ datagram transport")
+		reorder   = fs.Float64("reorder", 0, "datagram chaos: probability a sent packet is held and re-emitted late")
+		burstLoss = fs.Float64("burst-loss", 0, "datagram chaos: Gilbert-Elliott burst entry probability per packet (bursts drop ~90% of packets)")
+		fading    = fs.Duration("fading", 0, "datagram chaos: block-fading coherence time, 10% of blocks in outage (0 = disabled)")
 	)
 	fs.Parse(args)
+	nw, err := chaosInjector(*datagram, *reorder, *burstLoss, *fading, *seed)
+	if err != nil {
+		return err
+	}
+	dialStream := func(ctx context.Context, addr string) (net.Conn, error) {
+		if !*datagram {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+		raddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		udp, err := net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			return nil, err
+		}
+		var pc net.Conn = udp
+		if nw != nil {
+			pc = nw.WrapConn(pc)
+		}
+		return mpegsmooth.NewDatagramClientConn(pc, mpegsmooth.DatagramConfig{}), nil
+	}
 	mode, key, err := mpegsmooth.ParseIntegrity(*integrity)
 	if err != nil {
 		return err
@@ -112,15 +140,11 @@ func send(args []string) error {
 		rs := &mpegsmooth.ResumableSender{
 			Sender: mpegsmooth.Sender{TimeScale: *timescale, WriteTimeout: *writeTO},
 			Dial: func(ctx context.Context) (net.Conn, error) {
-				var d net.Dialer
-				return d.DialContext(ctx, "tcp", *connect)
+				return dialStream(ctx, *connect)
 			},
 			// A sharded fleet answers a misdirected handshake with a
 			// redirect verdict; follow it to the owning shard.
-			DialAddr: func(ctx context.Context, addr string) (net.Conn, error) {
-				var d net.Dialer
-				return d.DialContext(ctx, "tcp", addr)
-			},
+			DialAddr: dialStream,
 			Hello: mpegsmooth.StreamHello{
 				Tau: tr.Tau, GOP: tr.GOP, K: *k, D: *d,
 				Pictures: tr.Len(), PeakRate: sched.PeakRate(),
@@ -154,7 +178,7 @@ func send(args []string) error {
 			fmt.Println("delivery confirmed via already-complete verdict (lost-ack recovery)")
 		}
 	} else {
-		conn, err := net.Dial("tcp", *connect)
+		conn, err := dialStream(context.Background(), *connect)
 		if err != nil {
 			return err
 		}
@@ -164,8 +188,31 @@ func send(args []string) error {
 			return err
 		}
 	}
+	if nw != nil {
+		c := nw.Counts()
+		fmt.Printf("chaos injected: %d dropped, %d burst-dropped, %d fade-dropped, %d duplicated, %d reordered\n",
+			c.Dropped, c.BurstDropped, c.FadeDropped, c.Duplicated, c.Reordered)
+	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// chaosInjector builds the packet fault injector the datagram chaos
+// flags describe, or nil when none are set.
+func chaosInjector(datagram bool, reorder, burstLoss float64, fading time.Duration,
+	seed int64) (*faultnet.PacketNet, error) {
+	if reorder == 0 && burstLoss == 0 && fading == 0 {
+		return nil, nil
+	}
+	if !datagram {
+		return nil, fmt.Errorf("-reorder, -burst-loss, and -fading require -datagram")
+	}
+	return faultnet.NewPacketNet(faultnet.PacketConfig{
+		Seed:        seed,
+		ReorderProb: reorder,
+		Burst:       faultnet.PacketBurst{EnterProb: burstLoss},
+		Fading:      faultnet.FadingConfig{Coherence: fading, OutageProb: 0.1},
+	}), nil
 }
 
 func recv(args []string) error {
@@ -173,11 +220,22 @@ func recv(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:8402", "listen address")
 	once := fs.Bool("once", true, "exit after one session")
 	readTO := fs.Duration("read-timeout", 30*time.Second, "per-message read deadline (0 = none)")
+	datagram := fs.Bool("datagram", false, "listen on UDP and accept ARQ datagram flows")
 	fs.Parse(args)
 
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return err
+	var ln net.Listener
+	if *datagram {
+		pc, err := net.ListenPacket("udp", *listen)
+		if err != nil {
+			return err
+		}
+		ln = mpegsmooth.ListenDatagram(pc, mpegsmooth.DatagramConfig{})
+	} else {
+		var err error
+		ln, err = net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
 	}
 	defer ln.Close()
 	fmt.Printf("listening on %s\n", ln.Addr())

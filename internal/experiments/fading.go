@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpegsmooth/internal/core"
+	"mpegsmooth/internal/netsim"
+	"mpegsmooth/internal/trace"
+)
+
+// Fading-channel sweep: the paper's admissible-load story carried onto
+// a lossy channel. Admission reserves each stream's traffic descriptor
+// — its peak rate — so the raw schedule's reservation is the I-picture
+// burst rate while the smoothed schedule's is the far lower smoothed
+// peak: that ratio is the Section 5 admission gain. For each fading
+// regime (coherence time × outage probability) the sweep finds, per
+// schedule, the minimum provisioning at or above that reservation
+// which still delivers a target fraction of pictures by the playout
+// deadline when lost packets are retransmitted under the deadline —
+// the ARQ discipline the datagram transport runs live. Fading taxes
+// the gain asymmetrically: raw's reservation is so over-provisioned
+// that recovery headroom is free, while smoothing spent both the
+// bandwidth headroom AND the delay budget — so at fade regimes
+// approaching the delay bound, the smoothed stream needs extra
+// provisioning first, and the gain decays before collapsing outright.
+
+// FadingRow is one point of the sweep. Loads are mean-rate utilization
+// of the minimum feasible link (0 when no provisioning meets the
+// survival target: the fade outlasts the playout slack, and no amount
+// of bandwidth buys back time — Gain is 0 there too, undefined).
+// Gain is SmoothedLoad/RawLoad, the admission gain fading leaves
+// standing.
+type FadingRow struct {
+	Coherence    float64 // fading block length, seconds
+	OutageProb   float64 // per-block outage probability
+	RawLoad      float64
+	SmoothedLoad float64
+	Gain         float64
+}
+
+// Sweep constants: pictures must survive at the paper's delay bound
+// plus a loss-recovery allowance, at least survivalTarget of them, on
+// average across independent fading realizations.
+const (
+	fadingRetxBudget     = 0.1
+	fadingSurvivalTarget = 0.95
+	fadingRealizations   = 5
+)
+
+// FadingSweep runs Driving1 at the paper's parameters (K=1, H=N,
+// D=0.2) across the coherence × outage grid. Everything downstream of
+// the schedule is deterministic — packet fates come from the
+// (seed, block) hash, not an RNG — so equal seeds reproduce the CSV
+// byte for byte.
+func FadingSweep(pictures int, seed int64) ([]FadingRow, error) {
+	tr, s, err := driving1Schedule(pictures, seed)
+	if err != nil {
+		return nil, err
+	}
+	raw, smooth := fadingPlans(tr, s)
+	mean := tr.MeanRate()
+	// Admission reserves each schedule's own traffic descriptor — its
+	// peak rate — so the descriptor is the floor of the provisioning
+	// search: fading can only demand headroom on top of it. The ceiling
+	// is the raw peak with generous margin; a regime infeasible there
+	// is infeasible at any realistic provisioning.
+	rawPeak := rawPeakRate(tr)
+	smoothPeak := s.PeakRate()
+	ceiling := rawPeak * 4
+
+	coherences := []float64{0.025, 0.05, 0.1, 0.2, 0.4}
+	outages := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	var rows []FadingRow
+	for _, coh := range coherences {
+		for _, out := range outages {
+			row := FadingRow{Coherence: coh, OutageProb: out}
+			rawMin, err := minFeasibleLink(raw, rawPeak, ceiling, seed, coh, out)
+			if err != nil {
+				return nil, err
+			}
+			smoothMin, err := minFeasibleLink(smooth, smoothPeak, ceiling, seed, coh, out)
+			if err != nil {
+				return nil, err
+			}
+			if rawMin > 0 {
+				row.RawLoad = mean / rawMin
+			}
+			if smoothMin > 0 {
+				row.SmoothedLoad = mean / smoothMin
+			}
+			if row.RawLoad > 0 {
+				row.Gain = row.SmoothedLoad / row.RawLoad
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// survivalAt averages picture survival over the fading realizations at
+// one candidate link rate.
+func survivalAt(plans []netsim.FadingPicture, link float64, seed int64,
+	coherence, outageProb float64) (float64, error) {
+	total := 0.0
+	for r := 0; r < fadingRealizations; r++ {
+		res, err := netsim.RunFading(netsim.FadingChannelConfig{
+			LinkRate:   link,
+			Seed:       seed*1000 + int64(r),
+			Coherence:  coherence,
+			OutageProb: outageProb,
+		}, plans)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Survival()
+	}
+	return total / fadingRealizations, nil
+}
+
+// minFeasibleLink binary-searches the smallest link rate — at or above
+// the schedule's own peak-rate reservation — whose average survival
+// meets the target, or 0 when even the ceiling fails: a fade regime
+// that outlasts the playout slack cannot be provisioned away.
+func minFeasibleLink(plans []netsim.FadingPicture, peak, ceiling float64,
+	seed int64, coherence, outageProb float64) (float64, error) {
+	hi := ceiling
+	if sv, err := survivalAt(plans, hi, seed, coherence, outageProb); err != nil {
+		return 0, err
+	} else if sv < fadingSurvivalTarget {
+		return 0, nil
+	}
+	lo := peak
+	if sv, err := survivalAt(plans, lo, seed, coherence, outageProb); err != nil {
+		return 0, err
+	} else if sv >= fadingSurvivalTarget {
+		// The bare reservation already survives this regime.
+		return lo, nil
+	}
+	for hi-lo > 0.005*lo {
+		mid := (lo + hi) / 2
+		sv, err := survivalAt(plans, mid, seed, coherence, outageProb)
+		if err != nil {
+			return 0, err
+		}
+		if sv >= fadingSurvivalTarget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// fadingPlans builds the per-picture transmission plans. Both
+// schedules face the same playout deadline: the paper's delay bound D
+// past arrival, plus the shared retransmission budget.
+func fadingPlans(tr *trace.Trace, s *core.Schedule) (raw, smooth []netsim.FadingPicture) {
+	tau := tr.Tau
+	n := tr.Len()
+	raw = make([]netsim.FadingPicture, n)
+	smooth = make([]netsim.FadingPicture, n)
+	for i := 0; i < n; i++ {
+		bits := float64(tr.Sizes[i])
+		deadline := float64(i)*tau + s.Config.D + fadingRetxBudget
+		// Raw: the picture crosses the wire during its own slot at its
+		// natural burst rate S_i/τ — the unsmoothed schedule, exactly the
+		// rawRate baseline of the multiplexing experiments.
+		raw[i] = netsim.FadingPicture{
+			Bits: bits, Start: float64(i) * tau, Rate: bits / tau, Deadline: deadline,
+		}
+		smooth[i] = netsim.FadingPicture{
+			Bits: bits, Start: s.Start[i], Rate: s.Rates[i], Deadline: deadline,
+		}
+	}
+	return raw, smooth
+}
+
+func rawPeakRate(tr *trace.Trace) float64 {
+	peak := 0.0
+	for _, s := range tr.Sizes {
+		if r := float64(s) / tr.Tau; r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+func driving1Schedule(pictures int, seed int64) (*trace.Trace, *core.Schedule, error) {
+	tr, err := trace.Driving1(pictures, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := core.Smooth(tr, core.Config{K: 1, H: tr.GOP.N, D: 0.2})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, s, nil
+}
+
+// WriteFadingCSV renders the sweep in the results/fading_sweep.csv
+// format. The CLI and the seeded-determinism test share this writer, so
+// byte-identical output is a property of FadingSweep itself.
+func WriteFadingCSV(w io.Writer, rows []FadingRow) error {
+	if _, err := fmt.Fprintln(w,
+		"coherence_s,outage_prob,raw_load,smoothed_load,admission_gain"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%.3f,%.2f,%.6f,%.6f,%.4f\n",
+			r.Coherence, r.OutageProb, r.RawLoad, r.SmoothedLoad, r.Gain); err != nil {
+			return err
+		}
+	}
+	return nil
+}

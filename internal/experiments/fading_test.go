@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFadingSweepDeterministic: the sweep is a pure function of its
+// seed — two runs must render byte-identical CSV. (Small picture count
+// keeps the provisioning searches cheap; the committed CSV uses the
+// full 500.)
+func TestFadingSweepDeterministic(t *testing.T) {
+	render := func() []byte {
+		rows, err := FadingSweep(120, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFadingCSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := render()
+	b := render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different CSV:\n%s\nvs\n%s", a, b)
+	}
+	t.Logf("fading sweep @120 pictures:\n%s", a)
+}
+
+// TestFadingSweepGainStory pins the sweep's shape: on a clean channel
+// the smoothed schedule admits strictly more load than the raw one
+// (the Section 5 gain), and the harshest fade regime leaves the gain
+// no larger than the clean-channel gain — fading can only tax the
+// advantage, never amplify it past the lossless case.
+func TestFadingSweepGainStory(t *testing.T) {
+	rows, err := FadingSweep(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean, harsh *FadingRow
+	for i := range rows {
+		r := &rows[i]
+		if r.OutageProb == 0 && clean == nil {
+			clean = r
+		}
+		if r.Coherence == 0.4 && r.OutageProb == 0.2 {
+			harsh = r
+		}
+	}
+	if clean == nil || harsh == nil {
+		t.Fatalf("sweep grid missing anchor points: %+v", rows)
+	}
+	if clean.Gain <= 1 {
+		t.Fatalf("clean channel shows no admission gain: %+v", *clean)
+	}
+	if clean.RawLoad <= 0 || clean.RawLoad >= clean.SmoothedLoad {
+		t.Fatalf("clean-channel loads out of order: %+v", *clean)
+	}
+	if harsh.Gain > clean.Gain {
+		t.Fatalf("fading amplified the admission gain: clean %+v harsh %+v", *clean, *harsh)
+	}
+}

@@ -76,7 +76,41 @@ type Config struct {
 	// one handshake message — "corrupt the first thing connection 2
 	// writes" — where probabilities cannot aim.
 	Ops []OpFault
+	// Burst layers a Gilbert–Elliott two-state model over the i.i.d.
+	// probabilities above: while a direction is in the bad state, the
+	// burst probabilities apply on top of the base mix, so faults
+	// cluster the way real links fail instead of arriving as isolated
+	// per-op coin flips.
+	Burst BurstConfig
 }
+
+// BurstConfig is the Gilbert–Elliott two-state burst model. Each
+// direction of each connection carries its own good/bad state driven
+// by the connection's seeded RNG: every I/O operation first rolls the
+// state transition (good→bad with EnterProb, bad→good with ExitProb),
+// then, while bad, rolls the burst fault probabilities in addition to
+// the base i.i.d. mix. The expected burst length is 1/ExitProb
+// operations; the stationary bad fraction EnterProb/(EnterProb+ExitProb).
+// The zero value disables the model — and, critically, consumes no
+// random draws, so enabling Burst never shifts the seeded fault
+// sequence of configurations that don't use it.
+type BurstConfig struct {
+	// EnterProb is the per-operation good→bad transition probability;
+	// zero disables the model entirely.
+	EnterProb float64
+	// ExitProb is the per-operation bad→good transition probability
+	// (default 0.2: mean burst of 5 operations).
+	ExitProb float64
+	// StallProb, ResetProb, CorruptProb apply per operation while the
+	// direction is in the bad state, on top of the base Config mix.
+	// ResetProb and CorruptProb honor the FaultFreeBytes grace;
+	// StallProb does not (a stall damages no bytes).
+	StallProb   float64
+	ResetProb   float64
+	CorruptProb float64
+}
+
+func (b BurstConfig) enabled() bool { return b.EnterProb > 0 }
 
 // FaultAction is what an OpFault does to its targeted I/O call.
 type FaultAction int
@@ -111,6 +145,9 @@ type Counts struct {
 	Partitions int64
 	// Dropped counts writes swallowed by targeted ActDrop faults.
 	Dropped int64
+	// BurstEnters counts good→bad transitions of the Gilbert–Elliott
+	// burst model across all connection directions.
+	BurstEnters int64
 }
 
 // Network is a fault-injecting wrapper factory. The zero value with a
@@ -120,11 +157,12 @@ type Network struct {
 
 	connIndex atomic.Int64
 
-	corrupted atomic.Int64
-	resets    atomic.Int64
-	stalls    atomic.Int64
-	partials  atomic.Int64
-	dropped   atomic.Int64
+	corrupted   atomic.Int64
+	resets      atomic.Int64
+	stalls      atomic.Int64
+	partials    atomic.Int64
+	dropped     atomic.Int64
+	burstEnters atomic.Int64
 
 	mu          sync.Mutex
 	partitioned bool
@@ -136,17 +174,21 @@ func New(cfg Config) *Network {
 	if cfg.Stall <= 0 {
 		cfg.Stall = 50 * time.Millisecond
 	}
+	if cfg.Burst.enabled() && cfg.Burst.ExitProb <= 0 {
+		cfg.Burst.ExitProb = 0.2
+	}
 	return &Network{cfg: cfg}
 }
 
 // Counts snapshots the injected-fault counters.
 func (n *Network) Counts() Counts {
 	return Counts{
-		Corrupted:  n.corrupted.Load(),
-		Resets:     n.resets.Load(),
-		Stalls:     n.stalls.Load(),
-		Partitions: n.partials.Load(),
-		Dropped:    n.dropped.Load(),
+		Corrupted:   n.corrupted.Load(),
+		Resets:      n.resets.Load(),
+		Stalls:      n.stalls.Load(),
+		Partitions:  n.partials.Load(),
+		Dropped:     n.dropped.Load(),
+		BurstEnters: n.burstEnters.Load(),
 	}
 }
 
@@ -229,8 +271,9 @@ func (fl *faultListener) Accept() (net.Conn, error) {
 // touched under the parent conn's mutex.
 type dirState struct {
 	rng   *rand.Rand
-	bytes int // transferred so far, for the FaultFreeBytes grace
-	ops   int // I/O calls so far, for targeted OpFaults
+	bytes int  // transferred so far, for the FaultFreeBytes grace
+	ops   int  // I/O calls so far, for targeted OpFaults
+	bad   bool // Gilbert–Elliott burst state
 }
 
 type faultConn struct {
@@ -281,6 +324,33 @@ func (fc *faultConn) decide(dir *dirState, size int, isWrite bool) (stall, reset
 			pReset = true
 		} else if size > 0 && cfg.CorruptProb > 0 && dir.rng.Float64() < cfg.CorruptProb {
 			pCorrupt = dir.rng.Intn(size)
+		}
+	}
+	// The Gilbert–Elliott burst rolls come after the i.i.d. rolls, and
+	// only when the model is enabled — so configurations without Burst
+	// keep their exact seeded fault sequences.
+	if cfg.Burst.enabled() {
+		if !dir.bad {
+			if dir.rng.Float64() < cfg.Burst.EnterProb {
+				dir.bad = true
+				fc.net.burstEnters.Add(1)
+			}
+		} else if dir.rng.Float64() < cfg.Burst.ExitProb {
+			dir.bad = false
+		}
+		if dir.bad {
+			if cfg.Burst.StallProb > 0 && dir.rng.Float64() < cfg.Burst.StallProb {
+				pStall = true
+			}
+			if dir.bytes >= cfg.FaultFreeBytes {
+				if cfg.Burst.ResetProb > 0 && dir.rng.Float64() < cfg.Burst.ResetProb {
+					pReset = true
+				}
+				if cfg.Burst.CorruptProb > 0 && pCorrupt < 0 && size > 0 &&
+					dir.rng.Float64() < cfg.Burst.CorruptProb {
+					pCorrupt = dir.rng.Intn(size)
+				}
+			}
 		}
 	}
 	switch fc.targeted(dir, isWrite) {

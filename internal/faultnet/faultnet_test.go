@@ -325,3 +325,69 @@ func TestListenerWrapsAcceptedConns(t *testing.T) {
 		t.Fatal("read-path corruption not counted")
 	}
 }
+
+// TestBurstDeterministicAndClustered pins the Gilbert–Elliott
+// byte-stream model: the same seed replays the same burst sequence,
+// and corruptions arrive clustered in bad-state runs rather than as
+// isolated per-op flips.
+func TestBurstDeterministicAndClustered(t *testing.T) {
+	const chunks, chunkLen = 300, 16
+	in := make([][]byte, chunks)
+	for i := range in {
+		in[i] = bytes.Repeat([]byte{byte(i)}, chunkLen)
+	}
+	cfg := Config{
+		Seed:  5,
+		Burst: BurstConfig{EnterProb: 0.05, ExitProb: 0.25, CorruptProb: 0.9},
+	}
+	nw := New(cfg)
+	first := collect(t, nw, in)
+	second := collect(t, New(cfg), in)
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed, same writes, different burst faults")
+	}
+
+	counts := nw.Counts()
+	if counts.BurstEnters == 0 || counts.Corrupted == 0 {
+		t.Fatalf("burst model enabled but idle: %+v", counts)
+	}
+	// Bursts are multi-op: more corruptions than bursts, and at least
+	// one adjacent pair of corrupted ops.
+	if counts.Corrupted <= counts.BurstEnters {
+		t.Fatalf("%d corruptions over %d bursts — bursts should span multiple ops",
+			counts.Corrupted, counts.BurstEnters)
+	}
+	corrupted := make([]bool, chunks)
+	for i := 0; i < chunks; i++ {
+		for _, b := range first[i*chunkLen : (i+1)*chunkLen] {
+			if b != byte(i) {
+				corrupted[i] = true
+				break
+			}
+		}
+	}
+	adjacent := false
+	for i := 1; i < chunks && !adjacent; i++ {
+		adjacent = corrupted[i-1] && corrupted[i]
+	}
+	if !adjacent {
+		t.Fatal("no two adjacent operations corrupted — faults did not cluster")
+	}
+}
+
+// TestBurstDisabledConsumesNoDraws: a Config without Burst produces
+// the identical fault sequence whether or not the field exists — the
+// zero-value model must not touch the RNG. (Pinned by comparing a
+// plain config against itself plus an explicitly zero Burst.)
+func TestBurstDisabledConsumesNoDraws(t *testing.T) {
+	in := make([][]byte, 100)
+	for i := range in {
+		in[i] = bytes.Repeat([]byte{byte(i)}, 8)
+	}
+	plain := Config{Seed: 11, CorruptProb: 0.3}
+	zeroed := plain
+	zeroed.Burst = BurstConfig{}
+	if !bytes.Equal(collect(t, New(plain), in), collect(t, New(zeroed), in)) {
+		t.Fatal("zero-value Burst shifted the seeded fault sequence")
+	}
+}

@@ -1,0 +1,318 @@
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Packet-level fault injection: the datagram counterpart of the
+// byte-stream faultConn. Where the stream injector corrupts and stalls
+// a reliable pipe, the packet injector does what real packet networks
+// do — drops datagrams (i.i.d., in Gilbert–Elliott bursts, and in
+// block-fading outages), duplicates them, and displaces them by a
+// bounded distance. Faults apply on the egress path of whichever side
+// is wrapped, so wrapping the client conn and the server socket faults
+// the two directions independently, each from its own seeded stream.
+
+// PacketConfig sets the packet fault mix. All probabilities are per
+// transmitted datagram.
+type PacketConfig struct {
+	// Seed drives all randomness; each wrapped endpoint derives its own
+	// stream from it, so a chaos soak replays the same packet fates per
+	// endpoint regardless of scheduling.
+	Seed int64
+	// LossProb drops a datagram outright (i.i.d. baseline loss).
+	LossProb float64
+	// DupProb transmits a datagram twice back-to-back.
+	DupProb float64
+	// ReorderProb holds a datagram aside and re-emits it after
+	// ReorderSpan later datagrams have passed it (bounded displacement);
+	// ReorderFlush bounds how long a held datagram waits for later
+	// traffic before being emitted anyway (defaults: span 3, flush 20ms).
+	ReorderProb  float64
+	ReorderSpan  int
+	ReorderFlush time.Duration
+	// Burst layers Gilbert–Elliott two-state burst loss over the
+	// baseline: while bad, datagrams additionally drop with
+	// Burst.LossProb.
+	Burst PacketBurst
+	// Fading layers a block-fading channel over everything: time is cut
+	// into coherence blocks, each block is independently in outage with
+	// OutageProb, and the block's state selects the per-packet loss
+	// rate. All endpoints of one PacketNet share the same fading
+	// process — a fade hits the channel, not one flow.
+	Fading FadingConfig
+}
+
+// PacketBurst is the Gilbert–Elliott burst-loss model for datagrams.
+type PacketBurst struct {
+	// EnterProb is the per-packet good→bad transition probability; zero
+	// disables the model (and consumes no random draws).
+	EnterProb float64
+	// ExitProb is the per-packet bad→good probability (default 0.2:
+	// mean burst of 5 packets).
+	ExitProb float64
+	// LossProb is the per-packet drop probability while bad (default
+	// 0.9 — bursts are near-outages, not mild degradation).
+	LossProb float64
+}
+
+func (b PacketBurst) enabled() bool { return b.EnterProb > 0 }
+
+// FadingConfig is the block-fading channel model: the channel holds
+// one state per coherence interval, redrawn independently each block —
+// the classic block-fading abstraction, where a slow fade takes the
+// whole link into outage for a coherence time rather than speckling
+// i.i.d. loss.
+type FadingConfig struct {
+	// Coherence is the fading block length; zero disables the model
+	// (and consumes no random draws).
+	Coherence time.Duration
+	// OutageProb is the probability any given block is an outage block.
+	OutageProb float64
+	// GoodLoss and OutageLoss are the per-packet loss rates in the two
+	// states (defaults 0 and 1).
+	GoodLoss   float64
+	OutageLoss float64
+}
+
+func (f FadingConfig) enabled() bool { return f.Coherence > 0 }
+
+// FadingOutage reports deterministically whether coherence block
+// `block` of the fading process with the given seed is an outage
+// block, via a splitmix64-style hash — random access to the block
+// state sequence without a sequential RNG, so a simulator and a live
+// injector sharing a seed see the same fades.
+func FadingOutage(seed, block int64, outageProb float64) bool {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(block+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < outageProb
+}
+
+// PacketCounts reports the packet faults a PacketNet has injected.
+type PacketCounts struct {
+	// Packets counts datagrams offered to the injector.
+	Packets int64
+	// Dropped counts baseline i.i.d. drops; BurstDropped drops owed to
+	// the Gilbert–Elliott bad state; FadeDropped drops owed to the
+	// fading process.
+	Dropped      int64
+	BurstDropped int64
+	FadeDropped  int64
+	// Duplicated counts datagrams sent twice; Reordered datagrams held
+	// for late delivery.
+	Duplicated int64
+	Reordered  int64
+}
+
+// Total returns all drops plus duplications and reorderings — a quick
+// "did the injector actually do anything" check for soaks.
+func (c PacketCounts) Total() int64 {
+	return c.Dropped + c.BurstDropped + c.FadeDropped + c.Duplicated + c.Reordered
+}
+
+// PacketNet is the packet-level fault-injecting wrapper factory.
+type PacketNet struct {
+	cfg   PacketConfig
+	start time.Time // fading epoch, shared by every endpoint
+
+	endpointIndex atomic.Int64
+	packets       atomic.Int64
+	dropped       atomic.Int64
+	burstDropped  atomic.Int64
+	fadeDropped   atomic.Int64
+	duplicated    atomic.Int64
+	reordered     atomic.Int64
+}
+
+// NewPacketNet builds a packet fault injector.
+func NewPacketNet(cfg PacketConfig) *PacketNet {
+	if cfg.ReorderSpan <= 0 {
+		cfg.ReorderSpan = 3
+	}
+	if cfg.ReorderFlush <= 0 {
+		cfg.ReorderFlush = 20 * time.Millisecond
+	}
+	if cfg.Burst.enabled() {
+		if cfg.Burst.ExitProb <= 0 {
+			cfg.Burst.ExitProb = 0.2
+		}
+		if cfg.Burst.LossProb <= 0 {
+			cfg.Burst.LossProb = 0.9
+		}
+	}
+	if cfg.Fading.enabled() && cfg.Fading.OutageLoss <= 0 {
+		cfg.Fading.OutageLoss = 1
+	}
+	return &PacketNet{cfg: cfg, start: time.Now()}
+}
+
+// Counts snapshots the injected-fault counters.
+func (n *PacketNet) Counts() PacketCounts {
+	return PacketCounts{
+		Packets:      n.packets.Load(),
+		Dropped:      n.dropped.Load(),
+		BurstDropped: n.burstDropped.Load(),
+		FadeDropped:  n.fadeDropped.Load(),
+		Duplicated:   n.duplicated.Load(),
+		Reordered:    n.reordered.Load(),
+	}
+}
+
+// newState derives one endpoint's seeded decision state.
+func (n *PacketNet) newState() *pktState {
+	index := n.endpointIndex.Add(1)
+	return &pktState{
+		net: n,
+		rng: rand.New(rand.NewSource(n.cfg.Seed + index)),
+	}
+}
+
+// WrapConn wraps a connected packet conn (client side: one datagram
+// per Write) with egress fault injection.
+func (n *PacketNet) WrapConn(conn net.Conn) net.Conn {
+	return &pktConn{Conn: conn, st: n.newState()}
+}
+
+// WrapPacketConn wraps a server-side packet socket with egress fault
+// injection across all destinations.
+func (n *PacketNet) WrapPacketConn(pc net.PacketConn) net.PacketConn {
+	return &pktPacketConn{PacketConn: pc, st: n.newState()}
+}
+
+// heldPkt is a datagram held back for reordered delivery.
+type heldPkt struct {
+	buf  []byte
+	addr net.Addr // nil on connected conns
+}
+
+// pktState is one endpoint's fault-decision state. The RNG and the
+// reorder hold are only touched under mu; emission happens under mu
+// too, so the displaced ordering is itself deterministic.
+type pktState struct {
+	net      *PacketNet
+	mu       sync.Mutex
+	rng      *rand.Rand
+	bad      bool // Gilbert–Elliott state
+	held     *heldPkt
+	holdLeft int // later datagrams to pass before the held one emits
+	timer    *time.Timer
+}
+
+// process rolls this datagram's fate and performs the resulting
+// transmissions through emit. The draw order is fixed — baseline loss,
+// burst, fading, duplicate, reorder — and each feature draws only when
+// configured, so enabling one never shifts another's seeded sequence.
+func (s *pktState) process(b []byte, addr net.Addr, emit func([]byte, net.Addr)) {
+	cfg := &s.net.cfg
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net.packets.Add(1)
+
+	drop := false
+	dropCounter := &s.net.dropped
+	if cfg.LossProb > 0 && s.rng.Float64() < cfg.LossProb {
+		drop = true
+	}
+	if cfg.Burst.enabled() {
+		if !s.bad {
+			if s.rng.Float64() < cfg.Burst.EnterProb {
+				s.bad = true
+			}
+		} else if s.rng.Float64() < cfg.Burst.ExitProb {
+			s.bad = false
+		}
+		if s.bad && s.rng.Float64() < cfg.Burst.LossProb && !drop {
+			drop = true
+			dropCounter = &s.net.burstDropped
+		}
+	}
+	if cfg.Fading.enabled() {
+		block := int64(time.Since(s.net.start) / cfg.Fading.Coherence)
+		p := cfg.Fading.GoodLoss
+		if FadingOutage(cfg.Seed, block, cfg.Fading.OutageProb) {
+			p = cfg.Fading.OutageLoss
+		}
+		if p > 0 && s.rng.Float64() < p && !drop {
+			drop = true
+			dropCounter = &s.net.fadeDropped
+		}
+	}
+	dup := cfg.DupProb > 0 && s.rng.Float64() < cfg.DupProb
+	hold := cfg.ReorderProb > 0 && s.rng.Float64() < cfg.ReorderProb
+
+	justHeld := false
+	if drop {
+		dropCounter.Add(1)
+	} else if hold && s.held == nil {
+		justHeld = true
+		s.net.reordered.Add(1)
+		s.held = &heldPkt{buf: append([]byte(nil), b...), addr: addr}
+		s.holdLeft = cfg.ReorderSpan
+		// A held datagram must not wait forever when traffic pauses —
+		// that would be loss, not reorder.
+		s.timer = time.AfterFunc(cfg.ReorderFlush, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.releaseLocked(emit)
+		})
+	} else {
+		emit(b, addr)
+		if dup {
+			s.net.duplicated.Add(1)
+			emit(b, addr)
+		}
+	}
+
+	// Every transmission attempt — even a dropped one — moves later
+	// traffic past the held datagram.
+	if !justHeld && s.held != nil && s.holdLeft > 0 {
+		if s.holdLeft--; s.holdLeft == 0 {
+			s.releaseLocked(emit)
+		}
+	}
+}
+
+// releaseLocked emits the held datagram, if any. Caller holds s.mu.
+func (s *pktState) releaseLocked(emit func([]byte, net.Addr)) {
+	if s.held == nil {
+		return
+	}
+	h := s.held
+	s.held = nil
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	emit(h.buf, h.addr)
+}
+
+// pktConn is the client-side wrapper: faults on Write, reads untouched.
+type pktConn struct {
+	net.Conn
+	st *pktState
+}
+
+func (c *pktConn) Write(b []byte) (int, error) {
+	c.st.process(b, nil, func(p []byte, _ net.Addr) { c.Conn.Write(p) })
+	return len(b), nil
+}
+
+// pktPacketConn is the server-side wrapper: faults on WriteTo, reads
+// untouched.
+type pktPacketConn struct {
+	net.PacketConn
+	st *pktState
+}
+
+func (c *pktPacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	c.st.process(b, addr, func(p []byte, a net.Addr) { c.PacketConn.WriteTo(p, a) })
+	return len(b), nil
+}

@@ -1,0 +1,211 @@
+package faultnet
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// runPacketTrace pushes n index-stamped datagrams through one
+// endpoint's fault state and returns the emitted index order (a
+// dropped index never appears; a duplicated one appears twice).
+func runPacketTrace(cfg PacketConfig, n int) ([]int, PacketCounts) {
+	nw := NewPacketNet(cfg)
+	st := nw.newState()
+	var order []int
+	emit := func(b []byte, _ net.Addr) { order = append(order, int(binary.BigEndian.Uint32(b))) }
+	for i := 0; i < n; i++ {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(i))
+		st.process(b[:], nil, emit)
+	}
+	st.mu.Lock()
+	st.releaseLocked(emit)
+	st.mu.Unlock()
+	return order, nw.Counts()
+}
+
+// TestPacketTraceDeterministic: the same seed replays the same packet
+// fates — drops, duplicates, and displacements — and displacement is
+// bounded by the configured span.
+func TestPacketTraceDeterministic(t *testing.T) {
+	cfg := PacketConfig{
+		Seed:        42,
+		LossProb:    0.1,
+		DupProb:     0.05,
+		ReorderProb: 0.05,
+		ReorderSpan: 3,
+		// Never let the wall-clock flush timer race the trace.
+		ReorderFlush: time.Hour,
+	}
+	const n = 500
+	first, counts := runPacketTrace(cfg, n)
+	second, counts2 := runPacketTrace(cfg, n)
+	if len(first) != len(second) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	if counts != counts2 {
+		t.Fatalf("counts differ across identical runs: %+v vs %+v", counts, counts2)
+	}
+	if counts.Dropped == 0 || counts.Duplicated == 0 || counts.Reordered == 0 {
+		t.Fatalf("expected every fault kind to fire over %d packets: %+v", n, counts)
+	}
+
+	// Bounded displacement: a held datagram passes at most ReorderSpan
+	// later datagrams, so at the first emission of index v, at most
+	// ReorderSpan distinct higher indices may already have appeared.
+	firstPos := make(map[int]int)
+	for pos, v := range first {
+		if _, seen := firstPos[v]; !seen {
+			firstPos[v] = pos
+		}
+	}
+	for v, pos := range firstPos {
+		ahead := map[int]bool{}
+		for _, w := range first[:pos] {
+			if w > v {
+				ahead[w] = true
+			}
+		}
+		if len(ahead) > cfg.ReorderSpan {
+			t.Fatalf("index %d displaced past %d later datagrams, span is %d",
+				v, len(ahead), cfg.ReorderSpan)
+		}
+	}
+}
+
+// TestPacketBurstLossClusters: Gilbert–Elliott drops arrive in runs,
+// not as isolated losses.
+func TestPacketBurstLossClusters(t *testing.T) {
+	cfg := PacketConfig{
+		Seed:  7,
+		Burst: PacketBurst{EnterProb: 0.05, ExitProb: 0.25, LossProb: 1},
+	}
+	const n = 1000
+	order, counts := runPacketTrace(cfg, n)
+	if counts.BurstDropped == 0 {
+		t.Fatal("burst model enabled but dropped nothing")
+	}
+	delivered := make([]bool, n)
+	for _, v := range order {
+		delivered[v] = true
+	}
+	longest, run := 0, 0
+	for _, ok := range delivered {
+		if !ok {
+			if run++; run > longest {
+				longest = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if longest < 3 {
+		t.Fatalf("longest loss burst is %d packets; Gilbert–Elliott losses should cluster", longest)
+	}
+}
+
+// TestFadingOutageStationary: the block-state hash is deterministic
+// per (seed, block) and hits the configured outage fraction.
+func TestFadingOutageStationary(t *testing.T) {
+	const blocks = 20000
+	outages := 0
+	for b := int64(0); b < blocks; b++ {
+		if FadingOutage(99, b, 0.3) != FadingOutage(99, b, 0.3) {
+			t.Fatal("FadingOutage not deterministic")
+		}
+		if FadingOutage(99, b, 0.3) {
+			outages++
+		}
+	}
+	frac := float64(outages) / blocks
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("outage fraction %.3f, want ≈0.3", frac)
+	}
+	differs := false
+	for b := int64(0); b < 64 && !differs; b++ {
+		differs = FadingOutage(99, b, 0.3) != FadingOutage(100, b, 0.3)
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical fading processes")
+	}
+}
+
+// TestPacketFadingOutageDropsEverything: with every block in outage at
+// loss rate 1, the channel is a black hole; with no outage blocks, it
+// is clean — the two endpoints of the fading model's range.
+func TestPacketFadingOutageDropsEverything(t *testing.T) {
+	blackout := PacketConfig{
+		Seed:   3,
+		Fading: FadingConfig{Coherence: time.Second, OutageProb: 1, OutageLoss: 1},
+	}
+	order, counts := runPacketTrace(blackout, 100)
+	if len(order) != 0 || counts.FadeDropped != 100 {
+		t.Fatalf("full outage delivered %d packets (FadeDropped=%d)", len(order), counts.FadeDropped)
+	}
+
+	clean := PacketConfig{
+		Seed:   3,
+		Fading: FadingConfig{Coherence: time.Second, OutageProb: 0, OutageLoss: 1},
+	}
+	order, counts = runPacketTrace(clean, 100)
+	if len(order) != 100 || counts.FadeDropped != 0 {
+		t.Fatalf("outage-free fading dropped packets: delivered=%d FadeDropped=%d",
+			len(order), counts.FadeDropped)
+	}
+}
+
+// captureConn records every datagram written through it.
+type captureConn struct {
+	net.Conn // nil: only Write is exercised
+	writes   [][]byte
+}
+
+func (c *captureConn) Write(b []byte) (int, error) {
+	c.writes = append(c.writes, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+type capturePacketConn struct {
+	net.PacketConn // nil: only WriteTo is exercised
+	writes         [][]byte
+}
+
+func (c *capturePacketConn) WriteTo(b []byte, _ net.Addr) (int, error) {
+	c.writes = append(c.writes, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+// TestPacketWrappersInjectOnEgress: both wrapper shapes fault the
+// write path — a total-loss config suppresses every transmission while
+// reporting success to the caller, exactly how loss looks to a sender.
+func TestPacketWrappersInjectOnEgress(t *testing.T) {
+	nw := NewPacketNet(PacketConfig{Seed: 1, LossProb: 1})
+
+	cc := &captureConn{}
+	wc := nw.WrapConn(cc)
+	if n, err := wc.Write([]byte("datagram")); n != 8 || err != nil {
+		t.Fatalf("Write = (%d, %v), want (8, nil)", n, err)
+	}
+	if len(cc.writes) != 0 {
+		t.Fatal("total loss still transmitted on client conn")
+	}
+
+	pc := &capturePacketConn{}
+	wp := nw.WrapPacketConn(pc)
+	if n, err := wp.WriteTo([]byte("datagram"), nil); n != 8 || err != nil {
+		t.Fatalf("WriteTo = (%d, %v), want (8, nil)", n, err)
+	}
+	if len(pc.writes) != 0 {
+		t.Fatal("total loss still transmitted on server socket")
+	}
+	if got := nw.Counts().Dropped; got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+}

@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"mpegsmooth/internal/faultnet"
+)
+
+// Block-fading channel simulation: a packet-granularity, fully
+// deterministic model of one transmission schedule crossing a channel
+// whose state is constant per coherence block (faultnet.FadingOutage
+// gives random access to the block sequence, so this simulator and a
+// live faultnet injector sharing a seed see the same fades). Packets
+// lost to an outage are retransmitted after a fixed RTO until delivered
+// or until the picture's playout deadline makes delivery pointless —
+// the ARQ-under-deadline discipline the datagram transport runs live.
+//
+// The model answers provisioning questions: given a schedule, a link
+// rate, and a fade regime, which pictures still arrive in time? The
+// fading sweep in internal/experiments drives it from both the raw and
+// the smoothed schedule to carry the paper's admissible-load story
+// onto a lossy channel.
+
+// FadingPicture is one picture's transmission plan and playout
+// deadline, all in seconds and bits. The schedule transmits the
+// picture's bits at Rate starting at Start; the receiver needs every
+// bit by Deadline.
+type FadingPicture struct {
+	Bits     float64
+	Start    float64
+	Rate     float64
+	Deadline float64
+}
+
+// FadingChannelConfig parameterizes one run over the fading channel.
+type FadingChannelConfig struct {
+	// LinkRate is the serialization capacity in bits/s — transmissions
+	// and retransmissions share it in ready order.
+	LinkRate float64
+	// PacketBits is the datagram size (default 9216: the transport
+	// layer's 1152-byte datagram MTU).
+	PacketBits float64
+	// RTO is the retransmission backoff in seconds (default 10ms).
+	RTO float64
+	// Seed selects the fading process; Coherence is the block length in
+	// seconds; OutageProb the per-block outage probability. A packet
+	// transmitted during an outage block is lost.
+	Seed       int64
+	Coherence  float64
+	OutageProb float64
+}
+
+// FadingResult summarizes one schedule's run: how many pictures had
+// every packet delivered by deadline, and how hard the ARQ worked.
+type FadingResult struct {
+	Pictures    int
+	Survived    int
+	Sent        int64 // transmission attempts, retransmits included
+	Retransmits int64
+	// Finish holds each picture's delivery completion time (the moment
+	// its last packet crossed the channel), or -1 for a picture that
+	// missed its deadline. A loss-free run's Finish times are the
+	// schedule's own delivery baseline on this link — the natural
+	// reference point for deadline construction.
+	Finish []float64
+}
+
+// Survival is the fraction of pictures delivered in full by deadline.
+func (r FadingResult) Survival() float64 {
+	if r.Pictures == 0 {
+		return 1
+	}
+	return float64(r.Survived) / float64(r.Pictures)
+}
+
+// fadingPkt is one packet awaiting (re)transmission. Seq breaks ready
+// ties deterministically.
+type fadingPkt struct {
+	pic   int
+	ready float64
+	seq   int64
+}
+
+type fadingHeap []fadingPkt
+
+func (h fadingHeap) Len() int { return len(h) }
+func (h fadingHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fadingHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *fadingHeap) Push(x any)   { *h = append(*h, x.(fadingPkt)) }
+func (h *fadingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunFading simulates the given per-picture plans through the fading
+// channel and reports survival. The simulation is event-exact and
+// consumes no RNG: packet fates come only from the (Seed, block) hash,
+// so identical configs replay identical outcomes.
+func RunFading(cfg FadingChannelConfig, pics []FadingPicture) (FadingResult, error) {
+	if cfg.LinkRate <= 0 {
+		return FadingResult{}, fmt.Errorf("netsim: fading LinkRate must be positive")
+	}
+	if cfg.Coherence <= 0 {
+		return FadingResult{}, fmt.Errorf("netsim: fading Coherence must be positive")
+	}
+	if cfg.PacketBits <= 0 {
+		cfg.PacketBits = 9216
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 0.01
+	}
+	pktTime := cfg.PacketBits / cfg.LinkRate
+
+	// Packetize every picture along its scheduled window: packet j of
+	// picture i becomes ready PacketBits/Rate after the previous one —
+	// the sender paces the wire exactly as the schedule says.
+	var q fadingHeap
+	var seq int64
+	remaining := make([]int, len(pics))
+	alive := make([]bool, len(pics))
+	for i, p := range pics {
+		if p.Bits <= 0 || p.Rate <= 0 {
+			return FadingResult{}, fmt.Errorf("netsim: picture %d has non-positive bits or rate", i)
+		}
+		alive[i] = true
+		n := int(math.Ceil(p.Bits / cfg.PacketBits))
+		remaining[i] = n
+		gap := cfg.PacketBits / p.Rate
+		for j := 0; j < n; j++ {
+			q = append(q, fadingPkt{pic: i, ready: p.Start + float64(j)*gap, seq: seq})
+			seq++
+		}
+	}
+	heap.Init(&q)
+
+	var res FadingResult
+	res.Pictures = len(pics)
+	res.Finish = make([]float64, len(pics))
+	for i := range res.Finish {
+		res.Finish[i] = -1
+	}
+	linkFree := 0.0
+	for q.Len() > 0 {
+		p := heap.Pop(&q).(fadingPkt)
+		if !alive[p.pic] {
+			// The picture already missed its deadline: the sender stops
+			// burning link time on it.
+			continue
+		}
+		txStart := math.Max(p.ready, linkFree)
+		txEnd := txStart + pktTime
+		if txEnd > pics[p.pic].Deadline {
+			alive[p.pic] = false
+			continue
+		}
+		linkFree = txEnd
+		res.Sent++
+		block := int64(txStart / cfg.Coherence)
+		if faultnet.FadingOutage(cfg.Seed, block, cfg.OutageProb) {
+			res.Retransmits++
+			heap.Push(&q, fadingPkt{pic: p.pic, ready: txEnd + cfg.RTO, seq: seq})
+			seq++
+			continue
+		}
+		if remaining[p.pic]--; remaining[p.pic] == 0 {
+			res.Finish[p.pic] = txEnd
+		}
+	}
+	for i := range pics {
+		if alive[i] && remaining[i] == 0 {
+			res.Survived++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// fourPics is a small plan: four equal pictures, paced back to back at
+// half the link rate, deadlines one second past their windows.
+func fourPics() []FadingPicture {
+	pics := make([]FadingPicture, 4)
+	for i := range pics {
+		pics[i] = FadingPicture{
+			Bits:     4 * 9216,
+			Start:    float64(i) * 0.1,
+			Rate:     368640, // 4 packets over 0.1s
+			Deadline: float64(i)*0.1 + 1,
+		}
+	}
+	return pics
+}
+
+// TestFadingCleanChannelDeliversAll: with outage probability zero the
+// channel never drops, every picture survives, and nothing retransmits.
+func TestFadingCleanChannelDeliversAll(t *testing.T) {
+	res, err := RunFading(FadingChannelConfig{
+		LinkRate: 2 * 368640, Seed: 1, Coherence: 0.05, OutageProb: 0,
+	}, fourPics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survived != 4 || res.Retransmits != 0 || res.Sent != 16 {
+		t.Fatalf("clean channel: %+v", res)
+	}
+	for i, f := range res.Finish {
+		if f < 0 {
+			t.Fatalf("picture %d has no finish time on a clean channel", i)
+		}
+	}
+}
+
+// TestFadingFullOutageKillsAll: with every block in outage nothing is
+// ever delivered; every picture dies at its deadline, with the ARQ
+// having retried until retrying became pointless.
+func TestFadingFullOutageKillsAll(t *testing.T) {
+	res, err := RunFading(FadingChannelConfig{
+		LinkRate: 2 * 368640, Seed: 1, Coherence: 0.05, OutageProb: 1,
+	}, fourPics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survived != 0 {
+		t.Fatalf("full outage delivered pictures: %+v", res)
+	}
+	if res.Retransmits == 0 {
+		t.Fatalf("full outage with no retransmission attempts: %+v", res)
+	}
+	for i, f := range res.Finish {
+		if f >= 0 {
+			t.Fatalf("picture %d finished through a full outage", i)
+		}
+	}
+}
+
+// TestFadingDeterministic: identical configs replay identical results —
+// the simulation consumes no RNG, only the (seed, block) hash.
+func TestFadingDeterministic(t *testing.T) {
+	cfg := FadingChannelConfig{
+		LinkRate: 1.5 * 368640, Seed: 42, Coherence: 0.03, OutageProb: 0.3,
+	}
+	a, err := RunFading(cfg, fourPics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFading(cfg, fourPics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Survived != b.Survived || a.Sent != b.Sent || a.Retransmits != b.Retransmits {
+		t.Fatalf("same config, different outcomes: %+v vs %+v", a, b)
+	}
+	for i := range a.Finish {
+		if a.Finish[i] != b.Finish[i] {
+			t.Fatalf("finish times diverge at picture %d", i)
+		}
+	}
+	if a.Retransmits == 0 {
+		t.Fatalf("30%% outage blocks caused no retransmissions: %+v", a)
+	}
+}
+
+// TestFadingRecoveryNeedsHeadroom: at 30% outage a generously
+// provisioned link recovers every picture inside the deadline slack; a
+// link with no headroom over the sending rate loses some — bandwidth
+// headroom is what turns retransmission into recovery.
+func TestFadingRecoveryNeedsHeadroom(t *testing.T) {
+	pics := func(deadlineSlack float64) []FadingPicture {
+		ps := fourPics()
+		for i := range ps {
+			ps[i].Deadline = ps[i].Start + 0.1 + deadlineSlack
+		}
+		return ps
+	}
+	roomy, err := RunFading(FadingChannelConfig{
+		LinkRate: 8 * 368640, Seed: 9, Coherence: 0.02, OutageProb: 0.3,
+	}, pics(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.Survived != 4 {
+		t.Fatalf("roomy link lost pictures under mild fading: %+v", roomy)
+	}
+	tight, err := RunFading(FadingChannelConfig{
+		LinkRate: 368640, Seed: 9, Coherence: 0.02, OutageProb: 0.3,
+	}, pics(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Survived == 4 {
+		t.Fatalf("zero-headroom link with thin slack survived 30%% outage: %+v", tight)
+	}
+}
+
+// TestFadingRejectsBadConfig: non-positive link, coherence, bits, or
+// rate are caller errors, not silent defaults.
+func TestFadingRejectsBadConfig(t *testing.T) {
+	if _, err := RunFading(FadingChannelConfig{Coherence: 1}, fourPics()); err == nil {
+		t.Fatal("accepted zero link rate")
+	}
+	if _, err := RunFading(FadingChannelConfig{LinkRate: 1e6}, fourPics()); err == nil {
+		t.Fatal("accepted zero coherence")
+	}
+	bad := fourPics()
+	bad[2].Rate = 0
+	if _, err := RunFading(FadingChannelConfig{LinkRate: 1e6, Coherence: 1}, bad); err == nil {
+		t.Fatal("accepted zero picture rate")
+	}
+}
+
+// TestFadingSurvivalEmpty: an empty plan trivially survives.
+func TestFadingSurvivalEmpty(t *testing.T) {
+	res, err := RunFading(FadingChannelConfig{LinkRate: 1e6, Coherence: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Survival(); s != 1 || math.IsNaN(s) {
+		t.Fatalf("empty plan survival = %v, want 1", s)
+	}
+}

@@ -46,7 +46,13 @@ type FaultCounts struct {
 	Corrupt int64 `json:"corrupt"`
 	Timeout int64 `json:"timeout"`
 	Reset   int64 `json:"reset"`
-	Other   int64 `json:"other"`
+	// The datagram classes: reassembly-window overflows, exhausted
+	// retransmission schedules, and stale-incarnation traffic from the
+	// ARQ layer under a -datagram listener.
+	ReorderOverflow     int64 `json:"reorder_overflow"`
+	RetransmitExhausted int64 `json:"retransmit_exhausted"`
+	StaleDuplicate      int64 `json:"stale_duplicate"`
+	Other               int64 `json:"other"`
 	// Resumed counts accepted reconnects; DuplicatesDropped the replayed
 	// pictures deduplicated after them; ResumeExpired the parked streams
 	// no sender came back for.
@@ -64,6 +70,12 @@ func (f *FaultCounts) record(class transport.FaultClass) {
 		f.Timeout++
 	case transport.FaultReset:
 		f.Reset++
+	case transport.FaultReorderOverflow:
+		f.ReorderOverflow++
+	case transport.FaultRetransmitExhausted:
+		f.RetransmitExhausted++
+	case transport.FaultStaleDuplicate:
+		f.StaleDuplicate++
 	case transport.FaultOther:
 		f.Other++
 	}
@@ -74,6 +86,9 @@ func (f *FaultCounts) add(g FaultCounts) {
 	f.Corrupt += g.Corrupt
 	f.Timeout += g.Timeout
 	f.Reset += g.Reset
+	f.ReorderOverflow += g.ReorderOverflow
+	f.RetransmitExhausted += g.RetransmitExhausted
+	f.StaleDuplicate += g.StaleDuplicate
 	f.Other += g.Other
 	f.Resumed += g.Resumed
 	f.DuplicatesDropped += g.DuplicatesDropped

@@ -29,6 +29,30 @@ var ErrStaleEpoch = errors.New("transport: verdict from deposed primary (stale e
 // fault is terminal — no reconnect can reconcile the histories.
 var ErrDiverged = errors.New("transport: stream prefix diverged from server state")
 
+// ErrReorderOverflow reports a datagram whose sequence number lies
+// beyond the receiver's bounded reassembly window. A conforming peer
+// never sends past the ARQ send window (which fits inside the
+// reassembly window), so overflow means the packet channel displaced a
+// packet further than the window tolerates or a stale incarnation is
+// talking over the flow. The connection is torn down; the byte stream
+// above it reconnects and resumes.
+var ErrReorderOverflow = errors.New("transport: datagram beyond reassembly window (reorder overflow)")
+
+// ErrRetransmitExhausted reports a datagram the ARQ sender retransmitted
+// through its whole backoff schedule without an acknowledgement: the
+// packet channel is losing everything (deep outage or a dead peer). It
+// is the datagram analogue of a deadline expiry, and recoverable the
+// same way — reconnect and resume.
+var ErrRetransmitExhausted = errors.New("transport: datagram retransmissions exhausted without ack")
+
+// ErrStaleDuplicate reports a datagram provably from a stale flow
+// incarnation: an acknowledgement for sequence numbers this connection
+// never sent, or traffic under a dead connection ID. Isolated stale
+// duplicates are dropped silently by the ARQ layer; the error surfaces
+// when the live flow itself is compromised by them, and a redial (new
+// connection ID) shakes the stale incarnation off.
+var ErrStaleDuplicate = errors.New("transport: datagram from stale flow incarnation")
+
 // FaultClass buckets transport failures for accounting and recovery
 // policy: every class except FaultOther is a transient link fault a
 // resumable stream recovers from by reconnecting.
@@ -49,6 +73,18 @@ const (
 	// FaultReset: the connection dropped — reset, broken pipe, closed,
 	// or truncated mid-message.
 	FaultReset
+	// FaultReorderOverflow: a datagram flow displaced a packet beyond
+	// the bounded reassembly window (ErrReorderOverflow). The flow is
+	// torn down; a reconnect re-syncs both windows.
+	FaultReorderOverflow
+	// FaultRetransmitExhausted: a datagram went unacknowledged through
+	// the whole retransmission backoff schedule (ErrRetransmitExhausted)
+	// — the packet-level shape of a timeout.
+	FaultRetransmitExhausted
+	// FaultStaleDuplicate: traffic from a stale flow incarnation
+	// compromised the live flow (ErrStaleDuplicate). A redial under a
+	// fresh connection ID escapes it.
+	FaultStaleDuplicate
 	// FaultOther: anything else (terminal; not retried).
 	FaultOther
 )
@@ -64,14 +100,29 @@ func (c FaultClass) String() string {
 		return "timeout"
 	case FaultReset:
 		return "reset"
+	case FaultReorderOverflow:
+		return "reorder-overflow"
+	case FaultRetransmitExhausted:
+		return "retransmit-exhausted"
+	case FaultStaleDuplicate:
+		return "stale-duplicate"
 	}
 	return "other"
 }
 
 // Retryable reports whether a fault of this class is worth a reconnect
-// attempt on a resumable stream.
+// attempt on a resumable stream. All three datagram classes are
+// retryable: each names a packet-channel condition a fresh flow (new
+// connection, re-synced windows, new connection ID) escapes, while the
+// resume protocol above guarantees the reconnect replays nothing the
+// server already accepted.
 func (c FaultClass) Retryable() bool {
-	return c == FaultCorrupt || c == FaultTimeout || c == FaultReset
+	switch c {
+	case FaultCorrupt, FaultTimeout, FaultReset,
+		FaultReorderOverflow, FaultRetransmitExhausted, FaultStaleDuplicate:
+		return true
+	}
+	return false
 }
 
 // ClassifyFault buckets a transport error. ErrClosed (orderly end) and
@@ -87,6 +138,16 @@ func ClassifyFault(err error) FaultClass {
 		return FaultNone
 	case errors.Is(err, ErrDiverged):
 		return FaultOther
+	// The datagram classes outrank the generic buckets: an exhausted
+	// retransmission schedule often wraps a deadline error, and a
+	// reorder-overflow teardown surfaces through closed-connection
+	// errors, but the specific cause is the one worth counting.
+	case errors.Is(err, ErrReorderOverflow):
+		return FaultReorderOverflow
+	case errors.Is(err, ErrRetransmitExhausted):
+		return FaultRetransmitExhausted
+	case errors.Is(err, ErrStaleDuplicate):
+		return FaultStaleDuplicate
 	case errors.Is(err, ErrCorrupt), errors.Is(err, ErrBadSeq):
 		return FaultCorrupt
 	}

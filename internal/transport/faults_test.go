@@ -67,6 +67,15 @@ func TestClassifyFaultTable(t *testing.T) {
 		{"resume busy", ErrResumeBusy, FaultReset},
 		{"resume busy wrapped", wrap(ErrResumeBusy), FaultReset},
 
+		// The datagram fault classes: each names a packet-channel
+		// condition with its own counter and a reconnect as the cure.
+		{"reorder overflow", ErrReorderOverflow, FaultReorderOverflow},
+		{"reorder overflow wrapped", wrap(ErrReorderOverflow), FaultReorderOverflow},
+		{"retransmit exhausted", ErrRetransmitExhausted, FaultRetransmitExhausted},
+		{"retransmit exhausted wrapped", wrap(ErrRetransmitExhausted), FaultRetransmitExhausted},
+		{"stale duplicate", ErrStaleDuplicate, FaultStaleDuplicate},
+		{"stale duplicate wrapped", wrap(ErrStaleDuplicate), FaultStaleDuplicate},
+
 		{"context canceled", context.Canceled, FaultOther},
 		{"divergence", ErrDiverged, FaultOther},
 		{"divergence wrapped", wrap(ErrDiverged), FaultOther},
@@ -81,15 +90,19 @@ func TestClassifyFaultTable(t *testing.T) {
 	}
 }
 
-// TestFaultClassRetryable: exactly the three link-fault classes are
-// retryable; orderly endings and terminal faults are not.
+// TestFaultClassRetryable: exactly the link-fault classes — byte-stream
+// and datagram — are retryable; orderly endings and terminal faults are
+// not.
 func TestFaultClassRetryable(t *testing.T) {
 	want := map[FaultClass]bool{
-		FaultNone:    false,
-		FaultCorrupt: true,
-		FaultTimeout: true,
-		FaultReset:   true,
-		FaultOther:   false,
+		FaultNone:                false,
+		FaultCorrupt:             true,
+		FaultTimeout:             true,
+		FaultReset:               true,
+		FaultReorderOverflow:     true,
+		FaultRetransmitExhausted: true,
+		FaultStaleDuplicate:      true,
+		FaultOther:               false,
 	}
 	for class, retryable := range want {
 		if class.Retryable() != retryable {

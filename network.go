@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 
@@ -95,6 +96,18 @@ type (
 	// HMAC-SHA256 for senders that must not trust the path).
 	IntegrityMode = transport.IntegrityMode
 
+	// DatagramConfig tunes the selective-repeat ARQ layer that presents
+	// a lossy packet channel as a reliable ordered connection.
+	DatagramConfig = transport.DatagramConfig
+	// DGConn is one ARQ flow: a net.Conn whose bytes ride sequenced,
+	// CRC-framed, selectively-acknowledged datagrams.
+	DGConn = transport.DGConn
+	// DGStats counts one ARQ flow's packet-level events.
+	DGStats = transport.DGStats
+	// DatagramListener accepts ARQ flows demultiplexed from a single
+	// packet socket, presented as a net.Listener.
+	DatagramListener = transport.DatagramListener
+
 	// Policer is a token-bucket usage-parameter-control element that
 	// checks traffic against its declared rates.
 	Policer = netsim.Policer
@@ -163,6 +176,15 @@ const (
 	FaultTimeout = transport.FaultTimeout
 	// FaultReset: the connection dropped or was truncated mid-message.
 	FaultReset = transport.FaultReset
+	// FaultReorderOverflow: a datagram flow's reassembly window
+	// overflowed — displacement beyond what the ARQ can absorb.
+	FaultReorderOverflow = transport.FaultReorderOverflow
+	// FaultRetransmitExhausted: a datagram went unacknowledged through
+	// the whole retransmission schedule — the packet channel is dead.
+	FaultRetransmitExhausted = transport.FaultRetransmitExhausted
+	// FaultStaleDuplicate: traffic from a previous flow incarnation
+	// contradicted the current one.
+	FaultStaleDuplicate = transport.FaultStaleDuplicate
 	// FaultOther: anything else; terminal, never retried.
 	FaultOther = transport.FaultOther
 )
@@ -216,6 +238,26 @@ func NewFrameReader(r io.Reader) *FrameReader { return transport.NewFrameReader(
 // ClassifyFault buckets a transport error into a FaultClass for
 // accounting and retry policy.
 func ClassifyFault(err error) FaultClass { return transport.ClassifyFault(err) }
+
+// NewDatagramClientConn runs a selective-repeat ARQ flow over a
+// connected packet conn (one datagram per Write), presenting it as a
+// reliable ordered net.Conn with deadline support.
+func NewDatagramClientConn(pc net.Conn, cfg DatagramConfig) *DGConn {
+	return transport.NewDatagramClientConn(pc, cfg)
+}
+
+// DialDatagram opens a UDP socket to addr and starts an ARQ flow on it.
+func DialDatagram(addr string, cfg DatagramConfig) (*DGConn, error) {
+	return transport.DialDatagram(addr, cfg)
+}
+
+// ListenDatagram demultiplexes ARQ flows arriving on one packet socket
+// into accepted connections: the datagram counterpart of a TCP
+// listener, so a smoothd server can serve lossy packet channels with
+// the stream protocol unchanged.
+func ListenDatagram(pc net.PacketConn, cfg DatagramConfig) *DatagramListener {
+	return transport.ListenDatagram(pc, cfg)
+}
 
 // ParseIntegrity parses an -integrity flag value: "fnv" (the default,
 // no key) or "hmac-sha256:<keyfile>", reading the shared key from the
